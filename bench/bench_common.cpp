@@ -1,0 +1,41 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+namespace lamb::bench {
+
+BenchContext::BenchContext(int argc, const char* const* argv)
+    : cli(argc, argv) {
+  real = cli.get_bool("real", false);
+  out_dir = support::ensure_results_dir(cli.get_string("out-dir", "results"));
+  if (real) {
+    model::MeasuredMachineConfig cfg;
+    cfg.protocol.repetitions =
+        static_cast<int>(cli.get_int("repetitions", 5));
+    machine = std::make_unique<model::MeasuredMachine>(cfg);
+  } else {
+    model::SimulatedMachineConfig cfg;
+    cfg.noise_seed = cli.get_seed("noise-seed", 0xC0FFEE);
+    machine = std::make_unique<model::SimulatedMachine>(cfg);
+  }
+}
+
+void print_header(const std::string& artifact, const std::string& what,
+                  const BenchContext& ctx) {
+  std::printf("=== %s — %s ===\n", artifact.c_str(), what.c_str());
+  std::printf(
+      "paper: Lopez, Karlsson, Bientinesi, \"FLOPs as a Discriminant for "
+      "Dense Linear Algebra Algorithms\", ICPP'22\n");
+  std::printf("machine model: %s\n\n", ctx.machine->name().c_str());
+}
+
+void Comparison::add(const std::string& quantity, const std::string& paper,
+                     const std::string& ours) {
+  table_.add_row({quantity, paper, ours});
+}
+
+void Comparison::render() const {
+  std::printf("\npaper vs reproduced:\n%s", table_.render().c_str());
+}
+
+}  // namespace lamb::bench

@@ -1,0 +1,51 @@
+// Shared plumbing for the per-figure bench binaries: machine construction
+// (simulated by default, --real for the host's BLAS substrate), report
+// headers, and paper-vs-reproduced comparison rows.
+//
+// Common flags (every bench):
+//   --real              time the real lamb::blas kernels instead of the
+//                       simulated machine (slower; scales are reduced)
+//   --seed=N            RNG seed for instance sampling
+//   --threshold=X       time-score threshold override
+//   --out-dir=PATH      where CSV dumps go (default "results")
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "model/machine.hpp"
+#include "model/measured_machine.hpp"
+#include "model/simulated_machine.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace lamb::bench {
+
+struct BenchContext {
+  support::Cli cli;
+  std::unique_ptr<model::MachineModel> machine;
+  bool real = false;
+  std::string out_dir;
+
+  BenchContext(int argc, const char* const* argv);
+};
+
+/// Print the standard header identifying the reproduced artifact.
+void print_header(const std::string& artifact, const std::string& what,
+                  const BenchContext& ctx);
+
+/// One "paper vs reproduced" comparison row; collected and rendered at exit.
+class Comparison {
+ public:
+  void add(const std::string& quantity, const std::string& paper,
+           const std::string& ours);
+  void render() const;
+
+ private:
+  support::Table table_{{"quantity", "paper (Xeon 4210 + MKL)",
+                         "this run"}};
+};
+
+}  // namespace lamb::bench

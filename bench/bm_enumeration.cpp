@@ -1,0 +1,74 @@
+// google-benchmark microbenchmarks of the algorithm-space machinery:
+// schedule/parenthesisation enumeration, the chain DP, classification and
+// the simulated machine's timing oracle.
+#include <benchmark/benchmark.h>
+
+#include "anomaly/classifier.hpp"
+#include "chain/chain.hpp"
+#include "expr/family.hpp"
+#include "model/simulated_machine.hpp"
+
+namespace {
+
+using namespace lamb;
+
+chain::ChainDims make_dims(int n) {
+  chain::ChainDims dims(static_cast<std::size_t>(n) + 1);
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    dims[i] = static_cast<la::index_t>(100 + 37 * i % 500);
+  }
+  return dims;
+}
+
+void BM_EnumerateSchedules(benchmark::State& state) {
+  const auto dims = make_dims(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto algs = chain::enumerate_chain_schedules(dims);
+    benchmark::DoNotOptimize(algs.data());
+  }
+}
+BENCHMARK(BM_EnumerateSchedules)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_EnumerateParenthesisations(benchmark::State& state) {
+  const auto dims = make_dims(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto algs = chain::enumerate_chain_parenthesisations(dims);
+    benchmark::DoNotOptimize(algs.data());
+  }
+}
+BENCHMARK(BM_EnumerateParenthesisations)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_ChainDp(benchmark::State& state) {
+  const auto dims = make_dims(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto dp = chain::chain_dp(dims);
+    benchmark::DoNotOptimize(dp.min_flops);
+  }
+}
+BENCHMARK(BM_ChainDp)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ClassifyInstanceAatb(benchmark::State& state) {
+  expr::AatbFamily family;
+  model::SimulatedMachine machine;
+  const expr::Instance dims = {300, 400, 500};
+  for (auto _ : state) {
+    auto r = anomaly::classify_instance(family, machine, dims, 0.10);
+    benchmark::DoNotOptimize(r.anomaly);
+  }
+}
+BENCHMARK(BM_ClassifyInstanceAatb);
+
+void BM_ClassifyInstanceChain(benchmark::State& state) {
+  expr::ChainFamily family(4);
+  model::SimulatedMachine machine;
+  const expr::Instance dims = {300, 400, 500, 600, 700};
+  for (auto _ : state) {
+    auto r = anomaly::classify_instance(family, machine, dims, 0.10);
+    benchmark::DoNotOptimize(r.anomaly);
+  }
+}
+BENCHMARK(BM_ClassifyInstanceChain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// google-benchmark microbenchmarks of the BLAS substrate: GEMM variants,
+// SYRK, SYMM and the reference kernels, over sizes crossing the dispatch
+// thresholds. Reports FLOP throughput as a counter.
+#include <benchmark/benchmark.h>
+
+#include "blas/blas.hpp"
+#include "la/generators.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lamb;
+using la::index_t;
+using la::Matrix;
+
+void BM_GemmSquare(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  support::Rng rng(1);
+  const Matrix a = la::random_matrix(n, n, rng);
+  const Matrix b = la::random_matrix(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    blas::matmul(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmSquare)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmSmallK(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const index_t k = 16;  // small-k dispatch path
+  support::Rng rng(2);
+  const Matrix a = la::random_matrix(n, k, rng);
+  const Matrix b = la::random_matrix(k, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    blas::matmul(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * k *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmSmallK)->Arg(128)->Arg(256);
+
+void BM_GemmTransposed(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  support::Rng rng(3);
+  const Matrix a = la::random_matrix(n, n, rng);
+  const Matrix b = la::random_matrix(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    blas::gemm(true, true, 1.0, a.view(), b.view(), 0.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransposed)->Arg(128)->Arg(256);
+
+void BM_RefGemm(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  support::Rng rng(4);
+  const Matrix a = la::random_matrix(n, n, rng);
+  const Matrix b = la::random_matrix(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    blas::ref_gemm(false, false, 1.0, a.view(), b.view(), 0.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_RefGemm)->Arg(64)->Arg(128);
+
+void BM_Syrk(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  support::Rng rng(5);
+  const Matrix a = la::random_matrix(n, n / 2, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    blas::syrk(1.0, a.view(), 0.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(n + 1) * n * (n / 2) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Syrk)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Symm(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  support::Rng rng(6);
+  const Matrix a = la::random_symmetric(n, rng);
+  const Matrix b = la::random_matrix(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    blas::symm(1.0, a.view(), b.view(), 0.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Symm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmParallel(benchmark::State& state) {
+  const auto n = static_cast<index_t>(256);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(7);
+  const Matrix a = la::random_matrix(n, n, rng);
+  const Matrix b = la::random_matrix(n, n, rng);
+  Matrix c(n, n);
+  parallel::ThreadPool pool(threads);
+  blas::GemmOptions opts;
+  opts.pool = &pool;
+  for (auto _ : state) {
+    blas::matmul(a.view(), b.view(), c.view(), opts);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmParallel)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

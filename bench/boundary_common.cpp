@@ -1,0 +1,196 @@
+#include "boundary_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/ascii_plot.hpp"
+#include "support/str.hpp"
+
+namespace lamb::bench {
+
+namespace {
+
+bool contains(const std::vector<std::size_t>& v, std::size_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+/// Per-algorithm efficiencies for one sample: total plus one entry per step
+/// (0 for FLOP-free steps such as the triangle copy).
+std::vector<double> sample_efficiencies(const model::Algorithm& alg,
+                                        const anomaly::InstanceResult& r,
+                                        std::size_t alg_index, double peak) {
+  std::vector<double> out;
+  double total_time = 0.0;
+  for (double t : r.step_times[alg_index]) {
+    total_time += t;
+  }
+  out.push_back(static_cast<double>(alg.flops()) / (total_time * peak));
+  for (std::size_t s = 0; s < alg.steps().size(); ++s) {
+    const auto& call = alg.steps()[s].call;
+    const double t = r.step_times[alg_index][s];
+    out.push_back(call.flops() > 0
+                      ? static_cast<double>(call.flops()) / (t * peak)
+                      : 0.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_boundary_line(const expr::ExpressionFamily& family,
+                                 model::MachineModel& machine,
+                                 const anomaly::LineTraversal& line,
+                                 support::CsvWriter& csv) {
+  std::string report;
+  const auto algorithms = family.algorithms(line.origin);
+  const double peak = machine.peak_flops();
+
+  std::string origin_str = "(";
+  for (std::size_t i = 0; i < line.origin.size(); ++i) {
+    if (static_cast<int>(i) == line.dim) {
+      origin_str += "*";
+    } else {
+      origin_str += support::strf("%d", line.origin[i]);
+    }
+    origin_str += (i + 1 < line.origin.size()) ? "," : ")";
+  }
+  report += support::strf("line through %s, traversing d%d; region [%d, %d], "
+                          "thickness %d\n",
+                          origin_str.c_str(), line.dim, line.boundary_lo,
+                          line.boundary_hi, line.thickness());
+
+  for (std::size_t ai = 0; ai < algorithms.size(); ++ai) {
+    const model::Algorithm& alg = algorithms[ai];
+    support::Series total{"total", {}, {}, '*'};
+    std::vector<support::Series> call_series;
+    for (std::size_t s = 0; s < alg.steps().size(); ++s) {
+      if (alg.steps()[s].call.flops() > 0) {
+        call_series.push_back(support::Series{
+            support::strf("call%zu:%s", s + 1,
+                          std::string(to_string(alg.steps()[s].call.kind))
+                              .c_str()),
+            {},
+            {},
+            static_cast<char>('1' + s)});
+      }
+    }
+
+    for (const auto& sample : line.samples) {
+      // Recompute the algorithm list for this coordinate so call shapes are
+      // exact (they change along the line).
+      expr::Instance dims = sample.result.dims;
+      const auto algs_here = family.algorithms(dims);
+      const auto effs =
+          sample_efficiencies(algs_here[ai], sample.result, ai, peak);
+      total.xs.push_back(static_cast<double>(sample.coord));
+      total.ys.push_back(effs[0]);
+      std::size_t series_idx = 0;
+      std::vector<double> csv_vals = {static_cast<double>(ai), effs[0]};
+      for (std::size_t s = 0; s < algs_here[ai].steps().size(); ++s) {
+        if (algs_here[ai].steps()[s].call.flops() > 0) {
+          call_series[series_idx].xs.push_back(
+              static_cast<double>(sample.coord));
+          call_series[series_idx].ys.push_back(effs[s + 1]);
+          ++series_idx;
+        }
+        csv_vals.push_back(effs[s + 1]);
+      }
+      csv.row(support::strf("%d", sample.coord), csv_vals);
+    }
+
+    std::vector<support::Series> all_series = {total};
+    all_series.insert(all_series.end(), call_series.begin(),
+                      call_series.end());
+    support::PlotOptions opts;
+    opts.title = support::strf("%s  [%s]", alg.name().c_str(),
+                               alg.signature().c_str());
+    opts.height = 10;
+    opts.y_min = 0.0;
+    opts.y_max = 1.0;
+    opts.x_label = support::strf("d%d", line.dim);
+    opts.y_label = "efficiency";
+    report += support::line_plot(all_series, opts);
+
+    // Classification strip: C = cheapest only, F = fastest only, B = both.
+    std::string strip = "  class: ";
+    for (const auto& sample : line.samples) {
+      const bool cheap = contains(sample.result.cheapest, ai);
+      const bool fast = contains(sample.result.fastest, ai);
+      strip += cheap && fast ? 'B' : (cheap ? 'C' : (fast ? 'F' : '.'));
+    }
+    report += strip + "\n";
+    report += support::strf("  coords %d..%d step %d   "
+                            "(C cheapest, F fastest, B both)\n\n",
+                            line.samples.front().coord,
+                            line.samples.back().coord,
+                            line.samples.size() > 1
+                                ? line.samples[1].coord -
+                                      line.samples[0].coord
+                                : 0);
+  }
+  return report;
+}
+
+std::vector<TransitionReport> classify_transitions(
+    const expr::ExpressionFamily& family, model::MachineModel& machine,
+    const anomaly::LineTraversal& line, int space_lo, int space_hi,
+    double jump_threshold) {
+  std::vector<TransitionReport> out;
+  const double peak = machine.peak_flops();
+
+  for (const int boundary : {line.boundary_lo, line.boundary_hi}) {
+    TransitionReport report;
+    report.boundary_coord = boundary;
+    report.at_search_bound = (boundary <= space_lo || boundary >= space_hi);
+    if (report.at_search_bound) {
+      out.push_back(report);
+      continue;
+    }
+    // Find the boundary sample and its inward neighbour.
+    std::size_t b_idx = line.samples.size();
+    for (std::size_t i = 0; i < line.samples.size(); ++i) {
+      if (line.samples[i].coord == boundary) {
+        b_idx = i;
+        break;
+      }
+    }
+    if (b_idx >= line.samples.size()) {
+      out.push_back(report);
+      continue;
+    }
+    const std::size_t n_idx = (boundary == line.boundary_lo)
+                                  ? std::min(b_idx + 1,
+                                             line.samples.size() - 1)
+                                  : (b_idx > 0 ? b_idx - 1 : 0);
+    const auto& sb = line.samples[b_idx];
+    const auto& sn = line.samples[n_idx];
+    const auto algs_b = family.algorithms(sb.result.dims);
+
+    double max_jump = 0.0;
+    for (std::size_t ai = 0; ai < algs_b.size(); ++ai) {
+      for (std::size_t s = 0; s < algs_b[ai].steps().size(); ++s) {
+        const auto& call_b = algs_b[ai].steps()[s].call;
+        if (call_b.flops() == 0) {
+          continue;
+        }
+        const auto algs_n = family.algorithms(sn.result.dims);
+        const auto& call_n = algs_n[ai].steps()[s].call;
+        const double eff_b = static_cast<double>(call_b.flops()) /
+                             (sb.result.step_times[ai][s] * peak);
+        const double eff_n = static_cast<double>(call_n.flops()) /
+                             (sn.result.step_times[ai][s] * peak);
+        // Discount the smooth drift expected from the size change itself by
+        // comparing against the relative FLOP change.
+        const double rel_jump =
+            std::abs(eff_b - eff_n) / std::max(eff_b, eff_n);
+        max_jump = std::max(max_jump, rel_jump);
+      }
+    }
+    report.max_jump = max_jump;
+    report.abrupt = max_jump > jump_threshold;
+    out.push_back(report);
+  }
+  return out;
+}
+
+}  // namespace lamb::bench

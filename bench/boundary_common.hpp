@@ -1,0 +1,39 @@
+// Shared rendering for the region-boundary figures (Figs. 8 and 11): per-
+// algorithm efficiency curves along a traversed line, a classification strip
+// (cheapest / fastest / both), and transition-type detection at boundaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anomaly/region.hpp"
+#include "expr/family.hpp"
+#include "model/machine.hpp"
+#include "support/csv.hpp"
+
+namespace lamb::bench {
+
+/// Render one traversed line: for each algorithm an efficiency plot (total +
+/// per-call) plus the classification strip; returns the report text and
+/// appends raw rows to `csv` (columns: coord, alg, step, efficiency...).
+std::string render_boundary_line(const expr::ExpressionFamily& family,
+                                 model::MachineModel& machine,
+                                 const anomaly::LineTraversal& line,
+                                 support::CsvWriter& csv);
+
+/// Classify the transition at each region boundary: "abrupt" when some
+/// kernel's efficiency jumps by more than `jump_threshold` (relative)
+/// between the two samples flanking the boundary, else "gradual".
+struct TransitionReport {
+  int boundary_coord = 0;
+  bool at_search_bound = false;
+  bool abrupt = false;
+  double max_jump = 0.0;  ///< largest relative per-kernel efficiency jump
+};
+
+std::vector<TransitionReport> classify_transitions(
+    const expr::ExpressionFamily& family, model::MachineModel& machine,
+    const anomaly::LineTraversal& line, int space_lo, int space_hi,
+    double jump_threshold = 0.05);
+
+}  // namespace lamb::bench

@@ -1,0 +1,76 @@
+// Region atlas: the paper's future-work proposal for the LAMP with symbolic
+// sizes (Sec. 5 — "knowledge of the location of abrupt changes in the
+// performance profiles of the kernels will help to localise regions of
+// severe anomalies").
+//
+// Given an expression family, a machine, a base instance and ONE symbolic
+// dimension, the atlas scans the dimension's whole range once (at a coarse
+// stride, refining around classification changes) and records the anomalous
+// intervals together with the FLOP-minimal and fastest algorithm in each
+// interval. At run time — when the symbolic size becomes known — a query is
+// a binary search: it answers "can I trust the FLOP count here, and if not,
+// which algorithm should I run instead?" without any further measurement.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "anomaly/classifier.hpp"
+
+namespace lamb::anomaly {
+
+struct AtlasInterval {
+  int lo = 0;                 ///< inclusive
+  int hi = 0;                 ///< inclusive
+  bool anomalous = false;
+  std::size_t recommended;    ///< fastest algorithm throughout the interval
+  std::size_t flop_minimal;   ///< what the FLOP discriminant would pick
+  double worst_time_score = 0.0;
+};
+
+struct AtlasConfig {
+  int lo = 20;
+  int hi = 1200;
+  int coarse_step = 20;          ///< initial scan stride
+  double time_score_threshold = 0.05;
+};
+
+class RegionAtlas {
+ public:
+  /// Scan dimension `dim` of `base` over [config.lo, config.hi].
+  RegionAtlas(const expr::ExpressionFamily& family,
+              model::MachineModel& machine, const expr::Instance& base,
+              int dim, const AtlasConfig& config = {});
+
+  const std::vector<AtlasInterval>& intervals() const { return intervals_; }
+  int symbolic_dimension() const { return dim_; }
+  const expr::Instance& base_instance() const { return base_; }
+
+  /// The interval covering `size` (clamped into the scanned range).
+  const AtlasInterval& lookup(int size) const;
+
+  /// True when the FLOP-minimal algorithm is safe for this size.
+  bool flops_reliable_at(int size) const;
+
+  /// Index of the algorithm to run for this size (fastest per the atlas).
+  std::size_t recommend(int size) const;
+
+  /// Fraction of the scanned range covered by anomalous intervals.
+  double anomalous_fraction() const;
+
+  /// Number of classification samples spent building the atlas.
+  long long samples_used() const { return samples_used_; }
+
+  std::string to_string(
+      const std::vector<std::string>& algorithm_names = {}) const;
+
+ private:
+  expr::Instance base_;
+  int dim_;
+  AtlasConfig config_;
+  std::vector<AtlasInterval> intervals_;
+  long long samples_used_ = 0;
+};
+
+}  // namespace lamb::anomaly

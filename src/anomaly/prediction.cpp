@@ -1,0 +1,72 @@
+#include "anomaly/prediction.hpp"
+
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace lamb::anomaly {
+
+double ConfusionMatrix::recall() const {
+  const long long yes = actual_yes();
+  return yes > 0 ? static_cast<double>(tp) / static_cast<double>(yes) : 0.0;
+}
+
+double ConfusionMatrix::precision() const {
+  const long long pred_yes = tp + fp;
+  return pred_yes > 0 ? static_cast<double>(tp) /
+                            static_cast<double>(pred_yes)
+                      : 0.0;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const long long t = total();
+  return t > 0 ? static_cast<double>(tn + tp) / static_cast<double>(t) : 0.0;
+}
+
+void ConfusionMatrix::add(bool actual, bool predicted) {
+  if (actual) {
+    (predicted ? tp : fn) += 1;
+  } else {
+    (predicted ? fp : tn) += 1;
+  }
+}
+
+std::string ConfusionMatrix::to_table() const {
+  support::Table table({"", "Predicted No", "Predicted Yes", "Total"});
+  table.add_row({"Actual No", support::format_count(tn),
+                 support::format_count(fp), support::format_count(actual_no())});
+  table.add_row({"Actual Yes", support::format_count(fn),
+                 support::format_count(tp),
+                 support::format_count(actual_yes())});
+  table.add_separator();
+  table.add_row({"Total", support::format_count(tn + fn),
+                 support::format_count(fp + tp),
+                 support::format_count(total())});
+  return table.render();
+}
+
+PredictionResult predict_from_benchmarks(
+    const expr::ExpressionFamily& family, model::MachineModel& machine,
+    const std::vector<LineTraversal>& traversals,
+    double time_score_threshold) {
+  PredictionResult result;
+  for (const LineTraversal& line : traversals) {
+    for (const LineSample& sample : line.samples) {
+      const expr::Instance& dims = sample.result.dims;
+      // Ground truth: re-apply the classification to the measured times with
+      // this experiment's threshold (Experiment 2 may have used another).
+      const InstanceResult actual = classify_from_times(
+          dims, sample.result.flops, sample.result.times,
+          time_score_threshold);
+      const InstanceResult predicted = classify_instance_predicted(
+          family, machine, dims, time_score_threshold);
+
+      result.confusion.add(actual.anomaly, predicted.anomaly);
+      result.samples.push_back(PredictionSample{
+          dims, actual.anomaly, predicted.anomaly, actual.time_score,
+          predicted.time_score});
+    }
+  }
+  return result;
+}
+
+}  // namespace lamb::anomaly

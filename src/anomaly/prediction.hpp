@@ -1,0 +1,60 @@
+// Experiment 3 (paper Sec. 3.4.3): prediction of anomalies from isolated
+// kernel benchmarks, summarised as a confusion matrix (paper Tables 1 and 2).
+//
+// For every instance visited by the Experiment 2 traversals, the measured
+// classification is ground truth; the prediction re-classifies the same
+// instance using per-algorithm times formed by summing each call's isolated
+// cold-cache benchmark.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anomaly/region.hpp"
+
+namespace lamb::anomaly {
+
+struct ConfusionMatrix {
+  long long tn = 0;  ///< actual no,  predicted no
+  long long fp = 0;  ///< actual no,  predicted yes
+  long long fn = 0;  ///< actual yes, predicted no
+  long long tp = 0;  ///< actual yes, predicted yes
+
+  long long total() const { return tn + fp + fn + tp; }
+  long long actual_yes() const { return fn + tp; }
+  long long actual_no() const { return tn + fp; }
+
+  /// Fraction of actual anomalies that were predicted (paper: 92% / 75%).
+  double recall() const;
+  /// Fraction of predicted anomalies that were actual (paper: 96% / 98.5%).
+  double precision() const;
+  double accuracy() const;
+
+  void add(bool actual, bool predicted);
+
+  /// Rendered in the paper's layout (rows: actual, columns: predicted).
+  std::string to_table() const;
+};
+
+struct PredictionSample {
+  expr::Instance dims;
+  bool actual = false;
+  bool predicted = false;
+  double actual_time_score = 0.0;
+  double predicted_time_score = 0.0;
+};
+
+struct PredictionResult {
+  ConfusionMatrix confusion;
+  std::vector<PredictionSample> samples;
+};
+
+/// Run the prediction over every sample of the given traversals.
+/// `time_score_threshold` applies to both the ground truth re-classification
+/// and the prediction (paper uses 5%).
+PredictionResult predict_from_benchmarks(
+    const expr::ExpressionFamily& family, model::MachineModel& machine,
+    const std::vector<LineTraversal>& traversals,
+    double time_score_threshold);
+
+}  // namespace lamb::anomaly

@@ -1,0 +1,54 @@
+// Experiment 2 (paper Sec. 3.4.2): lines through anomalous regions.
+//
+// From an anomaly found in Experiment 1, each axis-aligned line through the
+// instance is traversed in steps of 10 in both directions. One or two
+// consecutive non-anomalous instances inside the region are "holes"; three or
+// more mark the end: the first of the three is the region boundary. If the
+// traversal hits the search-space bound, the last instance is the boundary.
+// Region thickness along the line is b - a - 1 for boundary coordinates a, b.
+#pragma once
+
+#include <vector>
+
+#include "anomaly/classifier.hpp"
+
+namespace lamb::anomaly {
+
+struct TraversalConfig {
+  int lo = 20;                        ///< search-space bound (inclusive)
+  int hi = 1200;                      ///< search-space bound (inclusive)
+  int step = 10;
+  double time_score_threshold = 0.05; ///< paper uses 5% here
+  int hole_tolerance = 2;             ///< <= this many non-anomalies = hole
+};
+
+struct LineSample {
+  int coord = 0;           ///< value of the traversed dimension
+  InstanceResult result;
+};
+
+struct LineTraversal {
+  int dim = -1;                  ///< traversed dimension index
+  expr::Instance origin;         ///< the anomaly the line passes through
+  std::vector<LineSample> samples;  ///< sorted by coord ascending
+  int boundary_lo = 0;           ///< region boundary coordinate (a)
+  int boundary_hi = 0;           ///< region boundary coordinate (b)
+
+  /// b - a - 1 (paper's definition).
+  int thickness() const { return boundary_hi - boundary_lo - 1; }
+};
+
+/// Traverse the axis-aligned line through `origin` along dimension `dim`.
+/// `origin` itself should be anomalous (it is re-classified as part of the
+/// traversal; a non-anomalous origin yields a degenerate region).
+LineTraversal traverse_line(const expr::ExpressionFamily& family,
+                            model::MachineModel& machine,
+                            const expr::Instance& origin, int dim,
+                            const TraversalConfig& config);
+
+/// All lines (one per dimension) through one anomaly.
+std::vector<LineTraversal> traverse_all_lines(
+    const expr::ExpressionFamily& family, model::MachineModel& machine,
+    const expr::Instance& origin, const TraversalConfig& config);
+
+}  // namespace lamb::anomaly

@@ -1,0 +1,45 @@
+// Experiment 1 (paper Sec. 3.4.1): random search for anomalies.
+//
+// Instances are sampled uniformly at random with replacement from a box; the
+// search runs until `target_anomalies` *distinct* anomalies are found (or
+// `max_samples` is exhausted). Abundance = distinct anomalies / samples.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "anomaly/classifier.hpp"
+
+namespace lamb::anomaly {
+
+struct RandomSearchConfig {
+  int lo = 20;                   ///< inclusive lower bound per dimension
+  int hi = 1200;                 ///< inclusive upper bound per dimension
+  int target_anomalies = 100;
+  long long max_samples = 1'000'000;
+  double time_score_threshold = 0.10;
+  std::uint64_t seed = 1;
+};
+
+struct RandomSearchResult {
+  long long samples = 0;
+  std::vector<InstanceResult> anomalies;  ///< distinct anomalies, in order
+
+  double abundance() const {
+    return samples > 0 ? static_cast<double>(anomalies.size()) /
+                             static_cast<double>(samples)
+                       : 0.0;
+  }
+};
+
+/// Optional per-sample observer (instance, result); used for progress output.
+using SearchObserver = std::function<void(long long, const InstanceResult&)>;
+
+RandomSearchResult random_search(const expr::ExpressionFamily& family,
+                                 model::MachineModel& machine,
+                                 const RandomSearchConfig& config,
+                                 const SearchObserver& observer = nullptr);
+
+}  // namespace lamb::anomaly

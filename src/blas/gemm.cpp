@@ -1,0 +1,156 @@
+#include "blas/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "blas/microkernel.hpp"
+#include "blas/ref_blas.hpp"
+#include "blas/variant.hpp"
+
+namespace lamb::blas {
+
+namespace {
+
+using la::ConstMatrixView;
+using la::index_t;
+using la::MatrixView;
+
+void scale_c(MatrixView c, double beta) {
+  if (beta == 1.0) {
+    return;
+  }
+  for (index_t j = 0; j < c.cols(); ++j) {
+    for (index_t i = 0; i < c.rows(); ++i) {
+      c(i, j) = (beta == 0.0) ? 0.0 : beta * c(i, j);
+    }
+  }
+}
+
+double op_at(ConstMatrixView m, bool trans, index_t i, index_t j) {
+  return trans ? m(j, i) : m(i, j);
+}
+
+/// Unpacked rank-k update: efficient when k is small because A and B rows fit
+/// in registers/L1 without packing overhead. C += alpha * op(A) * op(B).
+void gemm_small_k(bool trans_a, bool trans_b, double alpha, ConstMatrixView a,
+                  ConstMatrixView b, MatrixView c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = trans_a ? a.rows() : a.cols();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = 0; p < k; ++p) {
+      const double bpj = alpha * op_at(b, trans_b, p, j);
+      if (!trans_a) {
+        const double* acol = &a(0, p);
+        double* ccol = &c(0, j);
+        for (index_t i = 0; i < m; ++i) {
+          ccol[i] += acol[i] * bpj;
+        }
+      } else {
+        for (index_t i = 0; i < m; ++i) {
+          c(i, j) += a(p, i) * bpj;
+        }
+      }
+    }
+  }
+}
+
+/// One serial blocked GEMM over the given column range [j_begin, j_end).
+void gemm_blocked_range(bool trans_a, bool trans_b, double alpha,
+                        ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                        const BlockSizes& bs, index_t j_begin, index_t j_end) {
+  const index_t m = c.rows();
+  const index_t k = trans_a ? a.rows() : a.cols();
+
+  std::vector<double> a_buf;
+  std::vector<double> b_buf;
+
+  for (index_t jc = j_begin; jc < j_end; jc += bs.nc) {
+    const index_t nc = std::min(bs.nc, j_end - jc);
+    for (index_t pc = 0; pc < k; pc += bs.kc) {
+      const index_t kc = std::min(bs.kc, k - pc);
+      pack_b(trans_b, b, pc, jc, kc, nc, b_buf);
+      for (index_t ic = 0; ic < m; ic += bs.mc) {
+        const index_t mc = std::min(bs.mc, m - ic);
+        pack_a(trans_a, a, ic, pc, mc, kc, a_buf);
+        // Macro-kernel: sweep micro-panels.
+        const index_t a_panels = (mc + kMR - 1) / kMR;
+        const index_t b_panels = (nc + kNR - 1) / kNR;
+        for (index_t jp = 0; jp < b_panels; ++jp) {
+          const double* bp = b_buf.data() + jp * kNR * kc;
+          const index_t j0 = jc + jp * kNR;
+          const index_t cols = std::min(kNR, jc + nc - j0);
+          for (index_t ip = 0; ip < a_panels; ++ip) {
+            const double* ap = a_buf.data() + ip * kMR * kc;
+            const index_t i0 = ic + ip * kMR;
+            const index_t rows = std::min(kMR, ic + mc - i0);
+            microkernel(kc, alpha, ap, bp, c, i0, j0, rows, cols);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c,
+          const GemmOptions& opts) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = trans_a ? a.rows() : a.cols();
+  LAMB_CHECK((trans_a ? a.cols() : a.rows()) == m, "gemm: A shape mismatch");
+  LAMB_CHECK((trans_b ? b.cols() : b.rows()) == k, "gemm: B shape mismatch");
+  LAMB_CHECK((trans_b ? b.rows() : b.cols()) == n, "gemm: B cols mismatch");
+
+  if (m == 0 || n == 0) {
+    return;
+  }
+  if (k == 0 || alpha == 0.0) {
+    scale_c(c, beta);
+    return;
+  }
+
+  switch (select_gemm_variant(m, n, k)) {
+    case GemmVariant::kNaive:
+      ref_gemm(trans_a, trans_b, alpha, a, b, beta, c);
+      return;
+    case GemmVariant::kSmallK:
+      scale_c(c, beta);
+      gemm_small_k(trans_a, trans_b, alpha, a, b, c);
+      return;
+    case GemmVariant::kBlocked:
+      break;
+  }
+
+  scale_c(c, beta);
+  parallel::ThreadPool* pool = opts.pool;
+  if (pool == nullptr || pool->size() == 1 || n < 2 * kNR) {
+    gemm_blocked_range(trans_a, trans_b, alpha, a, b, c, opts.blocks, 0, n);
+    return;
+  }
+
+  // Parallelise over disjoint column stripes; each stripe owns its packing
+  // buffers and a disjoint part of C, so no synchronisation is needed.
+  const auto workers = static_cast<index_t>(pool->size());
+  const index_t stripes = std::min(workers, (n + kNR - 1) / kNR);
+  const index_t per_stripe = ((n + stripes - 1) / stripes + kNR - 1) / kNR * kNR;
+  pool->parallel_for(stripes, [&](index_t s_begin, index_t s_end) {
+    for (index_t s = s_begin; s < s_end; ++s) {
+      const index_t j0 = s * per_stripe;
+      const index_t j1 = std::min(n, j0 + per_stripe);
+      if (j0 < j1) {
+        gemm_blocked_range(trans_a, trans_b, alpha, a, b, c, opts.blocks, j0,
+                           j1);
+      }
+    }
+  });
+}
+
+void matmul(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+            const GemmOptions& opts) {
+  gemm(false, false, 1.0, a, b, 0.0, c, opts);
+}
+
+}  // namespace lamb::blas

@@ -1,0 +1,31 @@
+// General matrix multiply: C := alpha * op(A) * op(B) + beta * C.
+//
+// Three internal variants (see blas/variant.hpp):
+//   - naive     : tiny problems, plain loops;
+//   - small-k   : unpacked rank-k update for shallow inner dimensions;
+//   - blocked   : BLIS-style packed, cache-blocked path with an MR x NR
+//                 register microkernel, optionally parallelised over column
+//                 blocks with a ThreadPool.
+#pragma once
+
+#include "blas/packing.hpp"
+#include "la/matrix.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace lamb::blas {
+
+struct GemmOptions {
+  BlockSizes blocks;
+  parallel::ThreadPool* pool = nullptr;  ///< null -> serial
+};
+
+/// op(A) is m x k, op(B) is k x n, C is m x n; op = transpose when flagged.
+void gemm(bool trans_a, bool trans_b, double alpha, la::ConstMatrixView a,
+          la::ConstMatrixView b, double beta, la::MatrixView c,
+          const GemmOptions& opts = {});
+
+/// Convenience: C := A * B (no transposes, alpha = 1, beta = 0).
+void matmul(la::ConstMatrixView a, la::ConstMatrixView b, la::MatrixView c,
+            const GemmOptions& opts = {});
+
+}  // namespace lamb::blas

@@ -1,0 +1,31 @@
+#include "blas/microkernel.hpp"
+
+namespace lamb::blas {
+
+using la::index_t;
+using la::MatrixView;
+
+void microkernel(index_t kc, double alpha, const double* a_panel,
+                 const double* b_panel, MatrixView c, index_t i0, index_t j0,
+                 index_t rows, index_t cols) {
+  // Accumulate the full MR x NR tile in registers; the panels are zero-padded
+  // so the k-loop needs no edge handling.
+  double acc[kMR][kNR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const double* a = a_panel + p * kMR;
+    const double* b = b_panel + p * kNR;
+    for (index_t i = 0; i < kMR; ++i) {
+      const double ai = a[i];
+      for (index_t j = 0; j < kNR; ++j) {
+        acc[i][j] += ai * b[j];
+      }
+    }
+  }
+  for (index_t j = 0; j < cols; ++j) {
+    for (index_t i = 0; i < rows; ++i) {
+      c(i0 + i, j0 + j) += alpha * acc[i][j];
+    }
+  }
+}
+
+}  // namespace lamb::blas

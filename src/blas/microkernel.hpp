@@ -1,0 +1,17 @@
+// Register-blocked MR x NR microkernel operating on packed panels.
+#pragma once
+
+#include "blas/packing.hpp"
+#include "la/matrix.hpp"
+
+namespace lamb::blas {
+
+/// acc := sum over kc of a_panel(kMR-wide) x b_panel(kNR-wide); then
+/// C(i0.., j0..) += alpha * acc for the valid (rows x cols) corner.
+/// `a_panel` points at one packed MR-micropanel, `b_panel` at one packed
+/// NR-micropanel, both of depth kc.
+void microkernel(la::index_t kc, double alpha, const double* a_panel,
+                 const double* b_panel, la::MatrixView c, la::index_t i0,
+                 la::index_t j0, la::index_t rows, la::index_t cols);
+
+}  // namespace lamb::blas

@@ -1,0 +1,47 @@
+#include "blas/packing.hpp"
+
+namespace lamb::blas {
+
+using la::ConstMatrixView;
+using la::index_t;
+
+void pack_a(bool trans, ConstMatrixView a, index_t ic, index_t pc, index_t mc,
+            index_t kc, std::vector<double>& buf) {
+  const index_t panels = (mc + kMR - 1) / kMR;
+  buf.assign(static_cast<std::size_t>(panels * kMR * kc), 0.0);
+  double* dst = buf.data();
+  for (index_t ip = 0; ip < panels; ++ip) {
+    const index_t i0 = ip * kMR;
+    const index_t rows = std::min(kMR, mc - i0);
+    for (index_t p = 0; p < kc; ++p) {
+      for (index_t i = 0; i < rows; ++i) {
+        const index_t gi = ic + i0 + i;
+        const index_t gp = pc + p;
+        dst[p * kMR + i] = trans ? a(gp, gi) : a(gi, gp);
+      }
+      // rows..kMR-1 stay zero from assign().
+    }
+    dst += kMR * kc;
+  }
+}
+
+void pack_b(bool trans, ConstMatrixView b, index_t pc, index_t jc, index_t kc,
+            index_t nc, std::vector<double>& buf) {
+  const index_t panels = (nc + kNR - 1) / kNR;
+  buf.assign(static_cast<std::size_t>(panels * kNR * kc), 0.0);
+  double* dst = buf.data();
+  for (index_t jp = 0; jp < panels; ++jp) {
+    const index_t j0 = jp * kNR;
+    const index_t cols = std::min(kNR, nc - j0);
+    for (index_t p = 0; p < kc; ++p) {
+      for (index_t j = 0; j < cols; ++j) {
+        const index_t gj = jc + j0 + j;
+        const index_t gp = pc + p;
+        dst[p * kNR + j] = trans ? b(gj, gp) : b(gp, gj);
+      }
+    }
+    dst += kNR * kc;
+  }
+}
+
+}  // namespace lamb::blas

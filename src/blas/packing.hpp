@@ -1,0 +1,36 @@
+// Panel packing for the blocked GEMM.
+//
+// A-panels are packed into row-major micro-panels of MR rows; B-panels into
+// column micro-panels of NR columns. Edges are zero-padded so the microkernel
+// never needs a scalar cleanup path for the k-loop.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace lamb::blas {
+
+inline constexpr la::index_t kMR = 4;  ///< microkernel rows
+inline constexpr la::index_t kNR = 8;  ///< microkernel cols
+
+/// Cache blocking parameters (double precision, tuned for a ~32K L1 / 1M L2).
+struct BlockSizes {
+  la::index_t mc = 128;
+  la::index_t kc = 256;
+  la::index_t nc = 2048;
+};
+
+/// Pack op(A)(ic:ic+mc, pc:pc+kc) into `buf` as ceil(mc/MR) micro-panels of
+/// MR x kc (zero-padded rows at the edge). `trans` selects op = transpose.
+/// Element (i, p) of the block lands at buf[(i/MR)*MR*kc + p*MR + i%MR].
+void pack_a(bool trans, la::ConstMatrixView a, la::index_t ic, la::index_t pc,
+            la::index_t mc, la::index_t kc, std::vector<double>& buf);
+
+/// Pack op(B)(pc:pc+kc, jc:jc+nc) into `buf` as ceil(nc/NR) micro-panels of
+/// kc x NR (zero-padded cols at the edge).
+/// Element (p, j) of the block lands at buf[(j/NR)*NR*kc + p*NR + j%NR].
+void pack_b(bool trans, la::ConstMatrixView b, la::index_t pc, la::index_t jc,
+            la::index_t kc, la::index_t nc, std::vector<double>& buf);
+
+}  // namespace lamb::blas

@@ -1,0 +1,89 @@
+#include "blas/ref_blas.hpp"
+
+namespace lamb::blas {
+
+namespace {
+
+using la::ConstMatrixView;
+using la::index_t;
+using la::MatrixView;
+
+double op_at(ConstMatrixView m, bool trans, index_t i, index_t j) {
+  return trans ? m(j, i) : m(i, j);
+}
+
+void scale(MatrixView c, double beta) {
+  for (index_t j = 0; j < c.cols(); ++j) {
+    for (index_t i = 0; i < c.rows(); ++i) {
+      c(i, j) = (beta == 0.0) ? 0.0 : beta * c(i, j);
+    }
+  }
+}
+
+}  // namespace
+
+void ref_gemm(bool trans_a, bool trans_b, double alpha, ConstMatrixView a,
+              ConstMatrixView b, double beta, MatrixView c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = trans_a ? a.rows() : a.cols();
+  LAMB_CHECK((trans_a ? a.cols() : a.rows()) == m, "ref_gemm: A rows mismatch");
+  LAMB_CHECK((trans_b ? b.cols() : b.rows()) == k, "ref_gemm: B rows mismatch");
+  LAMB_CHECK((trans_b ? b.rows() : b.cols()) == n, "ref_gemm: B cols mismatch");
+
+  scale(c, beta);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = 0; p < k; ++p) {
+      const double bpj = alpha * op_at(b, trans_b, p, j);
+      if (bpj == 0.0) {
+        continue;
+      }
+      for (index_t i = 0; i < m; ++i) {
+        c(i, j) += op_at(a, trans_a, i, p) * bpj;
+      }
+    }
+  }
+}
+
+void ref_syrk(double alpha, ConstMatrixView a, double beta, MatrixView c) {
+  const index_t n = c.rows();
+  LAMB_CHECK(c.cols() == n, "ref_syrk: C must be square");
+  LAMB_CHECK(a.rows() == n, "ref_syrk: A rows mismatch");
+  const index_t k = a.cols();
+
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      double s = 0.0;
+      for (index_t p = 0; p < k; ++p) {
+        s += a(i, p) * a(j, p);
+      }
+      const double prev = (beta == 0.0) ? 0.0 : beta * c(i, j);
+      c(i, j) = prev + alpha * s;
+    }
+  }
+}
+
+void ref_symm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+              MatrixView c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  LAMB_CHECK(a.rows() == m && a.cols() == m, "ref_symm: A must be m x m");
+  LAMB_CHECK(b.rows() == m && b.cols() == n, "ref_symm: B shape mismatch");
+
+  // a_sym(i, p): symmetric element fetched from the stored lower triangle.
+  const auto a_sym = [&](index_t i, index_t p) {
+    return (i >= p) ? a(i, p) : a(p, i);
+  };
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (index_t p = 0; p < m; ++p) {
+        s += a_sym(i, p) * b(p, j);
+      }
+      const double prev = (beta == 0.0) ? 0.0 : beta * c(i, j);
+      c(i, j) = prev + alpha * s;
+    }
+  }
+}
+
+}  // namespace lamb::blas

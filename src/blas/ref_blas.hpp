@@ -1,0 +1,24 @@
+// Reference (naive triple-loop) kernels. These are the correctness oracle for
+// the optimised substrate: slow, simple, and obviously right.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace lamb::blas {
+
+/// C := alpha * op(A) * op(B) + beta * C, op = transpose when the flag is set.
+/// op(A) is m x k, op(B) is k x n, C is m x n.
+void ref_gemm(bool trans_a, bool trans_b, double alpha, la::ConstMatrixView a,
+              la::ConstMatrixView b, double beta, la::MatrixView c);
+
+/// Lower triangle of C := alpha * A * A^T + beta * C; A is n x k, C is n x n.
+/// Only the lower triangle of C is referenced or written.
+void ref_syrk(double alpha, la::ConstMatrixView a, double beta,
+              la::MatrixView c);
+
+/// C := alpha * A * B + beta * C where A is symmetric (m x m) with only its
+/// lower triangle stored/referenced; B is m x n ("left, lower" SYMM).
+void ref_symm(double alpha, la::ConstMatrixView a, la::ConstMatrixView b,
+              double beta, la::MatrixView c);
+
+}  // namespace lamb::blas

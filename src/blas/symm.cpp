@@ -1,0 +1,92 @@
+#include "blas/symm.hpp"
+
+#include <algorithm>
+
+#include "blas/ref_blas.hpp"
+
+namespace lamb::blas {
+
+namespace {
+
+using la::ConstMatrixView;
+using la::index_t;
+using la::MatrixView;
+
+constexpr index_t kSymmBlock = 96;
+// Below this size the plain symmetric loop beats materialising the block.
+constexpr index_t kSymmNaiveLimit = 32;
+
+void scale_c(MatrixView c, double beta) {
+  if (beta == 1.0) {
+    return;
+  }
+  for (index_t j = 0; j < c.cols(); ++j) {
+    for (index_t i = 0; i < c.rows(); ++i) {
+      c(i, j) = (beta == 0.0) ? 0.0 : beta * c(i, j);
+    }
+  }
+}
+
+/// C_block += alpha * A_diag * B_block with A_diag symmetric, lower stored.
+/// Beyond tiny blocks the symmetric diagonal block is materialised in full
+/// (an O(nb^2) copy) so the O(nb^2 * n) product can run through the fast
+/// GEMM path.
+void symm_diag_block(double alpha, ConstMatrixView a, ConstMatrixView b,
+                     MatrixView c, const blas::GemmOptions& opts) {
+  const index_t nb = a.rows();
+  if (nb <= kSymmNaiveLimit) {
+    ref_symm(alpha, a, b, 1.0, c);
+    return;
+  }
+  la::Matrix full(nb, nb);
+  for (index_t j = 0; j < nb; ++j) {
+    for (index_t i = j; i < nb; ++i) {
+      full(i, j) = a(i, j);
+      full(j, i) = a(i, j);
+    }
+  }
+  blas::gemm(false, false, alpha, full.view(), b, 1.0, c, opts);
+}
+
+}  // namespace
+
+void symm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+          MatrixView c, const GemmOptions& opts) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  LAMB_CHECK(a.rows() == m && a.cols() == m, "symm: A must be m x m");
+  LAMB_CHECK(b.rows() == m && b.cols() == n, "symm: B shape mismatch");
+
+  if (m == 0 || n == 0) {
+    return;
+  }
+
+  scale_c(c, beta);
+  if (m <= kSymmBlock) {
+    symm_diag_block(alpha, a, b, c, opts);
+    return;
+  }
+
+  for (index_t kb = 0; kb < m; kb += kSymmBlock) {
+    const index_t kw = std::min(kSymmBlock, m - kb);
+    const ConstMatrixView b_block = b.block(kb, 0, kw, n);
+    for (index_t ib = 0; ib < m; ib += kSymmBlock) {
+      const index_t iw = std::min(kSymmBlock, m - ib);
+      MatrixView c_block = c.block(ib, 0, iw, n);
+      if (ib > kb) {
+        // Strictly-lower stored block used directly.
+        gemm(false, false, alpha, a.block(ib, kb, iw, kw), b_block, 1.0,
+             c_block, opts);
+      } else if (ib < kb) {
+        // Mirror: A(ib, kb) = A(kb, ib)^T, fetched from the lower triangle.
+        gemm(true, false, alpha, a.block(kb, ib, kw, iw), b_block, 1.0,
+             c_block, opts);
+      } else {
+        symm_diag_block(alpha, a.block(ib, kb, iw, kw), b_block, c_block,
+                        opts);
+      }
+    }
+  }
+}
+
+}  // namespace lamb::blas

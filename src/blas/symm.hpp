@@ -1,0 +1,18 @@
+// Symmetric matrix multiply ("left, lower"): C := alpha * A * B + beta * C
+// where A is m x m symmetric with only the lower triangle stored.
+//
+// Implemented as a blocked sweep: strictly-lower blocks of A are used twice
+// (once as-is, once transposed), diagonal blocks through a symmetric
+// micro-path. The extra transposed traversals give SYMM a lower efficiency
+// than GEMM at small-to-medium m, as in the paper's Figure 1.
+#pragma once
+
+#include "blas/gemm.hpp"
+#include "la/matrix.hpp"
+
+namespace lamb::blas {
+
+void symm(double alpha, la::ConstMatrixView a, la::ConstMatrixView b,
+          double beta, la::MatrixView c, const GemmOptions& opts = {});
+
+}  // namespace lamb::blas

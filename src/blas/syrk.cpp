@@ -1,0 +1,73 @@
+#include "blas/syrk.hpp"
+
+#include <algorithm>
+
+#include "blas/ref_blas.hpp"
+
+#include "la/matrix.hpp"
+
+namespace lamb::blas {
+
+namespace {
+
+using la::ConstMatrixView;
+using la::index_t;
+using la::MatrixView;
+
+constexpr index_t kSyrkBlock = 96;
+// Below this size the plain triangular loop beats the detour through GEMM.
+constexpr index_t kSyrkNaiveLimit = 32;
+
+/// Triangular update of a diagonal block: lower(Cb) := alpha * Ab * Ab^T +
+/// beta * lower(Cb). For all but tiny blocks the full product is formed with
+/// the fast GEMM path and its lower triangle copied out — the extra FLOPs on
+/// the (small) diagonal block are far cheaper than running a naive loop.
+void syrk_diag_block(double alpha, ConstMatrixView ab, double beta,
+                     MatrixView cb, const blas::GemmOptions& opts) {
+  const index_t nb = cb.rows();
+  if (nb <= kSyrkNaiveLimit) {
+    ref_syrk(alpha, ab, beta, cb);
+    return;
+  }
+  la::Matrix full(nb, nb);
+  blas::gemm(false, true, alpha, ab, ab, 0.0, full.view(), opts);
+  for (index_t j = 0; j < nb; ++j) {
+    for (index_t i = j; i < nb; ++i) {
+      const double prev = (beta == 0.0) ? 0.0 : beta * cb(i, j);
+      cb(i, j) = prev + full(i, j);
+    }
+  }
+}
+
+}  // namespace
+
+void syrk(double alpha, ConstMatrixView a, double beta, MatrixView c,
+          const GemmOptions& opts) {
+  const index_t n = c.rows();
+  LAMB_CHECK(c.cols() == n, "syrk: C must be square");
+  LAMB_CHECK(a.rows() == n, "syrk: A rows mismatch");
+  const index_t k = a.cols();
+
+  if (n == 0) {
+    return;
+  }
+  if (n <= kSyrkBlock) {
+    syrk_diag_block(alpha, a, beta, c, opts);
+    return;
+  }
+
+  for (index_t jb = 0; jb < n; jb += kSyrkBlock) {
+    const index_t nb = std::min(kSyrkBlock, n - jb);
+    // Diagonal block: triangular update.
+    syrk_diag_block(alpha, a.block(jb, 0, nb, k), beta,
+                    c.block(jb, jb, nb, nb), opts);
+    // Below-diagonal blocks: C(ib, jb) := alpha A_i A_j^T + beta C(ib, jb).
+    for (index_t ib = jb + nb; ib < n; ib += kSyrkBlock) {
+      const index_t mb = std::min(kSyrkBlock, n - ib);
+      gemm(false, true, alpha, a.block(ib, 0, mb, k), a.block(jb, 0, nb, k),
+           beta, c.block(ib, jb, mb, nb), opts);
+    }
+  }
+}
+
+}  // namespace lamb::blas

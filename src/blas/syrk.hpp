@@ -1,0 +1,19 @@
+// Symmetric rank-k update: lower triangle of C := alpha * A * A^T + beta * C.
+//
+// Implemented as a blocked sweep over the lower triangle of C: off-diagonal
+// blocks are ordinary GEMMs (A_i * A_j^T), diagonal blocks use a triangular
+// update. Compared to a full GEMM of the same product, SYRK does roughly half
+// the FLOPs but at a lower rate for small/skinny problems — the profile shape
+// the paper's A*A^T*B anomalies hinge on.
+#pragma once
+
+#include "blas/gemm.hpp"
+#include "la/matrix.hpp"
+
+namespace lamb::blas {
+
+/// A is n x k; only the lower triangle of the n x n C is referenced/written.
+void syrk(double alpha, la::ConstMatrixView a, double beta, la::MatrixView c,
+          const GemmOptions& opts = {});
+
+}  // namespace lamb::blas

@@ -1,0 +1,137 @@
+#include "blas/trsm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "blas/level2.hpp"
+#include "support/check.hpp"
+
+namespace lamb::blas {
+
+namespace {
+
+using la::ConstMatrixView;
+using la::index_t;
+using la::MatrixView;
+
+constexpr index_t kTrsmBlock = 64;
+
+void scale(MatrixView b, double alpha) {
+  if (alpha == 1.0) {
+    return;
+  }
+  for (index_t j = 0; j < b.cols(); ++j) {
+    for (index_t i = 0; i < b.rows(); ++i) {
+      b(i, j) *= alpha;
+    }
+  }
+}
+
+/// Unblocked solve op(Lkk) * X = B, column by column via TRSV.
+void solve_diag_left(bool trans, ConstMatrixView lkk, MatrixView b) {
+  for (index_t j = 0; j < b.cols(); ++j) {
+    trsv(/*lower=*/true, trans, lkk,
+         std::span<double>(&b(0, j), static_cast<std::size_t>(b.rows())));
+  }
+}
+
+/// Unblocked solve X * op(Lkk) = B, row by row: X * op(L) = B is equivalent
+/// to op(L)^T * x_row = b_row for each row.
+void solve_diag_right(bool trans, ConstMatrixView lkk, MatrixView b) {
+  std::vector<double> row(static_cast<std::size_t>(b.cols()));
+  for (index_t i = 0; i < b.rows(); ++i) {
+    for (index_t j = 0; j < b.cols(); ++j) {
+      row[static_cast<std::size_t>(j)] = b(i, j);
+    }
+    // (x^T op(L) = b^T)  <=>  op(L)^T x = b; transposing flips the op flag.
+    trsv(/*lower=*/true, !trans, lkk, row);
+    for (index_t j = 0; j < b.cols(); ++j) {
+      b(i, j) = row[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+}  // namespace
+
+void trsm_left_lower(bool trans, double alpha, ConstMatrixView l,
+                     MatrixView b, const GemmOptions& opts) {
+  const index_t m = b.rows();
+  LAMB_CHECK(l.rows() == m && l.cols() == m, "trsm: L must be m x m");
+  scale(b, alpha);
+  if (m == 0 || b.cols() == 0) {
+    return;
+  }
+
+  const index_t nb = kTrsmBlock;
+  if (!trans) {
+    // Forward substitution over row blocks.
+    for (index_t k = 0; k < m; k += nb) {
+      const index_t kw = std::min(nb, m - k);
+      solve_diag_left(false, l.block(k, k, kw, kw), b.block(k, 0, kw, b.cols()));
+      if (k + kw < m) {
+        // B_rest -= L(rest, k) * X_k.
+        gemm(false, false, -1.0, l.block(k + kw, k, m - k - kw, kw),
+             b.block(k, 0, kw, b.cols()), 1.0,
+             b.block(k + kw, 0, m - k - kw, b.cols()), opts);
+      }
+    }
+  } else {
+    // L^T is upper triangular: backward substitution over row blocks.
+    for (index_t k_end = m; k_end > 0;) {
+      const index_t kw = std::min(nb, k_end);
+      const index_t k = k_end - kw;
+      solve_diag_left(true, l.block(k, k, kw, kw),
+                      b.block(k, 0, kw, b.cols()));
+      if (k > 0) {
+        // B_above -= L(k:, 0:k)^T * X_k.
+        gemm(true, false, -1.0, l.block(k, 0, kw, k),
+             b.block(k, 0, kw, b.cols()), 1.0, b.block(0, 0, k, b.cols()),
+             opts);
+      }
+      k_end = k;
+    }
+  }
+}
+
+void trsm_right_lower(bool trans, double alpha, ConstMatrixView l,
+                      MatrixView b, const GemmOptions& opts) {
+  const index_t n = b.cols();
+  LAMB_CHECK(l.rows() == n && l.cols() == n, "trsm: L must be n x n");
+  scale(b, alpha);
+  if (n == 0 || b.rows() == 0) {
+    return;
+  }
+
+  const index_t nb = kTrsmBlock;
+  if (!trans) {
+    // X * L = B with L lower: column block j depends on later blocks, so
+    // sweep backwards.
+    for (index_t k_end = n; k_end > 0;) {
+      const index_t kw = std::min(nb, k_end);
+      const index_t k = k_end - kw;
+      solve_diag_right(false, l.block(k, k, kw, kw),
+                       b.block(0, k, b.rows(), kw));
+      if (k > 0) {
+        // B(:, 0:k) -= X_k * L(k:, 0:k).
+        gemm(false, false, -1.0, b.block(0, k, b.rows(), kw),
+             l.block(k, 0, kw, k), 1.0, b.block(0, 0, b.rows(), k), opts);
+      }
+      k_end = k;
+    }
+  } else {
+    // X * L^T = B with L^T upper: forward sweep over column blocks.
+    for (index_t k = 0; k < n; k += nb) {
+      const index_t kw = std::min(nb, n - k);
+      solve_diag_right(true, l.block(k, k, kw, kw),
+                       b.block(0, k, b.rows(), kw));
+      if (k + kw < n) {
+        // B(:, rest) -= X_k * L(rest, k)^T.
+        gemm(false, true, -1.0, b.block(0, k, b.rows(), kw),
+             l.block(k + kw, k, n - k - kw, kw), 1.0,
+             b.block(0, k + kw, b.rows(), n - k - kw), opts);
+      }
+    }
+  }
+}
+
+}  // namespace lamb::blas

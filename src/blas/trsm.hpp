@@ -1,0 +1,24 @@
+// Triangular solve with multiple right-hand sides (level-3 BLAS TRSM),
+// restricted to the cases the factorisation layer needs:
+//   left,  lower, op(L) X = alpha B   (forward / transposed-back subst.)
+//   right, lower, X op(L) = alpha B   (used by the blocked Cholesky)
+// Blocked: diagonal blocks are solved with TRSV columns, off-diagonal
+// updates run through the fast GEMM path.
+#pragma once
+
+#include "blas/gemm.hpp"
+#include "la/matrix.hpp"
+
+namespace lamb::blas {
+
+/// Solve op(L) * X = alpha * B in place (X overwrites B).
+/// L is m x m lower triangular (non-unit diagonal), B is m x n.
+void trsm_left_lower(bool trans, double alpha, la::ConstMatrixView l,
+                     la::MatrixView b, const GemmOptions& opts = {});
+
+/// Solve X * op(L) = alpha * B in place (X overwrites B).
+/// L is n x n lower triangular (non-unit diagonal), B is m x n.
+void trsm_right_lower(bool trans, double alpha, la::ConstMatrixView l,
+                      la::MatrixView b, const GemmOptions& opts = {});
+
+}  // namespace lamb::blas

@@ -1,0 +1,29 @@
+#include "blas/variant.hpp"
+
+#include <algorithm>
+
+namespace lamb::blas {
+
+std::string_view to_string(GemmVariant v) {
+  switch (v) {
+    case GemmVariant::kNaive:
+      return "naive";
+    case GemmVariant::kSmallK:
+      return "small-k";
+    case GemmVariant::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+GemmVariant select_gemm_variant(la::index_t m, la::index_t n, la::index_t k) {
+  if (std::max({m, n, k}) <= kNaiveLimit) {
+    return GemmVariant::kNaive;
+  }
+  if (k <= kSmallKLimit) {
+    return GemmVariant::kSmallK;
+  }
+  return GemmVariant::kBlocked;
+}
+
+}  // namespace lamb::blas

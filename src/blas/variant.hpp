@@ -1,0 +1,32 @@
+// Internal kernel-variant dispatch.
+//
+// Optimised BLAS libraries switch between internal algorithmic variants as a
+// function of operand shape (small-k rank updates, skinny-m paths, fully
+// blocked paths). The paper identifies exactly these switches as the cause of
+// *abrupt* efficiency changes at anomaly-region boundaries (Sec. 4.1.3). Our
+// substrate makes the dispatch explicit and introspectable so experiments can
+// correlate region boundaries with variant changes.
+#pragma once
+
+#include <string_view>
+
+#include "la/matrix.hpp"
+
+namespace lamb::blas {
+
+enum class GemmVariant {
+  kNaive,    ///< tiny problems: plain triple loop, no packing
+  kSmallK,   ///< k below the blocking threshold: unpacked rank-k update
+  kBlocked,  ///< general case: packed, cache-blocked, register microkernel
+};
+
+std::string_view to_string(GemmVariant v);
+
+/// Shape-based variant selection used by gemm(); pure function of the sizes.
+GemmVariant select_gemm_variant(la::index_t m, la::index_t n, la::index_t k);
+
+/// Thresholds (exposed for tests and for the efficiency model narrative).
+inline constexpr la::index_t kNaiveLimit = 32;   ///< max(m,n,k) <= this -> naive
+inline constexpr la::index_t kSmallKLimit = 24;  ///< k <= this -> small-k path
+
+}  // namespace lamb::blas

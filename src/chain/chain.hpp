@@ -1,0 +1,64 @@
+// The matrix chain expression X := A1 * A2 * ... * An (paper Sec. 3.2.1).
+//
+// An instance is the dimension tuple (d0, ..., dn) with Ai of size
+// d_{i-1} x d_i. Two enumerations are provided:
+//
+//   * schedules        — every order in which the n-1 adjacent products can
+//                        be performed: (n-1)! algorithms. This is the paper's
+//                        algorithm set (6 algorithms for ABCD, two of which
+//                        share a parenthesisation but differ in temporal
+//                        order of the kernel calls).
+//   * parenthesisations — every binary bracketing: Catalan(n-1) trees.
+//
+// Plus the classic O(n^3) dynamic program that finds a FLOP-minimising
+// parenthesisation — the baseline discriminant of Linnea/Armadillo/Julia.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/algorithm.hpp"
+
+namespace lamb::chain {
+
+/// Dimension tuple (d0, ..., dn); the chain has n = dims.size()-1 matrices.
+using ChainDims = std::vector<la::index_t>;
+
+/// Number of matrices in the chain described by `dims`.
+int chain_length(const ChainDims& dims);
+
+/// Default operand names: A, B, C, ... (falls back to X1, X2, ... beyond Z).
+std::vector<std::string> chain_operand_names(int n);
+
+/// All (n-1)! multiplication schedules, in the paper's canonical order for
+/// n = 4 (Algorithms 1..6 of Sec. 3.2.1).
+std::vector<model::Algorithm> enumerate_chain_schedules(const ChainDims& dims);
+
+/// All Catalan(n-1) parenthesisations (each as a schedule that evaluates the
+/// bracketing left-to-right, innermost first).
+std::vector<model::Algorithm> enumerate_chain_parenthesisations(
+    const ChainDims& dims);
+
+/// Closed forms for the enumeration sizes (tested against the enumerators).
+long long schedule_count(int n);
+long long parenthesisation_count(int n);
+
+/// Result of the dynamic-programming chain order.
+struct ChainDpResult {
+  long long min_flops = 0;
+  /// split[i][j] = k means the optimal product over matrices [i, j] splits
+  /// into [i, k] * [k+1, j].
+  std::vector<std::vector<int>> split;
+
+  /// Materialise the optimal parenthesisation as an Algorithm.
+  model::Algorithm to_algorithm(const ChainDims& dims) const;
+
+  /// "((A*B)*C)*D"-style rendering.
+  std::string parenthesisation(int n) const;
+};
+
+/// Classic O(n^3) matrix-chain-order DP minimising the FLOP count
+/// (2*m*n*k per product, as in the paper).
+ChainDpResult chain_dp(const ChainDims& dims);
+
+}  // namespace lamb::chain

@@ -1,0 +1,80 @@
+#include "expr/aatb.hpp"
+
+#include "support/check.hpp"
+
+namespace lamb::expr {
+
+using model::Algorithm;
+
+std::vector<Algorithm> enumerate_aatb_algorithms(la::index_t d0,
+                                                 la::index_t d1,
+                                                 la::index_t d2) {
+  LAMB_CHECK(d0 >= 1 && d1 >= 1 && d2 >= 1, "aatb dims must be positive");
+  std::vector<Algorithm> out;
+  out.reserve(5);
+
+  {  // Algorithm 1: SYRK then SYMM.
+    Algorithm alg("aatb-alg1");
+    const int a = alg.add_external(d0, d1, "A");
+    const int b = alg.add_external(d0, d2, "B");
+    const int m = alg.add_syrk(a, "M");
+    alg.add_symm(m, b, "X");
+    out.push_back(std::move(alg));
+  }
+  {  // Algorithm 2: SYRK, triangle copy, then GEMM.
+    Algorithm alg("aatb-alg2");
+    const int a = alg.add_external(d0, d1, "A");
+    const int b = alg.add_external(d0, d2, "B");
+    const int m = alg.add_syrk(a, "M");
+    const int mf = alg.add_tricopy(m, "Mf");
+    alg.add_gemm(mf, b, false, false, "X");
+    out.push_back(std::move(alg));
+  }
+  {  // Algorithm 3: GEMM (A * A^T) then SYMM.
+    Algorithm alg("aatb-alg3");
+    const int a = alg.add_external(d0, d1, "A");
+    const int b = alg.add_external(d0, d2, "B");
+    const int m = alg.add_gemm(a, a, false, true, "M");
+    alg.add_symm(m, b, "X");
+    out.push_back(std::move(alg));
+  }
+  {  // Algorithm 4: GEMM (A * A^T) then GEMM.
+    Algorithm alg("aatb-alg4");
+    const int a = alg.add_external(d0, d1, "A");
+    const int b = alg.add_external(d0, d2, "B");
+    const int m = alg.add_gemm(a, a, false, true, "M");
+    alg.add_gemm(m, b, false, false, "X");
+    out.push_back(std::move(alg));
+  }
+  {  // Algorithm 5: GEMM (A^T * B) then GEMM (A * M).
+    Algorithm alg("aatb-alg5");
+    const int a = alg.add_external(d0, d1, "A");
+    const int b = alg.add_external(d0, d2, "B");
+    const int m = alg.add_gemm(a, b, true, false, "M");
+    alg.add_gemm(a, m, false, false, "X");
+    out.push_back(std::move(alg));
+  }
+  return out;
+}
+
+long long aatb_flops(int algorithm_id, la::index_t d0, la::index_t d1,
+                     la::index_t d2) {
+  const auto D0 = static_cast<long long>(d0);
+  const auto D1 = static_cast<long long>(d1);
+  const auto D2 = static_cast<long long>(d2);
+  switch (algorithm_id) {
+    case 1:
+    case 2:
+      return D0 * ((D0 + 1) * D1 + 2 * D0 * D2);
+    case 3:
+    case 4:
+      return 2 * D0 * D0 * (D1 + D2);
+    case 5:
+      return 4 * D0 * D1 * D2;
+    default:
+      LAMB_CHECK(false, "aatb algorithm id must be 1..5");
+  }
+  return 0;
+}
+
+}  // namespace lamb::expr

@@ -1,0 +1,30 @@
+// The expression X := A * A^T * B (paper Sec. 3.2.2).
+//
+// A is d0 x d1, B is d0 x d2. Five algorithms, paper numbering:
+//   1: SYRK(M := A A^T);            SYMM(X := M B)
+//   2: SYRK(M := A A^T); tricopy;   GEMM(X := M B)
+//   3: GEMM(M := A A^T);            SYMM(X := M B)
+//   4: GEMM(M := A A^T);            GEMM(X := M B)
+//   5: GEMM(M := A^T B);            GEMM(X := A M)
+// FLOP counts (paper conventions):
+//   1, 2: d0*((d0+1)*d1 + 2*d0*d2)     (the triangle copy costs no FLOPs)
+//   3, 4: 2*d0^2*(d1 + d2)
+//   5:    4*d0*d1*d2
+#pragma once
+
+#include <vector>
+
+#include "model/algorithm.hpp"
+
+namespace lamb::expr {
+
+/// All five algorithms in the paper's order, for instance (d0, d1, d2).
+std::vector<model::Algorithm> enumerate_aatb_algorithms(la::index_t d0,
+                                                        la::index_t d1,
+                                                        la::index_t d2);
+
+/// Closed-form FLOP counts per algorithm id (1-based), for cross-checks.
+long long aatb_flops(int algorithm_id, la::index_t d0, la::index_t d1,
+                     la::index_t d2);
+
+}  // namespace lamb::expr

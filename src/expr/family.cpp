@@ -1,0 +1,73 @@
+#include "expr/family.hpp"
+
+#include "chain/chain.hpp"
+#include "expr/aatb.hpp"
+#include "la/generators.hpp"
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace lamb::expr {
+
+std::vector<std::string> ExpressionFamily::dimension_names() const {
+  std::vector<std::string> names;
+  const int n = dimension_count();
+  names.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    names.push_back(support::strf("d%d", i));
+  }
+  return names;
+}
+
+void ExpressionFamily::check_instance(const Instance& dims) const {
+  LAMB_CHECK(static_cast<int>(dims.size()) == dimension_count(),
+             "instance arity mismatch for family " + name());
+  for (int d : dims) {
+    LAMB_CHECK(d >= 1, "instance dimensions must be positive");
+  }
+}
+
+ChainFamily::ChainFamily(int length) : length_(length) {
+  LAMB_CHECK(length >= 2, "chain family needs at least two matrices");
+}
+
+std::string ChainFamily::name() const {
+  return support::strf("chain%d", length_);
+}
+
+std::vector<model::Algorithm> ChainFamily::algorithms(
+    const Instance& dims) const {
+  check_instance(dims);
+  chain::ChainDims cd(dims.begin(), dims.end());
+  return chain::enumerate_chain_schedules(cd);
+}
+
+std::vector<la::Matrix> ChainFamily::make_externals(const Instance& dims,
+                                                    support::Rng& rng) const {
+  check_instance(dims);
+  std::vector<la::Matrix> out;
+  out.reserve(static_cast<std::size_t>(length_));
+  for (int i = 0; i < length_; ++i) {
+    out.push_back(la::random_matrix(dims[static_cast<std::size_t>(i)],
+                                    dims[static_cast<std::size_t>(i) + 1],
+                                    rng));
+  }
+  return out;
+}
+
+std::vector<model::Algorithm> AatbFamily::algorithms(
+    const Instance& dims) const {
+  check_instance(dims);
+  return enumerate_aatb_algorithms(dims[0], dims[1], dims[2]);
+}
+
+std::vector<la::Matrix> AatbFamily::make_externals(const Instance& dims,
+                                                   support::Rng& rng) const {
+  check_instance(dims);
+  std::vector<la::Matrix> out;
+  out.reserve(2);
+  out.push_back(la::random_matrix(dims[0], dims[1], rng));
+  out.push_back(la::random_matrix(dims[0], dims[2], rng));
+  return out;
+}
+
+}  // namespace lamb::expr

@@ -1,0 +1,73 @@
+// Expression families: the generic interface the anomaly experiments run
+// against. A family maps an instance (a tuple of free dimension sizes) to
+// its set of mathematically-equivalent algorithms and can materialise random
+// external operands for real execution.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "model/algorithm.hpp"
+#include "support/rng.hpp"
+
+namespace lamb::expr {
+
+/// A point in a family's instance space, e.g. (d0, d1, d2, d3, d4).
+using Instance = std::vector<int>;
+
+class ExpressionFamily {
+ public:
+  virtual ~ExpressionFamily() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Number of free dimensions of an instance.
+  virtual int dimension_count() const = 0;
+
+  /// Names for reports: "d0", "d1", ...
+  std::vector<std::string> dimension_names() const;
+
+  /// The set of algorithms for an instance, in the paper's canonical order.
+  virtual std::vector<model::Algorithm> algorithms(
+      const Instance& dims) const = 0;
+
+  /// Random external operands matching the algorithms' external table.
+  virtual std::vector<la::Matrix> make_externals(const Instance& dims,
+                                                 support::Rng& rng) const = 0;
+
+ protected:
+  void check_instance(const Instance& dims) const;
+};
+
+/// X := A1 * ... * An, instance (d0, ..., dn); algorithms are all (n-1)!
+/// multiplication schedules (paper Sec. 3.2.1 for n = 4).
+class ChainFamily final : public ExpressionFamily {
+ public:
+  explicit ChainFamily(int length = 4);
+
+  std::string name() const override;
+  int dimension_count() const override { return length_ + 1; }
+  std::vector<model::Algorithm> algorithms(const Instance& dims) const override;
+  std::vector<la::Matrix> make_externals(const Instance& dims,
+                                         support::Rng& rng) const override;
+
+  int length() const { return length_; }
+
+ private:
+  int length_;
+};
+
+/// X := A * A^T * B, instance (d0, d1, d2); the five algorithms of
+/// paper Sec. 3.2.2.
+class AatbFamily final : public ExpressionFamily {
+ public:
+  std::string name() const override { return "aatb"; }
+  int dimension_count() const override { return 3; }
+  std::vector<model::Algorithm> algorithms(const Instance& dims) const override;
+  std::vector<la::Matrix> make_externals(const Instance& dims,
+                                         support::Rng& rng) const override;
+};
+
+}  // namespace lamb::expr

@@ -1,0 +1,62 @@
+#include "la/norms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lamb::la {
+
+double frobenius_norm(ConstMatrixView a) {
+  double s = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      s += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(s);
+}
+
+double max_abs(ConstMatrixView a) {
+  double m = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      m = std::max(m, std::abs(a(i, j)));
+    }
+  }
+  return m;
+}
+
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b) {
+  LAMB_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return m;
+}
+
+double relative_error(ConstMatrixView a, ConstMatrixView b) {
+  LAMB_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "relative_error: shape mismatch");
+  double num = 0.0;
+  double den = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double d = a(i, j) - b(i, j);
+      num += d * d;
+      den += b(i, j) * b(i, j);
+    }
+  }
+  const double tiny = std::numeric_limits<double>::min();
+  return std::sqrt(num) / std::max(std::sqrt(den), tiny);
+}
+
+double gemm_tolerance(index_t k) {
+  const double eps = std::numeric_limits<double>::epsilon();
+  return 32.0 * static_cast<double>(std::max<index_t>(k, 1)) * eps;
+}
+
+}  // namespace lamb::la

@@ -1,0 +1,28 @@
+// Triangular storage helpers.
+//
+// SYRK produces only the lower triangle of a symmetric matrix; Algorithm 2 of
+// the A*A^T*B expression then *copies the triangle* into a full matrix before
+// calling GEMM (paper, Sec. 3.2.2). These are the data-movement "bits between
+// calls" that the paper's definition of an algorithm includes.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace lamb::la {
+
+/// Mirror the lower triangle into the upper one: a(i,j) := a(j,i) for i < j.
+/// This is the "copy triangle to form a full matrix" step of AAtB Alg. 2.
+void symmetrize_from_lower(MatrixView a);
+
+/// Zero out the strictly upper triangle (canonicalises SYRK output so tests
+/// can compare lower-triangle-only results).
+void zero_strict_upper(MatrixView a);
+
+/// True if a equals its transpose within abs_tol.
+bool is_symmetric(ConstMatrixView a, double abs_tol);
+
+/// Bytes moved by a triangle copy on an n x n matrix (read + write of the
+/// strictly-upper half), used by the machine models to cost the copy.
+std::size_t triangle_copy_bytes(index_t n);
+
+}  // namespace lamb::la

@@ -1,0 +1,69 @@
+#include "lapack/least_squares.hpp"
+
+#include "blas/level1.hpp"
+#include "blas/level2.hpp"
+#include "blas/syrk.hpp"
+#include "la/triangle.hpp"
+#include "lapack/potrf.hpp"
+#include "perf/timer.hpp"
+#include "support/check.hpp"
+
+namespace lamb::lapack {
+
+using la::ConstMatrixView;
+using la::index_t;
+using la::Matrix;
+
+OlsResult solve_ols(ConstMatrixView x, std::span<const double> y,
+                    GramKernel gram, const blas::GemmOptions& opts) {
+  const index_t m = x.rows();
+  const index_t n = x.cols();
+  LAMB_CHECK(m >= n && n >= 1, "ols: X must be tall (m >= n >= 1)");
+  LAMB_CHECK(static_cast<index_t>(y.size()) == m, "ols: y length mismatch");
+
+  OlsResult result;
+  Matrix gram_matrix(n, n);
+  {
+    perf::Timer timer;
+    switch (gram) {
+      case GramKernel::kSyrk: {
+        // SYRK computes A*A^T; A must be X^T, so transpose first (one of the
+        // "bits between calls" the paper's algorithm notion includes).
+        const Matrix xt = la::transposed(x);
+        blas::syrk(1.0, xt.view(), 0.0, gram_matrix.view(), opts);
+        break;
+      }
+      case GramKernel::kGemm: {
+        blas::gemm(/*trans_a=*/true, /*trans_b=*/false, 1.0, x, x, 0.0,
+                   gram_matrix.view(), opts);
+        break;
+      }
+    }
+    result.gram_seconds = timer.elapsed();
+  }
+
+  perf::Timer timer;
+  // Right-hand side c := X^T y.
+  result.coefficients.assign(static_cast<std::size_t>(n), 0.0);
+  blas::gemv(/*trans=*/true, 1.0, x, y, 0.0, result.coefficients);
+
+  // Solve (X^T X) beta = c via Cholesky; posv reads only the lower triangle,
+  // which both Gram kernels fill.
+  la::MatrixView rhs(result.coefficients.data(), n, 1, n);
+  posv_lower(gram_matrix.view(), rhs, opts);
+  result.solve_seconds = timer.elapsed();
+  return result;
+}
+
+double ols_residual_norm(ConstMatrixView x, std::span<const double> beta,
+                         std::span<const double> y) {
+  LAMB_CHECK(static_cast<index_t>(beta.size()) == x.cols(),
+             "residual: beta length mismatch");
+  LAMB_CHECK(static_cast<index_t>(y.size()) == x.rows(),
+             "residual: y length mismatch");
+  std::vector<double> r(y.begin(), y.end());
+  blas::gemv(/*trans=*/false, -1.0, x, beta, 1.0, r);
+  return blas::nrm2(r);
+}
+
+}  // namespace lamb::lapack

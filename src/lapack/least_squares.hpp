@@ -1,0 +1,37 @@
+// Ordinary least squares via the normal equations — the paper's introductory
+// motivating expression, beta := (X^T X)^{-1} X^T y, evaluated the way a
+// LAMP solver would: form the Gram matrix (with a *choice* of kernel — SYRK
+// at half the FLOPs, or GEMM), form X^T y with GEMV, then factor and solve
+// with the repository's Cholesky.
+//
+// The kernel choice for the Gram matrix is exactly the paper's A*A^T
+// dilemma: SYRK performs (n+1)*n*m FLOPs against GEMM's 2*n^2*m, yet for
+// skinny problems GEMM often wins — the least_squares example measures both.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "la/matrix.hpp"
+
+namespace lamb::lapack {
+
+enum class GramKernel { kSyrk, kGemm };
+
+struct OlsResult {
+  std::vector<double> coefficients;  ///< beta, length n
+  double gram_seconds = 0.0;         ///< time spent forming X^T X
+  double solve_seconds = 0.0;        ///< potrf + substitutions + rhs
+};
+
+/// Solve min_beta || X beta - y ||_2 for dense X (m x n, m >= n) with the
+/// normal equations. `gram` selects the kernel for X^T X.
+OlsResult solve_ols(la::ConstMatrixView x, std::span<const double> y,
+                    GramKernel gram, const blas::GemmOptions& opts = {});
+
+/// || X beta - y ||_2 for diagnostics.
+double ols_residual_norm(la::ConstMatrixView x, std::span<const double> beta,
+                         std::span<const double> y);
+
+}  // namespace lamb::lapack

@@ -1,0 +1,80 @@
+#include "lapack/potrf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/syrk.hpp"
+#include "blas/trsm.hpp"
+#include "support/check.hpp"
+
+namespace lamb::lapack {
+
+namespace {
+
+using la::index_t;
+using la::MatrixView;
+
+constexpr index_t kPotrfBlock = 96;
+
+/// Unblocked lower Cholesky on a small diagonal block.
+void potrf_unblocked(MatrixView a) {
+  const index_t n = a.rows();
+  for (index_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (index_t k = 0; k < j; ++k) {
+      d -= a(j, k) * a(j, k);
+    }
+    LAMB_CHECK(d > 0.0, "potrf: matrix is not positive definite");
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (index_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (index_t k = 0; k < j; ++k) {
+        s -= a(i, k) * a(j, k);
+      }
+      a(i, j) = s / ljj;
+    }
+  }
+}
+
+}  // namespace
+
+void potrf_lower(MatrixView a, const blas::GemmOptions& opts) {
+  const index_t n = a.rows();
+  LAMB_CHECK(a.cols() == n, "potrf: A must be square");
+
+  for (index_t k = 0; k < n; k += kPotrfBlock) {
+    const index_t kw = std::min(kPotrfBlock, n - k);
+    potrf_unblocked(a.block(k, k, kw, kw));
+    const index_t rest = n - k - kw;
+    if (rest == 0) {
+      continue;
+    }
+    // Panel: A(k+kw:, k) := A(k+kw:, k) * L_kk^-T.
+    blas::trsm_right_lower(/*trans=*/true, 1.0, a.block(k, k, kw, kw),
+                           a.block(k + kw, k, rest, kw), opts);
+    // Trailing update: lower(A(k+kw:, k+kw:)) -= panel * panel^T.
+    blas::syrk(-1.0, a.block(k + kw, k, rest, kw), 1.0,
+               a.block(k + kw, k + kw, rest, rest), opts);
+  }
+}
+
+void posv_lower(MatrixView a, MatrixView b, const blas::GemmOptions& opts) {
+  LAMB_CHECK(a.rows() == b.rows(), "posv: dimension mismatch");
+  potrf_lower(a, opts);
+  // L * (L^T * X) = B: forward then transposed-back substitution.
+  blas::trsm_left_lower(/*trans=*/false, 1.0, a, b, opts);
+  blas::trsm_left_lower(/*trans=*/true, 1.0, a, b, opts);
+}
+
+long long potrf_flops(la::index_t n) {
+  const auto n64 = static_cast<long long>(n);
+  return n64 * n64 * n64 / 3;
+}
+
+long long trsm_flops(la::index_t m, la::index_t n) {
+  const auto m64 = static_cast<long long>(m);
+  return m64 * m64 * static_cast<long long>(n);
+}
+
+}  // namespace lamb::lapack

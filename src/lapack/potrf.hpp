@@ -1,0 +1,28 @@
+// Blocked Cholesky factorisation (LAPACK dpotrf, lower variant) built
+// entirely from the repository's own level-3 kernels: the panel is solved
+// with TRSM and the trailing update is a SYRK — the textbook right-looking
+// algorithm. This is the LAPACK-layer substrate that the least-squares
+// example application sits on.
+#pragma once
+
+#include "blas/gemm.hpp"
+#include "la/matrix.hpp"
+
+namespace lamb::lapack {
+
+/// Factor A = L * L^T in place; only the lower triangle of A is referenced,
+/// and on return it holds L (the strictly upper triangle is untouched).
+/// Throws lamb::support::CheckError if A is not positive definite.
+void potrf_lower(la::MatrixView a, const blas::GemmOptions& opts = {});
+
+/// Solve A * X = B with A symmetric positive definite (lower stored), via
+/// potrf + two triangular solves. A is overwritten by its factor; B by X.
+void posv_lower(la::MatrixView a, la::MatrixView b,
+                const blas::GemmOptions& opts = {});
+
+/// FLOP count conventions for the factorisation layer (used in reports):
+/// potrf ~ n^3/3, trsm (left, m x m triangle, n rhs) ~ m^2 * n.
+long long potrf_flops(la::index_t n);
+long long trsm_flops(la::index_t m, la::index_t n);
+
+}  // namespace lamb::lapack

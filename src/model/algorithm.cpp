@@ -1,0 +1,136 @@
+#include "model/algorithm.hpp"
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace lamb::model {
+
+Algorithm::Algorithm(std::string name) : name_(std::move(name)) {}
+
+int Algorithm::add_operand(la::index_t rows, la::index_t cols, bool external,
+                           bool lower_only, std::string name) {
+  LAMB_CHECK(rows >= 0 && cols >= 0, "operand dims must be non-negative");
+  operands_.push_back(Operand{rows, cols, external, lower_only,
+                              std::move(name)});
+  return static_cast<int>(operands_.size()) - 1;
+}
+
+const Operand& Algorithm::operand(int id) const {
+  LAMB_CHECK(id >= 0 && id < static_cast<int>(operands_.size()),
+             "operand id out of range");
+  return operands_[static_cast<std::size_t>(id)];
+}
+
+std::string Algorithm::temp_name(const std::string& hint) {
+  if (!hint.empty()) {
+    return hint;
+  }
+  return support::strf("M%d", static_cast<int>(steps_.size()) + 1);
+}
+
+int Algorithm::add_external(la::index_t rows, la::index_t cols,
+                            std::string name) {
+  LAMB_CHECK(steps_.empty(), "externals must be added before any step");
+  ++num_externals_;
+  return add_operand(rows, cols, /*external=*/true, /*lower_only=*/false,
+                     std::move(name));
+}
+
+int Algorithm::add_gemm(int a, int b, bool trans_a, bool trans_b,
+                        std::string name) {
+  const Operand oa = operand(a);
+  const Operand ob = operand(b);
+  LAMB_CHECK(!oa.lower_only && !ob.lower_only,
+             "gemm reads full matrices; insert a tricopy after syrk");
+  const la::index_t m = trans_a ? oa.cols : oa.rows;
+  const la::index_t ka = trans_a ? oa.rows : oa.cols;
+  const la::index_t kb = trans_b ? ob.cols : ob.rows;
+  const la::index_t n = trans_b ? ob.rows : ob.cols;
+  LAMB_CHECK(ka == kb, "gemm: inner dimensions do not conform");
+  const int out = add_operand(m, n, false, false, temp_name(name));
+  steps_.push_back(Step{make_gemm(m, n, ka, trans_a, trans_b), {a, b}, out});
+  return out;
+}
+
+int Algorithm::add_syrk(int a, std::string name) {
+  // Copy the shape before add_operand: push_back may reallocate operands_
+  // and invalidate any Operand reference.
+  const Operand oa = operand(a);
+  LAMB_CHECK(!oa.lower_only, "syrk input must be a full matrix");
+  const int out =
+      add_operand(oa.rows, oa.rows, false, /*lower_only=*/true,
+                  temp_name(name));
+  steps_.push_back(Step{make_syrk(oa.rows, oa.cols), {a}, out});
+  return out;
+}
+
+int Algorithm::add_tricopy(int a, std::string name) {
+  const Operand oa = operand(a);
+  LAMB_CHECK(oa.rows == oa.cols, "tricopy input must be square");
+  LAMB_CHECK(oa.lower_only, "tricopy expects a lower-only operand");
+  const int out = add_operand(oa.rows, oa.cols, false, false, temp_name(name));
+  steps_.push_back(Step{make_tricopy(oa.rows), {a}, out});
+  return out;
+}
+
+int Algorithm::add_symm(int a_sym, int b, std::string name) {
+  const Operand oa = operand(a_sym);
+  const Operand ob = operand(b);
+  LAMB_CHECK(oa.rows == oa.cols, "symm: A must be square");
+  LAMB_CHECK(ob.rows == oa.rows, "symm: B rows must match A");
+  LAMB_CHECK(!ob.lower_only, "symm: B must be a full matrix");
+  const int out = add_operand(oa.rows, ob.cols, false, false, temp_name(name));
+  steps_.push_back(Step{make_symm(oa.rows, ob.cols), {a_sym, b}, out});
+  return out;
+}
+
+int Algorithm::result_id() const {
+  LAMB_CHECK(!steps_.empty(), "algorithm has no steps");
+  return steps_.back().output;
+}
+
+long long Algorithm::flops() const {
+  long long total = 0;
+  for (const Step& s : steps_) {
+    total += s.call.flops();
+  }
+  return total;
+}
+
+std::string Algorithm::signature() const {
+  std::vector<std::string> parts;
+  for (const Step& s : steps_) {
+    const Operand& out = operands_[static_cast<std::size_t>(s.output)];
+    std::string rhs;
+    switch (s.call.kind) {
+      case KernelKind::kGemm: {
+        const Operand& a = operands_[static_cast<std::size_t>(s.inputs[0])];
+        const Operand& b = operands_[static_cast<std::size_t>(s.inputs[1])];
+        rhs = support::strf("%s%s*%s%s", a.name.c_str(),
+                            s.call.trans_a ? "'" : "", b.name.c_str(),
+                            s.call.trans_b ? "'" : "");
+        break;
+      }
+      case KernelKind::kSyrk: {
+        const Operand& a = operands_[static_cast<std::size_t>(s.inputs[0])];
+        rhs = support::strf("syrk(%s*%s')", a.name.c_str(), a.name.c_str());
+        break;
+      }
+      case KernelKind::kSymm: {
+        const Operand& a = operands_[static_cast<std::size_t>(s.inputs[0])];
+        const Operand& b = operands_[static_cast<std::size_t>(s.inputs[1])];
+        rhs = support::strf("symm(%s*%s)", a.name.c_str(), b.name.c_str());
+        break;
+      }
+      case KernelKind::kTriCopy: {
+        const Operand& a = operands_[static_cast<std::size_t>(s.inputs[0])];
+        rhs = support::strf("full(%s)", a.name.c_str());
+        break;
+      }
+    }
+    parts.push_back(out.name + ":=" + rhs);
+  }
+  return support::join(parts, "; ");
+}
+
+}  // namespace lamb::model

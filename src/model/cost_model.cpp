@@ -1,0 +1,19 @@
+#include "model/cost_model.hpp"
+
+#include "support/check.hpp"
+#include "support/statistics.hpp"
+
+namespace lamb::model {
+
+std::vector<std::size_t> select_best(std::span<const Algorithm> algorithms,
+                                     const CostModel& cost, double rel_tol) {
+  LAMB_CHECK(!algorithms.empty(), "select_best: no algorithms");
+  std::vector<double> costs;
+  costs.reserve(algorithms.size());
+  for (const Algorithm& alg : algorithms) {
+    costs.push_back(cost.cost(alg));
+  }
+  return support::argmin_set(costs, rel_tol);
+}
+
+}  // namespace lamb::model

@@ -1,0 +1,55 @@
+// Cost models: the discriminants an algorithm-selection system can use.
+//
+//   FlopCostModel     — the discriminant under test in the paper (what
+//                       Linnea, Armadillo and Julia use);
+//   ProfileCostModel  — FLOPs replaced by interpolated benchmark profiles
+//                       (the paper's proposed future-work discriminant).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/algorithm.hpp"
+#include "model/perf_profile.hpp"
+
+namespace lamb::model {
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+  virtual std::string name() const = 0;
+  virtual double cost(const Algorithm& alg) const = 0;
+};
+
+/// cost = total FLOP count (paper conventions).
+class FlopCostModel final : public CostModel {
+ public:
+  std::string name() const override { return "flops"; }
+  double cost(const Algorithm& alg) const override {
+    return static_cast<double>(alg.flops());
+  }
+};
+
+/// cost = sum of interpolated isolated-call time predictions.
+class ProfileCostModel final : public CostModel {
+ public:
+  explicit ProfileCostModel(std::shared_ptr<const KernelProfileSet> profiles)
+      : profiles_(std::move(profiles)) {}
+
+  std::string name() const override { return "profile"; }
+  double cost(const Algorithm& alg) const override {
+    return profiles_->predicted_time(alg);
+  }
+
+ private:
+  std::shared_ptr<const KernelProfileSet> profiles_;
+};
+
+/// Indices of the algorithms minimising `cost` (ties within rel_tol).
+std::vector<std::size_t> select_best(std::span<const Algorithm> algorithms,
+                                     const CostModel& cost,
+                                     double rel_tol = 0.0);
+
+}  // namespace lamb::model

@@ -1,0 +1,124 @@
+#include "model/kernel_call.hpp"
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace lamb::model {
+
+std::string_view to_string(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kGemm:
+      return "gemm";
+    case KernelKind::kSyrk:
+      return "syrk";
+    case KernelKind::kSymm:
+      return "symm";
+    case KernelKind::kTriCopy:
+      return "tricopy";
+  }
+  return "?";
+}
+
+long long KernelCall::flops() const {
+  const auto m64 = static_cast<long long>(m);
+  const auto n64 = static_cast<long long>(n);
+  const auto k64 = static_cast<long long>(k);
+  switch (kind) {
+    case KernelKind::kGemm:
+      return 2 * m64 * n64 * k64;
+    case KernelKind::kSyrk:
+      return (m64 + 1) * m64 * k64;
+    case KernelKind::kSymm:
+      return 2 * m64 * m64 * n64;
+    case KernelKind::kTriCopy:
+      return 0;
+  }
+  return 0;
+}
+
+long long KernelCall::bytes_in() const {
+  const auto m64 = static_cast<long long>(m);
+  const auto n64 = static_cast<long long>(n);
+  const auto k64 = static_cast<long long>(k);
+  constexpr long long w = sizeof(double);
+  switch (kind) {
+    case KernelKind::kGemm:
+      return (m64 * k64 + k64 * n64) * w;
+    case KernelKind::kSyrk:
+      return m64 * k64 * w;
+    case KernelKind::kSymm:
+      return (m64 * m64 + m64 * n64) * w;
+    case KernelKind::kTriCopy:
+      return m64 * m64 * w;
+  }
+  return 0;
+}
+
+long long KernelCall::bytes_out() const {
+  const auto m64 = static_cast<long long>(m);
+  const auto n64 = static_cast<long long>(n);
+  constexpr long long w = sizeof(double);
+  switch (kind) {
+    case KernelKind::kGemm:
+      return m64 * n64 * w;
+    case KernelKind::kSyrk:
+    case KernelKind::kTriCopy:
+      return m64 * m64 * w;
+    case KernelKind::kSymm:
+      return m64 * n64 * w;
+  }
+  return 0;
+}
+
+std::string KernelCall::to_string() const {
+  switch (kind) {
+    case KernelKind::kGemm:
+      return support::strf("gemm(%s%lldx%lldx%lld%s)", trans_a ? "T:" : "",
+                           static_cast<long long>(m),
+                           static_cast<long long>(n),
+                           static_cast<long long>(k), trans_b ? ":T" : "");
+    case KernelKind::kSyrk:
+      return support::strf("syrk(%lldx%lld)", static_cast<long long>(m),
+                           static_cast<long long>(k));
+    case KernelKind::kSymm:
+      return support::strf("symm(%lldx%lld)", static_cast<long long>(m),
+                           static_cast<long long>(n));
+    case KernelKind::kTriCopy:
+      return support::strf("tricopy(%lld)", static_cast<long long>(m));
+  }
+  return "?";
+}
+
+KernelCall make_gemm(la::index_t m, la::index_t n, la::index_t k, bool trans_a,
+                     bool trans_b) {
+  LAMB_CHECK(m >= 0 && n >= 0 && k >= 0, "gemm: negative dims");
+  return KernelCall{KernelKind::kGemm, m, n, k, trans_a, trans_b};
+}
+
+KernelCall make_syrk(la::index_t m, la::index_t k) {
+  LAMB_CHECK(m >= 0 && k >= 0, "syrk: negative dims");
+  return KernelCall{KernelKind::kSyrk, m, m, k, false, false};
+}
+
+KernelCall make_symm(la::index_t m, la::index_t n) {
+  LAMB_CHECK(m >= 0 && n >= 0, "symm: negative dims");
+  return KernelCall{KernelKind::kSymm, m, n, m, false, false};
+}
+
+KernelCall make_tricopy(la::index_t m) {
+  LAMB_CHECK(m >= 0, "tricopy: negative dim");
+  return KernelCall{KernelKind::kTriCopy, m, m, 0, false, false};
+}
+
+std::size_t KernelCallHash::operator()(const KernelCall& c) const {
+  std::uint64_t h = support::hash_combine(static_cast<std::uint64_t>(c.kind),
+                                          static_cast<std::uint64_t>(c.m));
+  h = support::hash_combine(h, static_cast<std::uint64_t>(c.n));
+  h = support::hash_combine(h, static_cast<std::uint64_t>(c.k));
+  h = support::hash_combine(
+      h, (c.trans_a ? 2ULL : 0ULL) | (c.trans_b ? 1ULL : 0ULL));
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace lamb::model

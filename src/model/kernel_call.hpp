@@ -1,0 +1,60 @@
+// A single kernel invocation with its shape, plus the paper's FLOP-count
+// conventions (Sec. 3.1):
+//   GEMM  (m x k)(k x n)      -> 2*m*n*k FLOPs
+//   SYRK  (m x k)(m x k)^T    -> (m+1)*m*k FLOPs (one triangle)
+//   SYMM  (m x m sym)(m x n)  -> 2*m^2*n FLOPs
+//   TRICOPY (m x m)           -> 0 FLOPs, pure data movement (AAtB Alg. 2)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "la/matrix.hpp"
+
+namespace lamb::model {
+
+enum class KernelKind : std::uint8_t { kGemm, kSyrk, kSymm, kTriCopy };
+
+std::string_view to_string(KernelKind kind);
+
+struct KernelCall {
+  KernelKind kind = KernelKind::kGemm;
+  // Shape semantics per kind:
+  //   Gemm:    op(A) m x k, op(B) k x n, C m x n
+  //   Syrk:    A m x k, C m x m           (n stores m for uniformity)
+  //   Symm:    A m x m symmetric, B m x n (k stores m)
+  //   TriCopy: m x m                       (n stores m, k = 0)
+  la::index_t m = 0;
+  la::index_t n = 0;
+  la::index_t k = 0;
+  bool trans_a = false;
+  bool trans_b = false;
+
+  /// FLOP count under the paper's conventions.
+  long long flops() const;
+
+  /// Bytes read by the call (sum of input operand footprints).
+  long long bytes_in() const;
+
+  /// Bytes written by the call (output operand footprint).
+  long long bytes_out() const;
+
+  /// "gemm(227x549x260)"-style rendering for reports.
+  std::string to_string() const;
+
+  friend bool operator==(const KernelCall&, const KernelCall&) = default;
+};
+
+/// Factory helpers that encode the shape conventions once.
+KernelCall make_gemm(la::index_t m, la::index_t n, la::index_t k,
+                     bool trans_a = false, bool trans_b = false);
+KernelCall make_syrk(la::index_t m, la::index_t k);
+KernelCall make_symm(la::index_t m, la::index_t n);
+KernelCall make_tricopy(la::index_t m);
+
+/// Stable hash for memoising isolated-call benchmarks.
+struct KernelCallHash {
+  std::size_t operator()(const KernelCall& c) const;
+};
+
+}  // namespace lamb::model

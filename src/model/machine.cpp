@@ -1,0 +1,29 @@
+#include "model/machine.hpp"
+
+#include "support/check.hpp"
+
+namespace lamb::model {
+
+double MachineModel::time_algorithm(const Algorithm& alg) {
+  double total = 0.0;
+  for (double t : time_steps(alg)) {
+    total += t;
+  }
+  return total;
+}
+
+double MachineModel::predict_time_from_benchmarks(const Algorithm& alg) {
+  double total = 0.0;
+  for (const Step& s : alg.steps()) {
+    total += time_call_isolated(s.call);
+  }
+  return total;
+}
+
+double MachineModel::algorithm_efficiency(const Algorithm& alg) {
+  const double t = time_algorithm(alg);
+  LAMB_CHECK(t > 0.0, "algorithm time must be positive");
+  return static_cast<double>(alg.flops()) / (t * peak_flops());
+}
+
+}  // namespace lamb::model

@@ -1,0 +1,51 @@
+// MachineModel: the timing oracle experiments run against.
+//
+// Two implementations exist:
+//   * SimulatedMachine (model/simulated_machine.hpp) — deterministic analytic
+//     model; the default for the benches so every figure reproduces in
+//     seconds on any host.
+//   * MeasuredMachine (model/measured_machine.hpp) — executes algorithms on
+//     the real BLAS substrate under the paper's measurement protocol.
+//
+// The two entry points mirror the paper's experiments:
+//   time_steps()         — the algorithm run end-to-end: cache flushed before
+//                          each repetition but *warm between kernel calls*
+//                          (Experiments 1 and 2);
+//   time_call_isolated() — a single call benchmarked cold (Experiment 3's
+//                          predictor).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/algorithm.hpp"
+#include "model/kernel_call.hpp"
+
+namespace lamb::model {
+
+class MachineModel {
+ public:
+  virtual ~MachineModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Peak FLOP rate used to convert times into efficiencies.
+  virtual double peak_flops() const = 0;
+
+  /// Median per-step execution times of the algorithm executed end-to-end.
+  virtual std::vector<double> time_steps(const Algorithm& alg) = 0;
+
+  /// Median cold-cache time of one call benchmarked in isolation.
+  virtual double time_call_isolated(const KernelCall& call) = 0;
+
+  /// Total measured time of the algorithm (sum of step times).
+  double time_algorithm(const Algorithm& alg);
+
+  /// Experiment 3 predictor: sum of the isolated benchmarks of every call.
+  double predict_time_from_benchmarks(const Algorithm& alg);
+
+  /// Measured whole-algorithm efficiency: flops / (time * peak).
+  double algorithm_efficiency(const Algorithm& alg);
+};
+
+}  // namespace lamb::model

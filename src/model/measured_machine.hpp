@@ -1,0 +1,50 @@
+// Measured machine: times algorithms on the real BLAS substrate under the
+// paper's protocol (R repetitions, cache flushed before each repetition,
+// median recorded; Sec. 3.4). Isolated-call benchmarks are memoised because
+// Experiments 2 and 3 revisit the same calls many times.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "model/machine.hpp"
+#include "parallel/thread_pool.hpp"
+#include "perf/cache_flush.hpp"
+#include "perf/measurement.hpp"
+#include "support/rng.hpp"
+
+namespace lamb::model {
+
+struct MeasuredMachineConfig {
+  perf::MeasurementConfig protocol{/*repetitions=*/10, /*flush_cache=*/true};
+  std::size_t flush_bytes = 64u << 20;
+  parallel::ThreadPool* pool = nullptr;  ///< null -> serial kernels
+  std::uint64_t data_seed = 7;           ///< operand contents (timing-neutral)
+  double peak_flops = 0.0;               ///< 0 -> estimate empirically
+};
+
+class MeasuredMachine final : public MachineModel {
+ public:
+  explicit MeasuredMachine(MeasuredMachineConfig config = {});
+
+  std::string name() const override;
+  double peak_flops() const override;
+
+  std::vector<double> time_steps(const Algorithm& alg) override;
+  double time_call_isolated(const KernelCall& call) override;
+
+  /// Drop memoised isolated-call benchmarks.
+  void clear_benchmark_cache();
+
+  std::size_t benchmark_cache_size() const { return isolated_cache_.size(); }
+
+ private:
+  double run_isolated(const KernelCall& call);
+
+  MeasuredMachineConfig config_;
+  perf::CacheFlusher flusher_;
+  mutable double peak_ = 0.0;
+  std::unordered_map<KernelCall, double, KernelCallHash> isolated_cache_;
+};
+
+}  // namespace lamb::model

@@ -1,0 +1,164 @@
+#include "model/perf_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace lamb::model {
+
+GriddedProfile::GriddedProfile(
+    std::vector<std::vector<double>> axes,
+    const std::function<double(const std::vector<double>&)>& fn)
+    : axes_(std::move(axes)) {
+  LAMB_CHECK(!axes_.empty(), "profile needs at least one axis");
+  std::size_t total = 1;
+  for (const auto& axis : axes_) {
+    LAMB_CHECK(axis.size() >= 2, "each axis needs at least two nodes");
+    LAMB_CHECK(std::is_sorted(axis.begin(), axis.end()),
+               "axis nodes must be increasing");
+    total *= axis.size();
+  }
+  values_.resize(total);
+
+  std::vector<std::size_t> idx(axes_.size(), 0);
+  std::vector<double> coords(axes_.size());
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    for (std::size_t d = 0; d < axes_.size(); ++d) {
+      coords[d] = axes_[d][idx[d]];
+    }
+    values_[flat] = fn(coords);
+    // Row-major increment (last axis fastest).
+    for (std::size_t d = axes_.size(); d-- > 0;) {
+      if (++idx[d] < axes_[d].size()) {
+        break;
+      }
+      idx[d] = 0;
+    }
+  }
+}
+
+std::size_t GriddedProfile::flat_index(
+    const std::vector<std::size_t>& idx) const {
+  std::size_t flat = 0;
+  for (std::size_t d = 0; d < axes_.size(); ++d) {
+    flat = flat * axes_[d].size() + idx[d];
+  }
+  return flat;
+}
+
+double GriddedProfile::interpolate(const std::vector<double>& coords) const {
+  LAMB_CHECK(coords.size() == axes_.size(), "coordinate arity mismatch");
+  const std::size_t dims = axes_.size();
+
+  // Per-dimension cell index and interpolation weight.
+  std::vector<std::size_t> lo(dims);
+  std::vector<double> w(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const auto& axis = axes_[d];
+    const double x = std::clamp(coords[d], axis.front(), axis.back());
+    auto it = std::upper_bound(axis.begin(), axis.end(), x);
+    std::size_t hi = static_cast<std::size_t>(it - axis.begin());
+    hi = std::clamp<std::size_t>(hi, 1, axis.size() - 1);
+    lo[d] = hi - 1;
+    const double span = axis[hi] - axis[lo[d]];
+    w[d] = span > 0.0 ? (x - axis[lo[d]]) / span : 0.0;
+  }
+
+  // Accumulate over the 2^dims cell corners.
+  double acc = 0.0;
+  const std::size_t corners = std::size_t{1} << dims;
+  std::vector<std::size_t> idx(dims);
+  for (std::size_t corner = 0; corner < corners; ++corner) {
+    double weight = 1.0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      const bool upper = ((corner >> d) & 1u) != 0;
+      idx[d] = lo[d] + (upper ? 1 : 0);
+      weight *= upper ? w[d] : (1.0 - w[d]);
+    }
+    if (weight > 0.0) {
+      acc += weight * values_[flat_index(idx)];
+    }
+  }
+  return acc;
+}
+
+std::vector<double> KernelProfileSet::default_nodes() {
+  // Log-ish spacing covering the paper's search box [20, 1200].
+  return {20, 30, 45, 70, 105, 160, 240, 360, 540, 800, 1000, 1200};
+}
+
+namespace {
+
+std::vector<double> log_axis(const std::vector<double>& nodes) {
+  std::vector<double> out;
+  out.reserve(nodes.size());
+  for (double v : nodes) {
+    out.push_back(std::log(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+KernelProfileSet::KernelProfileSet(GriddedProfile gemm, GriddedProfile syrk,
+                                   GriddedProfile symm, GriddedProfile tricopy)
+    : gemm_(std::move(gemm)), syrk_(std::move(syrk)), symm_(std::move(symm)),
+      tricopy_(std::move(tricopy)) {}
+
+KernelProfileSet KernelProfileSet::build(MachineModel& machine,
+                                         std::vector<double> nodes) {
+  LAMB_CHECK(nodes.size() >= 2, "need at least two grid nodes");
+  const std::vector<double> axis = log_axis(nodes);
+
+  // Interpolate log(time) in log(size) space: kernel times span many orders
+  // of magnitude and are near-polynomial in the sizes, so this is far more
+  // accurate than linear interpolation of raw times.
+  const auto sz = [](double log_coord) {
+    return static_cast<la::index_t>(std::lround(std::exp(log_coord)));
+  };
+
+  GriddedProfile gemm({axis, axis, axis}, [&](const std::vector<double>& c) {
+    return std::log(machine.time_call_isolated(
+        make_gemm(sz(c[0]), sz(c[1]), sz(c[2]))));
+  });
+  GriddedProfile syrk({axis, axis}, [&](const std::vector<double>& c) {
+    return std::log(machine.time_call_isolated(make_syrk(sz(c[0]), sz(c[1]))));
+  });
+  GriddedProfile symm({axis, axis}, [&](const std::vector<double>& c) {
+    return std::log(machine.time_call_isolated(make_symm(sz(c[0]), sz(c[1]))));
+  });
+  GriddedProfile tricopy({axis}, [&](const std::vector<double>& c) {
+    return std::log(machine.time_call_isolated(make_tricopy(sz(c[0]))));
+  });
+  return KernelProfileSet(std::move(gemm), std::move(syrk), std::move(symm),
+                          std::move(tricopy));
+}
+
+double KernelProfileSet::predicted_time(const KernelCall& call) const {
+  const auto lg = [](la::index_t v) {
+    return std::log(static_cast<double>(std::max<la::index_t>(v, 1)));
+  };
+  switch (call.kind) {
+    case KernelKind::kGemm:
+      return std::exp(
+          gemm_.interpolate({lg(call.m), lg(call.n), lg(call.k)}));
+    case KernelKind::kSyrk:
+      return std::exp(syrk_.interpolate({lg(call.m), lg(call.k)}));
+    case KernelKind::kSymm:
+      return std::exp(symm_.interpolate({lg(call.m), lg(call.n)}));
+    case KernelKind::kTriCopy:
+      return std::exp(tricopy_.interpolate({lg(call.m)}));
+  }
+  return 0.0;
+}
+
+double KernelProfileSet::predicted_time(const Algorithm& alg) const {
+  double total = 0.0;
+  for (const Step& s : alg.steps()) {
+    total += predicted_time(s.call);
+  }
+  return total;
+}
+
+}  // namespace lamb::model

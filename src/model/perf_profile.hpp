@@ -1,0 +1,66 @@
+// Benchmarked kernel performance profiles.
+//
+// The paper's conclusion conjectures that "combining FLOP counts with
+// performance profiles of kernels will significantly improve our ability to
+// choose optimal algorithms". This module implements that future-work idea:
+// each kernel is benchmarked in isolation on a size grid, and times for
+// arbitrary shapes are obtained by multilinear interpolation in log-size
+// space. The resulting ProfileCostModel (model/cost_model.hpp) is evaluated
+// against the FLOP-count discriminant in bench/ablation_profile_selection.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "model/kernel_call.hpp"
+#include "model/machine.hpp"
+
+namespace lamb::model {
+
+/// Dense N-dimensional grid of values with multilinear interpolation.
+/// Coordinates are clamped to the grid's bounding box.
+class GriddedProfile {
+ public:
+  /// `axes[d]` is the strictly-increasing node list for dimension d.
+  /// `fn` is evaluated at every grid point (row-major over the axes).
+  GriddedProfile(std::vector<std::vector<double>> axes,
+                 const std::function<double(const std::vector<double>&)>& fn);
+
+  double interpolate(const std::vector<double>& coords) const;
+
+  std::size_t dimension_count() const { return axes_.size(); }
+  const std::vector<std::vector<double>>& axes() const { return axes_; }
+
+ private:
+  std::size_t flat_index(const std::vector<std::size_t>& idx) const;
+
+  std::vector<std::vector<double>> axes_;
+  std::vector<double> values_;
+};
+
+/// Per-kernel profiles built from a machine's isolated-call benchmarks.
+class KernelProfileSet {
+ public:
+  /// `nodes` is the shared size grid (default spans the paper's search box).
+  static KernelProfileSet build(MachineModel& machine,
+                                std::vector<double> nodes = default_nodes());
+
+  static std::vector<double> default_nodes();
+
+  /// Interpolated cold-cache time prediction for a call.
+  double predicted_time(const KernelCall& call) const;
+
+  /// Sum of per-call predictions over an algorithm.
+  double predicted_time(const Algorithm& alg) const;
+
+ private:
+  KernelProfileSet(GriddedProfile gemm, GriddedProfile syrk,
+                   GriddedProfile symm, GriddedProfile tricopy);
+
+  GriddedProfile gemm_;
+  GriddedProfile syrk_;
+  GriddedProfile symm_;
+  GriddedProfile tricopy_;
+};
+
+}  // namespace lamb::model

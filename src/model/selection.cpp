@@ -1,0 +1,80 @@
+#include "model/selection.hpp"
+
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace lamb::model {
+
+std::string_view to_string(SelectionPolicy policy) {
+  switch (policy) {
+    case SelectionPolicy::kFlopsOnly:
+      return "flops-only";
+    case SelectionPolicy::kProfileOnly:
+      return "profile-only";
+    case SelectionPolicy::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+AlgorithmSelector::AlgorithmSelector(
+    std::shared_ptr<const KernelProfileSet> profiles, double flop_slack)
+    : profiles_(std::move(profiles)), flop_slack_(flop_slack) {
+  LAMB_CHECK(flop_slack_ >= 0.0, "flop slack must be non-negative");
+}
+
+std::size_t AlgorithmSelector::choose(std::span<const Algorithm> algorithms,
+                                      SelectionPolicy policy) const {
+  LAMB_CHECK(!algorithms.empty(), "no algorithms to choose from");
+  LAMB_CHECK(policy == SelectionPolicy::kFlopsOnly || profiles_ != nullptr,
+             "this policy needs kernel profiles");
+
+  long long min_flops = std::numeric_limits<long long>::max();
+  for (const Algorithm& alg : algorithms) {
+    min_flops = std::min(min_flops, alg.flops());
+  }
+
+  switch (policy) {
+    case SelectionPolicy::kFlopsOnly: {
+      for (std::size_t i = 0; i < algorithms.size(); ++i) {
+        if (algorithms[i].flops() == min_flops) {
+          return i;
+        }
+      }
+      break;
+    }
+    case SelectionPolicy::kProfileOnly: {
+      std::size_t best = 0;
+      double best_time = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < algorithms.size(); ++i) {
+        const double t = profiles_->predicted_time(algorithms[i]);
+        if (t < best_time) {
+          best_time = t;
+          best = i;
+        }
+      }
+      return best;
+    }
+    case SelectionPolicy::kHybrid: {
+      const double cutoff =
+          static_cast<double>(min_flops) * (1.0 + flop_slack_);
+      std::size_t best = 0;
+      double best_time = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < algorithms.size(); ++i) {
+        if (static_cast<double>(algorithms[i].flops()) > cutoff) {
+          continue;  // pruned by the FLOP count
+        }
+        const double t = profiles_->predicted_time(algorithms[i]);
+        if (t < best_time) {
+          best_time = t;
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+}  // namespace lamb::model

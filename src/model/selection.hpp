@@ -1,0 +1,46 @@
+// Algorithm selection policies — the paper's future-work proposal made
+// concrete (Sec. 5: "select algorithms based on more than the FLOP count;
+// in particular, including performance profiles of kernels").
+//
+//   kFlopsOnly   — argmin FLOPs (Linnea / Armadillo / Julia today);
+//   kProfileOnly — argmin interpolated isolated-benchmark time;
+//   kHybrid      — FLOPs prune grossly wasteful algorithms (anything more
+//                  than `flop_slack` above the minimum), then profiles
+//                  discriminate within the surviving near-tie set. This is
+//                  cheap (profiles only evaluated for survivors) and robust
+//                  (a bad profile extrapolation can never pick an algorithm
+//                  with far more FLOPs).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "model/algorithm.hpp"
+#include "model/perf_profile.hpp"
+
+namespace lamb::model {
+
+enum class SelectionPolicy { kFlopsOnly, kProfileOnly, kHybrid };
+
+std::string_view to_string(SelectionPolicy policy);
+
+class AlgorithmSelector {
+ public:
+  /// `profiles` may be null for kFlopsOnly; required for the other policies.
+  explicit AlgorithmSelector(
+      std::shared_ptr<const KernelProfileSet> profiles = nullptr,
+      double flop_slack = 0.25);
+
+  /// Index of the chosen algorithm under `policy`.
+  std::size_t choose(std::span<const Algorithm> algorithms,
+                     SelectionPolicy policy) const;
+
+  double flop_slack() const { return flop_slack_; }
+
+ private:
+  std::shared_ptr<const KernelProfileSet> profiles_;
+  double flop_slack_;
+};
+
+}  // namespace lamb::model

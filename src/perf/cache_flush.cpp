@@ -1,0 +1,19 @@
+#include "perf/cache_flush.hpp"
+
+namespace lamb::perf {
+
+CacheFlusher::CacheFlusher(std::size_t bytes)
+    : buffer_(bytes / sizeof(double), 1.0) {}
+
+void CacheFlusher::flush() {
+  // Stride of one cache line (8 doubles); read-modify-write dirties the line
+  // so it must be written back, evicting whatever the kernel left behind.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < buffer_.size(); i += 8) {
+    buffer_[i] += 1.0;
+    acc += buffer_[i];
+  }
+  sink_ = acc;
+}
+
+}  // namespace lamb::perf

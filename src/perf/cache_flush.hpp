@@ -1,0 +1,33 @@
+// Cache flushing between timed repetitions.
+//
+// The paper eliminates inter-repetition cache effects by flushing the cache
+// prior to each repetition (Sec. 3.4). We do the same by streaming through a
+// buffer larger than the last-level cache, touching every cache line with a
+// read-modify-write so both clean and dirty lines are evicted.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lamb::perf {
+
+class CacheFlusher {
+ public:
+  /// `bytes` should comfortably exceed the LLC; default 64 MiB.
+  explicit CacheFlusher(std::size_t bytes = 64u << 20);
+
+  /// Evict cached data by streaming through the buffer.
+  void flush();
+
+  /// Checksum accumulated by flushes; returning it prevents the compiler
+  /// from eliding the traversal.
+  double sink() const { return sink_; }
+
+  std::size_t bytes() const { return buffer_.size() * sizeof(double); }
+
+ private:
+  std::vector<double> buffer_;
+  double sink_ = 0.0;
+};
+
+}  // namespace lamb::perf

@@ -1,0 +1,60 @@
+#include "perf/measurement.hpp"
+
+#include "perf/timer.hpp"
+#include "support/check.hpp"
+#include "support/statistics.hpp"
+
+namespace lamb::perf {
+
+MeasurementResult measure(const std::function<void()>& work,
+                          const MeasurementConfig& config,
+                          CacheFlusher& flusher) {
+  LAMB_CHECK(config.repetitions >= 1, "need at least one repetition");
+  MeasurementResult result;
+  result.samples.reserve(static_cast<std::size_t>(config.repetitions));
+  for (int r = 0; r < config.repetitions; ++r) {
+    if (config.flush_cache) {
+      flusher.flush();
+    }
+    Timer t;
+    work();
+    result.samples.push_back(t.elapsed());
+  }
+  result.median_seconds = support::median(result.samples);
+  result.min_seconds = support::min_value(result.samples);
+  result.max_seconds = support::max_value(result.samples);
+  return result;
+}
+
+SteppedMeasurementResult measure_steps(
+    const std::vector<std::function<void()>>& steps,
+    const MeasurementConfig& config, CacheFlusher& flusher) {
+  LAMB_CHECK(config.repetitions >= 1, "need at least one repetition");
+  LAMB_CHECK(!steps.empty(), "need at least one step");
+  const std::size_t num_steps = steps.size();
+  std::vector<std::vector<double>> per_step(num_steps);
+  std::vector<double> totals;
+  for (int r = 0; r < config.repetitions; ++r) {
+    if (config.flush_cache) {
+      flusher.flush();
+    }
+    double total = 0.0;
+    for (std::size_t s = 0; s < num_steps; ++s) {
+      Timer t;
+      steps[s]();
+      const double dt = t.elapsed();
+      per_step[s].push_back(dt);
+      total += dt;
+    }
+    totals.push_back(total);
+  }
+  SteppedMeasurementResult result;
+  result.median_step_seconds.reserve(num_steps);
+  for (const auto& samples : per_step) {
+    result.median_step_seconds.push_back(support::median(samples));
+  }
+  result.median_total_seconds = support::median(totals);
+  return result;
+}
+
+}  // namespace lamb::perf

@@ -1,0 +1,42 @@
+// The measurement protocol of the paper (Sec. 3.4): each test is repeated R
+// times (paper: 10), the cache is flushed prior to each repetition, and the
+// median is recorded as the execution time.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "perf/cache_flush.hpp"
+
+namespace lamb::perf {
+
+struct MeasurementConfig {
+  int repetitions = 10;
+  bool flush_cache = true;
+};
+
+struct MeasurementResult {
+  double median_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  std::vector<double> samples;  ///< per-repetition wall times
+};
+
+/// Time `work()` under the protocol. `flusher` may be shared across calls.
+MeasurementResult measure(const std::function<void()>& work,
+                          const MeasurementConfig& config,
+                          CacheFlusher& flusher);
+
+/// Time a multi-step work item, recording per-step times for each repetition.
+/// `steps[i]` runs step i; the cache is flushed before each *repetition*
+/// (not between steps — inter-kernel cache effects are part of the signal).
+struct SteppedMeasurementResult {
+  std::vector<double> median_step_seconds;  ///< one entry per step
+  double median_total_seconds = 0.0;
+};
+
+SteppedMeasurementResult measure_steps(
+    const std::vector<std::function<void()>>& steps,
+    const MeasurementConfig& config, CacheFlusher& flusher);
+
+}  // namespace lamb::perf

@@ -1,0 +1,25 @@
+// Wall-clock timing based on std::chrono::steady_clock.
+#pragma once
+
+#include <chrono>
+
+namespace lamb::perf {
+
+/// Seconds since an arbitrary epoch; monotonic.
+inline double now_seconds() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+/// Measures elapsed seconds between construction and elapsed().
+class Timer {
+ public:
+  Timer() : start_(now_seconds()) {}
+  void reset() { start_ = now_seconds(); }
+  double elapsed() const { return now_seconds() - start_; }
+
+ private:
+  double start_;
+};
+
+}  // namespace lamb::perf

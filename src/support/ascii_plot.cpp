@@ -1,0 +1,233 @@
+#include "support/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/statistics.hpp"
+#include "support/str.hpp"
+
+namespace lamb::support {
+
+namespace {
+
+struct Range {
+  double lo;
+  double hi;
+};
+
+Range derive_range(std::span<const double> xs, double lo, double hi) {
+  if (lo != hi) {
+    return {lo, hi};
+  }
+  if (xs.empty()) {
+    return {0.0, 1.0};
+  }
+  double mn = min_value(xs);
+  double mx = max_value(xs);
+  if (mn == mx) {
+    mn -= 0.5;
+    mx += 0.5;
+  }
+  const double pad = 0.02 * (mx - mn);
+  return {mn - pad, mx + pad};
+}
+
+class Canvas {
+ public:
+  Canvas(int width, int height)
+      : width_(width), height_(height),
+        cells_(static_cast<std::size_t>(width * height), ' ') {
+    LAMB_CHECK(width > 0 && height > 0, "canvas must be non-empty");
+  }
+
+  void put(int col, int row, char c) {
+    if (col < 0 || col >= width_ || row < 0 || row >= height_) {
+      return;
+    }
+    cells_[static_cast<std::size_t>(row * width_ + col)] = c;
+  }
+
+  char get(int col, int row) const {
+    return cells_[static_cast<std::size_t>(row * width_ + col)];
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+ private:
+  int width_;
+  int height_;
+  std::vector<char> cells_;
+};
+
+std::string frame(const Canvas& canvas, const Range& xr, const Range& yr,
+                  const PlotOptions& opts, const std::string& legend) {
+  std::string out;
+  if (!opts.title.empty()) {
+    out += opts.title + "\n";
+  }
+  const std::string y_hi = format_double(yr.hi, 2);
+  const std::string y_lo = format_double(yr.lo, 2);
+  const std::size_t margin = std::max(y_hi.size(), y_lo.size());
+
+  for (int r = 0; r < canvas.height(); ++r) {
+    std::string label;
+    if (r == 0) {
+      label = y_hi;
+    } else if (r == canvas.height() - 1) {
+      label = y_lo;
+    }
+    out += pad_left(label, margin);
+    out += " |";
+    for (int c = 0; c < canvas.width(); ++c) {
+      out += canvas.get(c, r);
+    }
+    out += '\n';
+  }
+  out += std::string(margin + 1, ' ') + '+' +
+         std::string(static_cast<std::size_t>(canvas.width()), '-') + '\n';
+  const std::string x_lo = format_double(xr.lo, 2);
+  const std::string x_hi = format_double(xr.hi, 2);
+  std::string axis = std::string(margin + 2, ' ') + x_lo;
+  const std::size_t room = margin + 2 + static_cast<std::size_t>(canvas.width());
+  if (axis.size() + x_hi.size() < room) {
+    axis += std::string(room - axis.size() - x_hi.size(), ' ');
+  } else {
+    axis += ' ';
+  }
+  axis += x_hi;
+  out += axis + '\n';
+  if (!opts.x_label.empty() || !opts.y_label.empty()) {
+    out += pad_left("", margin + 2) + opts.x_label;
+    if (!opts.y_label.empty()) {
+      out += "   (y: " + opts.y_label + ")";
+    }
+    out += '\n';
+  }
+  if (!legend.empty()) {
+    out += legend + '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string scatter_plot(std::span<const double> xs,
+                         std::span<const double> ys, const PlotOptions& opts) {
+  LAMB_CHECK(xs.size() == ys.size(), "scatter: length mismatch");
+  const Range xr = derive_range(xs, opts.x_min, opts.x_max);
+  const Range yr = derive_range(ys, opts.y_min, opts.y_max);
+  Canvas canvas(opts.width, opts.height);
+  std::vector<int> density(
+      static_cast<std::size_t>(opts.width * opts.height), 0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double fx = (xs[i] - xr.lo) / (xr.hi - xr.lo);
+    const double fy = (ys[i] - yr.lo) / (yr.hi - yr.lo);
+    const int col = std::clamp(static_cast<int>(fx * (opts.width - 1)), 0,
+                               opts.width - 1);
+    const int row = std::clamp(
+        opts.height - 1 - static_cast<int>(fy * (opts.height - 1)), 0,
+        opts.height - 1);
+    ++density[static_cast<std::size_t>(row * opts.width + col)];
+  }
+  for (int r = 0; r < opts.height; ++r) {
+    for (int c = 0; c < opts.width; ++c) {
+      const int d = density[static_cast<std::size_t>(r * opts.width + c)];
+      if (d == 0) {
+        continue;
+      }
+      canvas.put(c, r, d == 1 ? '.' : (d <= 3 ? 'o' : '@'));
+    }
+  }
+  return frame(canvas, xr, yr, opts, "");
+}
+
+std::string line_plot(std::span<const Series> series,
+                      const PlotOptions& opts) {
+  std::vector<double> all_x;
+  std::vector<double> all_y;
+  for (const auto& s : series) {
+    all_x.insert(all_x.end(), s.xs.begin(), s.xs.end());
+    all_y.insert(all_y.end(), s.ys.begin(), s.ys.end());
+  }
+  const Range xr = derive_range(all_x, opts.x_min, opts.x_max);
+  const Range yr = derive_range(all_y, opts.y_min, opts.y_max);
+  Canvas canvas(opts.width, opts.height);
+
+  for (const auto& s : series) {
+    LAMB_CHECK(s.xs.size() == s.ys.size(), "line plot: length mismatch");
+    // Draw with simple linear interpolation between consecutive samples so
+    // the curves read as lines even at terminal resolution.
+    for (std::size_t i = 0; i + 1 < s.xs.size(); ++i) {
+      const int steps = std::max(2, opts.width / 4);
+      for (int t = 0; t <= steps; ++t) {
+        const double a = static_cast<double>(t) / steps;
+        const double x = s.xs[i] * (1.0 - a) + s.xs[i + 1] * a;
+        const double y = s.ys[i] * (1.0 - a) + s.ys[i + 1] * a;
+        const double fx = (x - xr.lo) / (xr.hi - xr.lo);
+        const double fy = (y - yr.lo) / (yr.hi - yr.lo);
+        const int col = std::clamp(static_cast<int>(fx * (opts.width - 1)), 0,
+                                   opts.width - 1);
+        const int row = std::clamp(
+            opts.height - 1 - static_cast<int>(fy * (opts.height - 1)), 0,
+            opts.height - 1);
+        canvas.put(col, row, s.marker);
+      }
+    }
+    if (s.xs.size() == 1) {
+      const double fx = (s.xs[0] - xr.lo) / (xr.hi - xr.lo);
+      const double fy = (s.ys[0] - yr.lo) / (yr.hi - yr.lo);
+      canvas.put(static_cast<int>(fx * (opts.width - 1)),
+                 opts.height - 1 - static_cast<int>(fy * (opts.height - 1)),
+                 s.marker);
+    }
+  }
+
+  std::vector<std::string> legend_parts;
+  for (const auto& s : series) {
+    legend_parts.push_back(strf("%c = %s", s.marker, s.name.c_str()));
+  }
+  return frame(canvas, xr, yr, opts, "  legend: " + join(legend_parts, ", "));
+}
+
+std::string histogram_plot(std::span<const double> values, double lo,
+                           double hi, int bins, const std::string& title) {
+  const Histogram h =
+      make_histogram(values, lo, hi, static_cast<std::size_t>(bins));
+  std::size_t max_count = 1;
+  for (std::size_t c : h.counts) {
+    max_count = std::max(max_count, c);
+  }
+  std::string out;
+  if (!title.empty()) {
+    out += title + "\n";
+  }
+  const double width = (hi - lo) / bins;
+  for (int b = 0; b < bins; ++b) {
+    const double bin_lo = lo + b * width;
+    const double bin_hi = bin_lo + width;
+    const std::size_t count = h.counts[static_cast<std::size_t>(b)];
+    const int bar = static_cast<int>(
+        std::lround(48.0 * static_cast<double>(count) /
+                    static_cast<double>(max_count)));
+    out += strf("[%8.1f, %8.1f) |%-48s| %zu\n", bin_lo, bin_hi,
+                std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                count);
+  }
+  return out;
+}
+
+std::string five_number_summary(std::span<const double> values) {
+  if (values.empty()) {
+    return "(empty sample)";
+  }
+  return strf("min=%s q25=%s med=%s q75=%s max=%s",
+              format_double(quantile(values, 0.0), 1).c_str(),
+              format_double(quantile(values, 0.25), 1).c_str(),
+              format_double(quantile(values, 0.5), 1).c_str(),
+              format_double(quantile(values, 0.75), 1).c_str(),
+              format_double(quantile(values, 1.0), 1).c_str());
+}
+
+}  // namespace lamb::support

@@ -1,0 +1,44 @@
+// Character-grid plotting: scatter plots (Figs. 6 and 9), line plots
+// (Figs. 1, 8, 11) and histograms/box summaries (Figs. 7 and 10) are rendered
+// directly in the terminal so the benches are self-contained.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lamb::support {
+
+struct PlotOptions {
+  int width = 72;    ///< interior columns
+  int height = 20;   ///< interior rows
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+  // Axis ranges; when lo==hi the range is derived from the data.
+  double x_min = 0.0, x_max = 0.0;
+  double y_min = 0.0, y_max = 0.0;
+};
+
+/// Scatter plot of (x, y) points. Marker density shown as '.', 'o', '@'.
+std::string scatter_plot(std::span<const double> xs,
+                         std::span<const double> ys, const PlotOptions& opts);
+
+/// Multiple named series on one canvas, each drawn with its own marker.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  char marker = '*';
+};
+
+std::string line_plot(std::span<const Series> series, const PlotOptions& opts);
+
+/// Horizontal bar histogram with bin edges printed on the left.
+std::string histogram_plot(std::span<const double> values, double lo,
+                           double hi, int bins, const std::string& title);
+
+/// Box-plot style five-number summary line for a sample.
+std::string five_number_summary(std::span<const double> values);
+
+}  // namespace lamb::support

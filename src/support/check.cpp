@@ -1,0 +1,17 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace lamb::support {
+
+void check_failed(const char* cond, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace lamb::support

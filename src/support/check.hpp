@@ -1,0 +1,31 @@
+// Checked preconditions and invariants.
+//
+// LAMB_CHECK is used for conditions that indicate a programming error in the
+// caller (bad dimensions, null views, ...). It throws lamb::support::CheckError
+// so tests can assert on violations; it is never compiled out, because all the
+// call sites guard O(n^3) work where the test costs nothing.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lamb::support {
+
+/// Thrown when a LAMB_CHECK condition is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void check_failed(const char* cond, const char* file, int line,
+                               const std::string& msg);
+
+}  // namespace lamb::support
+
+/// Verify a precondition; throws lamb::support::CheckError on failure.
+#define LAMB_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::lamb::support::check_failed(#cond, __FILE__, __LINE__, (msg));     \
+    }                                                                      \
+  } while (false)

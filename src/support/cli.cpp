@@ -1,0 +1,89 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lamb::support {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) {
+    program_ = argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    if (arg.rfind("no-", 0) == 0) {
+      flags_[arg.substr(3)] = "false";
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag and parses as a
+    // value; otherwise treat as boolean true.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& default_value) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+long long Cli::get_int(const std::string& name, long long default_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return default_value;
+  }
+  return std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& name, double default_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return default_value;
+  }
+  return std::stod(it->second);
+}
+
+bool Cli::get_bool(const std::string& name, bool default_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return default_value;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got " +
+                              v);
+}
+
+std::uint64_t Cli::get_seed(const std::string& name,
+                            std::uint64_t default_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return default_value;
+  }
+  return std::stoull(it->second);
+}
+
+}  // namespace lamb::support

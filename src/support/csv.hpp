@@ -1,0 +1,39 @@
+// Minimal CSV writer. Every bench dumps its raw series next to the rendered
+// terminal report so the paper's figures can also be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace lamb::support {
+
+/// Writes RFC-4180-ish CSV rows (quotes fields containing separators).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error if that fails.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write a header or data row.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: first field is a label, the rest are numbers.
+  void row(const std::string& label, const std::vector<double>& values);
+
+  /// Number of rows written so far (including headers).
+  std::size_t rows_written() const { return rows_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+/// Create the directory for experiment outputs if missing; returns the path.
+std::string ensure_results_dir(const std::string& dir = "results");
+
+}  // namespace lamb::support

@@ -1,0 +1,66 @@
+#include "support/str.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace lamb::support {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) {
+    return s;
+  }
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) {
+    return s;
+  }
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string format_double(double x, int decimals) {
+  if (x != 0.0 && (std::abs(x) < 1e-3 || std::abs(x) >= 1e7)) {
+    return strf("%.*e", decimals, x);
+  }
+  return strf("%.*f", decimals, x);
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return strf("%.*f%%", decimals, fraction * 100.0);
+}
+
+std::string format_count(long long n) {
+  const bool neg = n < 0;
+  unsigned long long v =
+      neg ? 0ULL - static_cast<unsigned long long>(n)
+          : static_cast<unsigned long long>(n);
+  std::string digits = std::to_string(v);
+  std::string out;
+  int c = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (c > 0 && c % 3 == 0) {
+      out += ',';
+    }
+    out += *it;
+    ++c;
+  }
+  if (neg) {
+    out += '-';
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace lamb::support

@@ -1,0 +1,42 @@
+// String formatting helpers. libstdc++ 12 lacks <format>, so we provide a
+// small printf-backed formatter plus join/pad utilities used by the report
+// renderers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lamb::support {
+
+/// printf-style formatting into a std::string.
+template <typename... Args>
+std::string strf(const char* fmt, Args... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, args...);
+  if (n <= 0) {
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+
+/// Join a list of strings with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Left/right padding to a fixed width (no truncation).
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Render a double with a fixed number of significant decimals, trimming to
+/// something compact for tables ("1.23e-04" style for tiny magnitudes).
+std::string format_double(double x, int decimals = 3);
+
+/// Render a percentage, e.g. 0.123 -> "12.3%".
+std::string format_percent(double fraction, int decimals = 1);
+
+/// Render a count with thousands separators, e.g. 22962 -> "22,962".
+std::string format_count(long long n);
+
+}  // namespace lamb::support

@@ -1,0 +1,69 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace lamb::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  LAMB_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LAMB_CHECK(cells.size() == headers_.size(),
+             "row width does not match header");
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void Table::add_separator() {
+  pending_separator_ = true;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  };
+  auto line_of = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += ' ';
+      line += pad_right(cells[c], widths[c]);
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = rule();
+  out += line_of(headers_);
+  out += rule();
+  for (const auto& row : rows_) {
+    if (row.separator_before) {
+      out += rule();
+    }
+    out += line_of(row.cells);
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace lamb::support

@@ -1,0 +1,36 @@
+// ASCII table renderer for the bench reports (confusion matrices, per-row
+// paper-vs-reproduced comparisons).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lamb::support {
+
+/// Builds a fixed-column ASCII table with a header row and box-drawing rules.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal separator before the next added row.
+  void add_separator();
+
+  /// Render the table; every line is terminated with '\n'.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace lamb::support

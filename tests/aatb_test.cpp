@@ -1,0 +1,160 @@
+// The A*A^T*B expression: the paper's five algorithms, their kernels, FLOP
+// counts and family plumbing.
+#include <gtest/gtest.h>
+
+#include "expr/aatb.hpp"
+#include "expr/family.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lamb;
+using model::Algorithm;
+using model::KernelKind;
+
+TEST(Aatb, ExactlyFiveAlgorithms) {
+  const auto algs = expr::enumerate_aatb_algorithms(10, 20, 30);
+  EXPECT_EQ(algs.size(), 5u);
+}
+
+TEST(Aatb, KernelSequencesMatchPaper) {
+  const auto algs = expr::enumerate_aatb_algorithms(10, 20, 30);
+  // Alg 1: SYRK, SYMM.
+  ASSERT_EQ(algs[0].steps().size(), 2u);
+  EXPECT_EQ(algs[0].steps()[0].call.kind, KernelKind::kSyrk);
+  EXPECT_EQ(algs[0].steps()[1].call.kind, KernelKind::kSymm);
+  // Alg 2: SYRK, TriCopy, GEMM.
+  ASSERT_EQ(algs[1].steps().size(), 3u);
+  EXPECT_EQ(algs[1].steps()[0].call.kind, KernelKind::kSyrk);
+  EXPECT_EQ(algs[1].steps()[1].call.kind, KernelKind::kTriCopy);
+  EXPECT_EQ(algs[1].steps()[2].call.kind, KernelKind::kGemm);
+  // Alg 3: GEMM, SYMM.
+  ASSERT_EQ(algs[2].steps().size(), 2u);
+  EXPECT_EQ(algs[2].steps()[0].call.kind, KernelKind::kGemm);
+  EXPECT_TRUE(algs[2].steps()[0].call.trans_b);  // A * A^T
+  EXPECT_EQ(algs[2].steps()[1].call.kind, KernelKind::kSymm);
+  // Alg 4: GEMM, GEMM.
+  ASSERT_EQ(algs[3].steps().size(), 2u);
+  EXPECT_EQ(algs[3].steps()[0].call.kind, KernelKind::kGemm);
+  EXPECT_EQ(algs[3].steps()[1].call.kind, KernelKind::kGemm);
+  // Alg 5: GEMM (A^T B), GEMM (A M).
+  ASSERT_EQ(algs[4].steps().size(), 2u);
+  EXPECT_TRUE(algs[4].steps()[0].call.trans_a);
+  EXPECT_EQ(algs[4].steps()[0].call.m, 20);  // M is d1 x d2
+  EXPECT_EQ(algs[4].steps()[0].call.n, 30);
+  EXPECT_EQ(algs[4].steps()[1].call.m, 10);  // X is d0 x d2
+}
+
+TEST(Aatb, FlopCountsMatchClosedForms) {
+  const la::index_t d0 = 110, d1 = 301, d2 = 938;
+  const auto algs = expr::enumerate_aatb_algorithms(d0, d1, d2);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(algs[static_cast<std::size_t>(i)].flops(),
+              expr::aatb_flops(i + 1, d0, d1, d2))
+        << "algorithm " << (i + 1);
+  }
+}
+
+TEST(Aatb, ClosedFormsMatchPaperFormulas) {
+  const long long d0 = 7, d1 = 11, d2 = 13;
+  EXPECT_EQ(expr::aatb_flops(1, d0, d1, d2),
+            d0 * ((d0 + 1) * d1 + 2 * d0 * d2));
+  EXPECT_EQ(expr::aatb_flops(2, d0, d1, d2), expr::aatb_flops(1, d0, d1, d2));
+  EXPECT_EQ(expr::aatb_flops(3, d0, d1, d2), 2 * d0 * d0 * (d1 + d2));
+  EXPECT_EQ(expr::aatb_flops(4, d0, d1, d2), expr::aatb_flops(3, d0, d1, d2));
+  EXPECT_EQ(expr::aatb_flops(5, d0, d1, d2), 4 * d0 * d1 * d2);
+}
+
+TEST(Aatb, SyrkAlgorithmsAreAlwaysCheaperThanGemmGemm) {
+  // (d0+1)*d0*d1 + 2*d0^2*d2 < 2*d0^2*d1 + 2*d0^2*d2  whenever d0 >= 1.
+  support::Rng rng(3);
+  for (int t = 0; t < 50; ++t) {
+    const la::index_t d0 = rng.uniform_int(1, 1200);
+    const la::index_t d1 = rng.uniform_int(1, 1200);
+    const la::index_t d2 = rng.uniform_int(1, 1200);
+    EXPECT_LE(expr::aatb_flops(1, d0, d1, d2), expr::aatb_flops(4, d0, d1, d2));
+  }
+}
+
+TEST(Aatb, InvalidAlgorithmIdRejected) {
+  EXPECT_THROW(expr::aatb_flops(0, 1, 1, 1), support::CheckError);
+  EXPECT_THROW(expr::aatb_flops(6, 1, 1, 1), support::CheckError);
+}
+
+TEST(Aatb, InvalidDimsRejected) {
+  EXPECT_THROW(expr::enumerate_aatb_algorithms(0, 5, 5),
+               support::CheckError);
+}
+
+TEST(Aatb, ResultShapeIsD0xD2) {
+  const auto algs = expr::enumerate_aatb_algorithms(12, 34, 56);
+  for (const Algorithm& alg : algs) {
+    const model::Operand& out =
+        alg.operands()[static_cast<std::size_t>(alg.result_id())];
+    EXPECT_EQ(out.rows, 12);
+    EXPECT_EQ(out.cols, 56);
+  }
+}
+
+TEST(AatbFamily, DimensionsAndExternals) {
+  expr::AatbFamily family;
+  EXPECT_EQ(family.name(), "aatb");
+  EXPECT_EQ(family.dimension_count(), 3);
+  const auto names = family.dimension_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "d0");
+  EXPECT_EQ(names[2], "d2");
+
+  support::Rng rng(1);
+  const auto ext = family.make_externals({8, 9, 10}, rng);
+  ASSERT_EQ(ext.size(), 2u);
+  EXPECT_EQ(ext[0].rows(), 8);
+  EXPECT_EQ(ext[0].cols(), 9);
+  EXPECT_EQ(ext[1].rows(), 8);
+  EXPECT_EQ(ext[1].cols(), 10);
+}
+
+TEST(AatbFamily, AlgorithmsMatchDirectEnumeration) {
+  expr::AatbFamily family;
+  const auto fam_algs = family.algorithms({8, 9, 10});
+  const auto dir_algs = expr::enumerate_aatb_algorithms(8, 9, 10);
+  ASSERT_EQ(fam_algs.size(), dir_algs.size());
+  for (std::size_t i = 0; i < fam_algs.size(); ++i) {
+    EXPECT_EQ(fam_algs[i].flops(), dir_algs[i].flops());
+    EXPECT_EQ(fam_algs[i].signature(), dir_algs[i].signature());
+  }
+}
+
+TEST(AatbFamily, WrongArityRejected) {
+  expr::AatbFamily family;
+  EXPECT_THROW(family.algorithms({8, 9}), support::CheckError);
+  support::Rng rng(1);
+  EXPECT_THROW(family.make_externals({8, 9, 10, 11}, rng),
+               support::CheckError);
+}
+
+TEST(ChainFamily, DimensionsAndExternals) {
+  expr::ChainFamily family(4);
+  EXPECT_EQ(family.name(), "chain4");
+  EXPECT_EQ(family.dimension_count(), 5);
+  EXPECT_EQ(family.algorithms({3, 4, 5, 6, 7}).size(), 6u);
+
+  support::Rng rng(1);
+  const auto ext = family.make_externals({3, 4, 5, 6, 7}, rng);
+  ASSERT_EQ(ext.size(), 4u);
+  EXPECT_EQ(ext[0].rows(), 3);
+  EXPECT_EQ(ext[3].cols(), 7);
+}
+
+TEST(ChainFamily, LongerChains) {
+  expr::ChainFamily family(5);
+  EXPECT_EQ(family.dimension_count(), 6);
+  EXPECT_EQ(family.algorithms({2, 3, 4, 5, 6, 7}).size(), 24u);
+}
+
+TEST(ChainFamily, TooShortRejected) {
+  EXPECT_THROW(expr::ChainFamily family(1), support::CheckError);
+}
+
+}  // namespace

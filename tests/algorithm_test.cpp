@@ -1,0 +1,184 @@
+// Algorithm builder: operand bookkeeping, shape conformance, FLOP totals,
+// lower-only triangle semantics and signatures.
+#include <gtest/gtest.h>
+
+#include "model/algorithm.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using namespace lamb::model;
+using lamb::support::CheckError;
+
+TEST(Algorithm, ExternalsComeFirst) {
+  Algorithm alg("t");
+  const int a = alg.add_external(3, 4, "A");
+  const int b = alg.add_external(4, 5, "B");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(alg.num_externals(), 2);
+  EXPECT_TRUE(alg.operands()[0].external);
+}
+
+TEST(Algorithm, ExternalAfterStepRejected) {
+  Algorithm alg("t");
+  const int a = alg.add_external(3, 4, "A");
+  const int b = alg.add_external(4, 5, "B");
+  alg.add_gemm(a, b);
+  EXPECT_THROW(alg.add_external(5, 5, "C"), CheckError);
+}
+
+TEST(Algorithm, GemmDerivesShape) {
+  Algorithm alg("t");
+  const int a = alg.add_external(3, 4, "A");
+  const int b = alg.add_external(4, 5, "B");
+  const int c = alg.add_gemm(a, b);
+  const Operand& out = alg.operands()[static_cast<std::size_t>(c)];
+  EXPECT_EQ(out.rows, 3);
+  EXPECT_EQ(out.cols, 5);
+  EXPECT_EQ(alg.steps()[0].call.m, 3);
+  EXPECT_EQ(alg.steps()[0].call.n, 5);
+  EXPECT_EQ(alg.steps()[0].call.k, 4);
+}
+
+TEST(Algorithm, GemmWithTransposesDerivesShape) {
+  Algorithm alg("t");
+  const int a = alg.add_external(4, 3, "A");  // A^T is 3 x 4
+  const int b = alg.add_external(5, 4, "B");  // B^T is 4 x 5
+  const int c = alg.add_gemm(a, b, true, true);
+  const Operand& out = alg.operands()[static_cast<std::size_t>(c)];
+  EXPECT_EQ(out.rows, 3);
+  EXPECT_EQ(out.cols, 5);
+}
+
+TEST(Algorithm, GemmNonConformingThrows) {
+  Algorithm alg("t");
+  const int a = alg.add_external(3, 4, "A");
+  const int b = alg.add_external(5, 6, "B");
+  EXPECT_THROW(alg.add_gemm(a, b), CheckError);
+}
+
+TEST(Algorithm, SyrkProducesLowerOnlySquare) {
+  Algorithm alg("t");
+  const int a = alg.add_external(7, 3, "A");
+  const int m = alg.add_syrk(a);
+  const Operand& out = alg.operands()[static_cast<std::size_t>(m)];
+  EXPECT_EQ(out.rows, 7);
+  EXPECT_EQ(out.cols, 7);
+  EXPECT_TRUE(out.lower_only);
+}
+
+TEST(Algorithm, GemmOnLowerOnlyOperandRejected) {
+  // The paper's AAtB Algorithm 2 *must* copy the triangle before GEMM; the
+  // builder enforces this.
+  Algorithm alg("t");
+  const int a = alg.add_external(7, 3, "A");
+  const int b = alg.add_external(7, 4, "B");
+  const int m = alg.add_syrk(a);
+  EXPECT_THROW(alg.add_gemm(m, b), CheckError);
+}
+
+TEST(Algorithm, TriCopyLiftsLowerOnly) {
+  Algorithm alg("t");
+  const int a = alg.add_external(7, 3, "A");
+  const int b = alg.add_external(7, 4, "B");
+  const int m = alg.add_syrk(a);
+  const int mf = alg.add_tricopy(m);
+  EXPECT_FALSE(alg.operands()[static_cast<std::size_t>(mf)].lower_only);
+  EXPECT_NO_THROW(alg.add_gemm(mf, b));
+}
+
+TEST(Algorithm, TriCopyOnFullOperandRejected) {
+  Algorithm alg("t");
+  const int a = alg.add_external(7, 7, "A");
+  EXPECT_THROW(alg.add_tricopy(a), CheckError);
+}
+
+TEST(Algorithm, SymmAcceptsLowerOnly) {
+  Algorithm alg("t");
+  const int a = alg.add_external(7, 3, "A");
+  const int b = alg.add_external(7, 4, "B");
+  const int m = alg.add_syrk(a);
+  const int x = alg.add_symm(m, b);
+  const Operand& out = alg.operands()[static_cast<std::size_t>(x)];
+  EXPECT_EQ(out.rows, 7);
+  EXPECT_EQ(out.cols, 4);
+}
+
+TEST(Algorithm, SymmShapeMismatchThrows) {
+  Algorithm alg("t");
+  const int a = alg.add_external(7, 3, "A");
+  const int b = alg.add_external(8, 4, "B");
+  const int m = alg.add_syrk(a);
+  EXPECT_THROW(alg.add_symm(m, b), CheckError);
+}
+
+TEST(Algorithm, FlopsSumOverSteps) {
+  Algorithm alg("t");
+  const int a = alg.add_external(10, 20, "A");
+  const int b = alg.add_external(20, 30, "B");
+  const int c = alg.add_external(30, 40, "C");
+  const int ab = alg.add_gemm(a, b);
+  alg.add_gemm(ab, c);
+  EXPECT_EQ(alg.flops(), 2LL * 10 * 30 * 20 + 2LL * 10 * 40 * 30);
+}
+
+TEST(Algorithm, ResultIdIsLastOutput) {
+  Algorithm alg("t");
+  const int a = alg.add_external(4, 4, "A");
+  const int b = alg.add_external(4, 4, "B");
+  const int ab = alg.add_gemm(a, b);
+  const int abb = alg.add_gemm(ab, b);
+  EXPECT_EQ(alg.result_id(), abb);
+}
+
+TEST(Algorithm, ResultIdWithoutStepsThrows) {
+  Algorithm alg("t");
+  alg.add_external(4, 4, "A");
+  EXPECT_THROW(alg.result_id(), CheckError);
+}
+
+TEST(Algorithm, SignatureReadsLikeMath) {
+  Algorithm alg("t");
+  const int a = alg.add_external(3, 4, "A");
+  const int b = alg.add_external(3, 5, "B");
+  const int m = alg.add_gemm(a, b, true, false, "M");
+  alg.add_gemm(a, m, false, false, "X");
+  EXPECT_EQ(alg.signature(), "M:=A'*B; X:=A*M");
+}
+
+TEST(Algorithm, SignatureForSyrkSymmTricopy) {
+  Algorithm alg("t");
+  const int a = alg.add_external(6, 3, "A");
+  const int b = alg.add_external(6, 2, "B");
+  const int m = alg.add_syrk(a, "M");
+  const int mf = alg.add_tricopy(m, "Mf");
+  alg.add_gemm(mf, b, false, false, "X");
+  EXPECT_EQ(alg.signature(), "M:=syrk(A*A'); Mf:=full(M); X:=Mf*B");
+
+  Algorithm alg2("t2");
+  const int a2 = alg2.add_external(6, 3, "A");
+  const int b2 = alg2.add_external(6, 2, "B");
+  const int m2 = alg2.add_syrk(a2, "M");
+  alg2.add_symm(m2, b2, "X");
+  EXPECT_EQ(alg2.signature(), "M:=syrk(A*A'); X:=symm(M*B)");
+}
+
+TEST(Algorithm, DefaultTempNamesAreSequential) {
+  Algorithm alg("t");
+  const int a = alg.add_external(4, 4, "A");
+  const int b = alg.add_external(4, 4, "B");
+  const int m1 = alg.add_gemm(a, b);
+  const int m2 = alg.add_gemm(m1, b);
+  EXPECT_EQ(alg.operands()[static_cast<std::size_t>(m1)].name, "M1");
+  EXPECT_EQ(alg.operands()[static_cast<std::size_t>(m2)].name, "M2");
+}
+
+TEST(Algorithm, OperandIdOutOfRangeThrows) {
+  Algorithm alg("t");
+  alg.add_external(4, 4, "A");
+  EXPECT_THROW(alg.add_syrk(5), CheckError);
+  EXPECT_THROW(alg.add_syrk(-1), CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Tests for the terminal plot renderers.
+#include <gtest/gtest.h>
+
+#include "support/ascii_plot.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using namespace lamb::support;
+
+TEST(ScatterPlot, RendersPoints) {
+  const std::vector<double> xs = {0.0, 0.5, 1.0};
+  const std::vector<double> ys = {0.0, 0.5, 1.0};
+  PlotOptions opts;
+  opts.title = "demo";
+  const std::string out = scatter_plot(xs, ys, opts);
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(ScatterPlot, DensityMarkers) {
+  // Many coincident points should escalate the marker to '@'.
+  std::vector<double> xs(50, 0.5);
+  std::vector<double> ys(50, 0.5);
+  const std::string out = scatter_plot(xs, ys, PlotOptions{});
+  EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(ScatterPlot, LengthMismatchThrows) {
+  const std::vector<double> xs = {1.0};
+  const std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW(scatter_plot(xs, ys, PlotOptions{}), CheckError);
+}
+
+TEST(ScatterPlot, EmptyInputStillRenders) {
+  const std::vector<double> none;
+  const std::string out = scatter_plot(none, none, PlotOptions{});
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(ScatterPlot, FixedRangesAppearOnAxes) {
+  const std::vector<double> xs = {0.2};
+  const std::vector<double> ys = {0.2};
+  PlotOptions opts;
+  opts.x_min = 0.0;
+  opts.x_max = 1.0;
+  opts.y_min = 0.0;
+  opts.y_max = 1.0;
+  const std::string out = scatter_plot(xs, ys, opts);
+  EXPECT_NE(out.find("1.00"), std::string::npos);
+  EXPECT_NE(out.find("0.00"), std::string::npos);
+}
+
+TEST(LinePlot, RendersSeriesAndLegend) {
+  Series s1{"gemm", {0, 1, 2}, {0.1, 0.5, 0.9}, 'g'};
+  Series s2{"syrk", {0, 1, 2}, {0.05, 0.3, 0.8}, 's'};
+  const std::vector<Series> series = {s1, s2};
+  const std::string out = line_plot(series, PlotOptions{});
+  EXPECT_NE(out.find("legend"), std::string::npos);
+  EXPECT_NE(out.find("g = gemm"), std::string::npos);
+  EXPECT_NE(out.find('s'), std::string::npos);
+}
+
+TEST(LinePlot, SinglePointSeries) {
+  Series s{"dot", {1.0}, {1.0}, '*'};
+  const std::vector<Series> series = {s};
+  EXPECT_FALSE(line_plot(series, PlotOptions{}).empty());
+}
+
+TEST(HistogramPlot, BarsScaleWithCounts) {
+  std::vector<double> values;
+  for (int i = 0; i < 10; ++i) {
+    values.push_back(0.1);  // all in the first bin
+  }
+  values.push_back(0.9);
+  const std::string out = histogram_plot(values, 0.0, 1.0, 2, "hist");
+  EXPECT_NE(out.find("hist"), std::string::npos);
+  EXPECT_NE(out.find("| 10"), std::string::npos);
+  EXPECT_NE(out.find("| 1"), std::string::npos);
+}
+
+TEST(FiveNumberSummary, FormatsQuartiles) {
+  const std::vector<double> values = {1, 2, 3, 4, 5};
+  const std::string out = five_number_summary(values);
+  EXPECT_NE(out.find("min=1.0"), std::string::npos);
+  EXPECT_NE(out.find("med=3.0"), std::string::npos);
+  EXPECT_NE(out.find("max=5.0"), std::string::npos);
+}
+
+TEST(FiveNumberSummary, EmptySample) {
+  const std::vector<double> values;
+  EXPECT_EQ(five_number_summary(values), "(empty sample)");
+}
+
+}  // namespace

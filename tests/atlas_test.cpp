@@ -1,0 +1,135 @@
+// RegionAtlas: symbolic-size anomaly maps, verified against the scripted
+// machine's exact anomaly window and on the simulated machine.
+#include <gtest/gtest.h>
+
+#include "anomaly/atlas.hpp"
+#include "expr/family.hpp"
+#include "model/simulated_machine.hpp"
+#include "scripted.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using namespace lamb;
+using anomaly::AtlasConfig;
+using anomaly::RegionAtlas;
+
+AtlasConfig scripted_config() {
+  AtlasConfig cfg;
+  cfg.lo = 20;
+  cfg.hi = 1200;
+  cfg.coarse_step = 40;
+  return cfg;
+}
+
+TEST(Atlas, RecoversScriptedWindowExactly) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;  // anomalous window [200, 400]
+  const RegionAtlas atlas(family, machine, {300}, 0, scripted_config());
+
+  // Three intervals: safe, anomalous [200, 400], safe.
+  ASSERT_EQ(atlas.intervals().size(), 3u);
+  EXPECT_FALSE(atlas.intervals()[0].anomalous);
+  EXPECT_TRUE(atlas.intervals()[1].anomalous);
+  EXPECT_FALSE(atlas.intervals()[2].anomalous);
+  // Bisection refines the window to unit resolution.
+  EXPECT_EQ(atlas.intervals()[1].lo, 200);
+  EXPECT_EQ(atlas.intervals()[1].hi, 400);
+}
+
+TEST(Atlas, LookupAndRecommendation) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  const RegionAtlas atlas(family, machine, {300}, 0, scripted_config());
+
+  // Inside the window FLOPs are unreliable; the expensive algorithm (#1)
+  // is the right call. Outside, the cheap algorithm (#0) is both.
+  EXPECT_FALSE(atlas.flops_reliable_at(300));
+  EXPECT_EQ(atlas.recommend(300), 1u);
+  EXPECT_TRUE(atlas.flops_reliable_at(100));
+  EXPECT_EQ(atlas.recommend(100), 0u);
+  EXPECT_TRUE(atlas.flops_reliable_at(1000));
+
+  // Queries outside the scanned range clamp.
+  EXPECT_TRUE(atlas.flops_reliable_at(5));
+  EXPECT_TRUE(atlas.flops_reliable_at(99999));
+}
+
+TEST(Atlas, IntervalsPartitionTheRange) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  const RegionAtlas atlas(family, machine, {300}, 0, scripted_config());
+  int expected_lo = 20;
+  for (const auto& interval : atlas.intervals()) {
+    EXPECT_EQ(interval.lo, expected_lo);
+    EXPECT_GE(interval.hi, interval.lo);
+    expected_lo = interval.hi + 1;
+  }
+  EXPECT_EQ(atlas.intervals().back().hi, 1200);
+}
+
+TEST(Atlas, AnomalousFractionMatchesWindow) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  const RegionAtlas atlas(family, machine, {300}, 0, scripted_config());
+  // Window [200, 400] of [20, 1200]: 201 / 1181 ~ 17%.
+  EXPECT_NEAR(atlas.anomalous_fraction(), 201.0 / 1181.0, 0.01);
+}
+
+TEST(Atlas, WorstTimeScoreIsRecorded) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  const RegionAtlas atlas(family, machine, {300}, 0, scripted_config());
+  EXPECT_DOUBLE_EQ(atlas.intervals()[1].worst_time_score, 0.5);
+}
+
+TEST(Atlas, CheaperThanExhaustiveScan) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  const RegionAtlas atlas(family, machine, {300}, 0, scripted_config());
+  // Coarse stride 40 over 1181 coordinates plus two bisections must use far
+  // fewer classifications than a unit-stride scan.
+  EXPECT_LT(atlas.samples_used(), 100);
+}
+
+TEST(Atlas, ToStringListsIntervals) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  const RegionAtlas atlas(family, machine, {300}, 0, scripted_config());
+  const std::string text = atlas.to_string({"cheap", "expensive"});
+  EXPECT_NE(text.find("ANOMALOUS"), std::string::npos);
+  EXPECT_NE(text.find("flops-safe"), std::string::npos);
+  EXPECT_NE(text.find("expensive"), std::string::npos);
+}
+
+TEST(Atlas, InvalidArgumentsRejected) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  EXPECT_THROW(RegionAtlas(family, machine, {300}, 1, scripted_config()),
+               support::CheckError);
+  AtlasConfig bad = scripted_config();
+  bad.coarse_step = 0;
+  EXPECT_THROW(RegionAtlas(family, machine, {300}, 0, bad),
+               support::CheckError);
+}
+
+TEST(Atlas, AatbD0AtlasMatchesFigure11Structure) {
+  // Along d0 with (d1, d2) = (260, 549): anomalous at small d0, safe at
+  // large d0 (Fig. 11 left), with GEMM-based algorithms recommended inside
+  // the region.
+  expr::AatbFamily family;
+  model::SimulatedMachine machine;
+  AtlasConfig cfg;
+  cfg.coarse_step = 25;
+  const RegionAtlas atlas(family, machine, {150, 260, 549}, 0, cfg);
+
+  EXPECT_FALSE(atlas.flops_reliable_at(150));
+  EXPECT_TRUE(atlas.flops_reliable_at(1100));
+  const auto& inside = atlas.lookup(150);
+  EXPECT_TRUE(inside.recommended == 2 || inside.recommended == 3);
+  EXPECT_LE(inside.flop_minimal, 1u);  // SYRK pair is FLOP-minimal
+  EXPECT_GT(atlas.anomalous_fraction(), 0.0);
+  EXPECT_LT(atlas.anomalous_fraction(), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,239 @@
+// Level-1 and level-2 BLAS correctness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/level1.hpp"
+#include "blas/level2.hpp"
+#include "blas/ref_blas.hpp"
+#include "la/generators.hpp"
+#include "la/norms.hpp"
+#include "la/triangle.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lamb;
+using la::index_t;
+using la::Matrix;
+
+std::vector<double> random_vector(std::size_t n, support::Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) {
+    x = rng.uniform(-1.0, 1.0);
+  }
+  return v;
+}
+
+TEST(Level1, Axpy) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {10.0, 20.0, 30.0};
+  blas::axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 36.0);
+}
+
+TEST(Level1, AxpyLengthMismatchThrows) {
+  std::vector<double> x = {1.0};
+  std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(blas::axpy(1.0, x, y), support::CheckError);
+}
+
+TEST(Level1, Dot) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(blas::dot(x, y), 32.0);
+}
+
+TEST(Level1, Nrm2BasicAndOverflowSafe) {
+  std::vector<double> x = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(blas::nrm2(x), 5.0);
+  // Values whose squares overflow double must still produce a finite norm.
+  std::vector<double> big = {1.0e200, 1.0e200};
+  EXPECT_NEAR(blas::nrm2(big), std::sqrt(2.0) * 1.0e200, 1.0e186);
+  std::vector<double> zero = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(blas::nrm2(zero), 0.0);
+}
+
+TEST(Level1, ScalAsumIamax) {
+  std::vector<double> x = {1.0, -4.0, 2.0};
+  blas::scal(-2.0, x);
+  EXPECT_DOUBLE_EQ(x[1], 8.0);
+  EXPECT_DOUBLE_EQ(blas::asum(x), 2.0 + 8.0 + 4.0);
+  EXPECT_EQ(blas::iamax(x), 1u);
+  std::vector<double> empty;
+  EXPECT_THROW(blas::iamax(empty), support::CheckError);
+}
+
+TEST(Level1, SwapAndCopy) {
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {3.0, 4.0};
+  blas::swap(x, y);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  blas::copy(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+}
+
+TEST(Level2, GemvMatchesRefGemm) {
+  support::Rng rng(1);
+  const Matrix a = la::random_matrix(13, 7, rng);
+  for (const bool trans : {false, true}) {
+    const std::size_t xn = trans ? 13u : 7u;
+    const std::size_t yn = trans ? 7u : 13u;
+    const std::vector<double> x = random_vector(xn, rng);
+    std::vector<double> y = random_vector(yn, rng);
+    std::vector<double> y_ref = y;
+
+    blas::gemv(trans, 1.5, a.view(), x, 0.5, y);
+
+    // Reference through ref_gemm with x as an n x 1 matrix.
+    la::ConstMatrixView xv(x.data(), static_cast<index_t>(xn), 1,
+                           static_cast<index_t>(xn));
+    la::MatrixView yv(y_ref.data(), static_cast<index_t>(yn), 1,
+                      static_cast<index_t>(yn));
+    blas::ref_gemm(trans, false, 1.5, a.view(), xv, 0.5, yv);
+    for (std::size_t i = 0; i < yn; ++i) {
+      EXPECT_NEAR(y[i], y_ref[i], 1e-13) << "trans=" << trans << " i=" << i;
+    }
+  }
+}
+
+TEST(Level2, GemvBetaZeroOverwrites) {
+  support::Rng rng(2);
+  const Matrix a = la::random_matrix(4, 4, rng);
+  const std::vector<double> x = random_vector(4, rng);
+  std::vector<double> y = {1e300, 1e300, 1e300, 1e300};
+  blas::gemv(false, 1.0, a.view(), x, 0.0, y);
+  for (double v : y) {
+    EXPECT_LT(std::abs(v), 100.0);
+  }
+}
+
+TEST(Level2, GerRankOneUpdate) {
+  support::Rng rng(3);
+  Matrix a(5, 4, 0.0);
+  const std::vector<double> x = random_vector(5, rng);
+  const std::vector<double> y = random_vector(4, rng);
+  blas::ger(2.0, x, y, a.view());
+  for (index_t i = 0; i < 5; ++i) {
+    for (index_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(a(i, j),
+                  2.0 * x[static_cast<std::size_t>(i)] *
+                      y[static_cast<std::size_t>(j)],
+                  1e-15);
+    }
+  }
+}
+
+TEST(Level2, SymvMatchesRefSymm) {
+  support::Rng rng(4);
+  const Matrix a = la::random_symmetric(9, rng);
+  const std::vector<double> x = random_vector(9, rng);
+  std::vector<double> y = random_vector(9, rng);
+  std::vector<double> y_ref = y;
+
+  blas::symv(1.25, a.view(), x, -0.5, y);
+
+  la::ConstMatrixView xv(x.data(), 9, 1, 9);
+  la::MatrixView yv(y_ref.data(), 9, 1, 9);
+  blas::ref_symm(1.25, a.view(), xv, -0.5, yv);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(y[i], y_ref[i], 1e-13);
+  }
+}
+
+TEST(Level2, SymvReadsOnlyLowerTriangle) {
+  support::Rng rng(5);
+  Matrix a = la::random_symmetric(8, rng);
+  const std::vector<double> x = random_vector(8, rng);
+  std::vector<double> y_clean(8, 0.0);
+  blas::symv(1.0, a.view(), x, 0.0, y_clean);
+  for (index_t j = 1; j < 8; ++j) {
+    for (index_t i = 0; i < j; ++i) {
+      a(i, j) = 1e9;
+    }
+  }
+  std::vector<double> y_poisoned(8, 0.0);
+  blas::symv(1.0, a.view(), x, 0.0, y_poisoned);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(y_clean[i], y_poisoned[i]);
+  }
+}
+
+TEST(Level2, TrmvLowerAndTranspose) {
+  support::Rng rng(6);
+  Matrix t = la::random_matrix(6, 6, rng);
+  la::zero_strict_upper(t.view());  // lower triangular
+
+  for (const bool trans : {false, true}) {
+    std::vector<double> x = random_vector(6, rng);
+    std::vector<double> expected(6, 0.0);
+    la::ConstMatrixView xv(x.data(), 6, 1, 6);
+    la::MatrixView ev(expected.data(), 6, 1, 6);
+    blas::ref_gemm(trans, false, 1.0, t.view(), xv, 0.0, ev);
+
+    blas::trmv(/*lower=*/true, trans, t.view(), x);
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_NEAR(x[i], expected[i], 1e-13) << "trans=" << trans;
+    }
+  }
+}
+
+TEST(Level2, TrsvInvertsTrmv) {
+  support::Rng rng(7);
+  Matrix t = la::random_matrix(10, 10, rng);
+  la::zero_strict_upper(t.view());
+  for (index_t i = 0; i < 10; ++i) {
+    t(i, i) += 4.0;  // well-conditioned diagonal
+  }
+  for (const bool trans : {false, true}) {
+    const std::vector<double> x0 = random_vector(10, rng);
+    std::vector<double> x = x0;
+    blas::trmv(true, trans, t.view(), x);
+    blas::trsv(true, trans, t.view(), x);
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_NEAR(x[i], x0[i], 1e-12) << "trans=" << trans;
+    }
+  }
+}
+
+TEST(Level2, TrsvSingularThrows) {
+  Matrix t(3, 3, 0.0);
+  t(0, 0) = 1.0;
+  t(1, 1) = 0.0;  // singular
+  t(2, 2) = 1.0;
+  std::vector<double> x = {1.0, 1.0, 1.0};
+  EXPECT_THROW(blas::trsv(true, false, t.view(), x), support::CheckError);
+}
+
+TEST(Level2, IntroExampleFlopArgument) {
+  // Paper Sec. 1: for n x n A and n-vectors x, y, evaluating (x*y^T)*A
+  // costs ~2n^3 FLOPs (GER + GEMM) while x*(y^T*A) costs ~4n^2 (two GEMVs).
+  // Verify both give the same result; the FLOP gap is the whole point.
+  support::Rng rng(8);
+  const index_t n = 40;
+  const Matrix a = la::random_matrix(n, n, rng);
+  const std::vector<double> x = random_vector(static_cast<std::size_t>(n), rng);
+  const std::vector<double> y = random_vector(static_cast<std::size_t>(n), rng);
+
+  // Cheap order: t := A^T y (row vector y^T A), then outer scale via GER.
+  std::vector<double> t(static_cast<std::size_t>(n), 0.0);
+  blas::gemv(/*trans=*/true, 1.0, a.view(), y, 0.0, t);
+  Matrix cheap(n, n, 0.0);
+  blas::ger(1.0, x, t, cheap.view());
+
+  // Expensive order: M := x*y^T, then M*A.
+  Matrix outer(n, n, 0.0);
+  blas::ger(1.0, x, y, outer.view());
+  Matrix expensive(n, n);
+  blas::ref_gemm(false, false, 1.0, outer.view(), a.view(), 0.0,
+                 expensive.view());
+
+  EXPECT_LE(la::max_abs_diff(cheap.view(), expensive.view()),
+            la::gemm_tolerance(n) * 10);
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+// SYRK and SYMM correctness against the references, including the
+// lower-triangle-only storage semantics both kernels rely on.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "blas/gemm.hpp"
+#include "blas/ref_blas.hpp"
+#include "blas/symm.hpp"
+#include "blas/syrk.hpp"
+#include "la/generators.hpp"
+#include "la/norms.hpp"
+#include "la/triangle.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lamb;
+using la::index_t;
+using la::Matrix;
+
+double lower_max_abs_diff(const Matrix& a, const Matrix& b) {
+  double m = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = j; i < a.rows(); ++i) {
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// SYRK shape sweep (n spans the 96-blocking threshold; k spans small to big).
+// ---------------------------------------------------------------------------
+class SyrkShapeTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SyrkShapeTest, LowerTriangleMatchesReference) {
+  const auto [n, k] = GetParam();
+  support::Rng rng(static_cast<std::uint64_t>(n * 2654435761u + k));
+  const Matrix a = la::random_matrix(n, k, rng);
+  Matrix c(n, n);
+  Matrix c_ref(n, n);
+  blas::syrk(1.0, a.view(), 0.0, c.view());
+  blas::ref_syrk(1.0, a.view(), 0.0, c_ref.view());
+  EXPECT_LE(lower_max_abs_diff(c, c_ref), la::gemm_tolerance(k))
+      << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, SyrkShapeTest,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(5, 7),
+                      std::make_tuple(16, 16), std::make_tuple(64, 10),
+                      std::make_tuple(96, 96), std::make_tuple(97, 40),
+                      std::make_tuple(128, 64), std::make_tuple(150, 200),
+                      std::make_tuple(200, 3), std::make_tuple(250, 128),
+                      std::make_tuple(33, 257)));
+
+TEST(Syrk, DoesNotTouchStrictUpperTriangle) {
+  support::Rng rng(3);
+  const Matrix a = la::random_matrix(120, 40, rng);
+  Matrix c(120, 120, 777.0);  // poison everything
+  blas::syrk(1.0, a.view(), 0.0, c.view());
+  // Strict upper must still hold the poison value.
+  for (index_t j = 1; j < 120; ++j) {
+    for (index_t i = 0; i < j; ++i) {
+      ASSERT_DOUBLE_EQ(c(i, j), 777.0) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Syrk, BetaAccumulates) {
+  support::Rng rng(4);
+  const Matrix a = la::random_matrix(100, 30, rng);
+  Matrix c(100, 100, 1.0);
+  Matrix c_ref(100, 100, 1.0);
+  blas::syrk(0.5, a.view(), 2.0, c.view());
+  blas::ref_syrk(0.5, a.view(), 2.0, c_ref.view());
+  EXPECT_LE(lower_max_abs_diff(c, c_ref), la::gemm_tolerance(30));
+}
+
+TEST(Syrk, ResultIsConsistentWithGemm) {
+  // lower(A A^T) must equal the lower triangle of the full GEMM product.
+  support::Rng rng(5);
+  const Matrix a = la::random_matrix(130, 50, rng);
+  Matrix c(130, 130);
+  blas::syrk(1.0, a.view(), 0.0, c.view());
+  Matrix full(130, 130);
+  blas::gemm(false, true, 1.0, a.view(), a.view(), 0.0, full.view());
+  EXPECT_LE(lower_max_abs_diff(c, full), la::gemm_tolerance(50));
+}
+
+TEST(Syrk, RectangularCThrows) {
+  Matrix a(4, 3);
+  Matrix c(4, 5);
+  EXPECT_THROW(blas::syrk(1.0, a.view(), 0.0, c.view()),
+               support::CheckError);
+}
+
+TEST(Syrk, EmptyIsNoOp) {
+  Matrix a(0, 0);
+  Matrix c(0, 0);
+  EXPECT_NO_THROW(blas::syrk(1.0, a.view(), 0.0, c.view()));
+}
+
+// ---------------------------------------------------------------------------
+// SYMM shape sweep.
+// ---------------------------------------------------------------------------
+class SymmShapeTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SymmShapeTest, MatchesReference) {
+  const auto [m, n] = GetParam();
+  support::Rng rng(static_cast<std::uint64_t>(m * 40503u + n));
+  const Matrix a = la::random_symmetric(m, rng);
+  const Matrix b = la::random_matrix(m, n, rng);
+  Matrix c(m, n);
+  Matrix c_ref(m, n);
+  blas::symm(1.0, a.view(), b.view(), 0.0, c.view());
+  blas::ref_symm(1.0, a.view(), b.view(), 0.0, c_ref.view());
+  EXPECT_LE(la::max_abs_diff(c.view(), c_ref.view()), la::gemm_tolerance(m))
+      << "m=" << m << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, SymmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(7, 5),
+                      std::make_tuple(16, 64), std::make_tuple(96, 10),
+                      std::make_tuple(97, 97), std::make_tuple(128, 30),
+                      std::make_tuple(150, 120), std::make_tuple(200, 1),
+                      std::make_tuple(250, 64), std::make_tuple(64, 250)));
+
+TEST(Symm, ReadsOnlyTheLowerTriangle) {
+  // Poison the strictly-upper triangle; the result must be unaffected.
+  support::Rng rng(6);
+  Matrix a = la::random_symmetric(140, rng);
+  const Matrix b = la::random_matrix(140, 60, rng);
+  Matrix c_clean(140, 60);
+  blas::symm(1.0, a.view(), b.view(), 0.0, c_clean.view());
+
+  for (index_t j = 1; j < 140; ++j) {
+    for (index_t i = 0; i < j; ++i) {
+      a(i, j) = 1.0e9;  // garbage in the upper triangle
+    }
+  }
+  Matrix c_poisoned(140, 60);
+  blas::symm(1.0, a.view(), b.view(), 0.0, c_poisoned.view());
+  EXPECT_TRUE(la::approx_equal(c_clean.view(), c_poisoned.view(), 0.0));
+}
+
+TEST(Symm, EquivalentToGemmOnSymmetrizedMatrix) {
+  support::Rng rng(7);
+  const Matrix a = la::random_symmetric(170, rng);
+  const Matrix b = la::random_matrix(170, 90, rng);
+  Matrix via_symm(170, 90);
+  blas::symm(1.0, a.view(), b.view(), 0.0, via_symm.view());
+  Matrix via_gemm(170, 90);
+  blas::gemm(false, false, 1.0, a.view(), b.view(), 0.0, via_gemm.view());
+  EXPECT_LE(la::max_abs_diff(via_symm.view(), via_gemm.view()),
+            la::gemm_tolerance(170));
+}
+
+TEST(Symm, BetaAccumulates) {
+  support::Rng rng(8);
+  const Matrix a = la::random_symmetric(110, rng);
+  const Matrix b = la::random_matrix(110, 40, rng);
+  Matrix c(110, 40, 3.0);
+  Matrix c_ref(110, 40, 3.0);
+  blas::symm(-0.5, a.view(), b.view(), 1.5, c.view());
+  blas::ref_symm(-0.5, a.view(), b.view(), 1.5, c_ref.view());
+  EXPECT_LE(la::max_abs_diff(c.view(), c_ref.view()), la::gemm_tolerance(110));
+}
+
+TEST(Symm, NonSquareAThrows) {
+  Matrix a(4, 5);
+  Matrix b(4, 3);
+  Matrix c(4, 3);
+  EXPECT_THROW(blas::symm(1.0, a.view(), b.view(), 0.0, c.view()),
+               support::CheckError);
+}
+
+TEST(Symm, BShapeMismatchThrows) {
+  Matrix a(4, 4);
+  Matrix b(5, 3);
+  Matrix c(4, 3);
+  EXPECT_THROW(blas::symm(1.0, a.view(), b.view(), 0.0, c.view()),
+               support::CheckError);
+}
+
+TEST(Symm, ParallelPoolMatchesSerial) {
+  support::Rng rng(12);
+  const Matrix a = la::random_symmetric(150, rng);
+  const Matrix b = la::random_matrix(150, 100, rng);
+  Matrix serial(150, 100);
+  blas::symm(1.0, a.view(), b.view(), 0.0, serial.view());
+  parallel::ThreadPool pool(3);
+  blas::GemmOptions opts;
+  opts.pool = &pool;
+  Matrix par(150, 100);
+  blas::symm(1.0, a.view(), b.view(), 0.0, par.view(), opts);
+  EXPECT_TRUE(la::approx_equal(serial.view(), par.view(), 1e-12));
+}
+
+TEST(Syrk, ParallelPoolMatchesSerial) {
+  support::Rng rng(13);
+  const Matrix a = la::random_matrix(180, 70, rng);
+  Matrix serial(180, 180);
+  blas::syrk(1.0, a.view(), 0.0, serial.view());
+  parallel::ThreadPool pool(3);
+  blas::GemmOptions opts;
+  opts.pool = &pool;
+  Matrix par(180, 180);
+  blas::syrk(1.0, a.view(), 0.0, par.view(), opts);
+  EXPECT_LE(lower_max_abs_diff(serial, par), 1e-12);
+}
+
+}  // namespace

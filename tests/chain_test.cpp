@@ -1,0 +1,216 @@
+// Matrix chain: schedule enumeration (the paper's six ABCD algorithms with
+// their exact FLOP formulas and ordering), parenthesisation enumeration
+// (Catalan counts) and the DP baseline's optimality.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "chain/chain.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lamb;
+using chain::ChainDims;
+using model::Algorithm;
+
+long long min_schedule_flops(const ChainDims& dims) {
+  long long best = -1;
+  for (const Algorithm& alg : chain::enumerate_chain_schedules(dims)) {
+    if (best < 0 || alg.flops() < best) {
+      best = alg.flops();
+    }
+  }
+  return best;
+}
+
+TEST(ChainEnumeration, CountsMatchFactorial) {
+  for (int n = 2; n <= 6; ++n) {
+    ChainDims dims(static_cast<std::size_t>(n) + 1, 8);
+    const auto algs = chain::enumerate_chain_schedules(dims);
+    EXPECT_EQ(static_cast<long long>(algs.size()), chain::schedule_count(n))
+        << "n=" << n;
+  }
+  EXPECT_EQ(chain::schedule_count(2), 1);
+  EXPECT_EQ(chain::schedule_count(4), 6);
+  EXPECT_EQ(chain::schedule_count(7), 720);
+}
+
+TEST(ChainEnumeration, FourChainHasPapersSixAlgorithms) {
+  // Paper Sec. 3.2.1, instance (d0..d4).
+  const ChainDims dims = {11, 13, 17, 19, 23};
+  const auto algs = chain::enumerate_chain_schedules(dims);
+  ASSERT_EQ(algs.size(), 6u);
+
+  const long long d0 = 11, d1 = 13, d2 = 17, d3 = 19, d4 = 23;
+  // FLOP counts from the paper, in the paper's algorithm order.
+  const long long expected[6] = {
+      2 * d0 * (d1 * d2 + d2 * d3 + d3 * d4),  // Alg 1: ((AB)C)D
+      2 * d2 * (d0 * d1 + d3 * d4 + d0 * d4),  // Alg 2: (AB)(CD)
+      2 * d3 * (d0 * d1 + d1 * d2 + d0 * d4),  // Alg 3: (A(BC))D
+      2 * d1 * (d2 * d3 + d3 * d4 + d0 * d4),  // Alg 4: A((BC)D)
+      2 * d2 * (d3 * d4 + d0 * d1 + d0 * d4),  // Alg 5: (AB)(CD), CD first
+      2 * d4 * (d2 * d3 + d1 * d2 + d0 * d1),  // Alg 6: A(B(CD))
+  };
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(algs[static_cast<std::size_t>(i)].flops(), expected[i])
+        << "algorithm " << (i + 1);
+  }
+}
+
+TEST(ChainEnumeration, PaperOrderSignatures) {
+  const ChainDims dims = {4, 5, 6, 7, 8};
+  const auto algs = chain::enumerate_chain_schedules(dims);
+  ASSERT_EQ(algs.size(), 6u);
+  EXPECT_EQ(algs[0].signature(), "M1:=A*B; M2:=M1*C; M3:=M2*D");
+  EXPECT_EQ(algs[1].signature(), "M1:=A*B; M2:=C*D; M3:=M1*M2");
+  EXPECT_EQ(algs[2].signature(), "M1:=B*C; M2:=A*M1; M3:=M2*D");
+  EXPECT_EQ(algs[3].signature(), "M1:=B*C; M2:=M1*D; M3:=A*M2");
+  EXPECT_EQ(algs[4].signature(), "M1:=C*D; M2:=A*B; M3:=M2*M1");
+  EXPECT_EQ(algs[5].signature(), "M1:=C*D; M2:=B*M1; M3:=A*M2");
+}
+
+TEST(ChainEnumeration, Algorithms2And5ShareFlopCount) {
+  // The paper notes Algorithms 2 and 5 have identical FLOP counts (same
+  // parenthesisation, different temporal order).
+  support::Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    ChainDims dims(5);
+    for (auto& d : dims) {
+      d = rng.uniform_int(1, 500);
+    }
+    const auto algs = chain::enumerate_chain_schedules(dims);
+    EXPECT_EQ(algs[1].flops(), algs[4].flops());
+  }
+}
+
+TEST(ChainEnumeration, EachScheduleHasNMinus1Gemms) {
+  for (int n = 2; n <= 5; ++n) {
+    ChainDims dims(static_cast<std::size_t>(n) + 1);
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      dims[i] = static_cast<la::index_t>(3 + i);
+    }
+    for (const Algorithm& alg : chain::enumerate_chain_schedules(dims)) {
+      EXPECT_EQ(static_cast<int>(alg.steps().size()), n - 1);
+      for (const model::Step& s : alg.steps()) {
+        EXPECT_EQ(s.call.kind, model::KernelKind::kGemm);
+      }
+      // Result must always be d0 x dn.
+      const model::Operand& out =
+          alg.operands()[static_cast<std::size_t>(alg.result_id())];
+      EXPECT_EQ(out.rows, dims.front());
+      EXPECT_EQ(out.cols, dims.back());
+    }
+  }
+}
+
+TEST(ChainEnumeration, InvalidDimsRejected) {
+  EXPECT_THROW(chain::enumerate_chain_schedules({5}), support::CheckError);
+  EXPECT_THROW(chain::enumerate_chain_schedules({5, 0, 5}),
+               support::CheckError);
+}
+
+TEST(ChainParenthesisations, CountsMatchCatalan) {
+  EXPECT_EQ(chain::parenthesisation_count(2), 1);
+  EXPECT_EQ(chain::parenthesisation_count(3), 2);
+  EXPECT_EQ(chain::parenthesisation_count(4), 5);
+  EXPECT_EQ(chain::parenthesisation_count(5), 14);
+  EXPECT_EQ(chain::parenthesisation_count(6), 42);
+  for (int n = 2; n <= 6; ++n) {
+    ChainDims dims(static_cast<std::size_t>(n) + 1, 6);
+    const auto trees = chain::enumerate_chain_parenthesisations(dims);
+    EXPECT_EQ(static_cast<long long>(trees.size()),
+              chain::parenthesisation_count(n))
+        << "n=" << n;
+  }
+}
+
+TEST(ChainParenthesisations, NamesAreDistinctBracketings) {
+  const ChainDims dims = {2, 3, 4, 5, 6};
+  const auto trees = chain::enumerate_chain_parenthesisations(dims);
+  std::set<std::string> names;
+  for (const Algorithm& alg : trees) {
+    names.insert(alg.name());
+  }
+  EXPECT_EQ(names.size(), trees.size());
+  EXPECT_TRUE(names.count("((A*B)*(C*D))") == 1);
+  EXPECT_TRUE(names.count("(((A*B)*C)*D)") == 1);
+}
+
+TEST(ChainParenthesisations, FlopMultisetIsSubsetOfSchedules) {
+  // Every parenthesisation cost must appear among the schedule costs.
+  const ChainDims dims = {9, 30, 4, 25, 7};
+  std::multiset<long long> schedule_costs;
+  for (const Algorithm& alg : chain::enumerate_chain_schedules(dims)) {
+    schedule_costs.insert(alg.flops());
+  }
+  for (const Algorithm& alg : chain::enumerate_chain_parenthesisations(dims)) {
+    EXPECT_TRUE(schedule_costs.count(alg.flops()) > 0)
+        << alg.name() << " cost " << alg.flops();
+  }
+}
+
+TEST(ChainDp, MatchesBruteForceOnRandomInstances) {
+  support::Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = rng.uniform_int(2, 6);
+    ChainDims dims(static_cast<std::size_t>(n) + 1);
+    for (auto& d : dims) {
+      d = rng.uniform_int(1, 300);
+    }
+    const auto dp = chain::chain_dp(dims);
+    EXPECT_EQ(dp.min_flops, min_schedule_flops(dims)) << "trial " << trial;
+  }
+}
+
+TEST(ChainDp, ClassicTextbookInstance) {
+  // CLRS-style instance: dims (10, 100, 5, 50) -> optimal ((A*B)*C) with
+  // 2*(10*100*5 + 10*5*50) FLOPs under the 2mnk convention.
+  const ChainDims dims = {10, 100, 5, 50};
+  const auto dp = chain::chain_dp(dims);
+  EXPECT_EQ(dp.min_flops, 2LL * (10 * 100 * 5 + 10 * 5 * 50));
+  EXPECT_EQ(dp.parenthesisation(3), "((A*B)*C)");
+}
+
+TEST(ChainDp, OuterProductAvoided) {
+  // The paper's intro example: x y^T A should never be optimal versus
+  // x (y^T A) for square-ish A. Chain dims: x is n x 1 ... modelled as
+  // (1, n, 1, n): A1 = 1 x n (x^T?) — use the canonical (n, 1, n, n) chain:
+  // A (n x 1), B (1 x n), C (n x n): (A*B)*C costs 2(n^2 + n^3); A*(B*C)
+  // costs 2(n^2 + n^2).
+  const la::index_t n = 64;
+  const ChainDims dims = {n, 1, n, n};
+  const auto dp = chain::chain_dp(dims);
+  EXPECT_EQ(dp.parenthesisation(3), "(A*(B*C))");
+  EXPECT_EQ(dp.min_flops, 2LL * (n * n + n * n));
+}
+
+TEST(ChainDp, ToAlgorithmHasOptimalFlops) {
+  support::Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    ChainDims dims(5);
+    for (auto& d : dims) {
+      d = rng.uniform_int(1, 200);
+    }
+    const auto dp = chain::chain_dp(dims);
+    const Algorithm alg = dp.to_algorithm(dims);
+    EXPECT_EQ(alg.flops(), dp.min_flops);
+  }
+}
+
+TEST(ChainDp, SingleMatrixChainHasZeroCost) {
+  const ChainDims dims = {7, 9};
+  const auto dp = chain::chain_dp(dims);
+  EXPECT_EQ(dp.min_flops, 0);
+}
+
+TEST(ChainOperandNames, AlphabeticThenNumbered) {
+  const auto names = chain::chain_operand_names(28);
+  EXPECT_EQ(names[0], "A");
+  EXPECT_EQ(names[25], "Z");
+  EXPECT_EQ(names[26], "X27");
+}
+
+}  // namespace

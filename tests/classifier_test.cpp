@@ -1,0 +1,186 @@
+// The anomaly classifier: score definitions (paper Sec. 3.3), the disjoint
+// set condition, thresholds and property-style invariants.
+#include <gtest/gtest.h>
+
+#include "anomaly/classifier.hpp"
+#include "expr/family.hpp"
+#include "model/simulated_machine.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lamb;
+using anomaly::InstanceResult;
+using anomaly::classify_from_times;
+
+const expr::Instance kDims = {1, 2, 3};
+
+TEST(Classifier, CheapestAndFastestSets) {
+  const InstanceResult r = classify_from_times(
+      kDims, {100, 100, 200}, {3.0, 2.0, 1.0}, 0.10);
+  ASSERT_EQ(r.cheapest.size(), 2u);
+  EXPECT_EQ(r.cheapest[0], 0u);
+  EXPECT_EQ(r.cheapest[1], 1u);
+  ASSERT_EQ(r.fastest.size(), 1u);
+  EXPECT_EQ(r.fastest[0], 2u);
+}
+
+TEST(Classifier, TimeScoreDefinition) {
+  // T_cheapest = min(3, 2) = 2; T_fastest = 1 -> score = (2-1)/2 = 0.5.
+  const InstanceResult r = classify_from_times(
+      kDims, {100, 100, 200}, {3.0, 2.0, 1.0}, 0.10);
+  EXPECT_DOUBLE_EQ(r.time_score, 0.5);
+  EXPECT_TRUE(r.anomaly);
+}
+
+TEST(Classifier, FlopScoreDefinition) {
+  // F_cheapest = 100; fastest algorithm is #2 with 200 FLOPs ->
+  // score = (200-100)/200 = 0.5.
+  const InstanceResult r = classify_from_times(
+      kDims, {100, 100, 200}, {3.0, 2.0, 1.0}, 0.10);
+  EXPECT_DOUBLE_EQ(r.flop_score, 0.5);
+}
+
+TEST(Classifier, NotAnomalyWhenCheapestIsFastest) {
+  const InstanceResult r = classify_from_times(
+      kDims, {100, 150, 200}, {1.0, 2.0, 3.0}, 0.10);
+  EXPECT_FALSE(r.anomaly);
+  EXPECT_DOUBLE_EQ(r.time_score, 0.0);
+  EXPECT_DOUBLE_EQ(r.flop_score, 0.0);
+}
+
+TEST(Classifier, NotAnomalyWhenSetsIntersect) {
+  // Two cheapest; one of them is also fastest.
+  const InstanceResult r = classify_from_times(
+      kDims, {100, 100, 200}, {5.0, 1.0, 1.5}, 0.10);
+  EXPECT_FALSE(r.anomaly);
+  EXPECT_DOUBLE_EQ(r.time_score, 0.0);
+}
+
+TEST(Classifier, ThresholdGatesWeakAnomalies) {
+  // Disjoint sets but only 5% time gap.
+  const InstanceResult weak = classify_from_times(
+      kDims, {100, 200}, {1.0, 0.95}, 0.10);
+  EXPECT_FALSE(weak.anomaly);
+  EXPECT_NEAR(weak.time_score, 0.05, 1e-12);
+
+  const InstanceResult strong = classify_from_times(
+      kDims, {100, 200}, {1.0, 0.85}, 0.10);
+  EXPECT_TRUE(strong.anomaly);
+}
+
+TEST(Classifier, ScoresAlwaysInUnitInterval) {
+  support::Rng rng(5);
+  for (int t = 0; t < 500; ++t) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    std::vector<long long> flops;
+    std::vector<double> times;
+    for (std::size_t i = 0; i < n; ++i) {
+      flops.push_back(rng.uniform_int(1, 1000));
+      times.push_back(rng.uniform(0.001, 10.0));
+    }
+    const InstanceResult r =
+        classify_from_times(kDims, flops, times, 0.10);
+    ASSERT_GE(r.time_score, 0.0);
+    ASSERT_LE(r.time_score, 1.0);
+    ASSERT_GE(r.flop_score, 0.0);
+    ASSERT_LE(r.flop_score, 1.0);
+    // Definitional property: anomaly implies positive time score and
+    // disjoint sets; non-anomaly with intersecting sets has zero scores.
+    if (r.anomaly) {
+      ASSERT_GT(r.time_score, 0.10);
+    }
+  }
+}
+
+TEST(Classifier, SizeMismatchRejected) {
+  EXPECT_THROW(classify_from_times(kDims, {1, 2}, {1.0}, 0.1),
+               support::CheckError);
+  EXPECT_THROW(classify_from_times(kDims, {}, {}, 0.1),
+               support::CheckError);
+}
+
+TEST(Classifier, NonPositiveTimesRejected) {
+  EXPECT_THROW(classify_from_times(kDims, {1, 2}, {0.0, 1.0}, 0.1),
+               support::CheckError);
+}
+
+TEST(ClassifyInstance, PopulatesPerStepTimes) {
+  model::SimulatedMachine machine;
+  expr::AatbFamily family;
+  const auto r =
+      anomaly::classify_instance(family, machine, {80, 100, 120}, 0.10);
+  ASSERT_EQ(r.times.size(), 5u);
+  ASSERT_EQ(r.step_times.size(), 5u);
+  EXPECT_EQ(r.step_times[1].size(), 3u);  // SYRK + tricopy + GEMM
+  for (std::size_t i = 0; i < r.times.size(); ++i) {
+    double sum = 0.0;
+    for (double t : r.step_times[i]) {
+      sum += t;
+    }
+    EXPECT_NEAR(sum, r.times[i], 1e-12);
+  }
+}
+
+TEST(ClassifyInstance, FlatMachineNeverProducesAnomalies) {
+  // On a machine where every kernel runs at identical efficiency and there
+  // is no overhead, coupling or noise, time is proportional to FLOPs, so
+  // the cheapest algorithm is always fastest.
+  model::SimulatedMachineConfig cfg;
+  cfg.efficiency = model::EfficiencyParams::flat(0.8);
+  cfg.jitter = 0.0;
+  cfg.enable_coupling = false;
+  cfg.call_overhead = 0.0;
+  model::SimulatedMachine machine(cfg);
+  expr::AatbFamily aatb;
+  expr::ChainFamily chain(4);
+
+  support::Rng rng(31);
+  for (int t = 0; t < 100; ++t) {
+    expr::Instance dims3 = {rng.uniform_int(20, 1200),
+                            rng.uniform_int(20, 1200),
+                            rng.uniform_int(20, 1200)};
+    ASSERT_FALSE(
+        anomaly::classify_instance(aatb, machine, dims3, 0.0).anomaly);
+
+    expr::Instance dims5(5);
+    for (auto& d : dims5) {
+      d = rng.uniform_int(20, 1200);
+    }
+    ASSERT_FALSE(
+        anomaly::classify_instance(chain, machine, dims5, 0.0).anomaly);
+  }
+}
+
+TEST(ClassifyInstancePredicted, UsesIsolatedBenchmarks) {
+  model::SimulatedMachineConfig cfg;
+  cfg.jitter = 0.0;
+  model::SimulatedMachine machine(cfg);
+  expr::AatbFamily family;
+  const expr::Instance dims = {90, 110, 130};
+  const auto predicted =
+      anomaly::classify_instance_predicted(family, machine, dims, 0.05);
+  const auto algs = family.algorithms(dims);
+  for (std::size_t i = 0; i < algs.size(); ++i) {
+    EXPECT_NEAR(predicted.times[i],
+                machine.predict_time_from_benchmarks(algs[i]), 1e-15);
+  }
+}
+
+TEST(ClassifyInstancePredicted, DiffersFromMeasuredUnderCoupling) {
+  // With coupling on, measured times are below benchmark sums for
+  // consuming steps; the two classifications can disagree.
+  model::SimulatedMachine machine;
+  expr::AatbFamily family;
+  const expr::Instance dims = {90, 110, 130};
+  const auto measured =
+      anomaly::classify_instance(family, machine, dims, 0.05);
+  const auto predicted =
+      anomaly::classify_instance_predicted(family, machine, dims, 0.05);
+  for (std::size_t i = 0; i < measured.times.size(); ++i) {
+    EXPECT_LE(measured.times[i], predicted.times[i] * 1.02);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Cost models and algorithm selection: the FLOP discriminant, the
+// profile-based discriminant, and the selection quality gap between them on
+// the simulated machine (the paper's future-work conjecture).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "expr/family.hpp"
+#include "model/cost_model.hpp"
+#include "model/simulated_machine.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lamb;
+using namespace lamb::model;
+
+TEST(FlopCostModel, EqualsAlgorithmFlops) {
+  FlopCostModel cost;
+  expr::AatbFamily family;
+  for (const Algorithm& alg : family.algorithms({100, 200, 300})) {
+    EXPECT_DOUBLE_EQ(cost.cost(alg), static_cast<double>(alg.flops()));
+  }
+  EXPECT_EQ(cost.name(), "flops");
+}
+
+TEST(SelectBest, FindsUniqueMinimum) {
+  expr::AatbFamily family;
+  // d1 huge -> algorithm 5 (4*d0*d1*d2) is expensive, SYRK path cheapest.
+  const auto algs = family.algorithms({100, 1000, 100});
+  FlopCostModel cost;
+  const auto best = select_best(algs, cost);
+  ASSERT_FALSE(best.empty());
+  for (std::size_t i : best) {
+    for (std::size_t j = 0; j < algs.size(); ++j) {
+      EXPECT_LE(algs[i].flops(), algs[j].flops());
+    }
+  }
+}
+
+TEST(SelectBest, ReportsExactTies) {
+  expr::AatbFamily family;
+  const auto algs = family.algorithms({50, 60, 70});
+  FlopCostModel cost;
+  const auto best = select_best(algs, cost);
+  // AAtB algorithms 1 and 2 always tie on FLOPs and are always cheapest.
+  ASSERT_EQ(best.size(), 2u);
+  EXPECT_EQ(best[0], 0u);
+  EXPECT_EQ(best[1], 1u);
+}
+
+TEST(SelectBest, EmptySetRejected) {
+  FlopCostModel cost;
+  EXPECT_THROW(select_best({}, cost), support::CheckError);
+}
+
+TEST(ProfileCostModel, NameAndDelegation) {
+  SimulatedMachineConfig cfg;
+  cfg.jitter = 0.0;
+  SimulatedMachine machine(cfg);
+  auto profiles =
+      std::make_shared<const KernelProfileSet>(KernelProfileSet::build(machine));
+  ProfileCostModel cost(profiles);
+  EXPECT_EQ(cost.name(), "profile");
+
+  expr::AatbFamily family;
+  const auto algs = family.algorithms({80, 90, 100});
+  for (const Algorithm& alg : algs) {
+    EXPECT_DOUBLE_EQ(cost.cost(alg), profiles->predicted_time(alg));
+  }
+}
+
+TEST(ProfileCostModel, SelectsFasterAlgorithmsThanFlops) {
+  // The paper's conjecture (Sec. 5): profiles + FLOPs beat FLOPs alone.
+  // Measure the total realised runtime of each discriminant's selections
+  // over random AAtB instances on the simulated machine.
+  SimulatedMachineConfig cfg;
+  cfg.jitter = 0.0;
+  SimulatedMachine machine(cfg);
+  auto profiles =
+      std::make_shared<const KernelProfileSet>(KernelProfileSet::build(machine));
+  FlopCostModel flop_cost;
+  ProfileCostModel profile_cost(profiles);
+  expr::AatbFamily family;
+
+  support::Rng rng(2024);
+  double total_flop_choice = 0.0;
+  double total_profile_choice = 0.0;
+  double total_oracle = 0.0;
+  for (int t = 0; t < 150; ++t) {
+    expr::Instance dims = {rng.uniform_int(20, 1200),
+                           rng.uniform_int(20, 1200),
+                           rng.uniform_int(20, 1200)};
+    const auto algs = family.algorithms(dims);
+    std::vector<double> actual;
+    actual.reserve(algs.size());
+    for (const Algorithm& alg : algs) {
+      actual.push_back(machine.time_algorithm(alg));
+    }
+    const auto by_flops = select_best(algs, flop_cost);
+    const auto by_profile = select_best(algs, profile_cost);
+    total_flop_choice += actual[by_flops.front()];
+    total_profile_choice += actual[by_profile.front()];
+    total_oracle += *std::min_element(actual.begin(), actual.end());
+  }
+  // Profile-based selection must realise a strictly lower total time, and
+  // land within a few percent of the oracle.
+  EXPECT_LT(total_profile_choice, total_flop_choice);
+  EXPECT_LT(total_profile_choice, 1.05 * total_oracle);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// End-to-end pipeline: Experiment 1 -> Experiment 2 -> Experiment 3 on the
+// simulated machine, checking cross-experiment invariants and the qualitative
+// headline results of the paper (AAtB anomalies abundant, chain anomalies
+// rare, high prediction precision).
+#include <gtest/gtest.h>
+
+#include "anomaly/prediction.hpp"
+#include "anomaly/region.hpp"
+#include "anomaly/search.hpp"
+#include "expr/family.hpp"
+#include "model/simulated_machine.hpp"
+
+namespace {
+
+using namespace lamb;
+
+TEST(Integration, AatbPipelineEndToEnd) {
+  expr::AatbFamily family;
+  model::SimulatedMachine machine;
+
+  // Experiment 1: a small random search.
+  anomaly::RandomSearchConfig search_cfg;
+  search_cfg.target_anomalies = 5;
+  search_cfg.max_samples = 5000;
+  search_cfg.seed = 1234;
+  const auto search = anomaly::random_search(family, machine, search_cfg);
+  ASSERT_EQ(search.anomalies.size(), 5u) << "simulated machine must produce "
+                                            "anomalies for AAtB";
+
+  // Experiment 2: lines through each anomaly.
+  anomaly::TraversalConfig trav_cfg;
+  trav_cfg.time_score_threshold = 0.05;
+  std::vector<anomaly::LineTraversal> all_lines;
+  for (const auto& a : search.anomalies) {
+    auto lines = anomaly::traverse_all_lines(family, machine, a.dims,
+                                             trav_cfg);
+    ASSERT_EQ(lines.size(), 3u);
+    for (const auto& line : lines) {
+      // Each traversal contains its origin coordinate.
+      bool has_origin = false;
+      for (const auto& s : line.samples) {
+        has_origin |= (s.coord == a.dims[static_cast<std::size_t>(line.dim)]);
+      }
+      EXPECT_TRUE(has_origin);
+      // Boundaries bracket the origin and lie inside the search space.
+      EXPECT_GE(line.boundary_lo, trav_cfg.lo);
+      EXPECT_LE(line.boundary_hi, trav_cfg.hi);
+      EXPECT_LE(line.boundary_lo,
+                a.dims[static_cast<std::size_t>(line.dim)]);
+      EXPECT_GE(line.boundary_hi,
+                a.dims[static_cast<std::size_t>(line.dim)]);
+      // The origin was found with threshold 10%, so it stays anomalous at 5%.
+      EXPECT_GT(line.thickness(), 0);
+      all_lines.push_back(std::move(line));
+    }
+  }
+
+  // Experiment 3: prediction from isolated benchmarks.
+  const auto prediction =
+      anomaly::predict_from_benchmarks(family, machine, all_lines, 0.05);
+  long long samples = 0;
+  for (const auto& line : all_lines) {
+    samples += static_cast<long long>(line.samples.size());
+  }
+  EXPECT_EQ(prediction.confusion.total(), samples);
+  // The paper reports high precision (96% / 98.5%) and substantial recall
+  // (92% / 75%); on the simulated machine both should be clearly high.
+  EXPECT_GT(prediction.confusion.recall(), 0.6);
+  EXPECT_GT(prediction.confusion.precision(), 0.8);
+}
+
+TEST(Integration, AatbAnomaliesAbundantChainAnomaliesRare) {
+  // The paper's headline contrast: ~9.7% abundance for AAtB vs ~0.4% for the
+  // matrix chain (threshold 10%, box [20, 1200]).
+  model::SimulatedMachine machine;
+
+  expr::AatbFamily aatb;
+  anomaly::RandomSearchConfig cfg;
+  cfg.target_anomalies = 1 << 30;  // unbounded; stop at max_samples
+  cfg.max_samples = 1200;
+  cfg.seed = 99;
+  const auto aatb_result = anomaly::random_search(aatb, machine, cfg);
+  const double aatb_abundance = aatb_result.abundance();
+
+  expr::ChainFamily chain(4);
+  const auto chain_result = anomaly::random_search(chain, machine, cfg);
+  const double chain_abundance = chain_result.abundance();
+
+  EXPECT_GT(aatb_abundance, 0.02);
+  EXPECT_LT(chain_abundance, 0.05);
+  EXPECT_GT(aatb_abundance, 3.0 * chain_abundance)
+      << "aatb=" << aatb_abundance << " chain=" << chain_abundance;
+}
+
+TEST(Integration, AnomalySeverityCanBeLarge) {
+  // Paper: extreme AAtB instances trade ~45% more FLOPs for ~40% less time.
+  // The shape (80, 514, 768) from Fig. 11 (middle) sits deep in a region.
+  expr::AatbFamily family;
+  model::SimulatedMachine machine;
+  const auto r =
+      anomaly::classify_instance(family, machine, {80, 514, 768}, 0.10);
+  EXPECT_TRUE(r.anomaly);
+  EXPECT_GT(r.time_score, 0.25);
+  EXPECT_GT(r.flop_score, 0.15);
+}
+
+TEST(Integration, Figure11LeftStructureReproduced) {
+  // Fig. 11 left: along (227 +- 10x, 260, 549), small d0 is anomalous
+  // (GEMM-based algorithms 3/4 fastest, SYRK-based 1/2 cheapest) and large
+  // d0 is not.
+  expr::AatbFamily family;
+  model::SimulatedMachine machine;
+
+  const auto small = anomaly::classify_instance(family, machine,
+                                                {150, 260, 549}, 0.05);
+  EXPECT_TRUE(small.anomaly);
+  // Cheapest must be the SYRK pair.
+  ASSERT_EQ(small.cheapest.size(), 2u);
+  EXPECT_EQ(small.cheapest[0], 0u);
+  EXPECT_EQ(small.cheapest[1], 1u);
+  // Fastest must be a GEMM-first algorithm (3 or 4).
+  for (std::size_t f : small.fastest) {
+    EXPECT_TRUE(f == 2u || f == 3u) << "fastest index " << f;
+  }
+
+  const auto large = anomaly::classify_instance(family, machine,
+                                                {900, 260, 549}, 0.05);
+  EXPECT_FALSE(large.anomaly);
+}
+
+TEST(Integration, CouplingAblationPreservesMostAnomalies) {
+  // Paper abstract: "most of the anomalies remained as such even after
+  // filtering out the inter-kernel cache effects."
+  expr::AatbFamily family;
+  model::SimulatedMachineConfig with_cfg;
+  model::SimulatedMachineConfig without_cfg;
+  without_cfg.enable_coupling = false;
+  model::SimulatedMachine with_coupling(with_cfg);
+  model::SimulatedMachine without_coupling(without_cfg);
+
+  anomaly::RandomSearchConfig cfg;
+  cfg.target_anomalies = 30;
+  cfg.max_samples = 3000;
+  cfg.seed = 5;
+  const auto found = anomaly::random_search(family, with_coupling, cfg);
+  ASSERT_GE(found.anomalies.size(), 10u);
+
+  int still_anomalous = 0;
+  for (const auto& a : found.anomalies) {
+    const auto re = anomaly::classify_instance(family, without_coupling,
+                                               a.dims, 0.10);
+    still_anomalous += re.anomaly ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(still_anomalous) /
+                static_cast<double>(found.anomalies.size()),
+            0.7);
+}
+
+}  // namespace

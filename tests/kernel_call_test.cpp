@@ -1,0 +1,125 @@
+// KernelCall: the paper's FLOP-count conventions and the support machinery
+// (factories, hashing, rendering).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "model/kernel_call.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using namespace lamb::model;
+namespace la = lamb::la;
+
+TEST(KernelCall, GemmFlopsIs2MNK) {
+  const KernelCall c = make_gemm(3, 5, 7);
+  EXPECT_EQ(c.flops(), 2LL * 3 * 5 * 7);
+}
+
+TEST(KernelCall, SyrkFlopsIsMPlus1TimesMK) {
+  // Paper Sec. 3.1: SYRK on an m x k input costs (m+1)*m*k FLOPs.
+  const KernelCall c = make_syrk(4, 9);
+  EXPECT_EQ(c.flops(), 5LL * 4 * 9);
+}
+
+TEST(KernelCall, SymmFlopsIs2M2N) {
+  const KernelCall c = make_symm(6, 11);
+  EXPECT_EQ(c.flops(), 2LL * 6 * 6 * 11);
+}
+
+TEST(KernelCall, TriCopyHasZeroFlops) {
+  EXPECT_EQ(make_tricopy(100).flops(), 0);
+}
+
+TEST(KernelCall, SyrkIsRoughlyHalfOfEquivalentGemm) {
+  // The same product computed as GEMM (m x m x k) costs 2*m^2*k; SYRK costs
+  // (m+1)*m*k -> roughly half for large m.
+  const la::index_t m = 1000;
+  const la::index_t k = 500;
+  const double ratio =
+      static_cast<double>(make_syrk(m, k).flops()) /
+      static_cast<double>(make_gemm(m, m, k).flops());
+  EXPECT_NEAR(ratio, 0.5, 0.001);
+}
+
+TEST(KernelCall, FlopCountsAreLargeIntegerSafe) {
+  // 1200^3-scale products overflow 32-bit; ensure 64-bit arithmetic.
+  const KernelCall c = make_gemm(1200, 1200, 1200);
+  EXPECT_EQ(c.flops(), 2LL * 1200 * 1200 * 1200);
+  EXPECT_GT(c.flops(), 2'000'000'000LL);
+}
+
+TEST(KernelCall, BytesInOut) {
+  const KernelCall g = make_gemm(3, 5, 7);
+  EXPECT_EQ(g.bytes_in(), static_cast<long long>((3 * 7 + 7 * 5) * 8));
+  EXPECT_EQ(g.bytes_out(), 3LL * 5 * 8);
+
+  const KernelCall s = make_syrk(4, 9);
+  EXPECT_EQ(s.bytes_in(), 4LL * 9 * 8);
+  EXPECT_EQ(s.bytes_out(), 4LL * 4 * 8);
+
+  const KernelCall y = make_symm(6, 11);
+  EXPECT_EQ(y.bytes_in(), static_cast<long long>((6 * 6 + 6 * 11) * 8));
+  EXPECT_EQ(y.bytes_out(), 6LL * 11 * 8);
+
+  const KernelCall t = make_tricopy(10);
+  EXPECT_EQ(t.bytes_in(), 10LL * 10 * 8);
+  EXPECT_EQ(t.bytes_out(), 10LL * 10 * 8);
+}
+
+TEST(KernelCall, FactoriesEncodeConventions) {
+  const KernelCall s = make_syrk(4, 9);
+  EXPECT_EQ(s.kind, KernelKind::kSyrk);
+  EXPECT_EQ(s.m, 4);
+  EXPECT_EQ(s.n, 4);  // C is m x m
+  EXPECT_EQ(s.k, 9);
+
+  const KernelCall y = make_symm(6, 11);
+  EXPECT_EQ(y.m, 6);
+  EXPECT_EQ(y.n, 11);
+  EXPECT_EQ(y.k, 6);  // A is m x m
+}
+
+TEST(KernelCall, NegativeDimsRejected) {
+  EXPECT_THROW(make_gemm(-1, 2, 3), lamb::support::CheckError);
+  EXPECT_THROW(make_syrk(2, -3), lamb::support::CheckError);
+  EXPECT_THROW(make_symm(-2, 3), lamb::support::CheckError);
+  EXPECT_THROW(make_tricopy(-1), lamb::support::CheckError);
+}
+
+TEST(KernelCall, EqualityIncludesTransposeFlags) {
+  const KernelCall a = make_gemm(3, 4, 5, false, false);
+  const KernelCall b = make_gemm(3, 4, 5, true, false);
+  EXPECT_EQ(a, a);
+  EXPECT_NE(a, b);
+}
+
+TEST(KernelCall, HashSeparatesDistinctCalls) {
+  KernelCallHash h;
+  std::unordered_set<std::size_t> hashes;
+  hashes.insert(h(make_gemm(3, 4, 5)));
+  hashes.insert(h(make_gemm(4, 3, 5)));
+  hashes.insert(h(make_gemm(3, 4, 5, true, false)));
+  hashes.insert(h(make_syrk(3, 4)));
+  hashes.insert(h(make_symm(3, 4)));
+  hashes.insert(h(make_tricopy(3)));
+  EXPECT_EQ(hashes.size(), 6u);
+}
+
+TEST(KernelCall, ToStringMentionsKindAndDims) {
+  EXPECT_EQ(make_gemm(2, 3, 4).to_string(), "gemm(2x3x4)");
+  EXPECT_EQ(make_gemm(2, 3, 4, true, false).to_string(), "gemm(T:2x3x4)");
+  EXPECT_EQ(make_syrk(5, 6).to_string(), "syrk(5x6)");
+  EXPECT_EQ(make_symm(5, 6).to_string(), "symm(5x6)");
+  EXPECT_EQ(make_tricopy(7).to_string(), "tricopy(7)");
+}
+
+TEST(KernelKind, Names) {
+  EXPECT_EQ(to_string(KernelKind::kGemm), "gemm");
+  EXPECT_EQ(to_string(KernelKind::kSyrk), "syrk");
+  EXPECT_EQ(to_string(KernelKind::kSymm), "symm");
+  EXPECT_EQ(to_string(KernelKind::kTriCopy), "tricopy");
+}
+
+}  // namespace

@@ -1,0 +1,278 @@
+// TRSM, blocked Cholesky and the normal-equations least-squares solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/level2.hpp"
+#include "blas/ref_blas.hpp"
+#include "blas/trsm.hpp"
+#include "la/generators.hpp"
+#include "la/norms.hpp"
+#include "la/triangle.hpp"
+#include "lapack/least_squares.hpp"
+#include "lapack/potrf.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lamb;
+using la::index_t;
+using la::Matrix;
+
+Matrix random_lower(index_t n, support::Rng& rng) {
+  Matrix l = la::random_matrix(n, n, rng);
+  la::zero_strict_upper(l.view());
+  for (index_t i = 0; i < n; ++i) {
+    l(i, i) = 2.0 + std::abs(l(i, i));  // well-conditioned
+  }
+  return l;
+}
+
+Matrix random_spd(index_t n, support::Rng& rng) {
+  // A := L*L^T + n*I is symmetric positive definite by construction.
+  const Matrix l = random_lower(n, rng);
+  Matrix a(n, n);
+  blas::ref_gemm(false, true, 1.0, l.view(), l.view(), 0.0, a.view());
+  for (index_t i = 0; i < n; ++i) {
+    a(i, i) += static_cast<double>(n);
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// TRSM
+// ---------------------------------------------------------------------------
+class TrsmSizeTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TrsmSizeTest, LeftLowerSolvesBothOps) {
+  const auto [m, n] = GetParam();
+  support::Rng rng(static_cast<std::uint64_t>(m * 1000 + n));
+  const Matrix l = random_lower(m, rng);
+  for (const bool trans : {false, true}) {
+    const Matrix x_true = la::random_matrix(m, n, rng);
+    // B := op(L) * X_true, then solve and compare.
+    Matrix b(m, n);
+    blas::ref_gemm(trans, false, 1.0, l.view(), x_true.view(), 0.0, b.view());
+    blas::trsm_left_lower(trans, 1.0, l.view(), b.view());
+    EXPECT_LE(la::max_abs_diff(b.view(), x_true.view()),
+              la::gemm_tolerance(m) * 100)
+        << "m=" << m << " n=" << n << " trans=" << trans;
+  }
+}
+
+TEST_P(TrsmSizeTest, RightLowerSolvesBothOps) {
+  const auto [n, m] = GetParam();  // L is n x n, B is m x n
+  support::Rng rng(static_cast<std::uint64_t>(n * 77 + m));
+  const Matrix l = random_lower(n, rng);
+  for (const bool trans : {false, true}) {
+    const Matrix x_true = la::random_matrix(m, n, rng);
+    Matrix b(m, n);
+    blas::ref_gemm(false, trans, 1.0, x_true.view(), l.view(), 0.0, b.view());
+    blas::trsm_right_lower(trans, 1.0, l.view(), b.view());
+    EXPECT_LE(la::max_abs_diff(b.view(), x_true.view()),
+              la::gemm_tolerance(n) * 100)
+        << "n=" << n << " m=" << m << " trans=" << trans;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TrsmSizeTest,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(5, 3),
+                      std::make_tuple(17, 9), std::make_tuple(64, 10),
+                      std::make_tuple(65, 33), std::make_tuple(100, 40),
+                      std::make_tuple(150, 150)));
+
+TEST(Trsm, AlphaScalesRhs) {
+  support::Rng rng(9);
+  const Matrix l = random_lower(20, rng);
+  const Matrix x_true = la::random_matrix(20, 8, rng);
+  Matrix b(20, 8);
+  blas::ref_gemm(false, false, 1.0, l.view(), x_true.view(), 0.0, b.view());
+  blas::trsm_left_lower(false, 3.0, l.view(), b.view());
+  Matrix scaled(20, 8);
+  for (index_t j = 0; j < 8; ++j) {
+    for (index_t i = 0; i < 20; ++i) {
+      scaled(i, j) = 3.0 * x_true(i, j);
+    }
+  }
+  EXPECT_LE(la::max_abs_diff(b.view(), scaled.view()),
+            la::gemm_tolerance(20) * 100);
+}
+
+TEST(Trsm, ShapeMismatchThrows) {
+  Matrix l(4, 4);
+  Matrix b(5, 3);
+  EXPECT_THROW(blas::trsm_left_lower(false, 1.0, l.view(), b.view()),
+               support::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// POTRF / POSV
+// ---------------------------------------------------------------------------
+class PotrfSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PotrfSizeTest, FactorReconstructsMatrix) {
+  const index_t n = GetParam();
+  support::Rng rng(static_cast<std::uint64_t>(n));
+  const Matrix a = random_spd(n, rng);
+  Matrix f = a;
+  lapack::potrf_lower(f.view());
+  la::zero_strict_upper(f.view());  // keep only L
+  Matrix recon(n, n);
+  blas::ref_gemm(false, true, 1.0, f.view(), f.view(), 0.0, recon.view());
+  // Compare lower triangles (upper of a is valid too since a is symmetric).
+  EXPECT_LE(la::max_abs_diff(recon.view(), a.view()),
+            la::gemm_tolerance(n) * la::max_abs(a.view()) * 50)
+      << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PotrfSizeTest,
+                         ::testing::Values(1, 2, 7, 33, 96, 97, 150, 250));
+
+TEST(Potrf, DiagonalMatrix) {
+  Matrix a(4, 4, 0.0);
+  for (index_t i = 0; i < 4; ++i) {
+    a(i, i) = static_cast<double>((i + 1) * (i + 1));
+  }
+  lapack::potrf_lower(a.view());
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(a(i, i), static_cast<double>(i + 1));
+  }
+}
+
+TEST(Potrf, IndefiniteMatrixThrows) {
+  Matrix a(3, 3, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;  // not positive definite
+  a(2, 2) = 1.0;
+  EXPECT_THROW(lapack::potrf_lower(a.view()), support::CheckError);
+}
+
+TEST(Potrf, NonSquareThrows) {
+  Matrix a(3, 4);
+  EXPECT_THROW(lapack::potrf_lower(a.view()), support::CheckError);
+}
+
+TEST(Potrf, DoesNotTouchStrictUpper) {
+  support::Rng rng(10);
+  Matrix a = random_spd(50, rng);
+  for (index_t j = 1; j < 50; ++j) {
+    for (index_t i = 0; i < j; ++i) {
+      a(i, j) = 777.0;
+    }
+  }
+  lapack::potrf_lower(a.view());
+  for (index_t j = 1; j < 50; ++j) {
+    for (index_t i = 0; i < j; ++i) {
+      ASSERT_DOUBLE_EQ(a(i, j), 777.0);
+    }
+  }
+}
+
+TEST(Posv, SolvesSpdSystem) {
+  support::Rng rng(11);
+  const index_t n = 120;
+  const Matrix a = random_spd(n, rng);
+  const Matrix x_true = la::random_matrix(n, 3, rng);
+  Matrix b(n, 3);
+  blas::ref_gemm(false, false, 1.0, a.view(), x_true.view(), 0.0, b.view());
+
+  Matrix f = a;
+  lapack::posv_lower(f.view(), b.view());
+  EXPECT_LE(la::max_abs_diff(b.view(), x_true.view()), 1e-8);
+}
+
+TEST(PotrfFlops, Conventions) {
+  EXPECT_EQ(lapack::potrf_flops(30), 9000);
+  EXPECT_EQ(lapack::trsm_flops(10, 5), 500);
+}
+
+// ---------------------------------------------------------------------------
+// Least squares
+// ---------------------------------------------------------------------------
+TEST(LeastSquares, RecoversPlantedCoefficients) {
+  support::Rng rng(12);
+  const index_t m = 200;
+  const index_t n = 8;
+  const Matrix x = la::random_matrix(m, n, rng);
+  std::vector<double> beta_true(static_cast<std::size_t>(n));
+  for (double& b : beta_true) {
+    b = rng.uniform(-2.0, 2.0);
+  }
+  std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+  blas::gemv(false, 1.0, x.view(), beta_true, 0.0, y);  // exact system
+
+  for (const auto gram : {lapack::GramKernel::kSyrk,
+                          lapack::GramKernel::kGemm}) {
+    const auto result = lapack::solve_ols(x.view(), y, gram);
+    ASSERT_EQ(result.coefficients.size(), static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < beta_true.size(); ++i) {
+      EXPECT_NEAR(result.coefficients[i], beta_true[i], 1e-9);
+    }
+    EXPECT_LT(lapack::ols_residual_norm(x.view(), result.coefficients, y),
+              1e-8);
+  }
+}
+
+TEST(LeastSquares, BothGramKernelsAgreeOnNoisyData) {
+  support::Rng rng(13);
+  const index_t m = 300;
+  const index_t n = 12;
+  const Matrix x = la::random_matrix(m, n, rng);
+  std::vector<double> y(static_cast<std::size_t>(m));
+  for (double& v : y) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  const auto via_syrk = lapack::solve_ols(x.view(), y,
+                                          lapack::GramKernel::kSyrk);
+  const auto via_gemm = lapack::solve_ols(x.view(), y,
+                                          lapack::GramKernel::kGemm);
+  for (std::size_t i = 0; i < via_syrk.coefficients.size(); ++i) {
+    EXPECT_NEAR(via_syrk.coefficients[i], via_gemm.coefficients[i], 1e-9);
+  }
+}
+
+TEST(LeastSquares, ResidualIsMinimal) {
+  // Perturbing the OLS solution must not reduce the residual.
+  support::Rng rng(14);
+  const index_t m = 150;
+  const index_t n = 5;
+  const Matrix x = la::random_matrix(m, n, rng);
+  std::vector<double> y(static_cast<std::size_t>(m));
+  for (double& v : y) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  const auto result = lapack::solve_ols(x.view(), y,
+                                        lapack::GramKernel::kGemm);
+  const double best = lapack::ols_residual_norm(x.view(),
+                                                result.coefficients, y);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> perturbed = result.coefficients;
+    perturbed[static_cast<std::size_t>(rng.uniform_int(0, n - 1))] +=
+        rng.uniform(-0.1, 0.1);
+    EXPECT_GE(lapack::ols_residual_norm(x.view(), perturbed, y),
+              best - 1e-12);
+  }
+}
+
+TEST(LeastSquares, WideSystemRejected) {
+  Matrix x(3, 5);
+  std::vector<double> y(3, 0.0);
+  EXPECT_THROW(lapack::solve_ols(x.view(), y, lapack::GramKernel::kGemm),
+               support::CheckError);
+}
+
+TEST(LeastSquares, TimingFieldsPopulated) {
+  support::Rng rng(15);
+  const Matrix x = la::random_matrix(100, 10, rng);
+  std::vector<double> y(100, 1.0);
+  const auto result = lapack::solve_ols(x.view(), y,
+                                        lapack::GramKernel::kSyrk);
+  EXPECT_GT(result.gram_seconds, 0.0);
+  EXPECT_GT(result.solve_seconds, 0.0);
+}
+
+}  // namespace

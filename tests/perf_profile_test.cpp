@@ -1,0 +1,144 @@
+// Gridded profiles and interpolation, plus the profile-set predictor built
+// from a simulated machine's isolated benchmarks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/perf_profile.hpp"
+#include "model/simulated_machine.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lamb::model;
+namespace la = lamb::la;
+
+TEST(GriddedProfile, ExactAtNodes1D) {
+  const GriddedProfile p({{0.0, 1.0, 2.0}},
+                         [](const std::vector<double>& c) { return c[0] * 10; });
+  EXPECT_DOUBLE_EQ(p.interpolate({0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(p.interpolate({1.0}), 10.0);
+  EXPECT_DOUBLE_EQ(p.interpolate({2.0}), 20.0);
+}
+
+TEST(GriddedProfile, LinearBetweenNodes1D) {
+  const GriddedProfile p({{0.0, 2.0}},
+                         [](const std::vector<double>& c) { return c[0]; });
+  EXPECT_DOUBLE_EQ(p.interpolate({0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(p.interpolate({1.5}), 1.5);
+}
+
+TEST(GriddedProfile, ClampsOutsideRange) {
+  const GriddedProfile p({{1.0, 2.0}},
+                         [](const std::vector<double>& c) { return c[0]; });
+  EXPECT_DOUBLE_EQ(p.interpolate({-5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(p.interpolate({99.0}), 2.0);
+}
+
+TEST(GriddedProfile, BilinearExactForLinearFunction) {
+  // f(x, y) = 3x + 4y - 1 is reproduced exactly by bilinear interpolation.
+  const GriddedProfile p(
+      {{0.0, 1.0, 3.0}, {0.0, 2.0, 5.0}},
+      [](const std::vector<double>& c) { return 3 * c[0] + 4 * c[1] - 1; });
+  lamb::support::Rng rng(4);
+  for (int t = 0; t < 100; ++t) {
+    const double x = rng.uniform(0.0, 3.0);
+    const double y = rng.uniform(0.0, 5.0);
+    EXPECT_NEAR(p.interpolate({x, y}), 3 * x + 4 * y - 1, 1e-12);
+  }
+}
+
+TEST(GriddedProfile, TrilinearExactAtNodes) {
+  const std::vector<double> axis = {1.0, 2.0, 4.0};
+  const GriddedProfile p({axis, axis, axis},
+                         [](const std::vector<double>& c) {
+                           return c[0] * 100 + c[1] * 10 + c[2];
+                         });
+  for (double x : axis) {
+    for (double y : axis) {
+      for (double z : axis) {
+        EXPECT_DOUBLE_EQ(p.interpolate({x, y, z}), x * 100 + y * 10 + z);
+      }
+    }
+  }
+}
+
+TEST(GriddedProfile, ArityMismatchThrows) {
+  const GriddedProfile p({{0.0, 1.0}},
+                         [](const std::vector<double>&) { return 0.0; });
+  EXPECT_THROW(p.interpolate({0.0, 1.0}), lamb::support::CheckError);
+}
+
+TEST(GriddedProfile, UnsortedAxisRejected) {
+  EXPECT_THROW(GriddedProfile({{1.0, 0.0}},
+                              [](const std::vector<double>&) { return 0.0; }),
+               lamb::support::CheckError);
+}
+
+TEST(GriddedProfile, SingleNodeAxisRejected) {
+  EXPECT_THROW(GriddedProfile({{1.0}},
+                              [](const std::vector<double>&) { return 0.0; }),
+               lamb::support::CheckError);
+}
+
+TEST(KernelProfileSet, PredictsSimulatedTimesAccurately) {
+  SimulatedMachineConfig cfg;
+  cfg.jitter = 0.0;
+  SimulatedMachine machine(cfg);
+  const KernelProfileSet profiles = KernelProfileSet::build(machine);
+
+  lamb::support::Rng rng(11);
+  double worst_rel_err = 0.0;
+  for (int t = 0; t < 200; ++t) {
+    const la::index_t m = rng.uniform_int(20, 1200);
+    const la::index_t n = rng.uniform_int(20, 1200);
+    const la::index_t k = rng.uniform_int(20, 1200);
+    const KernelCall call = make_gemm(m, n, k);
+    const double actual = machine.time_call_isolated(call);
+    const double predicted = profiles.predicted_time(call);
+    worst_rel_err =
+        std::max(worst_rel_err, std::abs(predicted - actual) / actual);
+  }
+  // Variant steps make the surface only piecewise smooth; 35% worst-case
+  // accuracy is enough for algorithm ranking and typical errors are ~2%.
+  EXPECT_LT(worst_rel_err, 0.35);
+}
+
+TEST(KernelProfileSet, PredictsSyrkAndSymm) {
+  SimulatedMachineConfig cfg;
+  cfg.jitter = 0.0;
+  SimulatedMachine machine(cfg);
+  const KernelProfileSet profiles = KernelProfileSet::build(machine);
+
+  for (const KernelCall& call :
+       {make_syrk(333, 444), make_symm(250, 600), make_tricopy(500)}) {
+    const double actual = machine.time_call_isolated(call);
+    const double predicted = profiles.predicted_time(call);
+    EXPECT_NEAR(predicted / actual, 1.0, 0.3) << call.to_string();
+  }
+}
+
+TEST(KernelProfileSet, AlgorithmPredictionSumsCalls) {
+  SimulatedMachineConfig cfg;
+  cfg.jitter = 0.0;
+  SimulatedMachine machine(cfg);
+  const KernelProfileSet profiles = KernelProfileSet::build(machine);
+
+  Algorithm alg("sum");
+  const int a = alg.add_external(200, 300, "A");
+  const int b = alg.add_external(300, 100, "B");
+  const int ab = alg.add_gemm(a, b);
+  (void)ab;
+  const double direct = profiles.predicted_time(alg.steps()[0].call);
+  EXPECT_DOUBLE_EQ(profiles.predicted_time(alg), direct);
+}
+
+TEST(KernelProfileSet, DefaultNodesCoverSearchBox) {
+  const auto nodes = KernelProfileSet::default_nodes();
+  EXPECT_DOUBLE_EQ(nodes.front(), 20.0);
+  EXPECT_DOUBLE_EQ(nodes.back(), 1200.0);
+  EXPECT_GE(nodes.size(), 6u);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Experiment 3: confusion-matrix arithmetic and benchmark-based prediction,
+// with scripted divergence between measured truth and isolated benchmarks.
+#include <gtest/gtest.h>
+
+#include "anomaly/prediction.hpp"
+#include "scripted.hpp"
+
+namespace {
+
+using namespace lamb;
+using anomaly::ConfusionMatrix;
+
+TEST(ConfusionMatrix, CountsAndDerivedRates) {
+  ConfusionMatrix m;
+  m.add(true, true);    // tp
+  m.add(true, true);    // tp
+  m.add(true, false);   // fn
+  m.add(false, true);   // fp
+  m.add(false, false);  // tn
+  EXPECT_EQ(m.tp, 2);
+  EXPECT_EQ(m.fn, 1);
+  EXPECT_EQ(m.fp, 1);
+  EXPECT_EQ(m.tn, 1);
+  EXPECT_EQ(m.total(), 5);
+  EXPECT_EQ(m.actual_yes(), 3);
+  EXPECT_EQ(m.actual_no(), 2);
+  EXPECT_DOUBLE_EQ(m.recall(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 3.0 / 5.0);
+}
+
+TEST(ConfusionMatrix, EmptyMatrixRatesAreZero) {
+  ConfusionMatrix m;
+  EXPECT_DOUBLE_EQ(m.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrix, TableLayoutMatchesPaper) {
+  ConfusionMatrix m;
+  m.tn = 7202;
+  m.fp = 656;
+  m.fn = 1290;
+  m.tp = 15839;
+  const std::string table = m.to_table();
+  EXPECT_NE(table.find("Actual No"), std::string::npos);
+  EXPECT_NE(table.find("Actual Yes"), std::string::npos);
+  EXPECT_NE(table.find("7,202"), std::string::npos);
+  EXPECT_NE(table.find("15,839"), std::string::npos);
+  EXPECT_NE(table.find("24,987"), std::string::npos);  // grand total
+}
+
+TEST(Prediction, PerfectWhenIsolatedMatchesMeasured) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;  // isolated == measured by default
+  anomaly::TraversalConfig cfg;
+  cfg.time_score_threshold = 0.05;
+  const auto lines =
+      anomaly::traverse_all_lines(family, machine, {300}, cfg);
+  const auto result =
+      anomaly::predict_from_benchmarks(family, machine, lines, 0.05);
+  EXPECT_EQ(result.confusion.fp, 0);
+  EXPECT_EQ(result.confusion.fn, 0);
+  EXPECT_GT(result.confusion.tp, 0);
+  EXPECT_GT(result.confusion.tn, 0);
+  EXPECT_DOUBLE_EQ(result.confusion.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(result.confusion.precision(), 1.0);
+  EXPECT_EQ(result.confusion.total(),
+            static_cast<long long>(result.samples.size()));
+}
+
+TEST(Prediction, ScriptedDivergenceYieldsFalseNegatives) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  // Measured window [200, 400] but benchmarks only "see" [200, 300]: every
+  // actual anomaly above 300 is missed by the prediction.
+  machine.isolated_window_lo = 200;
+  machine.isolated_window_hi = 300;
+  anomaly::TraversalConfig cfg;
+  const auto lines =
+      anomaly::traverse_all_lines(family, machine, {250}, cfg);
+  const auto result =
+      anomaly::predict_from_benchmarks(family, machine, lines, 0.05);
+  EXPECT_GT(result.confusion.fn, 0);
+  EXPECT_EQ(result.confusion.fp, 0);
+  EXPECT_LT(result.confusion.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(result.confusion.precision(), 1.0);
+}
+
+TEST(Prediction, ScriptedDivergenceYieldsFalsePositives) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  // Benchmarks "see" a wider window than reality: spurious predictions.
+  machine.isolated_window_lo = 150;
+  machine.isolated_window_hi = 450;
+  anomaly::TraversalConfig cfg;
+  const auto lines =
+      anomaly::traverse_all_lines(family, machine, {300}, cfg);
+  const auto result =
+      anomaly::predict_from_benchmarks(family, machine, lines, 0.05);
+  EXPECT_GT(result.confusion.fp, 0);
+  EXPECT_LT(result.confusion.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(result.confusion.recall(), 1.0);
+}
+
+TEST(Prediction, SamplesCarryScores) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  anomaly::TraversalConfig cfg;
+  const auto lines =
+      anomaly::traverse_all_lines(family, machine, {300}, cfg);
+  const auto result =
+      anomaly::predict_from_benchmarks(family, machine, lines, 0.05);
+  for (const auto& s : result.samples) {
+    EXPECT_GE(s.actual_time_score, 0.0);
+    EXPECT_LE(s.actual_time_score, 1.0);
+    EXPECT_GE(s.predicted_time_score, 0.0);
+    EXPECT_LE(s.predicted_time_score, 1.0);
+    if (s.actual) {
+      EXPECT_GT(s.actual_time_score, 0.05);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,260 @@
+// Cross-module property tests: invariants that must hold for *random* inputs
+// across the whole pipeline, not just hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "anomaly/atlas.hpp"
+#include "anomaly/classifier.hpp"
+#include "chain/chain.hpp"
+#include "expr/aatb.hpp"
+#include "expr/family.hpp"
+#include "model/executor.hpp"
+#include "model/simulated_machine.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lamb;
+
+expr::Instance random_instance(int dims, support::Rng& rng, int lo = 20,
+                               int hi = 1200) {
+  expr::Instance out(static_cast<std::size_t>(dims));
+  for (auto& d : out) {
+    d = rng.uniform_int(lo, hi);
+  }
+  return out;
+}
+
+TEST(Property, ChainScheduleFlopsAreAllAchievableByParenthesisations) {
+  // min over schedules == min over parenthesisations == DP optimum.
+  support::Rng rng(1);
+  for (int t = 0; t < 40; ++t) {
+    chain::ChainDims dims(5);
+    for (auto& d : dims) {
+      d = rng.uniform_int(1, 800);
+    }
+    long long min_schedule = -1;
+    for (const auto& alg : chain::enumerate_chain_schedules(dims)) {
+      min_schedule = min_schedule < 0 ? alg.flops()
+                                      : std::min(min_schedule, alg.flops());
+    }
+    long long min_paren = -1;
+    for (const auto& alg : chain::enumerate_chain_parenthesisations(dims)) {
+      min_paren =
+          min_paren < 0 ? alg.flops() : std::min(min_paren, alg.flops());
+    }
+    const auto dp = chain::chain_dp(dims);
+    EXPECT_EQ(min_schedule, dp.min_flops);
+    EXPECT_EQ(min_paren, dp.min_flops);
+  }
+}
+
+TEST(Property, ChainDpNeverWorseThanAnyFixedStrategy) {
+  // The DP optimum is <= left-to-right and <= right-to-left evaluation.
+  support::Rng rng(2);
+  for (int t = 0; t < 60; ++t) {
+    const int n = rng.uniform_int(3, 7);
+    chain::ChainDims dims(static_cast<std::size_t>(n) + 1);
+    for (auto& d : dims) {
+      d = rng.uniform_int(1, 500);
+    }
+    const auto algs = chain::enumerate_chain_schedules(dims);
+    const auto dp = chain::chain_dp(dims);
+    for (const auto& alg : algs) {
+      ASSERT_LE(dp.min_flops, alg.flops());
+    }
+  }
+}
+
+TEST(Property, AatbFlopIdentities) {
+  // Algorithms 1=2 and 3=4 always tie; 1 <= 3 always; 5 crosses over at
+  // d0 ~ sqrt(d1*d2) scale.
+  support::Rng rng(3);
+  for (int t = 0; t < 200; ++t) {
+    const la::index_t d0 = rng.uniform_int(1, 1500);
+    const la::index_t d1 = rng.uniform_int(1, 1500);
+    const la::index_t d2 = rng.uniform_int(1, 1500);
+    ASSERT_EQ(expr::aatb_flops(1, d0, d1, d2), expr::aatb_flops(2, d0, d1, d2));
+    ASSERT_EQ(expr::aatb_flops(3, d0, d1, d2), expr::aatb_flops(4, d0, d1, d2));
+    ASSERT_LE(expr::aatb_flops(1, d0, d1, d2), expr::aatb_flops(3, d0, d1, d2));
+  }
+}
+
+TEST(Property, SimulatedTimesScaleWithWork) {
+  // At fixed shape class (all dims scaled together, away from variant
+  // thresholds), doubling every dimension must increase the time of every
+  // algorithm (8x the FLOPs dwarf any efficiency gain).
+  model::SimulatedMachineConfig cfg;
+  cfg.jitter = 0.0;
+  model::SimulatedMachine machine(cfg);
+  expr::AatbFamily family;
+  support::Rng rng(4);
+  for (int t = 0; t < 50; ++t) {
+    const expr::Instance small = random_instance(3, rng, 40, 500);
+    expr::Instance big = small;
+    for (auto& d : big) {
+      d *= 2;
+    }
+    const auto algs_small = family.algorithms(small);
+    const auto algs_big = family.algorithms(big);
+    for (std::size_t i = 0; i < algs_small.size(); ++i) {
+      ASSERT_LT(machine.time_algorithm(algs_small[i]),
+                machine.time_algorithm(algs_big[i]));
+    }
+  }
+}
+
+TEST(Property, MeasuredTimeNeverExceedsBenchmarkSumByMuch) {
+  // Coupling only speeds steps up; jitter streams differ, so allow its
+  // amplitude as slack. predicted >= measured * (1 - slack).
+  model::SimulatedMachine machine;
+  expr::AatbFamily family;
+  support::Rng rng(5);
+  for (int t = 0; t < 100; ++t) {
+    const expr::Instance dims = random_instance(3, rng);
+    for (const auto& alg : family.algorithms(dims)) {
+      const double measured = machine.time_algorithm(alg);
+      const double predicted = machine.predict_time_from_benchmarks(alg);
+      ASSERT_LE(measured, predicted * 1.02) << alg.name();
+    }
+  }
+}
+
+TEST(Property, ClassificationIsDeterministic) {
+  model::SimulatedMachine m1;
+  model::SimulatedMachine m2;
+  expr::ChainFamily family(4);
+  support::Rng rng(6);
+  for (int t = 0; t < 30; ++t) {
+    const expr::Instance dims = random_instance(5, rng);
+    const auto r1 = anomaly::classify_instance(family, m1, dims, 0.10);
+    const auto r2 = anomaly::classify_instance(family, m2, dims, 0.10);
+    ASSERT_EQ(r1.anomaly, r2.anomaly);
+    ASSERT_EQ(r1.times, r2.times);
+    ASSERT_EQ(r1.fastest, r2.fastest);
+  }
+}
+
+TEST(Property, AnomalyImpliesDisjointSetsAndPositiveScores) {
+  model::SimulatedMachine machine;
+  expr::AatbFamily family;
+  support::Rng rng(7);
+  int anomalies_seen = 0;
+  for (int t = 0; t < 400; ++t) {
+    const expr::Instance dims = random_instance(3, rng);
+    const auto r = anomaly::classify_instance(family, machine, dims, 0.10);
+    if (!r.anomaly) {
+      continue;
+    }
+    ++anomalies_seen;
+    ASSERT_GT(r.time_score, 0.10);
+    ASSERT_GT(r.flop_score, 0.0);
+    for (std::size_t c : r.cheapest) {
+      for (std::size_t f : r.fastest) {
+        ASSERT_NE(c, f);
+      }
+    }
+  }
+  EXPECT_GT(anomalies_seen, 5);  // the machine must actually produce some
+}
+
+TEST(Property, ThresholdMonotonicity) {
+  // Raising the threshold can only turn anomalies into non-anomalies.
+  model::SimulatedMachine machine;
+  expr::AatbFamily family;
+  support::Rng rng(8);
+  for (int t = 0; t < 150; ++t) {
+    const expr::Instance dims = random_instance(3, rng);
+    const bool at_5 =
+        anomaly::classify_instance(family, machine, dims, 0.05).anomaly;
+    const bool at_10 =
+        anomaly::classify_instance(family, machine, dims, 0.10).anomaly;
+    const bool at_20 =
+        anomaly::classify_instance(family, machine, dims, 0.20).anomaly;
+    ASSERT_TRUE(!at_10 || at_5);   // anomaly at 10% implies anomaly at 5%
+    ASSERT_TRUE(!at_20 || at_10);
+  }
+}
+
+TEST(Property, ScoresInvariantUnderTimeRescaling) {
+  // Scores are ratios: scaling every algorithm's time by the same constant
+  // must not change the classification.
+  support::Rng rng(9);
+  for (int t = 0; t < 100; ++t) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 6));
+    std::vector<long long> flops;
+    std::vector<double> times;
+    for (std::size_t i = 0; i < n; ++i) {
+      flops.push_back(rng.uniform_int(100, 10000));
+      times.push_back(rng.uniform(0.01, 1.0));
+    }
+    const auto base =
+        anomaly::classify_from_times({1}, flops, times, 0.10);
+    std::vector<double> scaled = times;
+    for (double& x : scaled) {
+      x *= 1000.0;
+    }
+    const auto rescaled =
+        anomaly::classify_from_times({1}, flops, scaled, 0.10);
+    ASSERT_EQ(base.anomaly, rescaled.anomaly);
+    ASSERT_NEAR(base.time_score, rescaled.time_score, 1e-12);
+    ASSERT_EQ(base.flop_score, rescaled.flop_score);
+  }
+}
+
+TEST(Property, AtlasRecommendationsAgreeWithDirectClassification) {
+  // Inside flops-safe intervals, the atlas recommendation must be a fastest
+  // algorithm at the scanned points (spot-check a few sizes).
+  expr::AatbFamily family;
+  model::SimulatedMachineConfig cfg;
+  cfg.jitter = 0.0;
+  model::SimulatedMachine machine(cfg);
+  anomaly::AtlasConfig atlas_cfg;
+  atlas_cfg.coarse_step = 50;
+  const anomaly::RegionAtlas atlas(family, machine, {150, 260, 549}, 0,
+                                   atlas_cfg);
+  support::Rng rng(10);
+  int checked = 0;
+  for (int t = 0; t < 20; ++t) {
+    const int size = rng.uniform_int(20, 1200);
+    expr::Instance dims = {size, 260, 549};
+    const auto r = anomaly::classify_instance(family, machine, dims, 0.05);
+    if (r.anomaly != !atlas.flops_reliable_at(size)) {
+      continue;  // within interval-boundary resolution; skip
+    }
+    ++checked;
+    // The recommended algorithm's time is within 25% of the fastest.
+    const auto algs = family.algorithms(dims);
+    const double rec_time =
+        machine.time_algorithm(algs[atlas.recommend(size)]);
+    const double best = *std::min_element(r.times.begin(), r.times.end());
+    ASSERT_LE(rec_time, best * 1.25) << "size " << size;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(Property, ExecutorAgreesAcrossAlgorithmsAtRandomShapes) {
+  expr::AatbFamily family;
+  support::Rng rng(11);
+  for (int t = 0; t < 5; ++t) {
+    const expr::Instance dims = random_instance(3, rng, 10, 120);
+    const auto externals = family.make_externals(dims, rng);
+    const auto algs = family.algorithms(dims);
+    const la::Matrix reference = model::execute(algs[0], externals);
+    for (std::size_t i = 1; i < algs.size(); ++i) {
+      const la::Matrix other = model::execute(algs[i], externals);
+      double max_diff = 0.0;
+      for (la::index_t j = 0; j < reference.cols(); ++j) {
+        for (la::index_t r = 0; r < reference.rows(); ++r) {
+          max_diff = std::max(max_diff,
+                              std::abs(reference(r, j) - other(r, j)));
+        }
+      }
+      ASSERT_LT(max_diff, 1e-9) << algs[i].name();
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Experiment 2 traversal logic, verified against a fully scripted anomaly
+// region: boundaries, hole tolerance, search-space clipping and thickness.
+#include <gtest/gtest.h>
+
+#include "anomaly/region.hpp"
+#include "scripted.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using namespace lamb;
+using anomaly::LineTraversal;
+using anomaly::TraversalConfig;
+
+TraversalConfig default_config() {
+  TraversalConfig cfg;
+  cfg.lo = 20;
+  cfg.hi = 1200;
+  cfg.step = 10;
+  cfg.time_score_threshold = 0.05;
+  cfg.hole_tolerance = 2;
+  return cfg;
+}
+
+TEST(Region, FindsExactBoundaries) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;  // window [200, 400]
+  const LineTraversal t = anomaly::traverse_line(family, machine, {300}, 0,
+                                                 default_config());
+  // Walking up: 410, 420, 430 are the three consecutive non-anomalies, so
+  // the boundary is 410. Walking down: 190, 180, 170 -> boundary 190.
+  EXPECT_EQ(t.boundary_hi, 410);
+  EXPECT_EQ(t.boundary_lo, 190);
+  EXPECT_EQ(t.thickness(), 410 - 190 - 1);
+}
+
+TEST(Region, SamplesAreSortedAndContainOrigin) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  const LineTraversal t = anomaly::traverse_line(family, machine, {300}, 0,
+                                                 default_config());
+  ASSERT_FALSE(t.samples.empty());
+  bool has_origin = false;
+  for (std::size_t i = 1; i < t.samples.size(); ++i) {
+    ASSERT_LT(t.samples[i - 1].coord, t.samples[i].coord);
+  }
+  for (const auto& s : t.samples) {
+    has_origin |= (s.coord == 300);
+    EXPECT_EQ(s.coord, s.result.dims[0]);
+  }
+  EXPECT_TRUE(has_origin);
+}
+
+TEST(Region, HolesOfOneOrTwoDoNotEndTheRegion) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  machine.holes = {320, 330};  // a 2-hole inside the region
+  const LineTraversal t = anomaly::traverse_line(family, machine, {300}, 0,
+                                                 default_config());
+  EXPECT_EQ(t.boundary_hi, 410);  // unchanged
+  EXPECT_EQ(t.boundary_lo, 190);
+}
+
+TEST(Region, ThreeConsecutiveNonAnomaliesEndTheRegion) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  machine.holes = {320, 330, 340};  // three in a row inside the window
+  const LineTraversal t = anomaly::traverse_line(family, machine, {300}, 0,
+                                                 default_config());
+  // The first of the three non-anomalies is the boundary.
+  EXPECT_EQ(t.boundary_hi, 320);
+  EXPECT_EQ(t.boundary_lo, 190);
+  EXPECT_EQ(t.thickness(), 320 - 190 - 1);
+}
+
+TEST(Region, SearchSpaceBoundLabelsLastInstance) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  machine.window_lo = 20;
+  machine.window_hi = 1200;  // the whole line is anomalous
+  const LineTraversal t = anomaly::traverse_line(family, machine, {600}, 0,
+                                                 default_config());
+  EXPECT_EQ(t.boundary_hi, 1200);
+  EXPECT_EQ(t.boundary_lo, 20);
+  // Paper: "maximum thickness is close to 1181" for the [20, 1200] line.
+  EXPECT_EQ(t.thickness(), 1179);
+}
+
+TEST(Region, NonAnomalousOriginYieldsDegenerateRegion) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;  // window [200, 400]
+  const LineTraversal t = anomaly::traverse_line(family, machine, {800}, 0,
+                                                 default_config());
+  // 810 and 820 complete the three-streak started at the origin itself.
+  EXPECT_LE(t.thickness(), 20);
+}
+
+TEST(Region, StepSizeIsRespected) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  TraversalConfig cfg = default_config();
+  cfg.step = 25;
+  const LineTraversal t =
+      anomaly::traverse_line(family, machine, {300}, 0, cfg);
+  for (const auto& s : t.samples) {
+    EXPECT_EQ((s.coord - 300) % 25, 0);
+  }
+}
+
+TEST(Region, HoleToleranceZeroEndsAtFirstNonAnomaly) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  machine.holes = {320};
+  TraversalConfig cfg = default_config();
+  cfg.hole_tolerance = 0;
+  const LineTraversal t =
+      anomaly::traverse_line(family, machine, {300}, 0, cfg);
+  EXPECT_EQ(t.boundary_hi, 320);
+}
+
+TEST(Region, InvalidArgumentsRejected) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  EXPECT_THROW(anomaly::traverse_line(family, machine, {300}, 1,
+                                      default_config()),
+               support::CheckError);
+  EXPECT_THROW(anomaly::traverse_line(family, machine, {5}, 0,
+                                      default_config()),
+               support::CheckError);
+  TraversalConfig bad = default_config();
+  bad.step = 0;
+  EXPECT_THROW(anomaly::traverse_line(family, machine, {300}, 0, bad),
+               support::CheckError);
+}
+
+TEST(Region, TraverseAllLinesCoversEveryDimension) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  const auto lines =
+      anomaly::traverse_all_lines(family, machine, {300}, default_config());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].dim, 0);
+}
+
+TEST(Region, SamplesCarryFullClassification) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  const LineTraversal t = anomaly::traverse_line(family, machine, {300}, 0,
+                                                 default_config());
+  for (const auto& s : t.samples) {
+    ASSERT_EQ(s.result.times.size(), 2u);
+    ASSERT_EQ(s.result.flops.size(), 2u);
+    const bool in_window = s.coord >= 200 && s.coord <= 400;
+    EXPECT_EQ(s.result.anomaly, in_window) << "coord " << s.coord;
+    if (in_window) {
+      EXPECT_DOUBLE_EQ(s.result.time_score, 0.5);
+      EXPECT_DOUBLE_EQ(s.result.flop_score, 0.5);  // 20d^2 vs 40d^2
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Experiment 1: random search determinism, distinctness, stopping rules.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "anomaly/search.hpp"
+#include "expr/family.hpp"
+#include "model/simulated_machine.hpp"
+#include "scripted.hpp"
+
+namespace {
+
+using namespace lamb;
+using anomaly::RandomSearchConfig;
+
+TEST(RandomSearch, DeterministicForFixedSeed) {
+  expr::AatbFamily family;
+  model::SimulatedMachine m1;
+  model::SimulatedMachine m2;
+  RandomSearchConfig cfg;
+  cfg.target_anomalies = 5;
+  cfg.max_samples = 20000;
+  cfg.seed = 42;
+  const auto r1 = anomaly::random_search(family, m1, cfg);
+  const auto r2 = anomaly::random_search(family, m2, cfg);
+  EXPECT_EQ(r1.samples, r2.samples);
+  ASSERT_EQ(r1.anomalies.size(), r2.anomalies.size());
+  for (std::size_t i = 0; i < r1.anomalies.size(); ++i) {
+    EXPECT_EQ(r1.anomalies[i].dims, r2.anomalies[i].dims);
+  }
+}
+
+TEST(RandomSearch, FindsRequestedNumberOfAnomalies) {
+  expr::AatbFamily family;
+  model::SimulatedMachine machine;
+  RandomSearchConfig cfg;
+  cfg.target_anomalies = 10;
+  cfg.max_samples = 50000;
+  cfg.seed = 7;
+  const auto r = anomaly::random_search(family, machine, cfg);
+  EXPECT_EQ(r.anomalies.size(), 10u);
+  EXPECT_GT(r.samples, 0);
+  EXPECT_GT(r.abundance(), 0.0);
+  EXPECT_LE(r.abundance(), 1.0);
+}
+
+TEST(RandomSearch, AnomaliesAreDistinctAndWithinBox) {
+  expr::AatbFamily family;
+  model::SimulatedMachine machine;
+  RandomSearchConfig cfg;
+  cfg.target_anomalies = 15;
+  cfg.lo = 20;
+  cfg.hi = 600;
+  cfg.seed = 3;
+  const auto r = anomaly::random_search(family, machine, cfg);
+  std::set<expr::Instance> seen;
+  for (const auto& a : r.anomalies) {
+    EXPECT_TRUE(seen.insert(a.dims).second) << "duplicate anomaly";
+    for (int d : a.dims) {
+      EXPECT_GE(d, cfg.lo);
+      EXPECT_LE(d, cfg.hi);
+    }
+    EXPECT_TRUE(a.anomaly);
+    EXPECT_GT(a.time_score, cfg.time_score_threshold);
+  }
+}
+
+TEST(RandomSearch, MaxSamplesBoundsTheSearch) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  machine.window_lo = 1;  // make anomalies impossible
+  machine.window_hi = 0;
+  RandomSearchConfig cfg;
+  cfg.target_anomalies = 1;
+  cfg.max_samples = 123;
+  const auto r = anomaly::random_search(family, machine, cfg);
+  EXPECT_EQ(r.samples, 123);
+  EXPECT_TRUE(r.anomalies.empty());
+  EXPECT_DOUBLE_EQ(r.abundance(), 0.0);
+}
+
+TEST(RandomSearch, ObserverSeesEverySample) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  RandomSearchConfig cfg;
+  cfg.target_anomalies = 3;
+  cfg.lo = 20;
+  cfg.hi = 500;
+  cfg.max_samples = 10000;
+  long long observed = 0;
+  const auto r = anomaly::random_search(
+      family, machine, cfg,
+      [&](long long sample_index, const anomaly::InstanceResult&) {
+        EXPECT_EQ(sample_index, observed + 1);
+        ++observed;
+      });
+  EXPECT_EQ(observed, r.samples);
+}
+
+TEST(RandomSearch, ScriptedAbundanceMatchesWindowFraction) {
+  // Window [200, 400] inside [20, 1200]: 201 of 1181 coordinates are
+  // anomalous -> expect roughly 17% abundance.
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  RandomSearchConfig cfg;
+  cfg.target_anomalies = 50;  // few enough that duplicates stay rare
+  cfg.max_samples = 5000;
+  cfg.seed = 11;
+  const auto r = anomaly::random_search(family, machine, cfg);
+  EXPECT_GT(r.abundance(), 0.08);
+  EXPECT_LT(r.abundance(), 0.25);
+}
+
+TEST(RandomSearch, InvalidBoxRejected) {
+  expr::AatbFamily family;
+  model::SimulatedMachine machine;
+  RandomSearchConfig cfg;
+  cfg.lo = 100;
+  cfg.hi = 50;
+  EXPECT_THROW(anomaly::random_search(family, machine, cfg),
+               support::CheckError);
+}
+
+}  // namespace

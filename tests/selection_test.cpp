@@ -1,0 +1,156 @@
+// AlgorithmSelector policies: FLOP pruning, profile discrimination, and the
+// hybrid policy's guarantees.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "expr/family.hpp"
+#include "model/selection.hpp"
+#include "model/simulated_machine.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lamb;
+using namespace lamb::model;
+
+std::shared_ptr<const KernelProfileSet> make_profiles() {
+  SimulatedMachineConfig cfg;
+  cfg.jitter = 0.0;
+  SimulatedMachine machine(cfg);
+  return std::make_shared<const KernelProfileSet>(
+      KernelProfileSet::build(machine));
+}
+
+TEST(Selection, PolicyNames) {
+  EXPECT_EQ(to_string(SelectionPolicy::kFlopsOnly), "flops-only");
+  EXPECT_EQ(to_string(SelectionPolicy::kProfileOnly), "profile-only");
+  EXPECT_EQ(to_string(SelectionPolicy::kHybrid), "hybrid");
+}
+
+TEST(Selection, FlopsOnlyPicksMinimum) {
+  AlgorithmSelector selector;
+  expr::AatbFamily family;
+  const auto algs = family.algorithms({100, 500, 300});
+  const std::size_t pick =
+      selector.choose(algs, SelectionPolicy::kFlopsOnly);
+  for (const auto& alg : algs) {
+    EXPECT_LE(algs[pick].flops(), alg.flops());
+  }
+}
+
+TEST(Selection, ProfilePoliciesRequireProfiles) {
+  AlgorithmSelector selector;  // no profiles
+  expr::AatbFamily family;
+  const auto algs = family.algorithms({50, 60, 70});
+  EXPECT_THROW(selector.choose(algs, SelectionPolicy::kProfileOnly),
+               support::CheckError);
+  EXPECT_THROW(selector.choose(algs, SelectionPolicy::kHybrid),
+               support::CheckError);
+  EXPECT_NO_THROW(selector.choose(algs, SelectionPolicy::kFlopsOnly));
+}
+
+TEST(Selection, EmptySetRejected) {
+  AlgorithmSelector selector;
+  EXPECT_THROW(selector.choose({}, SelectionPolicy::kFlopsOnly),
+               support::CheckError);
+}
+
+TEST(Selection, NegativeSlackRejected) {
+  EXPECT_THROW(AlgorithmSelector(nullptr, -0.1), support::CheckError);
+}
+
+TEST(Selection, HybridNeverPicksBeyondSlack) {
+  const auto profiles = make_profiles();
+  const double slack = 0.25;
+  AlgorithmSelector selector(profiles, slack);
+  expr::AatbFamily family;
+  support::Rng rng(3);
+  for (int t = 0; t < 100; ++t) {
+    const expr::Instance dims = {rng.uniform_int(20, 1200),
+                                 rng.uniform_int(20, 1200),
+                                 rng.uniform_int(20, 1200)};
+    const auto algs = family.algorithms(dims);
+    long long min_flops = algs[0].flops();
+    for (const auto& a : algs) {
+      min_flops = std::min(min_flops, a.flops());
+    }
+    const std::size_t pick = selector.choose(algs, SelectionPolicy::kHybrid);
+    EXPECT_LE(static_cast<double>(algs[pick].flops()),
+              static_cast<double>(min_flops) * (1.0 + slack) + 1.0);
+  }
+}
+
+TEST(Selection, HybridResolvesFlopTiesWithProfiles) {
+  // AAtB algorithms 1 and 2 always tie on FLOPs; hybrid must consult the
+  // profiles and pick whichever is predicted faster rather than defaulting
+  // to the first.
+  const auto profiles = make_profiles();
+  AlgorithmSelector selector(profiles, 0.0);  // zero slack: exact ties only
+  expr::AatbFamily family;
+  const expr::Instance dims = {400, 400, 400};
+  const auto algs = family.algorithms(dims);
+  const std::size_t pick = selector.choose(algs, SelectionPolicy::kHybrid);
+  EXPECT_TRUE(pick == 0 || pick == 1);
+  const double t0 = profiles->predicted_time(algs[0]);
+  const double t1 = profiles->predicted_time(algs[1]);
+  EXPECT_EQ(pick, t0 <= t1 ? 0u : 1u);
+}
+
+TEST(Selection, HybridBeatsFlopsOnlyOnTheSimulatedMachine) {
+  SimulatedMachineConfig cfg;
+  cfg.jitter = 0.0;
+  SimulatedMachine machine(cfg);
+  const auto profiles = std::make_shared<const KernelProfileSet>(
+      KernelProfileSet::build(machine));
+  AlgorithmSelector selector(profiles);
+  expr::AatbFamily family;
+
+  support::Rng rng(11);
+  double total_flops_pick = 0.0;
+  double total_hybrid_pick = 0.0;
+  for (int t = 0; t < 120; ++t) {
+    const expr::Instance dims = {rng.uniform_int(20, 1200),
+                                 rng.uniform_int(20, 1200),
+                                 rng.uniform_int(20, 1200)};
+    const auto algs = family.algorithms(dims);
+    const std::size_t by_flops =
+        selector.choose(algs, SelectionPolicy::kFlopsOnly);
+    const std::size_t by_hybrid =
+        selector.choose(algs, SelectionPolicy::kHybrid);
+    total_flops_pick += machine.time_algorithm(algs[by_flops]);
+    total_hybrid_pick += machine.time_algorithm(algs[by_hybrid]);
+  }
+  EXPECT_LT(total_hybrid_pick, total_flops_pick);
+}
+
+TEST(Selection, HybridWithInfiniteSlackEqualsProfileOnly) {
+  const auto profiles = make_profiles();
+  AlgorithmSelector selector(profiles, 1e9);
+  expr::AatbFamily family;
+  support::Rng rng(5);
+  for (int t = 0; t < 50; ++t) {
+    const expr::Instance dims = {rng.uniform_int(20, 1200),
+                                 rng.uniform_int(20, 1200),
+                                 rng.uniform_int(20, 1200)};
+    const auto algs = family.algorithms(dims);
+    EXPECT_EQ(selector.choose(algs, SelectionPolicy::kHybrid),
+              selector.choose(algs, SelectionPolicy::kProfileOnly));
+  }
+}
+
+TEST(Selection, WorksForChainsToo) {
+  const auto profiles = make_profiles();
+  AlgorithmSelector selector(profiles);
+  expr::ChainFamily family(4);
+  const auto algs = family.algorithms({600, 40, 500, 30, 400});
+  for (const auto policy :
+       {SelectionPolicy::kFlopsOnly, SelectionPolicy::kProfileOnly,
+        SelectionPolicy::kHybrid}) {
+    const std::size_t pick = selector.choose(algs, policy);
+    EXPECT_LT(pick, algs.size());
+  }
+}
+
+}  // namespace

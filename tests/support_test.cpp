@@ -1,0 +1,300 @@
+// Unit tests for lamb::support: checks, RNG, statistics, strings, CSV,
+// tables, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lamb::support;
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(LAMB_CHECK(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Check, FailingConditionThrowsCheckError) {
+  EXPECT_THROW(LAMB_CHECK(false, "must fail"), CheckError);
+}
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    LAMB_CHECK(false, "the-needle");
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("the-needle"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(99);
+  bool seen_lo = false;
+  bool seen_hi = false;
+  for (int i = 0; i < 3000; ++i) {
+    const int v = rng.uniform_int(2, 9);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 9);
+    seen_lo |= (v == 2);
+    seen_hi |= (v == 9);
+  }
+  EXPECT_TRUE(seen_lo);
+  EXPECT_TRUE(seen_hi);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, BoundedRejectsZero) {
+  Rng rng(5);
+  EXPECT_THROW(rng.bounded(0), CheckError);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.split();
+  EXPECT_NE(parent.next_u64(), child.next_u64());
+}
+
+TEST(Rng, Mix64IsStable) {
+  // Pin a few values so jitter streams are reproducible forever.
+  EXPECT_EQ(mix64(0), mix64(0));
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+TEST(Rng, HashCombineOrderDependent) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Rng, HashStringStable) {
+  EXPECT_EQ(hash_string("gemm"), hash_string("gemm"));
+  EXPECT_NE(hash_string("gemm"), hash_string("symm"));
+}
+
+TEST(Statistics, MedianOdd) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Statistics, MedianEven) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Statistics, MedianSingle) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(median(xs), 7.0);
+}
+
+TEST(Statistics, MedianEmptyThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(median(xs), CheckError);
+}
+
+TEST(Statistics, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.2909944487, 1e-9);
+}
+
+TEST(Statistics, StddevOfSingletonIsZero) {
+  const std::vector<double> xs = {3.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Statistics, QuantileEndpoints) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 20.0);
+}
+
+TEST(Statistics, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Statistics, ArgminSetExact) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0, 1.0};
+  const auto set = argmin_set(xs);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[0], 1u);
+  EXPECT_EQ(set[1], 3u);
+}
+
+TEST(Statistics, ArgminSetWithTolerance) {
+  const std::vector<double> xs = {1.0, 1.005, 1.2};
+  EXPECT_EQ(argmin_set(xs, 0.01).size(), 2u);
+  EXPECT_EQ(argmin_set(xs, 0.0).size(), 1u);
+}
+
+TEST(Statistics, HistogramCountsAndClamping) {
+  const std::vector<double> xs = {-1.0, 0.1, 0.5, 0.9, 2.0};
+  const Histogram h = make_histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.counts.size(), 2u);
+  EXPECT_EQ(h.counts[0], 2u);  // -1 clamped into the first bin, plus 0.1
+  EXPECT_EQ(h.counts[1], 3u);  // 0.5, 0.9, and 2.0 clamped into the last bin
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Statistics, RunningStats) {
+  RunningStats s;
+  s.add(2.0);
+  s.add(4.0);
+  s.add(0.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Str, Strf) {
+  EXPECT_EQ(strf("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Str, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+TEST(Str, FormatPercent) {
+  EXPECT_EQ(format_percent(0.123), "12.3%");
+  EXPECT_EQ(format_percent(0.5, 0), "50%");
+}
+
+TEST(Str, FormatCount) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(22962), "22,962");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(-1234), "-1,234");
+}
+
+TEST(Str, FormatDoubleSwitchesToScientific) {
+  EXPECT_EQ(format_double(0.5, 2), "0.50");
+  EXPECT_NE(format_double(1.0e-9, 2).find('e'), std::string::npos);
+}
+
+TEST(Csv, WritesRowsAndEscapes) {
+  const std::string path = "test_csv_out.csv";
+  {
+    CsvWriter w(path);
+    w.row({"a", "b,c", "d\"e"});
+    w.row("label", {1.0, 2.5});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(line2.rfind("label,", 0), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, EnsureResultsDirCreates) {
+  const std::string dir = ensure_results_dir("test_results_dir");
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"x", "value"});
+  t.add_row({"a", "1"});
+  t.add_separator();
+  t.add_row({"bb", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| x "), std::string::npos);
+  EXPECT_NE(out.find("| bb"), std::string::npos);
+  // header rule + separator + top/bottom rules = 4 '+--' rules
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "4", "--gamma"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get_int("beta", 0), 4);
+  EXPECT_TRUE(cli.get_bool("gamma", false));
+  EXPECT_EQ(cli.get_int("missing", 9), 9);
+}
+
+TEST(Cli, BooleanNegation) {
+  const char* argv[] = {"prog", "--no-real"};
+  Cli cli(2, argv);
+  EXPECT_FALSE(cli.get_bool("real", true));
+}
+
+TEST(Cli, Positional) {
+  const char* argv[] = {"prog", "pos1", "--x=1", "pos2"};
+  Cli cli(4, argv);
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.positional()[1], "pos2");
+}
+
+TEST(Cli, DoubleAndSeed) {
+  const char* argv[] = {"prog", "--threshold=0.25", "--seed=77"};
+  Cli cli(3, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("threshold", 0.0), 0.25);
+  EXPECT_EQ(cli.get_seed("seed", 0), 77u);
+}
+
+}  // namespace
