@@ -5,12 +5,11 @@
 // This bench makes the ablation explicit on the simulated machine: find
 // anomalies with coupling enabled, re-classify every one on an otherwise
 // identical machine with coupling disabled, and report the survival rate —
-// plus the abundance under both machines.
+// plus the abundance under both machines. --families sweeps any registry
+// families.
 #include <cstdio>
 
-#include "anomaly/search.hpp"
 #include "bench_common.hpp"
-#include "expr/family.hpp"
 #include "model/simulated_machine.hpp"
 
 int main(int argc, char** argv) {
@@ -29,31 +28,29 @@ int main(int argc, char** argv) {
   model::SimulatedMachine coupled(on_cfg);
   model::SimulatedMachine uncoupled(off_cfg);
 
-  support::CsvWriter csv(ctx.out_dir + "/ablation_cache_coupling.csv");
+  auto csv = ctx.csv("ablation_cache_coupling");
   csv.row({"family", "abundance_coupled", "abundance_uncoupled",
            "anomaly_survival"});
 
   bench::Comparison cmp;
-  for (const bool use_chain : {false, true}) {
-    expr::AatbFamily aatb;
-    expr::ChainFamily chain(4);
-    const expr::ExpressionFamily& family =
-        use_chain ? static_cast<const expr::ExpressionFamily&>(chain)
-                  : static_cast<const expr::ExpressionFamily&>(aatb);
+  for (const std::string& name : ctx.families("aatb,chain4")) {
+    anomaly::ExperimentDriver with_driver(name, coupled);
+    anomaly::ExperimentDriver without_driver(name, uncoupled);
 
     anomaly::RandomSearchConfig cfg;
     cfg.target_anomalies = static_cast<int>(
-        ctx.cli.get_int("anomalies", use_chain ? 40 : 300));
+        ctx.cli.get_int("anomalies", name == "aatb" ? 300 : 40));
     cfg.max_samples = ctx.cli.get_int("max-samples", 100000);
     cfg.seed = ctx.cli.get_seed("seed", 2);
 
-    const auto with = anomaly::random_search(family, coupled, cfg);
-    const auto without = anomaly::random_search(family, uncoupled, cfg);
+    const auto with = with_driver.random_search(cfg);
+    const auto without = without_driver.random_search(cfg);
 
     int survived = 0;
     for (const auto& a : with.anomalies) {
-      const auto re = anomaly::classify_instance(family, uncoupled, a.dims,
-                                                 cfg.time_score_threshold);
+      const auto re = anomaly::classify_instance(
+          without_driver.family(), uncoupled, a.dims,
+          cfg.time_score_threshold);
       survived += re.anomaly ? 1 : 0;
     }
     const double survival =
@@ -64,15 +61,14 @@ int main(int argc, char** argv) {
 
     std::printf("%s: abundance %.2f%% (coupled) vs %.2f%% (uncoupled); "
                 "%d / %zu anomalies survive decoupling (%.0f%%)\n",
-                family.name().c_str(), 100.0 * with.abundance(),
+                name.c_str(), 100.0 * with.abundance(),
                 100.0 * without.abundance(), survived, with.anomalies.size(),
                 100.0 * survival);
-    csv.row(family.name(),
-            {with.abundance(), without.abundance(), survival});
-    cmp.add(family.name() + ": anomalies survive removing cache effects",
-            "most", support::format_percent(survival, 0));
+    csv.row(name, {with.abundance(), without.abundance(), survival});
+    cmp.add(name + ": anomalies survive removing cache effects", "most",
+            support::format_percent(survival, 0));
   }
   cmp.render();
-  std::printf("\nCSV: %s\n", csv.path().c_str());
+  bench::print_csv_path(csv);
   return 0;
 }

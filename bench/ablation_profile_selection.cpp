@@ -23,20 +23,17 @@ int main(int argc, char** argv) {
   model::FlopCostModel flop_cost;
   model::ProfileCostModel profile_cost(profiles);
 
-  support::CsvWriter csv(ctx.out_dir + "/ablation_profile_selection.csv");
+  auto csv = ctx.csv("ablation_profile_selection");
   csv.row({"family", "selector", "picked_fastest_pct", "mean_slowdown_pct",
            "worst_slowdown_pct"});
 
   bench::Comparison cmp;
-  expr::AatbFamily aatb;
-  expr::ChainFamily chain(4);
   const int trials =
       static_cast<int>(ctx.cli.get_int("trials", ctx.real ? 20 : 400));
   const int hi = static_cast<int>(ctx.cli.get_int("hi", ctx.real ? 300 : 1200));
 
-  for (const expr::ExpressionFamily* family :
-       {static_cast<const expr::ExpressionFamily*>(&aatb),
-        static_cast<const expr::ExpressionFamily*>(&chain)}) {
+  for (const std::string& family_name : ctx.families("aatb,chain4")) {
+    const auto family = expr::make_family(family_name);
     support::Rng rng(ctx.cli.get_seed("seed", 7));
     struct Stats {
       int picked_fastest = 0;
@@ -90,6 +87,6 @@ int main(int argc, char** argv) {
                                                                  : "NO");
   }
   cmp.render();
-  std::printf("\nCSV: %s\n", csv.path().c_str());
+  bench::print_csv_path(csv);
   return 0;
 }

@@ -4,11 +4,10 @@
 // kernel-variant switches. This bench removes every variant step from the
 // simulated machine (keeping the smooth ramps) and measures how anomaly
 // abundance changes — separating the two mechanisms the paper identifies.
+// --families sweeps any registry families.
 #include <cstdio>
 
-#include "anomaly/search.hpp"
 #include "bench_common.hpp"
-#include "expr/family.hpp"
 #include "model/simulated_machine.hpp"
 
 namespace {
@@ -45,30 +44,28 @@ int main(int argc, char** argv) {
   model::SimulatedMachine stepped(stepped_cfg);
   model::SimulatedMachine smooth(smooth_cfg);
 
-  support::CsvWriter csv(ctx.out_dir + "/ablation_variant_steps.csv");
+  auto csv = ctx.csv("ablation_variant_steps");
   csv.row({"family", "abundance_stepped", "abundance_smooth"});
 
   bench::Comparison cmp;
-  expr::AatbFamily aatb;
-  expr::ChainFamily chain(4);
-  for (const expr::ExpressionFamily* family :
-       {static_cast<const expr::ExpressionFamily*>(&aatb),
-        static_cast<const expr::ExpressionFamily*>(&chain)}) {
+  for (const std::string& name : ctx.families("aatb,chain4")) {
+    anomaly::ExperimentDriver stepped_driver(name, stepped);
+    anomaly::ExperimentDriver smooth_driver(name, smooth);
     anomaly::RandomSearchConfig cfg;
     cfg.target_anomalies = 1 << 30;  // abundance estimate over a fixed budget
     cfg.max_samples = ctx.cli.get_int("max-samples", 30000);
     cfg.seed = ctx.cli.get_seed("seed", 4);
-    const auto with = anomaly::random_search(*family, stepped, cfg);
-    const auto without = anomaly::random_search(*family, smooth, cfg);
+    const auto with = stepped_driver.random_search(cfg);
+    const auto without = smooth_driver.random_search(cfg);
     std::printf("%s: abundance %.3f%% with variant steps, %.3f%% smooth-only\n",
-                family->name().c_str(), 100.0 * with.abundance(),
+                name.c_str(), 100.0 * with.abundance(),
                 100.0 * without.abundance());
-    csv.row(family->name(), {with.abundance(), without.abundance()});
-    cmp.add(family->name() + ": variant steps increase anomaly abundance",
+    csv.row(name, {with.abundance(), without.abundance()});
+    cmp.add(name + ": variant steps increase anomaly abundance",
             "implied (abrupt transitions observed)",
             with.abundance() > without.abundance() ? "yes" : "NO");
   }
   cmp.render();
-  std::printf("\nCSV: %s\n", csv.path().c_str());
+  bench::print_csv_path(csv);
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "support/check.hpp"
+
 namespace lamb::bench {
 
 BenchContext::BenchContext(int argc, const char* const* argv)
@@ -20,13 +22,123 @@ BenchContext::BenchContext(int argc, const char* const* argv)
   }
 }
 
-void print_header(const std::string& artifact, const std::string& what,
-                  const BenchContext& ctx) {
+std::string BenchContext::family_name(
+    const std::string& default_family) const {
+  return cli.get_string("family", default_family);
+}
+
+std::unique_ptr<expr::ExpressionFamily> BenchContext::family(
+    const std::string& default_family) const {
+  return expr::make_family(family_name(default_family));
+}
+
+anomaly::DriverConfig BenchContext::driver_config() const {
+  const long long threads = cli.get_int("threads", 0);
+  LAMB_CHECK(threads >= 0, "--threads must be >= 0 (0 = hardware)");
+  anomaly::DriverConfig cfg;
+  cfg.threads = static_cast<std::size_t>(threads);
+  return cfg;
+}
+
+anomaly::ExperimentDriver BenchContext::driver(
+    const std::string& default_family) const {
+  return anomaly::ExperimentDriver(family(default_family), *machine,
+                                   driver_config());
+}
+
+anomaly::RandomSearchConfig BenchContext::search_config(
+    const SearchDefaults& d) const {
+  anomaly::RandomSearchConfig cfg;
+  cfg.lo = static_cast<int>(cli.get_int("lo", 20));
+  cfg.hi = static_cast<int>(cli.get_int("hi", real ? d.real_hi : d.sim_hi));
+  cfg.target_anomalies = static_cast<int>(
+      cli.get_int("anomalies", real ? d.real_anomalies : d.sim_anomalies));
+  cfg.max_samples = cli.get_int(
+      "max-samples", real ? d.real_max_samples : d.sim_max_samples);
+  cfg.time_score_threshold =
+      d.threshold_from_flag
+          ? cli.get_double("threshold", d.threshold)
+          : cli.get_double("search-threshold", d.threshold);
+  cfg.seed = cli.get_seed("seed", d.seed);
+  return cfg;
+}
+
+anomaly::TraversalConfig BenchContext::traversal_config(
+    const anomaly::RandomSearchConfig& search,
+    double default_threshold) const {
+  anomaly::TraversalConfig cfg;
+  cfg.lo = search.lo;
+  cfg.hi = search.hi;
+  cfg.time_score_threshold =
+      cli.get_double("threshold", default_threshold);
+  return cfg;
+}
+
+support::CsvWriter BenchContext::csv(const std::string& stem) const {
+  return support::CsvWriter(out_dir + "/" + stem + ".csv");
+}
+
+std::vector<std::string> BenchContext::families(
+    const std::string& default_list) const {
+  const std::string raw = cli.get_string("families", default_list);
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : raw + ",") {
+    if (c == ',') {
+      if (!current.empty()) {
+        out.push_back(current);
+        current.clear();
+      }
+    } else if (c != ' ') {
+      current += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void print_header_core(const std::string& artifact, const std::string& what,
+                       const BenchContext& ctx) {
   std::printf("=== %s — %s ===\n", artifact.c_str(), what.c_str());
   std::printf(
       "paper: Lopez, Karlsson, Bientinesi, \"FLOPs as a Discriminant for "
       "Dense Linear Algebra Algorithms\", ICPP'22\n");
-  std::printf("machine model: %s\n\n", ctx.machine->name().c_str());
+  std::printf("machine model: %s\n", ctx.machine->name().c_str());
+}
+
+}  // namespace
+
+void print_header(const std::string& artifact, const std::string& what,
+                  const BenchContext& ctx) {
+  print_header_core(artifact, what, ctx);
+  std::printf("\n");
+}
+
+void print_header(const std::string& artifact, const std::string& what,
+                  const BenchContext& ctx,
+                  const expr::ExpressionFamily& family) {
+  print_header_core(artifact, what, ctx);
+  std::printf("family: %s\n\n", family.name().c_str());
+}
+
+anomaly::RandomSearchResult run_search(
+    anomaly::ExperimentDriver& driver,
+    const anomaly::RandomSearchConfig& cfg) {
+  std::printf("searching box [%d, %d]^%d, threshold %.0f%%, target %d "
+              "anomalies...\n",
+              cfg.lo, cfg.hi, driver.family().dimension_count(),
+              cfg.time_score_threshold * 100, cfg.target_anomalies);
+  anomaly::RandomSearchResult result = driver.random_search(cfg);
+  std::printf("Experiment 1: %zu distinct anomalies in %lld samples "
+              "(abundance %.2f%%)\n",
+              result.anomalies.size(), result.samples,
+              100.0 * result.abundance());
+  return result;
+}
+
+void print_csv_path(const support::CsvWriter& csv) {
+  std::printf("\nCSV: %s\n", csv.path().c_str());
 }
 
 void Comparison::add(const std::string& quantity, const std::string& paper,

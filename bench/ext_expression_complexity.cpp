@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
       model::KernelProfileSet::build(*ctx.machine));
   model::AlgorithmSelector selector(profiles);
 
-  support::CsvWriter csv(ctx.out_dir + "/ext_expression_complexity.csv");
+  auto csv = ctx.csv("ext_expression_complexity");
   csv.row({"chain_length", "algorithms", "abundance", "mean_time_score",
            "flops_pick_slowdown", "hybrid_pick_slowdown"});
 
@@ -36,7 +36,12 @@ int main(int argc, char** argv) {
   bool monotone = true;
   const int max_len = static_cast<int>(ctx.cli.get_int("max-length", 6));
   for (int n = 3; n <= max_len; ++n) {
-    expr::ChainFamily family(n);
+    // The sweep pins the family per iteration (chainN resolves dynamically
+    // in the registry); --family must not override it.
+    anomaly::ExperimentDriver driver(
+        expr::make_family(support::strf("chain%d", n)), *ctx.machine,
+        ctx.driver_config());
+    const expr::ExpressionFamily& family = driver.family();
     anomaly::RandomSearchConfig cfg;
     cfg.hi = static_cast<int>(ctx.cli.get_int("hi", ctx.real ? 300 : 1200));
     cfg.target_anomalies = 1 << 30;
@@ -44,7 +49,7 @@ int main(int argc, char** argv) {
     cfg.max_samples = ctx.cli.get_int("max-samples", 24000) /
                       std::max(1, (n - 2) * (n - 2));
     cfg.seed = ctx.cli.get_seed("seed", 8);
-    const auto found = anomaly::random_search(family, *ctx.machine, cfg);
+    const auto found = driver.random_search(cfg);
 
     double mean_ts = 0.0;
     for (const auto& a : found.anomalies) {
@@ -107,6 +112,6 @@ int main(int argc, char** argv) {
           "conjectured (\"even more abundant in more complex expressions\")",
           monotone ? "yes (monotone over the sweep)" : "mostly (not strictly monotone)");
   cmp.render();
-  std::printf("\nCSV: %s\n", csv.path().c_str());
+  bench::print_csv_path(csv);
   return 0;
 }

@@ -15,12 +15,15 @@ int main(int argc, char** argv) {
   bench::print_header("Extension (paper Sec. 5)",
                       "region atlas for symbolic operand sizes", ctx);
 
-  expr::AatbFamily family;
+  // This figure is specific to A*A^T*B: the bases and algorithm labels
+  // below are 3-dimensional, so no --family override is offered.
+  const auto family_ptr = expr::make_family("aatb");
+  const expr::ExpressionFamily& family = *family_ptr;
   anomaly::AtlasConfig cfg;
   cfg.hi = static_cast<int>(ctx.cli.get_int("hi", ctx.real ? 300 : 1200));
   cfg.coarse_step = static_cast<int>(ctx.cli.get_int("step", 20));
 
-  support::CsvWriter csv(ctx.out_dir + "/ext_symbolic_sizes.csv");
+  auto csv = ctx.csv("ext_symbolic_sizes");
   csv.row({"dim", "interval_lo", "interval_hi", "anomalous", "recommended",
            "worst_ts"});
 
@@ -84,6 +87,6 @@ int main(int argc, char** argv) {
                 : "NO");
   }
   cmp.render();
-  std::printf("\nCSV: %s\n", csv.path().c_str());
+  bench::print_csv_path(csv);
   return 0;
 }

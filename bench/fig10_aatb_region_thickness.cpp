@@ -5,54 +5,40 @@
 // (many d1/d2 regions extend across the entire line).
 #include <cstdio>
 
-#include "anomaly/region.hpp"
-#include "anomaly/search.hpp"
 #include "bench_common.hpp"
-#include "expr/family.hpp"
 #include "support/ascii_plot.hpp"
 #include "support/statistics.hpp"
 
 int main(int argc, char** argv) {
   using namespace lamb;
   bench::BenchContext ctx(argc, argv);
+  auto driver = ctx.driver("aatb");
   bench::print_header("Figure 10 / Sec 4.2.2",
                       "A*A^T*B anomalous-region thickness per dimension",
-                      ctx);
+                      ctx, driver.family());
 
-  expr::AatbFamily family;
-  anomaly::RandomSearchConfig search_cfg;
-  search_cfg.hi = static_cast<int>(ctx.cli.get_int("hi", ctx.real ? 300 : 1200));
-  search_cfg.target_anomalies =
-      static_cast<int>(ctx.cli.get_int("anomalies", ctx.real ? 3 : 150));
-  search_cfg.max_samples =
-      ctx.cli.get_int("max-samples", ctx.real ? 200 : 100000);
-  search_cfg.seed = ctx.cli.get_seed("seed", 1);
-  const auto found = anomaly::random_search(family, *ctx.machine, search_cfg);
-  std::printf("Experiment 1: %zu anomalies (%lld samples)\n",
-              found.anomalies.size(), found.samples);
+  bench::SearchDefaults defaults;
+  defaults.sim_anomalies = 150;
+  defaults.real_anomalies = 3;
+  const auto search_cfg = ctx.search_config(defaults);
+  const auto found = bench::run_search(driver, search_cfg);
+  const auto trav_cfg = ctx.traversal_config(search_cfg);
 
-  anomaly::TraversalConfig trav_cfg;
-  trav_cfg.lo = search_cfg.lo;
-  trav_cfg.hi = search_cfg.hi;
-  trav_cfg.time_score_threshold = ctx.cli.get_double("threshold", 0.05);
-
-  const int dims = family.dimension_count();
+  const int dims = driver.family().dimension_count();
   std::vector<std::vector<double>> thickness(static_cast<std::size_t>(dims));
-  support::CsvWriter csv(ctx.out_dir + "/fig10_aatb_thickness.csv");
+  auto csv = ctx.csv("fig10_aatb_thickness");
   csv.row({"anomaly", "dim", "boundary_lo", "boundary_hi", "thickness"});
 
-  for (std::size_t a = 0; a < found.anomalies.size(); ++a) {
-    const auto lines = anomaly::traverse_all_lines(
-        family, *ctx.machine, found.anomalies[a].dims, trav_cfg);
-    for (const auto& line : lines) {
-      thickness[static_cast<std::size_t>(line.dim)].push_back(
-          static_cast<double>(line.thickness()));
-      csv.row(support::strf("%zu", a),
-              {static_cast<double>(line.dim),
-               static_cast<double>(line.boundary_lo),
-               static_cast<double>(line.boundary_hi),
-               static_cast<double>(line.thickness())});
-    }
+  const auto lines = driver.traverse_regions(found.anomalies, trav_cfg);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto& line = lines[i];
+    thickness[static_cast<std::size_t>(line.dim)].push_back(
+        static_cast<double>(line.thickness()));
+    csv.row(support::strf("%zu", i / static_cast<std::size_t>(dims)),
+            {static_cast<double>(line.dim),
+             static_cast<double>(line.boundary_lo),
+             static_cast<double>(line.boundary_hi),
+             static_cast<double>(line.thickness())});
   }
 
   const double line_span = static_cast<double>(trav_cfg.hi - trav_cfg.lo - 1);
@@ -73,17 +59,17 @@ int main(int argc, char** argv) {
 
   bench::Comparison cmp;
   cmp.add("d0 regions thinner than d1/d2", "yes (significantly)",
-          (means[0] < means[1] && means[0] < means[2])
+          (means.size() >= 3 && means[0] < means[1] && means[0] < means[2])
               ? support::strf("yes (means %.0f vs %.0f / %.0f)", means[0],
                               means[1], means[2])
               : "NO");
   cmp.add("some d1/d2 regions span the whole line", "yes",
-          (!thickness[1].empty() &&
+          (thickness.size() >= 3 && !thickness[1].empty() &&
            (support::max_value(thickness[1]) > 0.9 * line_span ||
             support::max_value(thickness[2]) > 0.9 * line_span))
               ? "yes"
               : "NO");
   cmp.render();
-  std::printf("\nCSV: %s\n", csv.path().c_str());
+  bench::print_csv_path(csv);
   return 0;
 }

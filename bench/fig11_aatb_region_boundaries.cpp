@@ -6,20 +6,21 @@
 // d0 <= ~290; along d1/d2 regions extend to the search bound.
 #include <cstdio>
 
-#include "anomaly/classifier.hpp"
-#include "anomaly/region.hpp"
-#include "anomaly/search.hpp"
 #include "bench_common.hpp"
 #include "boundary_common.hpp"
-#include "expr/family.hpp"
 
 int main(int argc, char** argv) {
   using namespace lamb;
   bench::BenchContext ctx(argc, argv);
+  // This figure is specific to A*A^T*B: the illustrative origins and the
+  // SYRK/GEMM structural checks below are 3-dimensional, so no --family
+  // override is offered.
+  anomaly::ExperimentDriver driver(expr::make_family("aatb"), *ctx.machine,
+                                   ctx.driver_config());
   bench::print_header("Figure 11 / Sec 4.2.3",
-                      "A*A^T*B algorithm efficiencies across regions", ctx);
+                      "A*A^T*B algorithm efficiencies across regions", ctx,
+                      driver.family());
 
-  expr::AatbFamily family;
   anomaly::TraversalConfig trav_cfg;
   trav_cfg.lo = static_cast<int>(ctx.cli.get_int("lo", 20));
   trav_cfg.hi = static_cast<int>(ctx.cli.get_int("hi", ctx.real ? 300 : 1200));
@@ -40,7 +41,7 @@ int main(int argc, char** argv) {
   search_cfg.target_anomalies = 1;
   search_cfg.max_samples = ctx.cli.get_int("max-samples", 50000);
 
-  support::CsvWriter csv(ctx.out_dir + "/fig11_aatb_boundaries.csv");
+  auto csv = ctx.csv("fig11_aatb_boundaries");
   csv.row({"coord", "alg", "eff_total", "eff_calls..."});
 
   bench::Comparison cmp;
@@ -49,12 +50,11 @@ int main(int argc, char** argv) {
     const int dim = picks[i].second;
     if (origin[0] > trav_cfg.hi || origin[1] > trav_cfg.hi ||
         origin[2] > trav_cfg.hi ||
-        !anomaly::classify_instance(family, *ctx.machine, origin,
+        !anomaly::classify_instance(driver.family(), driver.machine(), origin,
                                     trav_cfg.time_score_threshold)
              .anomaly) {
       search_cfg.seed = 17 + i;
-      const auto found =
-          anomaly::random_search(family, *ctx.machine, search_cfg);
+      const auto found = driver.random_search(search_cfg);
       if (found.anomalies.empty()) {
         std::printf("no anomaly found for line %zu\n", i);
         continue;
@@ -63,13 +63,14 @@ int main(int argc, char** argv) {
       std::printf("(paper origin not anomalous here; using (%d,%d,%d))\n",
                   origin[0], origin[1], origin[2]);
     }
-    const auto line = anomaly::traverse_line(family, *ctx.machine, origin,
-                                             dim, trav_cfg);
-    std::printf("%s\n", bench::render_boundary_line(family, *ctx.machine,
-                                                    line, csv)
+    const auto line = driver.traverse_line(origin, dim, trav_cfg);
+    std::printf("%s\n", bench::render_boundary_line(driver.family(),
+                                                    driver.machine(), line,
+                                                    csv)
                             .c_str());
     for (const auto& t : bench::classify_transitions(
-             family, *ctx.machine, line, trav_cfg.lo, trav_cfg.hi)) {
+             driver.family(), driver.machine(), line, trav_cfg.lo,
+             trav_cfg.hi)) {
       if (t.at_search_bound) {
         std::printf("boundary at %d: search-space bound\n", t.boundary_coord);
       } else {
@@ -106,6 +107,6 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   cmp.render();
-  std::printf("\nCSV: %s\n", csv.path().c_str());
+  bench::print_csv_path(csv);
   return 0;
 }

@@ -1,67 +1,60 @@
 // Figure 6 (+ Sec. 4.1.1): Experiment 1 on the matrix chain A*B*C*D.
 // Random search in the box [20, 1200]^5 with a 10% time-score threshold
 // until N distinct anomalies are found; scatter of time score vs FLOP score.
+// --family selects another registry family over the same protocol.
 //
 // Paper: 100 anomalies in 22,962 samples -> abundance 0.4%; most anomalies
 // have FLOP score < 10% and time score < 20%.
 #include <cstdio>
 
-#include "anomaly/search.hpp"
 #include "bench_common.hpp"
-#include "expr/family.hpp"
 #include "support/ascii_plot.hpp"
 #include "support/statistics.hpp"
 
 int main(int argc, char** argv) {
   using namespace lamb;
   bench::BenchContext ctx(argc, argv);
+  auto driver = ctx.driver("chain4");
   bench::print_header("Figure 6 / Sec 4.1.1",
-                      "random search for matrix-chain anomalies", ctx);
+                      "random search for matrix-chain anomalies", ctx,
+                      driver.family());
 
-  expr::ChainFamily family(4);
-  anomaly::RandomSearchConfig cfg;
-  cfg.lo = static_cast<int>(ctx.cli.get_int("lo", 20));
-  cfg.hi = static_cast<int>(ctx.cli.get_int("hi", ctx.real ? 300 : 1200));
-  cfg.target_anomalies =
-      static_cast<int>(ctx.cli.get_int("anomalies", ctx.real ? 3 : 100));
-  cfg.max_samples = ctx.cli.get_int("max-samples", ctx.real ? 300 : 200000);
-  cfg.time_score_threshold = ctx.cli.get_double("threshold", 0.10);
-  cfg.seed = ctx.cli.get_seed("seed", 1);
-
-  std::printf("searching box [%d, %d]^5, threshold %.0f%%, target %d "
-              "anomalies...\n",
-              cfg.lo, cfg.hi, cfg.time_score_threshold * 100,
-              cfg.target_anomalies);
-  const auto result = anomaly::random_search(family, *ctx.machine, cfg);
+  bench::SearchDefaults defaults;
+  defaults.sim_anomalies = 100;
+  defaults.real_anomalies = 3;
+  defaults.sim_max_samples = 200000;
+  defaults.real_max_samples = 300;
+  defaults.threshold_from_flag = true;  // search-only bench: --threshold
+  const auto cfg = ctx.search_config(defaults);
+  const auto result = bench::run_search(driver, cfg);
 
   std::vector<double> ts;
   std::vector<double> fs;
-  support::CsvWriter csv(ctx.out_dir + "/fig6_chain_anomalies.csv");
-  csv.row({"d0", "d1", "d2", "d3", "d4", "time_score", "flop_score"});
+  auto csv = ctx.csv("fig6_chain_anomalies");
+  std::vector<std::string> header = driver.family().dimension_names();
+  header.push_back("time_score");
+  header.push_back("flop_score");
+  csv.row(header);
   for (const auto& a : result.anomalies) {
     ts.push_back(a.time_score);
     fs.push_back(a.flop_score);
-    csv.row(support::strf("%d", a.dims[0]),
-            {static_cast<double>(a.dims[1]), static_cast<double>(a.dims[2]),
-             static_cast<double>(a.dims[3]), static_cast<double>(a.dims[4]),
-             a.time_score, a.flop_score});
+    std::vector<double> rest(a.dims.begin() + 1, a.dims.end());
+    rest.push_back(a.time_score);
+    rest.push_back(a.flop_score);
+    csv.row(support::strf("%d", a.dims[0]), rest);
   }
-
-  std::printf("found %zu distinct anomalies in %lld samples "
-              "(abundance %.2f%%)\n\n",
-              result.anomalies.size(), result.samples,
-              100.0 * result.abundance());
 
   if (!ts.empty()) {
     support::PlotOptions opts;
-    opts.title = "Time score vs FLOP score (chain anomalies)";
+    opts.title = "Time score vs FLOP score (" + driver.family().name() +
+                 " anomalies)";
     opts.x_label = "FLOP score";
     opts.y_label = "time score";
     opts.x_min = 0.0;
     opts.x_max = 0.5;
     opts.y_min = 0.0;
     opts.y_max = 0.4;
-    std::printf("%s\n", support::scatter_plot(fs, ts, opts).c_str());
+    std::printf("\n%s\n", support::scatter_plot(fs, ts, opts).c_str());
 
     int mild = 0;
     for (std::size_t i = 0; i < ts.size(); ++i) {
@@ -84,6 +77,6 @@ int main(int argc, char** argv) {
   } else {
     std::printf("no anomalies found within the sample budget\n");
   }
-  std::printf("\nCSV: %s\n", csv.path().c_str());
+  bench::print_csv_path(csv);
   return 0;
 }

@@ -6,53 +6,40 @@
 // line; the maximum is close to 1181 (the full [20, 1200] line).
 #include <cstdio>
 
-#include "anomaly/region.hpp"
-#include "anomaly/search.hpp"
 #include "bench_common.hpp"
-#include "expr/family.hpp"
 #include "support/ascii_plot.hpp"
 #include "support/statistics.hpp"
 
 int main(int argc, char** argv) {
   using namespace lamb;
   bench::BenchContext ctx(argc, argv);
+  auto driver = ctx.driver("chain4");
   bench::print_header("Figure 7 / Sec 4.1.2",
-                      "chain anomalous-region thickness per dimension", ctx);
+                      "chain anomalous-region thickness per dimension", ctx,
+                      driver.family());
 
-  expr::ChainFamily family(4);
-  anomaly::RandomSearchConfig search_cfg;
-  search_cfg.hi = static_cast<int>(ctx.cli.get_int("hi", ctx.real ? 300 : 1200));
-  search_cfg.target_anomalies =
-      static_cast<int>(ctx.cli.get_int("anomalies", ctx.real ? 2 : 40));
-  search_cfg.max_samples =
-      ctx.cli.get_int("max-samples", ctx.real ? 200 : 100000);
-  search_cfg.seed = ctx.cli.get_seed("seed", 1);
-  const auto found = anomaly::random_search(family, *ctx.machine, search_cfg);
-  std::printf("Experiment 1: %zu anomalies (%lld samples)\n",
-              found.anomalies.size(), found.samples);
+  bench::SearchDefaults defaults;
+  defaults.sim_anomalies = 40;
+  defaults.real_anomalies = 2;
+  const auto search_cfg = ctx.search_config(defaults);
+  const auto found = bench::run_search(driver, search_cfg);
+  const auto trav_cfg = ctx.traversal_config(search_cfg);
 
-  anomaly::TraversalConfig trav_cfg;
-  trav_cfg.lo = search_cfg.lo;
-  trav_cfg.hi = search_cfg.hi;
-  trav_cfg.time_score_threshold = ctx.cli.get_double("threshold", 0.05);
-
-  const int dims = family.dimension_count();
+  const int dims = driver.family().dimension_count();
   std::vector<std::vector<double>> thickness(static_cast<std::size_t>(dims));
-  support::CsvWriter csv(ctx.out_dir + "/fig7_chain_thickness.csv");
+  auto csv = ctx.csv("fig7_chain_thickness");
   csv.row({"anomaly", "dim", "boundary_lo", "boundary_hi", "thickness"});
 
-  for (std::size_t a = 0; a < found.anomalies.size(); ++a) {
-    const auto lines = anomaly::traverse_all_lines(
-        family, *ctx.machine, found.anomalies[a].dims, trav_cfg);
-    for (const auto& line : lines) {
-      thickness[static_cast<std::size_t>(line.dim)].push_back(
-          static_cast<double>(line.thickness()));
-      csv.row(support::strf("%zu", a),
-              {static_cast<double>(line.dim),
-               static_cast<double>(line.boundary_lo),
-               static_cast<double>(line.boundary_hi),
-               static_cast<double>(line.thickness())});
-    }
+  const auto lines = driver.traverse_regions(found.anomalies, trav_cfg);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto& line = lines[i];
+    thickness[static_cast<std::size_t>(line.dim)].push_back(
+        static_cast<double>(line.thickness()));
+    csv.row(support::strf("%zu", i / static_cast<std::size_t>(dims)),
+            {static_cast<double>(line.dim),
+             static_cast<double>(line.boundary_lo),
+             static_cast<double>(line.boundary_hi),
+             static_cast<double>(line.thickness())});
   }
 
   const double line_span = static_cast<double>(trav_cfg.hi - trav_cfg.lo - 1);
@@ -80,6 +67,6 @@ int main(int argc, char** argv) {
   cmp.add("some regions span a large part of a line", "yes",
           overall_max > 0.3 * line_span ? "yes" : "NO");
   cmp.render();
-  std::printf("\nCSV: %s\n", csv.path().c_str());
+  bench::print_csv_path(csv);
   return 0;
 }

@@ -6,39 +6,30 @@
 // abruptly (internal variant switch) or all change gradually; no third type.
 #include <cstdio>
 
-#include "anomaly/region.hpp"
-#include "anomaly/search.hpp"
 #include "bench_common.hpp"
 #include "boundary_common.hpp"
-#include "expr/family.hpp"
 
 int main(int argc, char** argv) {
   using namespace lamb;
   bench::BenchContext ctx(argc, argv);
+  auto driver = ctx.driver("chain4");
   bench::print_header("Figure 8 / Sec 4.1.3",
                       "chain algorithm efficiencies across region boundaries",
-                      ctx);
+                      ctx, driver.family());
 
-  expr::ChainFamily family(4);
-  anomaly::RandomSearchConfig search_cfg;
-  search_cfg.hi = static_cast<int>(ctx.cli.get_int("hi", ctx.real ? 300 : 1200));
-  search_cfg.target_anomalies =
-      static_cast<int>(ctx.cli.get_int("anomalies", 2));
-  search_cfg.max_samples =
-      ctx.cli.get_int("max-samples", ctx.real ? 200 : 100000);
-  search_cfg.seed = ctx.cli.get_seed("seed", 3);
-  const auto found = anomaly::random_search(family, *ctx.machine, search_cfg);
+  bench::SearchDefaults defaults;
+  defaults.sim_anomalies = 2;
+  defaults.real_anomalies = 2;
+  defaults.seed = 3;
+  const auto search_cfg = ctx.search_config(defaults);
+  const auto found = bench::run_search(driver, search_cfg);
   if (found.anomalies.empty()) {
     std::printf("no anomalies found; increase --max-samples\n");
     return 0;
   }
+  const auto trav_cfg = ctx.traversal_config(search_cfg);
 
-  anomaly::TraversalConfig trav_cfg;
-  trav_cfg.lo = search_cfg.lo;
-  trav_cfg.hi = search_cfg.hi;
-  trav_cfg.time_score_threshold = ctx.cli.get_double("threshold", 0.05);
-
-  support::CsvWriter csv(ctx.out_dir + "/fig8_chain_boundaries.csv");
+  auto csv = ctx.csv("fig8_chain_boundaries");
   csv.row({"coord", "alg", "eff_total", "eff_calls..."});
 
   int abrupt = 0;
@@ -46,19 +37,20 @@ int main(int argc, char** argv) {
   for (const auto& a : found.anomalies) {
     // Pick the dimension with the thickest region, like the paper's
     // hand-picked illustrative lines.
-    const auto lines =
-        anomaly::traverse_all_lines(family, *ctx.machine, a.dims, trav_cfg);
+    const auto lines = driver.traverse_all_lines(a.dims, trav_cfg);
     const anomaly::LineTraversal* best = &lines.front();
     for (const auto& line : lines) {
       if (line.thickness() > best->thickness()) {
         best = &line;
       }
     }
-    std::printf("%s\n", bench::render_boundary_line(family, *ctx.machine,
-                                                    *best, csv)
+    std::printf("%s\n", bench::render_boundary_line(driver.family(),
+                                                    driver.machine(), *best,
+                                                    csv)
                             .c_str());
     for (const auto& t : bench::classify_transitions(
-             family, *ctx.machine, *best, trav_cfg.lo, trav_cfg.hi)) {
+             driver.family(), driver.machine(), *best, trav_cfg.lo,
+             trav_cfg.hi)) {
       if (t.at_search_bound) {
         std::printf("boundary at %d: search-space bound\n", t.boundary_coord);
         continue;
@@ -77,6 +69,6 @@ int main(int argc, char** argv) {
   cmp.add("regions have identifiable boundaries", "yes",
           abrupt + gradual > 0 ? "yes" : "only space bounds");
   cmp.render();
-  std::printf("\nCSV: %s\n", csv.path().c_str());
+  bench::print_csv_path(csv);
   return 0;
 }

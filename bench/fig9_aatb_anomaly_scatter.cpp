@@ -1,43 +1,40 @@
 // Figure 9 (+ Sec. 4.2.1): Experiment 1 on A*A^T*B. Random search in the box
-// [20, 1200]^3, threshold 10%.
+// [20, 1200]^3, threshold 10%. --family selects another registry family over
+// the same protocol.
 //
 // Paper: 1,000 anomalies in 10,258 samples -> abundance 9.7%; 39.2% of
 // anomalies have time score > 20% or FLOP score > 30%; extremes trade 45%
 // more FLOPs for 40% less time.
 #include <cstdio>
 
-#include "anomaly/search.hpp"
 #include "bench_common.hpp"
-#include "expr/family.hpp"
 #include "support/ascii_plot.hpp"
 #include "support/statistics.hpp"
 
 int main(int argc, char** argv) {
   using namespace lamb;
   bench::BenchContext ctx(argc, argv);
+  auto driver = ctx.driver("aatb");
   bench::print_header("Figure 9 / Sec 4.2.1",
-                      "random search for A*A^T*B anomalies", ctx);
+                      "random search for A*A^T*B anomalies", ctx,
+                      driver.family());
 
-  expr::AatbFamily family;
-  anomaly::RandomSearchConfig cfg;
-  cfg.lo = static_cast<int>(ctx.cli.get_int("lo", 20));
-  cfg.hi = static_cast<int>(ctx.cli.get_int("hi", ctx.real ? 300 : 1200));
-  cfg.target_anomalies =
-      static_cast<int>(ctx.cli.get_int("anomalies", ctx.real ? 10 : 1000));
-  cfg.max_samples = ctx.cli.get_int("max-samples", ctx.real ? 300 : 100000);
-  cfg.time_score_threshold = ctx.cli.get_double("threshold", 0.10);
-  cfg.seed = ctx.cli.get_seed("seed", 1);
-
-  std::printf("searching box [%d, %d]^3, threshold %.0f%%, target %d "
-              "anomalies...\n",
-              cfg.lo, cfg.hi, cfg.time_score_threshold * 100,
-              cfg.target_anomalies);
-  const auto result = anomaly::random_search(family, *ctx.machine, cfg);
+  bench::SearchDefaults defaults;
+  defaults.sim_anomalies = 1000;
+  defaults.real_anomalies = 10;
+  defaults.sim_max_samples = 100000;
+  defaults.real_max_samples = 300;
+  defaults.threshold_from_flag = true;  // search-only bench: --threshold
+  const auto cfg = ctx.search_config(defaults);
+  const auto result = bench::run_search(driver, cfg);
 
   std::vector<double> ts;
   std::vector<double> fs;
-  support::CsvWriter csv(ctx.out_dir + "/fig9_aatb_anomalies.csv");
-  csv.row({"d0", "d1", "d2", "time_score", "flop_score"});
+  auto csv = ctx.csv("fig9_aatb_anomalies");
+  std::vector<std::string> header = driver.family().dimension_names();
+  header.push_back("time_score");
+  header.push_back("flop_score");
+  csv.row(header);
   int severe = 0;
   for (const auto& a : result.anomalies) {
     ts.push_back(a.time_score);
@@ -45,26 +42,23 @@ int main(int argc, char** argv) {
     if (a.time_score > 0.20 || a.flop_score > 0.30) {
       ++severe;
     }
-    csv.row(support::strf("%d", a.dims[0]),
-            {static_cast<double>(a.dims[1]), static_cast<double>(a.dims[2]),
-             a.time_score, a.flop_score});
+    std::vector<double> rest(a.dims.begin() + 1, a.dims.end());
+    rest.push_back(a.time_score);
+    rest.push_back(a.flop_score);
+    csv.row(support::strf("%d", a.dims[0]), rest);
   }
-
-  std::printf("found %zu distinct anomalies in %lld samples "
-              "(abundance %.2f%%)\n\n",
-              result.anomalies.size(), result.samples,
-              100.0 * result.abundance());
 
   if (!ts.empty()) {
     support::PlotOptions opts;
-    opts.title = "Time score vs FLOP score (A*A^T*B anomalies)";
+    opts.title = "Time score vs FLOP score (" + driver.family().name() +
+                 " anomalies)";
     opts.x_label = "FLOP score";
     opts.y_label = "time score";
     opts.x_min = 0.0;
     opts.x_max = 0.5;
     opts.y_min = 0.0;
     opts.y_max = 0.5;
-    std::printf("%s\n", support::scatter_plot(fs, ts, opts).c_str());
+    std::printf("\n%s\n", support::scatter_plot(fs, ts, opts).c_str());
 
     bench::Comparison cmp;
     cmp.add("abundance", "9.7% (1,000 / 10,258)",
@@ -83,6 +77,6 @@ int main(int argc, char** argv) {
   } else {
     std::printf("no anomalies found within the sample budget\n");
   }
-  std::printf("\nCSV: %s\n", csv.path().c_str());
+  bench::print_csv_path(csv);
   return 0;
 }

@@ -5,53 +5,35 @@
 // (160,867 / 163,301).
 #include <cstdio>
 
-#include "anomaly/prediction.hpp"
-#include "anomaly/region.hpp"
-#include "anomaly/search.hpp"
 #include "bench_common.hpp"
-#include "expr/family.hpp"
 
 int main(int argc, char** argv) {
   using namespace lamb;
   bench::BenchContext ctx(argc, argv);
+  auto driver = ctx.driver("aatb");
   bench::print_header("Table 2 / Sec 4.2.4",
                       "A*A^T*B anomaly prediction from kernel benchmarks",
-                      ctx);
+                      ctx, driver.family());
 
-  expr::AatbFamily family;
-  anomaly::RandomSearchConfig search_cfg;
-  search_cfg.hi = static_cast<int>(ctx.cli.get_int("hi", ctx.real ? 300 : 1200));
-  search_cfg.target_anomalies =
-      static_cast<int>(ctx.cli.get_int("anomalies", ctx.real ? 3 : 100));
-  search_cfg.max_samples =
-      ctx.cli.get_int("max-samples", ctx.real ? 200 : 100000);
-  search_cfg.seed = ctx.cli.get_seed("seed", 1);
-  const auto found = anomaly::random_search(family, *ctx.machine, search_cfg);
-  std::printf("Experiment 1: %zu anomalies (%lld samples)\n",
-              found.anomalies.size(), found.samples);
+  bench::SearchDefaults defaults;
+  defaults.sim_anomalies = 100;
+  defaults.real_anomalies = 3;
+  const auto search_cfg = ctx.search_config(defaults);
+  const auto found = bench::run_search(driver, search_cfg);
 
   anomaly::TraversalConfig trav_cfg;
   trav_cfg.lo = search_cfg.lo;
   trav_cfg.hi = search_cfg.hi;
   trav_cfg.time_score_threshold = 0.05;
-
-  std::vector<anomaly::LineTraversal> all_lines;
-  for (const auto& a : found.anomalies) {
-    auto lines =
-        anomaly::traverse_all_lines(family, *ctx.machine, a.dims, trav_cfg);
-    for (auto& line : lines) {
-      all_lines.push_back(std::move(line));
-    }
-  }
+  const auto all_lines = driver.traverse_regions(found.anomalies, trav_cfg);
   std::printf("Experiment 2: %zu traversed lines\n", all_lines.size());
 
   const double threshold = ctx.cli.get_double("threshold", 0.05);
-  const auto result = anomaly::predict_from_benchmarks(
-      family, *ctx.machine, all_lines, threshold);
+  const auto result = driver.predict_from_benchmarks(all_lines, threshold);
 
   std::printf("\n%s\n", result.confusion.to_table().c_str());
 
-  support::CsvWriter csv(ctx.out_dir + "/tab2_aatb_confusion.csv");
+  auto csv = ctx.csv("tab2_aatb_confusion");
   csv.row({"tn", "fp", "fn", "tp", "recall", "precision"});
   csv.row(support::strf("%lld", result.confusion.tn),
           {static_cast<double>(result.confusion.fp),
@@ -71,6 +53,6 @@ int main(int argc, char** argv) {
   cmp.add("most anomalies predictable from benchmarks", "yes",
           result.confusion.recall() > 0.60 ? "yes" : "NO");
   cmp.render();
-  std::printf("\nCSV: %s\n", csv.path().c_str());
+  bench::print_csv_path(csv);
   return 0;
 }

@@ -2,13 +2,13 @@
 // with. Samples random instances of either expression, classifies each, and
 // prints the anomalies it finds with their severity scores.
 //
-// Usage: ./examples/anomaly_hunt [--family=aatb|chain] [--anomalies=N]
+// Usage: ./examples/anomaly_hunt [--family=NAME] [--anomalies=N]
 //                                [--hi=1200] [--seed=S] [--threshold=0.10]
+// where NAME is any expr::registry() family (aatb, chain4, gram, aatbc, ...).
 #include <cstdio>
-#include <memory>
 
-#include "anomaly/search.hpp"
-#include "expr/family.hpp"
+#include "anomaly/driver.hpp"
+#include "expr/registry.hpp"
 #include "model/simulated_machine.hpp"
 #include "support/cli.hpp"
 #include "support/str.hpp"
@@ -18,14 +18,6 @@ int main(int argc, char** argv) {
   using namespace lamb;
   const support::Cli cli(argc, argv);
 
-  const std::string family_name = cli.get_string("family", "aatb");
-  std::unique_ptr<expr::ExpressionFamily> family;
-  if (family_name == "chain") {
-    family = std::make_unique<expr::ChainFamily>(4);
-  } else {
-    family = std::make_unique<expr::AatbFamily>();
-  }
-
   anomaly::RandomSearchConfig cfg;
   cfg.hi = static_cast<int>(cli.get_int("hi", 1200));
   cfg.target_anomalies = static_cast<int>(cli.get_int("anomalies", 12));
@@ -34,13 +26,15 @@ int main(int argc, char** argv) {
   cfg.seed = cli.get_seed("seed", 2022);
 
   model::SimulatedMachine machine;
+  anomaly::ExperimentDriver driver(cli.get_string("family", "aatb"), machine);
+  const expr::ExpressionFamily& family = driver.family();
   std::printf("hunting %d anomalies of %s in [%d, %d]^%d "
               "(time-score threshold %s)...\n\n",
-              cfg.target_anomalies, family->name().c_str(), cfg.lo, cfg.hi,
-              family->dimension_count(),
+              cfg.target_anomalies, family.name().c_str(), cfg.lo, cfg.hi,
+              family.dimension_count(),
               support::format_percent(cfg.time_score_threshold, 0).c_str());
 
-  const auto result = anomaly::random_search(*family, machine, cfg);
+  const auto result = driver.random_search(cfg);
 
   support::Table table({"instance", "cheapest", "fastest", "time score",
                         "FLOP score"});

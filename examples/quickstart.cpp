@@ -1,15 +1,17 @@
-// Quickstart: evaluate a matrix chain X := A*B*C*D the way Linnea/Armadillo/
-// Julia would — enumerate the mathematically-equivalent algorithms, pick the
-// one with the minimum FLOP count, and execute it on the BLAS substrate.
-// Then brute-force all schedules to see whether the FLOP-count discriminant
-// actually picked a fastest algorithm on this machine.
+// Quickstart: define an expression in the DSL, enumerate its mathematically-
+// equivalent algorithms, pick the FLOP-minimal one the way Linnea/Armadillo/
+// Julia would, execute it on the BLAS substrate — then time every algorithm
+// to see whether the FLOP-count discriminant actually picked a fastest
+// algorithm on this machine.
 //
 // Build & run:  ./examples/quickstart [d0 d1 d2 d3 d4]
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "chain/chain.hpp"
-#include "expr/family.hpp"
+#include "expr/expr.hpp"
+#include "expr/registry.hpp"
 #include "la/norms.hpp"
 #include "model/cost_model.hpp"
 #include "model/executor.hpp"
@@ -18,21 +20,33 @@
 
 int main(int argc, char** argv) {
   using namespace lamb;
+  using expr::Expr;
 
   // Default instance: a thin-fat-thin chain where parenthesisation matters.
-  chain::ChainDims dims = {600, 40, 500, 30, 400};
+  expr::Instance dims = {600, 40, 500, 30, 400};
   if (argc == 6) {
     for (int i = 0; i < 5; ++i) {
-      dims[static_cast<std::size_t>(i)] = std::atol(argv[i + 1]);
+      dims[static_cast<std::size_t>(i)] =
+          static_cast<int>(std::atol(argv[i + 1]));
     }
   }
-  std::printf("chain instance (d0..d4) = (%lld, %lld, %lld, %lld, %lld)\n\n",
-              static_cast<long long>(dims[0]), static_cast<long long>(dims[1]),
-              static_cast<long long>(dims[2]), static_cast<long long>(dims[3]),
-              static_cast<long long>(dims[4]));
+  std::printf("chain instance (d0..d4) = (%d, %d, %d, %d, %d)\n\n", dims[0],
+              dims[1], dims[2], dims[3], dims[4]);
 
-  // 1. Enumerate all 6 multiplication schedules and their FLOP counts.
-  const auto algorithms = chain::enumerate_chain_schedules(dims);
+  // 1. Define X := A*B*C*D in the expression DSL. Operand shapes are
+  //    symbolic: they index the instance tuple (d0..d4).
+  const expr::ExprPtr a = Expr::operand("A", 0, 1);
+  const expr::ExprPtr b = Expr::operand("B", 1, 2);
+  const expr::ExprPtr c = Expr::operand("C", 2, 3);
+  const expr::ExprPtr d = Expr::operand("D", 3, 4);
+  const expr::ExprPtr chain_expr = a * b * c * d;
+  std::printf("expression: X := %s\n", chain_expr->to_string().c_str());
+
+  // 2. Enumerate every multiplication schedule generically. (The same
+  //    family is registered as "chain4": expr::make_family("chain4") gives
+  //    an equivalent ExpressionFamily; `registry().names()` lists all.)
+  const auto algorithms =
+      expr::enumerate_algorithms(chain_expr, dims, "chain4-alg");
   std::printf("%zu mathematically equivalent algorithms:\n",
               algorithms.size());
   for (std::size_t i = 0; i < algorithms.size(); ++i) {
@@ -41,22 +55,23 @@ int main(int argc, char** argv) {
                 support::format_count(algorithms[i].flops()).c_str());
   }
 
-  // 2. The FLOP-count discriminant (what Linnea/Armadillo/Julia use), and
+  // 3. The FLOP-count discriminant (what Linnea/Armadillo/Julia use), and
   //    the classic dynamic program that finds the same minimum in O(n^3).
   model::FlopCostModel flop_cost;
   const auto cheapest = model::select_best(algorithms, flop_cost);
-  const auto dp = chain::chain_dp(dims);
+  const chain::ChainDims cdims(dims.begin(), dims.end());
+  const auto dp = chain::chain_dp(cdims);
   std::printf("\nFLOP-minimal schedule: #%zu (%s), %s FLOPs\n",
               cheapest.front() + 1,
               algorithms[cheapest.front()].signature().c_str(),
               support::format_count(dp.min_flops).c_str());
   std::printf("DP parenthesisation:   %s\n", dp.parenthesisation(4).c_str());
 
-  // 3. Execute the selected algorithm on real matrices and validate.
+  // 4. Execute the selected algorithm on real matrices and validate. The
+  //    registry family provides matching external operands.
   support::Rng rng(42);
-  expr::ChainFamily family(4);
-  expr::Instance inst(dims.begin(), dims.end());
-  const auto externals = family.make_externals(inst, rng);
+  const auto family = expr::make_family("chain4");
+  const auto externals = family->make_externals(dims, rng);
   const la::Matrix x = model::execute(algorithms[cheapest.front()], externals);
   std::printf("\nexecuted on the lamb::blas substrate: X is %lld x %lld, "
               "||X||_F = %.6g\n",
@@ -64,7 +79,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(x.cols()),
               la::frobenius_norm(x.view()));
 
-  // 4. Brute-force timing of every schedule under the paper's protocol.
+  // 5. Brute-force timing of every schedule under the paper's protocol.
   model::MeasuredMachineConfig cfg;
   cfg.protocol.repetitions = 3;
   model::MeasuredMachine machine(cfg);
@@ -86,5 +101,10 @@ int main(int argc, char** argv) {
               "algorithm on this machine%s\n",
               best_idx + 1, anomaly ? "did NOT select" : "selected",
               anomaly ? " (an anomaly, in the paper's terms)" : "");
+
+  // 6. Where to go next: every registered family runs the same experiments
+  //    through anomaly::ExperimentDriver (see bench/ and README.md).
+  std::printf("\nregistered families:\n%s\n",
+              expr::registry().to_string().c_str());
   return 0;
 }

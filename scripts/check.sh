@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Configure, build and test — the tier-1 verification used locally and in CI.
+#
+#   scripts/check.sh [build-dir]
+#
+# Environment:
+#   CMAKE_BUILD_TYPE   build type (default Release)
+#   JOBS               parallel build jobs (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+GENERATOR=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR=(-G Ninja)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${GENERATOR[@]}" \
+  -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

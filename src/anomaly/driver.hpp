@@ -1,0 +1,100 @@
+// ExperimentDriver: the unified entry point for the paper's experiments.
+//
+// A driver owns an expression family (usually selected by registry name), a
+// reference to the machine model, and the classifier configuration, and runs
+// the three experiments — random search (Exp. 1), region traversal (Exp. 2)
+// and benchmark prediction (Exp. 3) — with batched, ThreadPool-backed
+// instance evaluation.
+//
+// Parallelism is only engaged when the machine says its timing entry points
+// are thread-safe (model::MachineModel::concurrent_timing_safe(): true for
+// the analytic SimulatedMachine, false for MeasuredMachine, whose real
+// timings would be corrupted by contention). In both cases results are
+// bit-identical to the serial reference implementations: batches are drawn
+// from the RNG sequentially, evaluated in parallel, then consumed in order
+// with the serial stopping rule.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anomaly/prediction.hpp"
+#include "anomaly/region.hpp"
+#include "anomaly/search.hpp"
+#include "expr/family.hpp"
+#include "model/machine.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace lamb::anomaly {
+
+struct DriverConfig {
+  /// Worker count for the instance-evaluation pool; 0 = hardware threads.
+  std::size_t threads = 0;
+  /// Instances classified per parallel batch during random search.
+  int batch_size = 64;
+  /// Default time-score threshold for classify(); the experiment entry
+  /// points take their own thresholds (the paper varies them per experiment).
+  double time_score_threshold = 0.10;
+};
+
+class ExperimentDriver {
+ public:
+  /// Takes ownership of the family; the machine must outlive the driver.
+  ExperimentDriver(std::unique_ptr<const expr::ExpressionFamily> family,
+                   model::MachineModel& machine, DriverConfig config = {});
+
+  /// Registry convenience: family selected by name (expr::make_family).
+  ExperimentDriver(const std::string& family_name,
+                   model::MachineModel& machine, DriverConfig config = {});
+
+  const expr::ExpressionFamily& family() const { return *family_; }
+  model::MachineModel& machine() { return machine_; }
+  const DriverConfig& config() const { return config_; }
+
+  /// True when instance batches are evaluated on the pool (machine is
+  /// thread-safe and the pool has more than one participant).
+  bool parallel_enabled() const;
+
+  /// Classify one instance with the driver's default threshold.
+  InstanceResult classify(const expr::Instance& dims);
+
+  /// Classify a batch; parallel when the machine allows it. Results are in
+  /// input order and identical to serial classification.
+  std::vector<InstanceResult> classify_batch(
+      const std::vector<expr::Instance>& batch,
+      double time_score_threshold);
+
+  /// Experiment 1. Matches anomaly::random_search exactly for a given
+  /// config (same samples, same anomalies, same order) — batches are
+  /// pre-drawn from the RNG and consumed with the serial stopping rule.
+  RandomSearchResult random_search(const RandomSearchConfig& cfg,
+                                   const SearchObserver& observer = nullptr);
+
+  /// Experiment 2: one line / all lines through an anomaly. Lines of
+  /// traverse_all_lines are traversed concurrently when possible.
+  LineTraversal traverse_line(const expr::Instance& origin, int dim,
+                              const TraversalConfig& cfg);
+  std::vector<LineTraversal> traverse_all_lines(const expr::Instance& origin,
+                                                const TraversalConfig& cfg);
+
+  /// Experiment 2 over every anomaly of an Experiment-1 result, flattened
+  /// in anomaly order (the shape the confusion benches consume).
+  std::vector<LineTraversal> traverse_regions(
+      const std::vector<InstanceResult>& anomalies,
+      const TraversalConfig& cfg);
+
+  /// Experiment 3: confusion matrix of benchmark-predicted vs measured
+  /// classification over every traversal sample.
+  PredictionResult predict_from_benchmarks(
+      const std::vector<LineTraversal>& traversals,
+      double time_score_threshold);
+
+ private:
+  std::unique_ptr<const expr::ExpressionFamily> family_;
+  model::MachineModel& machine_;
+  DriverConfig config_;
+  std::unique_ptr<parallel::ThreadPool> pool_;
+};
+
+}  // namespace lamb::anomaly

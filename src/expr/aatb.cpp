@@ -1,5 +1,6 @@
 #include "expr/aatb.hpp"
 
+#include "expr/expr.hpp"
 #include "support/check.hpp"
 
 namespace lamb::expr {
@@ -10,50 +11,16 @@ std::vector<Algorithm> enumerate_aatb_algorithms(la::index_t d0,
                                                  la::index_t d1,
                                                  la::index_t d2) {
   LAMB_CHECK(d0 >= 1 && d1 >= 1 && d2 >= 1, "aatb dims must be positive");
-  std::vector<Algorithm> out;
-  out.reserve(5);
-
-  {  // Algorithm 1: SYRK then SYMM.
-    Algorithm alg("aatb-alg1");
-    const int a = alg.add_external(d0, d1, "A");
-    const int b = alg.add_external(d0, d2, "B");
-    const int m = alg.add_syrk(a, "M");
-    alg.add_symm(m, b, "X");
-    out.push_back(std::move(alg));
-  }
-  {  // Algorithm 2: SYRK, triangle copy, then GEMM.
-    Algorithm alg("aatb-alg2");
-    const int a = alg.add_external(d0, d1, "A");
-    const int b = alg.add_external(d0, d2, "B");
-    const int m = alg.add_syrk(a, "M");
-    const int mf = alg.add_tricopy(m, "Mf");
-    alg.add_gemm(mf, b, false, false, "X");
-    out.push_back(std::move(alg));
-  }
-  {  // Algorithm 3: GEMM (A * A^T) then SYMM.
-    Algorithm alg("aatb-alg3");
-    const int a = alg.add_external(d0, d1, "A");
-    const int b = alg.add_external(d0, d2, "B");
-    const int m = alg.add_gemm(a, a, false, true, "M");
-    alg.add_symm(m, b, "X");
-    out.push_back(std::move(alg));
-  }
-  {  // Algorithm 4: GEMM (A * A^T) then GEMM.
-    Algorithm alg("aatb-alg4");
-    const int a = alg.add_external(d0, d1, "A");
-    const int b = alg.add_external(d0, d2, "B");
-    const int m = alg.add_gemm(a, a, false, true, "M");
-    alg.add_gemm(m, b, false, false, "X");
-    out.push_back(std::move(alg));
-  }
-  {  // Algorithm 5: GEMM (A^T * B) then GEMM (A * M).
-    Algorithm alg("aatb-alg5");
-    const int a = alg.add_external(d0, d1, "A");
-    const int b = alg.add_external(d0, d2, "B");
-    const int m = alg.add_gemm(a, b, true, false, "M");
-    alg.add_gemm(a, m, false, false, "X");
-    out.push_back(std::move(alg));
-  }
+  // The five algorithms are the DSL enumeration of A*A'*B: two schedules,
+  // the first of which is the symmetric rank-k product A*A' expanded into
+  // the paper's four kernel variants.
+  const ExprPtr a = Expr::operand("A", 0, 1);
+  const ExprPtr b = Expr::operand("B", 0, 2);
+  const Instance dims = {static_cast<int>(d0), static_cast<int>(d1),
+                         static_cast<int>(d2)};
+  std::vector<Algorithm> out =
+      enumerate_algorithms(a * t(a) * b, dims, "aatb-alg");
+  LAMB_CHECK(out.size() == 5, "aatb must enumerate the paper's 5 algorithms");
   return out;
 }
 

@@ -1,7 +1,6 @@
 #include "expr/family.hpp"
 
 #include "chain/chain.hpp"
-#include "expr/aatb.hpp"
 #include "la/generators.hpp"
 #include "support/check.hpp"
 #include "support/str.hpp"
@@ -26,48 +25,61 @@ void ExpressionFamily::check_instance(const Instance& dims) const {
   }
 }
 
-ChainFamily::ChainFamily(int length) : length_(length) {
-  LAMB_CHECK(length >= 2, "chain family needs at least two matrices");
+DslFamily::DslFamily(std::string name, ExprPtr expression,
+                     EnumerationOptions options)
+    : name_(std::move(name)),
+      expression_(std::move(expression)),
+      options_(options),
+      flat_(flatten(expression_)),
+      dimension_count_(flat_.dimension_count()) {
+  LAMB_CHECK(!name_.empty(), "family needs a name");
+  LAMB_CHECK(flat_.factors.size() >= 2,
+             "family expression must be a product of at least two factors");
 }
 
-std::string ChainFamily::name() const {
-  return support::strf("chain%d", length_);
-}
-
-std::vector<model::Algorithm> ChainFamily::algorithms(
+std::vector<model::Algorithm> DslFamily::algorithms(
     const Instance& dims) const {
   check_instance(dims);
-  chain::ChainDims cd(dims.begin(), dims.end());
-  return chain::enumerate_chain_schedules(cd);
+  return enumerate_algorithms(expression_, dims, name_ + "-alg", options_);
 }
 
-std::vector<la::Matrix> ChainFamily::make_externals(const Instance& dims,
-                                                    support::Rng& rng) const {
+std::vector<la::Matrix> DslFamily::make_externals(const Instance& dims,
+                                                  support::Rng& rng) const {
   check_instance(dims);
   std::vector<la::Matrix> out;
-  out.reserve(static_cast<std::size_t>(length_));
-  for (int i = 0; i < length_; ++i) {
-    out.push_back(la::random_matrix(dims[static_cast<std::size_t>(i)],
-                                    dims[static_cast<std::size_t>(i) + 1],
-                                    rng));
+  out.reserve(flat_.externals.size());
+  for (const ExternalSpec& e : flat_.externals) {
+    out.push_back(la::random_matrix(
+        dims[static_cast<std::size_t>(e.rows_dim)],
+        dims[static_cast<std::size_t>(e.cols_dim)], rng));
   }
   return out;
 }
 
-std::vector<model::Algorithm> AatbFamily::algorithms(
-    const Instance& dims) const {
-  check_instance(dims);
-  return enumerate_aatb_algorithms(dims[0], dims[1], dims[2]);
+namespace {
+
+ExprPtr chain_expression(int length) {
+  LAMB_CHECK(length >= 2, "chain family needs at least two matrices");
+  const std::vector<std::string> names = chain::chain_operand_names(length);
+  ExprPtr expr = Expr::operand(names[0], 0, 1);
+  for (int i = 1; i < length; ++i) {
+    expr = expr * Expr::operand(names[static_cast<std::size_t>(i)], i, i + 1);
+  }
+  return expr;
 }
 
-std::vector<la::Matrix> AatbFamily::make_externals(const Instance& dims,
-                                                   support::Rng& rng) const {
-  check_instance(dims);
-  std::vector<la::Matrix> out;
-  out.reserve(2);
-  out.push_back(la::random_matrix(dims[0], dims[1], rng));
-  out.push_back(la::random_matrix(dims[0], dims[2], rng));
-  return out;
+ExprPtr aatb_expression() {
+  const ExprPtr a = Expr::operand("A", 0, 1);
+  const ExprPtr b = Expr::operand("B", 0, 2);
+  return a * t(a) * b;
 }
+
+}  // namespace
+
+ChainFamily::ChainFamily(int length)
+    : DslFamily(support::strf("chain%d", length), chain_expression(length)),
+      length_(length) {}
+
+AatbFamily::AatbFamily() : DslFamily("aatb", aatb_expression()) {}
 
 }  // namespace lamb::expr

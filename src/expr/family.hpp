@@ -2,20 +2,23 @@
 // against. A family maps an instance (a tuple of free dimension sizes) to
 // its set of mathematically-equivalent algorithms and can materialise random
 // external operands for real execution.
+//
+// Families are defined through the expression DSL (expr/expr.hpp): DslFamily
+// enumerates the algorithm set generically from an expression, so a new
+// family is one expression plus a registry entry (expr/registry.hpp) —
+// ChainFamily and AatbFamily below are exactly that.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "expr/expr.hpp"
 #include "la/matrix.hpp"
 #include "model/algorithm.hpp"
 #include "support/rng.hpp"
 
 namespace lamb::expr {
-
-/// A point in a family's instance space, e.g. (d0, d1, d2, d3, d4).
-using Instance = std::vector<int>;
 
 class ExpressionFamily {
  public:
@@ -41,17 +44,35 @@ class ExpressionFamily {
   void check_instance(const Instance& dims) const;
 };
 
-/// X := A1 * ... * An, instance (d0, ..., dn); algorithms are all (n-1)!
-/// multiplication schedules (paper Sec. 3.2.1 for n = 4).
-class ChainFamily final : public ExpressionFamily {
+/// A family defined entirely by a DSL expression: the algorithm set is
+/// enumerated generically (schedules + symmetric rank-k rewrites) and the
+/// externals follow the expression's operand table.
+class DslFamily : public ExpressionFamily {
  public:
-  explicit ChainFamily(int length = 4);
+  DslFamily(std::string name, ExprPtr expression,
+            EnumerationOptions options = {});
 
-  std::string name() const override;
-  int dimension_count() const override { return length_ + 1; }
+  std::string name() const override { return name_; }
+  int dimension_count() const override { return dimension_count_; }
   std::vector<model::Algorithm> algorithms(const Instance& dims) const override;
   std::vector<la::Matrix> make_externals(const Instance& dims,
                                          support::Rng& rng) const override;
+
+  const ExprPtr& expression() const { return expression_; }
+
+ private:
+  std::string name_;
+  ExprPtr expression_;
+  EnumerationOptions options_;
+  FlatProduct flat_;
+  int dimension_count_ = 0;
+};
+
+/// X := A1 * ... * An, instance (d0, ..., dn); algorithms are all (n-1)!
+/// multiplication schedules (paper Sec. 3.2.1 for n = 4).
+class ChainFamily final : public DslFamily {
+ public:
+  explicit ChainFamily(int length = 4);
 
   int length() const { return length_; }
 
@@ -60,14 +81,10 @@ class ChainFamily final : public ExpressionFamily {
 };
 
 /// X := A * A^T * B, instance (d0, d1, d2); the five algorithms of
-/// paper Sec. 3.2.2.
-class AatbFamily final : public ExpressionFamily {
+/// paper Sec. 3.2.2 fall out of the DSL's symmetric rank-k rewrite.
+class AatbFamily final : public DslFamily {
  public:
-  std::string name() const override { return "aatb"; }
-  int dimension_count() const override { return 3; }
-  std::vector<model::Algorithm> algorithms(const Instance& dims) const override;
-  std::vector<la::Matrix> make_externals(const Instance& dims,
-                                         support::Rng& rng) const override;
+  AatbFamily();
 };
 
 }  // namespace lamb::expr

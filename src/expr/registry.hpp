@@ -1,0 +1,66 @@
+// Family registry: string-keyed factories for expression families, so
+// benches, tests and CLI flags select families by name ("--family=aatb").
+//
+// Built-ins registered on first use:
+//   chain3..chain6  — matrix chains (any other "chainN", N >= 2, is resolved
+//                     dynamically by make())
+//   aatb            — A*A'*B, the paper's Sec. 3.2.2 expression
+//   gram            — A*A', the bare symmetric rank-k product
+//   aatbc           — A*A'*B*C, a longer symmetric-headed chain
+//
+// Adding a family is one call:
+//   registry().add("mine", "A'*(B*C)", [] {
+//     return std::make_unique<DslFamily>("mine", <expression>);
+//   });
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/family.hpp"
+
+namespace lamb::expr {
+
+class FamilyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<ExpressionFamily>()>;
+
+  /// Register a named factory; duplicate names are rejected.
+  void add(const std::string& name, const std::string& description,
+           Factory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// Instantiate a registered family. Unregistered "chainN" names (N >= 2)
+  /// are resolved to ChainFamily(N); any other unknown name throws
+  /// support::CheckError listing the registered names.
+  std::unique_ptr<ExpressionFamily> make(const std::string& name) const;
+
+  /// Registered names in registration order.
+  std::vector<std::string> names() const;
+
+  const std::string& description(const std::string& name) const;
+
+  /// One-line-per-family listing for --help style output.
+  std::string to_string() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string description;
+    Factory factory;
+  };
+  const Entry* find(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+};
+
+/// The process-wide registry, with the built-in families pre-registered.
+FamilyRegistry& registry();
+
+/// Convenience: registry().make(name).
+std::unique_ptr<ExpressionFamily> make_family(const std::string& name);
+
+}  // namespace lamb::expr

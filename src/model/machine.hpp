@@ -32,6 +32,13 @@ class MachineModel {
   /// Peak FLOP rate used to convert times into efficiencies.
   virtual double peak_flops() const = 0;
 
+  /// True when time_steps()/time_call_isolated() may be called from several
+  /// threads at once. Analytic models (SimulatedMachine) are pure functions
+  /// of the call and say yes; anything that touches real hardware or mutable
+  /// caches must stay serialised (the default). The ExperimentDriver keys
+  /// its batch parallelism off this.
+  virtual bool concurrent_timing_safe() const { return false; }
+
   /// Median per-step execution times of the algorithm executed end-to-end.
   virtual std::vector<double> time_steps(const Algorithm& alg) = 0;
 

@@ -48,6 +48,8 @@ class SimulatedMachine final : public MachineModel {
 
   std::string name() const override;
   double peak_flops() const override { return config_.peak_flops; }
+  /// Timing is a pure function of the call: safe to run concurrently.
+  bool concurrent_timing_safe() const override { return true; }
 
   std::vector<double> time_steps(const Algorithm& alg) override;
   double time_call_isolated(const KernelCall& call) override;

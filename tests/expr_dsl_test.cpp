@@ -1,0 +1,200 @@
+// The expression DSL: flattening rewrites, generic schedule enumeration, the
+// symmetric rank-k variant expansion, and exact parity with the hand-rolled
+// chain/aatb enumerations the DSL replaced.
+#include <gtest/gtest.h>
+
+#include "chain/chain.hpp"
+#include "expr/aatb.hpp"
+#include "expr/expr.hpp"
+#include "expr/family.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using namespace lamb;
+using expr::Expr;
+using expr::ExprPtr;
+using model::KernelKind;
+
+TEST(ExprFlatten, ProductFlattensLeftToRight) {
+  const ExprPtr a = Expr::operand("A", 0, 1);
+  const ExprPtr b = Expr::operand("B", 1, 2);
+  const ExprPtr c = Expr::operand("C", 2, 3);
+  const auto flat = expr::flatten((a * b) * c);
+  ASSERT_EQ(flat.factors.size(), 3u);
+  ASSERT_EQ(flat.externals.size(), 3u);
+  EXPECT_EQ(flat.externals[0].name, "A");
+  EXPECT_EQ(flat.externals[2].name, "C");
+  EXPECT_EQ(flat.dimension_count(), 4);
+  for (const expr::Factor& f : flat.factors) {
+    EXPECT_FALSE(f.trans);
+  }
+}
+
+TEST(ExprFlatten, TransposeOfProductPushesDown) {
+  // (A*B)' = B'*A'.
+  const ExprPtr a = Expr::operand("A", 0, 1);
+  const ExprPtr b = Expr::operand("B", 1, 2);
+  const auto flat = expr::flatten(t(a * b));
+  ASSERT_EQ(flat.factors.size(), 2u);
+  EXPECT_EQ(flat.externals[static_cast<std::size_t>(flat.factors[0].external)]
+                .name,
+            "B");
+  EXPECT_TRUE(flat.factors[0].trans);
+  EXPECT_EQ(flat.externals[static_cast<std::size_t>(flat.factors[1].external)]
+                .name,
+            "A");
+  EXPECT_TRUE(flat.factors[1].trans);
+}
+
+TEST(ExprFlatten, DoubleTransposeCancels) {
+  const ExprPtr a = Expr::operand("A", 0, 1);
+  const auto flat = expr::flatten(t(t(a)) * Expr::operand("B", 1, 2));
+  EXPECT_FALSE(flat.factors[0].trans);
+}
+
+TEST(ExprFlatten, SyrkSugarExpandsToXXt) {
+  const ExprPtr a = Expr::operand("A", 0, 1);
+  const auto flat = expr::flatten(Expr::syrk(a));
+  ASSERT_EQ(flat.factors.size(), 2u);
+  ASSERT_EQ(flat.externals.size(), 1u);
+  EXPECT_FALSE(flat.factors[0].trans);
+  EXPECT_TRUE(flat.factors[1].trans);
+  EXPECT_EQ(flat.factors[0].external, flat.factors[1].external);
+}
+
+TEST(ExprFlatten, RepeatedOperandSharesExternal) {
+  const ExprPtr a = Expr::operand("A", 0, 1);
+  const auto flat = expr::flatten(a * t(a) * Expr::operand("B", 0, 2));
+  EXPECT_EQ(flat.externals.size(), 2u);
+  EXPECT_EQ(flat.factors.size(), 3u);
+}
+
+TEST(ExprFlatten, InconsistentOperandShapesRejected) {
+  const ExprPtr a1 = Expr::operand("A", 0, 1);
+  const ExprPtr a2 = Expr::operand("A", 1, 2);
+  EXPECT_THROW(expr::flatten(a1 * a2), support::CheckError);
+}
+
+TEST(ExprToString, RendersTransposesAndSyrk) {
+  const ExprPtr a = Expr::operand("A", 0, 1);
+  const ExprPtr b = Expr::operand("B", 0, 2);
+  EXPECT_EQ((a * t(a) * b)->to_string(), "A*A'*B");
+  EXPECT_EQ(Expr::syrk(a)->to_string(), "syrk(A)");
+  EXPECT_EQ(t(a * b)->to_string(), "(A*B)'");
+}
+
+TEST(ExprEnumerate, ChainParityWithHandRolledSchedules) {
+  // The DSL-backed ChainFamily must reproduce chain::enumerate_chain_
+  // schedules exactly: same count, same FLOPs, same signatures, same order.
+  for (int n = 2; n <= 5; ++n) {
+    expr::ChainFamily family(n);
+    expr::Instance dims(static_cast<std::size_t>(n) + 1);
+    chain::ChainDims cdims(static_cast<std::size_t>(n) + 1);
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      dims[i] = static_cast<int>(7 + 3 * i);
+      cdims[i] = static_cast<la::index_t>(dims[i]);
+    }
+    const auto dsl = family.algorithms(dims);
+    const auto ref = chain::enumerate_chain_schedules(cdims);
+    ASSERT_EQ(dsl.size(), ref.size()) << "n=" << n;
+    for (std::size_t i = 0; i < dsl.size(); ++i) {
+      EXPECT_EQ(dsl[i].flops(), ref[i].flops()) << "n=" << n << " alg " << i;
+      EXPECT_EQ(dsl[i].signature(), ref[i].signature())
+          << "n=" << n << " alg " << i;
+    }
+  }
+}
+
+TEST(ExprEnumerate, AatbParityWithPaperAlgorithms) {
+  const auto algs = expr::enumerate_aatb_algorithms(9, 14, 23);
+  ASSERT_EQ(algs.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(algs[static_cast<std::size_t>(i)].flops(),
+              expr::aatb_flops(i + 1, 9, 14, 23))
+        << "algorithm " << (i + 1);
+  }
+}
+
+TEST(ExprEnumerate, SymmetricRewritesCanBeDisabled) {
+  // Without the rewrite A*A'*B is a plain 3-chain: two GEMM-only schedules.
+  const ExprPtr a = Expr::operand("A", 0, 1);
+  const ExprPtr b = Expr::operand("B", 0, 2);
+  expr::EnumerationOptions options;
+  options.symmetric_rewrites = false;
+  const auto algs =
+      expr::enumerate_algorithms(a * t(a) * b, {8, 9, 10}, "plain-", options);
+  ASSERT_EQ(algs.size(), 2u);
+  for (const model::Algorithm& alg : algs) {
+    for (const model::Step& s : alg.steps()) {
+      EXPECT_EQ(s.call.kind, KernelKind::kGemm);
+    }
+  }
+}
+
+TEST(ExprEnumerate, FinalSymmetricProductGetsTwoVariants) {
+  // X := A*A' with no consumer: SYRK+tricopy and plain GEMM.
+  const ExprPtr a = Expr::operand("A", 0, 1);
+  const auto algs =
+      expr::enumerate_algorithms(Expr::syrk(a), {12, 5}, "gram-alg");
+  ASSERT_EQ(algs.size(), 2u);
+  EXPECT_EQ(algs[0].steps()[0].call.kind, KernelKind::kSyrk);
+  EXPECT_EQ(algs[0].steps()[1].call.kind, KernelKind::kTriCopy);
+  ASSERT_EQ(algs[1].steps().size(), 1u);
+  EXPECT_EQ(algs[1].steps()[0].call.kind, KernelKind::kGemm);
+  EXPECT_TRUE(algs[1].steps()[0].call.trans_b);
+  for (const model::Algorithm& alg : algs) {
+    const model::Operand& out =
+        alg.operands()[static_cast<std::size_t>(alg.result_id())];
+    EXPECT_EQ(out.rows, 12);
+    EXPECT_EQ(out.cols, 12);
+    EXPECT_FALSE(out.lower_only);
+  }
+}
+
+TEST(ExprEnumerate, AlgorithmsAreNamedByPrefix) {
+  const ExprPtr a = Expr::operand("A", 0, 1);
+  const ExprPtr b = Expr::operand("B", 1, 2);
+  const auto algs = expr::enumerate_algorithms(a * b, {3, 4, 5}, "f-alg");
+  ASSERT_EQ(algs.size(), 1u);
+  EXPECT_EQ(algs[0].name(), "f-alg1");
+}
+
+TEST(ExprEnumerate, NonConformingInstanceRejected) {
+  const ExprPtr a = Expr::operand("A", 0, 1);
+  const ExprPtr b = Expr::operand("B", 2, 0);  // needs dims[2] == dims[1]
+  EXPECT_THROW(expr::enumerate_algorithms(a * b, {3, 4, 5}, "x"),
+               support::CheckError);
+  EXPECT_NO_THROW(expr::enumerate_algorithms(a * b, {3, 4, 4}, "x"));
+}
+
+TEST(ExprEnumerate, SingleFactorRejected) {
+  const ExprPtr a = Expr::operand("A", 0, 1);
+  EXPECT_THROW(expr::enumerate_algorithms(a, {3, 4}, "x"),
+               support::CheckError);
+}
+
+TEST(DslFamily, DimensionCountDerivedFromExpression) {
+  const ExprPtr a = Expr::operand("A", 0, 1);
+  const ExprPtr b = Expr::operand("B", 0, 2);
+  const ExprPtr c = Expr::operand("C", 2, 3);
+  expr::DslFamily family("aatbc", a * t(a) * b * c);
+  EXPECT_EQ(family.dimension_count(), 4);
+  EXPECT_EQ(family.name(), "aatbc");
+  EXPECT_EQ(family.expression()->to_string(), "A*A'*B*C");
+}
+
+TEST(DslFamily, ExternalsFollowFirstAppearanceOrder) {
+  const ExprPtr a = Expr::operand("A", 0, 1);
+  const ExprPtr b = Expr::operand("B", 0, 2);
+  expr::DslFamily family("aatb2", a * t(a) * b);
+  support::Rng rng(5);
+  const auto ext = family.make_externals({8, 9, 10}, rng);
+  ASSERT_EQ(ext.size(), 2u);
+  EXPECT_EQ(ext[0].rows(), 8);
+  EXPECT_EQ(ext[0].cols(), 9);
+  EXPECT_EQ(ext[1].rows(), 8);
+  EXPECT_EQ(ext[1].cols(), 10);
+}
+
+}  // namespace

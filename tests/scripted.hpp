@@ -67,6 +67,8 @@ class ScriptedMachine final : public model::MachineModel {
 
   std::string name() const override { return "scripted"; }
   double peak_flops() const override { return 1.0e9; }
+  /// Scripted timings are pure functions of the call: thread-safe.
+  bool concurrent_timing_safe() const override { return true; }
 
   std::vector<double> time_steps(const model::Algorithm& alg) override {
     return {time_for(alg.steps().at(0).call, window_lo, window_hi, true)};
