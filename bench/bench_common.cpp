@@ -20,6 +20,29 @@ BenchContext::BenchContext(int argc, const char* const* argv)
     cfg.noise_seed = cli.get_seed("noise-seed", 0xC0FFEE);
     machine = std::make_unique<model::SimulatedMachine>(cfg);
   }
+  const std::string atlas_dir = cli.get_string("atlas-dir", "");
+  if (!atlas_dir.empty()) {
+    atlas_store = std::make_unique<store::AtlasStore>(atlas_dir);
+  }
+}
+
+anomaly::RegionAtlas BenchContext::atlas(const expr::ExpressionFamily& family,
+                                         const expr::Instance& base, int dim,
+                                         const anomaly::AtlasConfig& cfg)
+    const {
+  if (atlas_store != nullptr) {
+    const store::AtlasKey key{family.name(), machine->name(), dim, base, cfg};
+    if (auto cached = atlas_store->load(key)) {
+      std::printf("atlas store: hit %s\n", atlas_store->path_for(key).c_str());
+      return std::move(*cached);
+    }
+    anomaly::RegionAtlas built(family, *machine, base, dim, cfg);
+    atlas_store->save(key, built);
+    std::printf("atlas store: built and saved %s\n",
+                atlas_store->path_for(key).c_str());
+    return built;
+  }
+  return anomaly::RegionAtlas(family, *machine, base, dim, cfg);
 }
 
 std::string BenchContext::family_name(

@@ -16,17 +16,23 @@
 //   --max-samples=N     Experiment-1 sample budget
 //   --threshold=X       time-score threshold override
 //   --out-dir=PATH      where CSV dumps go (default "results")
+//   --atlas-dir=PATH    persistent store::AtlasStore directory; atlases
+//                       built by this run are saved there and later runs
+//                       (any bench or serve_cli) reuse them instead of
+//                       re-scanning
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "anomaly/atlas.hpp"
 #include "anomaly/driver.hpp"
 #include "expr/registry.hpp"
 #include "model/machine.hpp"
 #include "model/measured_machine.hpp"
 #include "model/simulated_machine.hpp"
+#include "store/atlas_store.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 #include "support/str.hpp"
@@ -56,6 +62,8 @@ struct BenchContext {
   std::unique_ptr<model::MachineModel> machine;
   bool real = false;
   std::string out_dir;
+  /// Present when --atlas-dir was given.
+  std::unique_ptr<store::AtlasStore> atlas_store;
 
   BenchContext(int argc, const char* const* argv);
 
@@ -83,6 +91,13 @@ struct BenchContext {
 
   /// CSV writer at <out-dir>/<stem>.csv.
   support::CsvWriter csv(const std::string& stem) const;
+
+  /// A RegionAtlas for (family, base, dim, cfg): loaded from --atlas-dir
+  /// when a matching record exists there, otherwise built on this context's
+  /// machine (and saved back when --atlas-dir is set).
+  anomaly::RegionAtlas atlas(const expr::ExpressionFamily& family,
+                             const expr::Instance& base, int dim,
+                             const anomaly::AtlasConfig& cfg) const;
 
   /// Registry names from --families=a,b,c (default: `default_list`); used by
   /// the benches that sweep several families.

@@ -1,0 +1,103 @@
+// Serving-layer throughput: what does a selection query cost once the
+// expensive knowledge is precomputed?
+//
+//   UncachedClassification  — full classify_instance per query (enumerate
+//                             algorithms, time each on the simulated machine)
+//   AtlasLookup             — warm SelectionService with the recommendation
+//                             cache disabled: per-query cost is the atlas
+//                             binary search
+//   WarmCacheQuery          — warm SelectionService, sharded-LRU hit path
+//
+// The acceptance target is WarmCacheQuery >= 100x faster than
+// UncachedClassification; on the simulated machine the gap is typically
+// 3-4 orders of magnitude.
+#include <benchmark/benchmark.h>
+
+#include "anomaly/classifier.hpp"
+#include "expr/registry.hpp"
+#include "model/simulated_machine.hpp"
+#include "serve/selection_service.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lamb;
+
+constexpr int kQueryCount = 256;
+
+std::vector<serve::Query> make_queries(const serve::ServiceConfig& cfg) {
+  support::Rng rng(42);
+  std::vector<serve::Query> queries;
+  queries.reserve(kQueryCount);
+  for (int i = 0; i < kQueryCount; ++i) {
+    // One slice (fixed d1, d2), varying symbolic coordinate: the serving
+    // sweet spot the atlas was designed for.
+    queries.push_back(serve::Query{
+        "aatb",
+        {rng.uniform_int(cfg.atlas.lo, cfg.atlas.hi), 260, 549},
+        0,
+        false});
+  }
+  return queries;
+}
+
+void BM_UncachedClassification(benchmark::State& state) {
+  model::SimulatedMachine machine;
+  const auto family = expr::make_family("aatb");
+  const serve::ServiceConfig cfg;
+  const auto queries = make_queries(cfg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = queries[i++ % queries.size()];
+    benchmark::DoNotOptimize(anomaly::classify_instance(
+        *family, machine, q.dims, cfg.atlas.time_score_threshold));
+  }
+}
+BENCHMARK(BM_UncachedClassification)->Unit(benchmark::kMicrosecond);
+
+void BM_AtlasLookup(benchmark::State& state) {
+  model::SimulatedMachine machine;
+  serve::ServiceConfig cfg;
+  cfg.cache_capacity = 1;  // recommendation cache effectively disabled
+  cfg.cache_shards = 1;
+  serve::SelectionService service(machine, cfg);
+  const auto queries = make_queries(cfg);
+  service.warm(queries);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.query(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_AtlasLookup)->Unit(benchmark::kMicrosecond);
+
+void BM_WarmCacheQuery(benchmark::State& state) {
+  model::SimulatedMachine machine;
+  const serve::ServiceConfig cfg;
+  serve::SelectionService service(machine, cfg);
+  const auto queries = make_queries(cfg);
+  service.query_batch(queries);  // build the atlas + populate the cache
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.query(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_WarmCacheQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_WarmCacheQueryThreaded(benchmark::State& state) {
+  static model::SimulatedMachine machine;
+  static serve::SelectionService service(machine, {});
+  static const auto queries = [] {
+    const auto qs = make_queries({});
+    service.query_batch(qs);
+    return qs;
+  }();
+  std::size_t i = static_cast<std::size_t>(state.thread_index()) * 31;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.query(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_WarmCacheQueryThreaded)
+    ->Threads(4)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
       {{110, 301, 938}, 2},
   };
   for (const auto& [base, dim] : lines) {
-    const anomaly::RegionAtlas atlas(family, *ctx.machine, base, dim, cfg);
+    // --atlas-dir reuses a persisted scan from an earlier run when present.
+    const anomaly::RegionAtlas atlas = ctx.atlas(family, base, dim, cfg);
     std::printf("base (%d,%d,%d):\n%s\n", base[0], base[1], base[2],
                 atlas.to_string({"alg1(syrk+symm)", "alg2(syrk+gemm)",
                                  "alg3(gemm+symm)", "alg4(gemm+gemm)",

@@ -1,0 +1,270 @@
+// serve_cli: drive the SelectionService from the command line.
+//
+// Subcommands (first positional argument):
+//   build   build one atlas slice and persist it
+//             serve_cli build --family=aatb --base=150,260,549 --dim=0
+//                       --atlas-dir=atlases [--lo --hi --step --threshold]
+//   warm    batch-build the slices a query list needs, checkpoint them
+//             serve_cli warm --family=aatb --atlas-dir=atlases
+//                       --queries=queries.csv
+//   query   answer queries from a CSV file or stdin (one instance per line,
+//           comma-separated sizes; '#' starts a comment)
+//             echo 300,260,549 | serve_cli query --family=aatb
+//                       --atlas-dir=atlases
+//   bench   time uncached classification vs warm-cache service queries
+//             serve_cli bench --family=aatb --queries-n=2000
+//
+// Common flags: --family=NAME (registry name), --dim=N (slice dimension,
+// default 0), --exact (bypass the atlas), --atlas-dir=DIR (persistent store;
+// omitted = in-memory only), --real (measured machine instead of simulated),
+// --lo/--hi/--step/--threshold (atlas scan geometry), --threads=N.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "anomaly/classifier.hpp"
+#include "model/measured_machine.hpp"
+#include "model/simulated_machine.hpp"
+#include "serve/selection_service.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace {
+
+using namespace lamb;
+
+serve::ServiceConfig service_config(const support::Cli& cli, bool real) {
+  serve::ServiceConfig cfg;
+  cfg.atlas.lo = static_cast<int>(cli.get_int("lo", 20));
+  cfg.atlas.hi = static_cast<int>(cli.get_int("hi", real ? 300 : 1200));
+  cfg.atlas.coarse_step = static_cast<int>(cli.get_int("step", 20));
+  cfg.atlas.time_score_threshold = cli.get_double("threshold", 0.05);
+  cfg.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  return cfg;
+}
+
+std::unique_ptr<model::MachineModel> make_machine(const support::Cli& cli) {
+  if (cli.get_bool("real", false)) {
+    model::MeasuredMachineConfig cfg;
+    cfg.protocol.repetitions = static_cast<int>(cli.get_int("repetitions", 5));
+    return std::make_unique<model::MeasuredMachine>(cfg);
+  }
+  model::SimulatedMachineConfig cfg;
+  cfg.noise_seed = cli.get_seed("noise-seed", 0xC0FFEE);
+  return std::make_unique<model::SimulatedMachine>(cfg);
+}
+
+expr::Instance parse_instance(const std::string& line) {
+  expr::Instance dims;
+  std::stringstream ss(line);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    try {
+      std::size_t consumed = 0;
+      const int value = std::stoi(field, &consumed);
+      if (field.find_first_not_of(" \t\r", consumed) != std::string::npos) {
+        throw std::invalid_argument("trailing garbage");
+      }
+      dims.push_back(value);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad size field '%s' in query line '%s'\n",
+                   field.c_str(), line.c_str());
+      std::exit(1);
+    }
+  }
+  return dims;
+}
+
+/// Queries from --queries=PATH ("-" or absent = stdin); blank lines and
+/// '#' comments are skipped.
+std::vector<serve::Query> read_queries(const support::Cli& cli,
+                                       const std::string& family, int dim,
+                                       bool exact) {
+  const std::string path = cli.get_string("queries", "-");
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (path != "-") {
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open queries file: %s\n", path.c_str());
+      std::exit(1);
+    }
+    in = &file;
+  }
+  std::vector<serve::Query> queries;
+  std::string line;
+  while (std::getline(*in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    queries.push_back(serve::Query{family, parse_instance(line), dim, exact});
+  }
+  return queries;
+}
+
+void print_stats(const serve::SelectionService& service) {
+  const serve::ServiceStats s = service.stats();
+  std::printf("stats: cache %llu hits / %llu misses, %llu atlases built "
+              "(+%llu loaded, %lld scan samples), %llu measured queries\n",
+              static_cast<unsigned long long>(s.cache_hits),
+              static_cast<unsigned long long>(s.cache_misses),
+              static_cast<unsigned long long>(s.atlases_built),
+              static_cast<unsigned long long>(s.atlases_loaded),
+              s.atlas_samples,
+              static_cast<unsigned long long>(s.measured_queries));
+}
+
+int cmd_build(const support::Cli& cli, serve::SelectionService& service) {
+  const std::string family = cli.get_string("family", "aatb");
+  const expr::Instance base =
+      parse_instance(cli.get_string("base", "150,260,549"));
+  const int dim = static_cast<int>(cli.get_int("dim", 0));
+  const serve::Query probe{family, base, dim, false};
+  service.warm({probe});
+  const anomaly::RegionAtlas* atlas = service.atlas_for(probe);
+  std::printf("%s", atlas->to_string().c_str());
+  print_stats(service);
+  return 0;
+}
+
+int cmd_warm(const support::Cli& cli, serve::SelectionService& service) {
+  const std::string family = cli.get_string("family", "aatb");
+  const int dim = static_cast<int>(cli.get_int("dim", 0));
+  const auto queries = read_queries(cli, family, dim, false);
+  const std::size_t built = service.warm(queries);
+  std::printf("%zu queries -> %zu atlas slices built (%zu total)\n",
+              queries.size(), built, service.atlas_count());
+  print_stats(service);
+  return 0;
+}
+
+int cmd_query(const support::Cli& cli, serve::SelectionService& service) {
+  const std::string family = cli.get_string("family", "aatb");
+  const int dim = static_cast<int>(cli.get_int("dim", 0));
+  const bool exact = cli.get_bool("exact", false);
+  const auto queries = read_queries(cli, family, dim, exact);
+  const auto recs = service.query_batch(queries);
+  std::printf("instance,algorithm,flops_reliable,time_score,source\n");
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    std::string inst;
+    for (std::size_t d = 0; d < queries[i].dims.size(); ++d) {
+      inst += support::strf("%s%d", d > 0 ? "x" : "", queries[i].dims[d]);
+    }
+    std::printf("%s,%zu,%d,%.4f,%s\n", inst.c_str(), recs[i].algorithm + 1,
+                recs[i].flops_reliable ? 1 : 0, recs[i].time_score,
+                std::string(serve::to_string(recs[i].source)).c_str());
+  }
+  print_stats(service);
+  return 0;
+}
+
+int cmd_bench(const support::Cli& cli, serve::SelectionService& service,
+              model::MachineModel& machine) {
+  const std::string family_name = cli.get_string("family", "aatb");
+  const int dim = static_cast<int>(cli.get_int("dim", 0));
+  const int n = static_cast<int>(cli.get_int("queries-n", 2000));
+  const auto& cfg = service.config().atlas;
+
+  // Random queries along a handful of slices, so warm() builds a few atlases
+  // and the query loop then runs entirely from atlas + cache lookups.
+  const auto family = expr::make_family(family_name);
+  support::Rng rng(cli.get_seed("seed", 42));
+  std::vector<serve::Query> queries;
+  queries.reserve(static_cast<std::size_t>(n));
+  const int bases = 4;
+  std::vector<expr::Instance> base_pool;
+  for (int b = 0; b < bases; ++b) {
+    expr::Instance base;
+    for (int d = 0; d < family->dimension_count(); ++d) {
+      base.push_back(rng.uniform_int(cfg.lo, cfg.hi));
+    }
+    base_pool.push_back(base);
+  }
+  for (int i = 0; i < n; ++i) {
+    expr::Instance dims = base_pool[static_cast<std::size_t>(
+        rng.uniform_int(0, bases - 1))];
+    dims[static_cast<std::size_t>(dim)] = rng.uniform_int(cfg.lo, cfg.hi);
+    queries.push_back(serve::Query{family_name, dims, dim, false});
+  }
+
+  using clock = std::chrono::steady_clock;
+
+  // Reference: uncached classification of every query.
+  const auto t0 = clock::now();
+  for (const serve::Query& q : queries) {
+    anomaly::classify_instance(*family, machine, q.dims,
+                               cfg.time_score_threshold);
+  }
+  const double uncached =
+      std::chrono::duration<double>(clock::now() - t0).count();
+
+  service.warm(queries);
+  service.query_batch(queries);  // populate the recommendation cache
+
+  const auto t1 = clock::now();
+  for (const serve::Query& q : queries) {
+    service.query(q);
+  }
+  const double warm = std::chrono::duration<double>(clock::now() - t1).count();
+
+  std::printf("%d queries: uncached classification %.3f s (%.1f us/q), "
+              "warm service %.6f s (%.2f us/q) -> %.0fx\n",
+              n, uncached, 1e6 * uncached / n, warm, 1e6 * warm / n,
+              uncached / warm);
+  print_stats(service);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lamb;
+  const support::Cli cli(argc, argv);
+  if (cli.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: %s build|warm|query|bench [flags]\n"
+                 "(see the header comment of examples/serve_cli.cpp)\n",
+                 cli.program().c_str());
+    return 1;
+  }
+  const std::string cmd = cli.positional().front();
+
+  const auto machine = make_machine(cli);
+  serve::SelectionService service(*machine, service_config(cli,
+                                  cli.get_bool("real", false)));
+
+  const std::string atlas_dir = cli.get_string("atlas-dir", "");
+  std::unique_ptr<store::AtlasStore> atlas_store;
+  if (!atlas_dir.empty()) {
+    atlas_store = std::make_unique<store::AtlasStore>(atlas_dir);
+    const std::size_t adopted = service.warm_from_store(*atlas_store);
+    std::printf("atlas store %s: %zu slices adopted\n", atlas_dir.c_str(),
+                adopted);
+  }
+
+  int rc = 1;
+  if (cmd == "build") {
+    rc = cmd_build(cli, service);
+  } else if (cmd == "warm") {
+    rc = cmd_warm(cli, service);
+  } else if (cmd == "query") {
+    rc = cmd_query(cli, service);
+  } else if (cmd == "bench") {
+    rc = cmd_bench(cli, service, *machine);
+  } else {
+    std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
+  }
+
+  if (atlas_store != nullptr && rc == 0) {
+    const std::size_t written = service.checkpoint(*atlas_store);
+    std::printf("checkpointed %zu slices to %s\n", written, atlas_dir.c_str());
+  }
+  return rc;
+}

@@ -4,12 +4,25 @@
 #   scripts/check.sh [build-dir]
 #
 # Environment:
-#   CMAKE_BUILD_TYPE   build type (default Release)
+#   CMAKE_BUILD_TYPE   build type (default Release; RelWithDebInfo when
+#                      SANITIZE=1)
 #   JOBS               parallel build jobs (default: nproc)
+#   SANITIZE           1 -> ASan+UBSan build (default build dir build-asan),
+#                      exercising the concurrent serving caches under the
+#                      sanitizers
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+SANITIZE="${SANITIZE:-0}"
+if [[ "$SANITIZE" == "1" ]]; then
+  BUILD_DIR="${1:-build-asan}"
+  CMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}"
+  SANITIZE_FLAGS=(-DLAMB_SANITIZE=ON)
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+else
+  BUILD_DIR="${1:-build}"
+  SANITIZE_FLAGS=()
+fi
 JOBS="${JOBS:-$(nproc)}"
 
 GENERATOR=()
@@ -18,6 +31,6 @@ if command -v ninja >/dev/null 2>&1; then
 fi
 
 cmake -B "$BUILD_DIR" -S . "${GENERATOR[@]}" \
-  -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
+  -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}" "${SANITIZE_FLAGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

@@ -119,14 +119,34 @@ RegionAtlas::RegionAtlas(const expr::ExpressionFamily& family,
   intervals_.back().hi = config_.hi;
 }
 
+RegionAtlas::RegionAtlas(expr::Instance base, int dim, AtlasConfig config,
+                         std::vector<AtlasInterval> intervals,
+                         long long samples_used)
+    : base_(std::move(base)), dim_(dim), config_(config),
+      intervals_(std::move(intervals)), samples_used_(samples_used) {
+  LAMB_CHECK(dim_ >= 0, "atlas: negative dimension");
+  LAMB_CHECK(static_cast<std::size_t>(dim_) < base_.size(),
+             "atlas: dimension out of range");
+  LAMB_CHECK(config_.hi >= config_.lo, "atlas: bad range");
+  LAMB_CHECK(!intervals_.empty(), "atlas: no intervals");
+  int expected_lo = config_.lo;
+  for (const AtlasInterval& interval : intervals_) {
+    LAMB_CHECK(interval.lo == expected_lo && interval.hi >= interval.lo,
+               "atlas: intervals must partition the range contiguously");
+    expected_lo = interval.hi + 1;
+  }
+  LAMB_CHECK(intervals_.back().hi == config_.hi,
+             "atlas: intervals must end at config.hi");
+}
+
 const AtlasInterval& RegionAtlas::lookup(int size) const {
   const int clamped = std::clamp(size, config_.lo, config_.hi);
-  for (const AtlasInterval& interval : intervals_) {
-    if (clamped >= interval.lo && clamped <= interval.hi) {
-      return interval;
-    }
-  }
-  return intervals_.back();
+  // First interval whose upper bound reaches `clamped`; the intervals are a
+  // contiguous ascending partition, so it is the covering one.
+  const auto it = std::partition_point(
+      intervals_.begin(), intervals_.end(),
+      [clamped](const AtlasInterval& interval) { return interval.hi < clamped; });
+  return it != intervals_.end() ? *it : intervals_.back();
 }
 
 bool RegionAtlas::flops_reliable_at(int size) const {
@@ -171,6 +191,18 @@ std::string RegionAtlas::to_string(
         name_of(interval.recommended).c_str(),
         name_of(interval.flop_minimal).c_str(),
         100.0 * interval.worst_time_score);
+  }
+  return out;
+}
+
+std::string RegionAtlas::to_csv() const {
+  std::string out =
+      "dim,lo,hi,anomalous,recommended,flop_minimal,worst_time_score\n";
+  for (const AtlasInterval& interval : intervals_) {
+    out += support::strf("%d,%d,%d,%d,%zu,%zu,%.17g\n", dim_, interval.lo,
+                         interval.hi, interval.anomalous ? 1 : 0,
+                         interval.recommended, interval.flop_minimal,
+                         interval.worst_time_score);
   }
   return out;
 }

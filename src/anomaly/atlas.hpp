@@ -43,11 +43,31 @@ class RegionAtlas {
               model::MachineModel& machine, const expr::Instance& base,
               int dim, const AtlasConfig& config = {});
 
+  /// Assemble an atlas from already-known parts — the deserialization path
+  /// (store/atlas_io). Validates that `intervals` is a non-empty, contiguous
+  /// partition of [config.lo, config.hi]; throws support::CheckError
+  /// otherwise, so corrupt files cannot produce an atlas that violates the
+  /// lookup() invariants.
+  RegionAtlas(expr::Instance base, int dim, AtlasConfig config,
+              std::vector<AtlasInterval> intervals, long long samples_used);
+
   const std::vector<AtlasInterval>& intervals() const { return intervals_; }
   int symbolic_dimension() const { return dim_; }
   const expr::Instance& base_instance() const { return base_; }
+  const AtlasConfig& config() const { return config_; }
 
-  /// The interval covering `size` (clamped into the scanned range).
+  /// Interval iteration (`for (const AtlasInterval& iv : atlas)`).
+  std::vector<AtlasInterval>::const_iterator begin() const {
+    return intervals_.begin();
+  }
+  std::vector<AtlasInterval>::const_iterator end() const {
+    return intervals_.end();
+  }
+
+  /// The interval covering `size`, by binary search. Sizes outside the
+  /// scanned range clamp: anything below `config.lo` answers from the first
+  /// interval, anything above `config.hi` from the last. A single-interval
+  /// atlas therefore answers every query from that one interval.
   const AtlasInterval& lookup(int size) const;
 
   /// True when the FLOP-minimal algorithm is safe for this size.
@@ -64,6 +84,10 @@ class RegionAtlas {
 
   std::string to_string(
       const std::vector<std::string>& algorithm_names = {}) const;
+
+  /// CSV rendering (header + one row per interval), the shape the store and
+  /// the bench dumps share.
+  std::string to_csv() const;
 
  private:
   expr::Instance base_;

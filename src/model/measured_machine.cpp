@@ -12,8 +12,8 @@
 namespace lamb::model {
 
 MeasuredMachine::MeasuredMachine(MeasuredMachineConfig config)
-    : config_(config), flusher_(config.flush_bytes),
-      peak_(config.peak_flops) {}
+    : config_(config), flusher_(config.flush_bytes), peak_(config.peak_flops),
+      isolated_cache_(config.benchmark_cache_capacity) {}
 
 std::string MeasuredMachine::name() const {
   return "measured";
@@ -103,12 +103,11 @@ double MeasuredMachine::run_isolated(const KernelCall& call) {
 }
 
 double MeasuredMachine::time_call_isolated(const KernelCall& call) {
-  const auto it = isolated_cache_.find(call);
-  if (it != isolated_cache_.end()) {
-    return it->second;
+  if (const auto cached = isolated_cache_.get(call)) {
+    return *cached;
   }
   const double t = run_isolated(call);
-  isolated_cache_.emplace(call, t);
+  isolated_cache_.put(call, t);
   return t;
 }
 

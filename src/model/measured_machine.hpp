@@ -1,16 +1,17 @@
 // Measured machine: times algorithms on the real BLAS substrate under the
 // paper's protocol (R repetitions, cache flushed before each repetition,
 // median recorded; Sec. 3.4). Isolated-call benchmarks are memoised because
-// Experiments 2 and 3 revisit the same calls many times.
+// Experiments 2 and 3 revisit the same calls many times; the memo is
+// LRU-bounded so a long-running serving process cannot grow without limit.
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 
 #include "model/machine.hpp"
 #include "parallel/thread_pool.hpp"
 #include "perf/cache_flush.hpp"
 #include "perf/measurement.hpp"
+#include "support/lru.hpp"
 #include "support/rng.hpp"
 
 namespace lamb::model {
@@ -21,6 +22,9 @@ struct MeasuredMachineConfig {
   parallel::ThreadPool* pool = nullptr;  ///< null -> serial kernels
   std::uint64_t data_seed = 7;           ///< operand contents (timing-neutral)
   double peak_flops = 0.0;               ///< 0 -> estimate empirically
+  /// Isolated-call memo bound (entries); least-recently-used benchmarks are
+  /// evicted beyond it. 0 = unbounded (the pre-serving behaviour).
+  std::size_t benchmark_cache_capacity = 32768;
 };
 
 class MeasuredMachine final : public MachineModel {
@@ -33,10 +37,17 @@ class MeasuredMachine final : public MachineModel {
   std::vector<double> time_steps(const Algorithm& alg) override;
   double time_call_isolated(const KernelCall& call) override;
 
-  /// Drop memoised isolated-call benchmarks.
+  /// Drop memoised isolated-call benchmarks (counters are kept).
   void clear_benchmark_cache();
 
   std::size_t benchmark_cache_size() const { return isolated_cache_.size(); }
+  std::size_t benchmark_cache_capacity() const {
+    return isolated_cache_.capacity();
+  }
+  std::uint64_t benchmark_cache_hits() const { return isolated_cache_.hits(); }
+  std::uint64_t benchmark_cache_misses() const {
+    return isolated_cache_.misses();
+  }
 
  private:
   double run_isolated(const KernelCall& call);
@@ -44,7 +55,7 @@ class MeasuredMachine final : public MachineModel {
   MeasuredMachineConfig config_;
   perf::CacheFlusher flusher_;
   mutable double peak_ = 0.0;
-  std::unordered_map<KernelCall, double, KernelCallHash> isolated_cache_;
+  support::LruCache<KernelCall, double, KernelCallHash> isolated_cache_;
 };
 
 }  // namespace lamb::model

@@ -2,23 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "support/check.hpp"
 
 namespace lamb::model {
 
-GriddedProfile::GriddedProfile(
-    std::vector<std::vector<double>> axes,
-    const std::function<double(const std::vector<double>&)>& fn)
-    : axes_(std::move(axes)) {
+std::size_t GriddedProfile::check_axes() const {
   LAMB_CHECK(!axes_.empty(), "profile needs at least one axis");
   std::size_t total = 1;
   for (const auto& axis : axes_) {
     LAMB_CHECK(axis.size() >= 2, "each axis needs at least two nodes");
     LAMB_CHECK(std::is_sorted(axis.begin(), axis.end()),
                "axis nodes must be increasing");
+    // Overflow-checked: untrusted axes (store/profile_io) must not be able
+    // to wrap the grid size and defeat the value-count validation below.
+    LAMB_CHECK(total <= std::numeric_limits<std::size_t>::max() / axis.size(),
+               "profile grid size overflows");
     total *= axis.size();
   }
+  return total;
+}
+
+GriddedProfile::GriddedProfile(std::vector<std::vector<double>> axes,
+                               std::vector<double> values)
+    : axes_(std::move(axes)), values_(std::move(values)) {
+  const std::size_t total = check_axes();
+  LAMB_CHECK(values_.size() == total,
+             "profile value count must match the grid");
+}
+
+GriddedProfile::GriddedProfile(
+    std::vector<std::vector<double>> axes,
+    const std::function<double(const std::vector<double>&)>& fn)
+    : axes_(std::move(axes)) {
+  const std::size_t total = check_axes();
   values_.resize(total);
 
   std::vector<std::size_t> idx(axes_.size(), 0);
@@ -104,7 +122,12 @@ std::vector<double> log_axis(const std::vector<double>& nodes) {
 KernelProfileSet::KernelProfileSet(GriddedProfile gemm, GriddedProfile syrk,
                                    GriddedProfile symm, GriddedProfile tricopy)
     : gemm_(std::move(gemm)), syrk_(std::move(syrk)), symm_(std::move(symm)),
-      tricopy_(std::move(tricopy)) {}
+      tricopy_(std::move(tricopy)) {
+  LAMB_CHECK(gemm_.dimension_count() == 3 && syrk_.dimension_count() == 2 &&
+                 symm_.dimension_count() == 2 &&
+                 tricopy_.dimension_count() == 1,
+             "profile set arities must match the kernel shapes");
+}
 
 KernelProfileSet KernelProfileSet::build(MachineModel& machine,
                                          std::vector<double> nodes) {

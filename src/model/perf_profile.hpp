@@ -26,12 +26,24 @@ class GriddedProfile {
   GriddedProfile(std::vector<std::vector<double>> axes,
                  const std::function<double(const std::vector<double>&)>& fn);
 
+  /// Assemble from already-known grid values (row-major over the axes) — the
+  /// deserialization path (store/profile_io). Throws support::CheckError when
+  /// the value count does not match the grid.
+  GriddedProfile(std::vector<std::vector<double>> axes,
+                 std::vector<double> values);
+
   double interpolate(const std::vector<double>& coords) const;
 
   std::size_t dimension_count() const { return axes_.size(); }
   const std::vector<std::vector<double>>& axes() const { return axes_; }
 
+  /// Grid values in row-major order (last axis fastest); exact round-trip
+  /// payload for the store.
+  const std::vector<double>& values() const { return values_; }
+
  private:
+  /// Validates the axes and returns the (overflow-checked) grid size.
+  std::size_t check_axes() const;
   std::size_t flat_index(const std::vector<std::size_t>& idx) const;
 
   std::vector<std::vector<double>> axes_;
@@ -53,10 +65,17 @@ class KernelProfileSet {
   /// Sum of per-call predictions over an algorithm.
   double predicted_time(const Algorithm& alg) const;
 
- private:
+  /// Assemble from four already-built profiles (gemm 3-d, syrk/symm 2-d,
+  /// tricopy 1-d) — the deserialization path (store/profile_io).
   KernelProfileSet(GriddedProfile gemm, GriddedProfile syrk,
                    GriddedProfile symm, GriddedProfile tricopy);
 
+  const GriddedProfile& gemm() const { return gemm_; }
+  const GriddedProfile& syrk() const { return syrk_; }
+  const GriddedProfile& symm() const { return symm_; }
+  const GriddedProfile& tricopy() const { return tricopy_; }
+
+ private:
   GriddedProfile gemm_;
   GriddedProfile syrk_;
   GriddedProfile symm_;

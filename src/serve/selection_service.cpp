@@ -1,0 +1,306 @@
+#include "serve/selection_service.hpp"
+
+#include <thread>
+
+#include "anomaly/classifier.hpp"
+#include "support/check.hpp"
+#include "support/hash.hpp"
+
+namespace lamb::serve {
+
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+bool same_config(const anomaly::AtlasConfig& a, const anomaly::AtlasConfig& b) {
+  return a.lo == b.lo && a.hi == b.hi && a.coarse_step == b.coarse_step &&
+         a.time_score_threshold == b.time_score_threshold;
+}
+
+}  // namespace
+
+std::size_t QueryHash::operator()(const Query& q) const {
+  std::uint64_t h = support::fnv1a64(q.family);
+  h = support::fnv1a64(q.dims.data(), q.dims.size() * sizeof(int), h);
+  const int tail[2] = {q.dim, q.exact ? 1 : 0};
+  h = support::fnv1a64(tail, sizeof(tail), h);
+  return static_cast<std::size_t>(h);
+}
+
+std::string_view to_string(Source source) {
+  switch (source) {
+    case Source::kCache:
+      return "cache";
+    case Source::kAtlas:
+      return "atlas";
+    case Source::kMeasured:
+      return "measured";
+  }
+  return "?";
+}
+
+SelectionService::SelectionService(model::MachineModel& machine,
+                                   ServiceConfig config,
+                                   const expr::FamilyRegistry* registry)
+    : machine_(machine), config_(config),
+      registry_(registry != nullptr ? *registry : expr::registry()),
+      concurrent_timing_(machine.concurrent_timing_safe()),
+      cache_(config.cache_capacity, config.cache_shards) {
+  if (concurrent_timing_) {
+    pool_ = std::make_unique<parallel::ThreadPool>(
+        resolve_threads(config_.threads));
+  }
+}
+
+const expr::ExpressionFamily& SelectionService::resolve_family(
+    const std::string& name) {
+  const std::lock_guard<std::mutex> lock(families_mutex_);
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    it = families_.emplace(name, registry_.make(name)).first;
+  }
+  return *it->second;
+}
+
+const expr::ExpressionFamily& SelectionService::family_for(const Query& q) {
+  const expr::ExpressionFamily& family = resolve_family(q.family);
+  LAMB_CHECK(static_cast<int>(q.dims.size()) == family.dimension_count(),
+             "query arity mismatch for family " + q.family);
+  LAMB_CHECK(q.dim >= 0 && q.dim < family.dimension_count(),
+             "query dimension out of range");
+  for (int d : q.dims) {
+    LAMB_CHECK(d >= 1, "query dimensions must be positive");
+  }
+  return family;
+}
+
+store::AtlasKey SelectionService::atlas_key(const Query& q) {
+  store::AtlasKey key;
+  key.family = q.family;
+  key.machine = machine_.name();
+  key.dim = q.dim;
+  key.base = q.dims;
+  key.base[static_cast<std::size_t>(q.dim)] = 0;
+  key.config = config_.atlas;
+  return key;
+}
+
+std::shared_ptr<SelectionService::AtlasEntry> SelectionService::entry_for(
+    const store::AtlasKey& key) {
+  const std::string canonical = key.canonical();
+  const std::lock_guard<std::mutex> lock(atlases_mutex_);
+  auto it = atlases_.find(canonical);
+  if (it == atlases_.end()) {
+    auto entry = std::make_shared<AtlasEntry>();
+    entry->key = key;
+    it = atlases_.emplace(canonical, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+const anomaly::RegionAtlas& SelectionService::ensure_built(AtlasEntry& entry) {
+  const std::lock_guard<std::mutex> lock(entry.build_mutex);
+  if (entry.atlas == nullptr) {
+    // The canonicalised base carries a 0 at the scanned coordinate, which
+    // the scan overrides at every sample; only the family name is needed.
+    const expr::ExpressionFamily& family = resolve_family(entry.key.family);
+    std::unique_ptr<const anomaly::RegionAtlas> built;
+    if (concurrent_timing_) {
+      built = std::make_unique<anomaly::RegionAtlas>(
+          family, machine_, entry.key.base, entry.key.dim, config_.atlas);
+    } else {
+      const std::lock_guard<std::mutex> timing_lock(timing_mutex_);
+      built = std::make_unique<anomaly::RegionAtlas>(
+          family, machine_, entry.key.base, entry.key.dim, config_.atlas);
+    }
+    atlas_samples_.fetch_add(built->samples_used());
+    atlases_built_.fetch_add(1);
+    entry.atlas = std::move(built);
+  }
+  return *entry.atlas;
+}
+
+Recommendation SelectionService::classify_exact(const Query& q) {
+  const expr::ExpressionFamily& family = family_for(q);
+  anomaly::InstanceResult result = [&] {
+    if (concurrent_timing_) {
+      return anomaly::classify_instance(family, machine_, q.dims,
+                                        config_.atlas.time_score_threshold);
+    }
+    const std::lock_guard<std::mutex> timing_lock(timing_mutex_);
+    return anomaly::classify_instance(family, machine_, q.dims,
+                                      config_.atlas.time_score_threshold);
+  }();
+  measured_queries_.fetch_add(1);
+  Recommendation rec;
+  rec.algorithm = result.fastest.front();
+  rec.flop_minimal = result.cheapest.front();
+  rec.flops_reliable = !result.anomaly;
+  rec.time_score = result.time_score;
+  rec.source = Source::kMeasured;
+  return rec;
+}
+
+Recommendation SelectionService::query(const Query& q) {
+  if (auto hit = cache_.get(q)) {
+    hit->source = Source::kCache;
+    return *hit;
+  }
+  family_for(q);  // validate family, arity and dimension before working
+
+  Recommendation rec;
+  if (q.exact) {
+    rec = classify_exact(q);
+  } else {
+    const std::shared_ptr<AtlasEntry> entry = entry_for(atlas_key(q));
+    const anomaly::RegionAtlas* atlas = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(entry->build_mutex);
+      atlas = entry->atlas.get();
+    }
+    if (atlas == nullptr && config_.auto_build) {
+      atlas = &ensure_built(*entry);
+    }
+    if (atlas != nullptr) {
+      const anomaly::AtlasInterval& interval =
+          atlas->lookup(q.dims[static_cast<std::size_t>(q.dim)]);
+      rec.algorithm = interval.recommended;
+      rec.flop_minimal = interval.flop_minimal;
+      rec.flops_reliable = !interval.anomalous;
+      rec.time_score = interval.worst_time_score;
+      rec.source = Source::kAtlas;
+    } else {
+      rec = classify_exact(q);
+    }
+  }
+  cache_.put(q, rec);
+  return rec;
+}
+
+std::vector<Recommendation> SelectionService::query_batch(
+    const std::vector<Query>& batch) {
+  warm(batch);  // dedupe + parallel-build the missing slices first
+  std::vector<Recommendation> out;
+  out.reserve(batch.size());
+  for (const Query& q : batch) {
+    out.push_back(query(q));
+  }
+  return out;
+}
+
+std::size_t SelectionService::warm(const std::vector<Query>& batch) {
+  // Distinct unbuilt slices, in first-appearance order.
+  std::vector<std::shared_ptr<AtlasEntry>> to_build;
+  std::unordered_map<std::string, bool> seen;
+  for (const Query& q : batch) {
+    if (q.exact) {
+      continue;
+    }
+    family_for(q);
+    const store::AtlasKey key = atlas_key(q);
+    if (!seen.emplace(key.canonical(), true).second) {
+      continue;
+    }
+    const std::shared_ptr<AtlasEntry> entry = entry_for(key);
+    const std::lock_guard<std::mutex> lock(entry->build_mutex);
+    if (entry->atlas == nullptr) {
+      to_build.push_back(entry);
+    }
+  }
+  if (to_build.empty()) {
+    return 0;
+  }
+  if (pool_ != nullptr && pool_->size() > 1 && to_build.size() > 1) {
+    pool_->parallel_for(static_cast<std::ptrdiff_t>(to_build.size()),
+                        [&](std::ptrdiff_t begin, std::ptrdiff_t end) {
+                          for (std::ptrdiff_t i = begin; i < end; ++i) {
+                            ensure_built(*to_build[static_cast<std::size_t>(i)]);
+                          }
+                        });
+  } else {
+    for (const auto& entry : to_build) {
+      ensure_built(*entry);
+    }
+  }
+  return to_build.size();
+}
+
+std::size_t SelectionService::warm_from_store(
+    const store::AtlasStore& atlas_store) {
+  std::size_t adopted = 0;
+  for (const std::string& path : atlas_store.list()) {
+    store::AtlasRecord record = store::load_atlas(path);
+    if (record.machine != machine_.name() ||
+        !same_config(record.atlas.config(), config_.atlas)) {
+      continue;  // built for another machine model or another scan geometry
+    }
+    const std::shared_ptr<AtlasEntry> entry =
+        entry_for(store::AtlasKey::of(record));
+    const std::lock_guard<std::mutex> lock(entry->build_mutex);
+    if (entry->atlas == nullptr) {
+      entry->atlas = std::make_unique<const anomaly::RegionAtlas>(
+          std::move(record.atlas));
+      atlases_loaded_.fetch_add(1);
+      ++adopted;
+    }
+  }
+  return adopted;
+}
+
+std::size_t SelectionService::checkpoint(store::AtlasStore& atlas_store) const {
+  std::vector<std::shared_ptr<AtlasEntry>> entries;
+  {
+    const std::lock_guard<std::mutex> lock(atlases_mutex_);
+    entries.reserve(atlases_.size());
+    for (const auto& [canonical, entry] : atlases_) {
+      entries.push_back(entry);
+    }
+  }
+  std::size_t written = 0;
+  for (const auto& entry : entries) {
+    const std::lock_guard<std::mutex> lock(entry->build_mutex);
+    if (entry->atlas != nullptr) {
+      atlas_store.save(entry->key, *entry->atlas);
+      ++written;
+    }
+  }
+  return written;
+}
+
+const anomaly::RegionAtlas* SelectionService::atlas_for(const Query& q) {
+  family_for(q);
+  const std::shared_ptr<AtlasEntry> entry = entry_for(atlas_key(q));
+  const std::lock_guard<std::mutex> lock(entry->build_mutex);
+  return entry->atlas.get();
+}
+
+std::size_t SelectionService::atlas_count() const {
+  const std::lock_guard<std::mutex> lock(atlases_mutex_);
+  std::size_t built = 0;
+  for (const auto& [canonical, entry] : atlases_) {
+    const std::lock_guard<std::mutex> entry_lock(entry->build_mutex);
+    if (entry->atlas != nullptr) {
+      ++built;
+    }
+  }
+  return built;
+}
+
+ServiceStats SelectionService::stats() const {
+  ServiceStats s;
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.atlases_built = atlases_built_.load();
+  s.atlases_loaded = atlases_loaded_.load();
+  s.measured_queries = measured_queries_.load();
+  s.atlas_samples = atlas_samples_.load();
+  return s;
+}
+
+}  // namespace lamb::serve

@@ -1,0 +1,188 @@
+// SelectionService: the online answer to "which algorithm should I run?".
+//
+// The paper's Sec. 5 proposal, productionised: all the expensive knowledge —
+// where the FLOP discriminant fails, and what to run instead — is computed
+// offline (RegionAtlas scans, persisted through store::AtlasStore) and
+// amortised into microsecond lookups at query time. A query names a family
+// (by registry name), a concrete instance, and the symbolic dimension of
+// interest; the answer is the algorithm index to run, whether the FLOP
+// count can be trusted there, and where the answer came from.
+//
+// The service generalises the one-dimensional RegionAtlas to N symbolic
+// dimensions by slicing: an atlas is keyed by (family, machine, dim, base
+// instance with the scanned coordinate canonicalised away), so every query
+// along the same axis-aligned line shares one atlas, and any dimension of
+// any instance can be served. Layers, fastest first:
+//
+//   1. a sharded LRU cache of final recommendations (mutex-striped,
+//      capacity-bounded, safe for concurrent callers),
+//   2. atlas slices — built on demand, batch-built on the ThreadPool when
+//      the machine's timing is thread-safe, warmable from / checkpointable
+//      to a store::AtlasStore directory,
+//   3. direct classification ("measured") for exact queries and for misses
+//      when on-demand building is disabled.
+//
+// Answers are bit-identical to what the underlying RegionAtlas / classifier
+// would produce directly (tests/serve_test.cpp pins this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "anomaly/atlas.hpp"
+#include "expr/registry.hpp"
+#include "model/machine.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/shard_cache.hpp"
+#include "store/atlas_store.hpp"
+
+namespace lamb::serve {
+
+struct Query {
+  std::string family;    ///< registry name ("aatb", "chain4", ...)
+  expr::Instance dims;   ///< concrete instance to select an algorithm for
+  int dim = 0;           ///< symbolic dimension of the atlas slice
+  bool exact = false;    ///< bypass the atlas: classify this very instance
+
+  friend bool operator==(const Query&, const Query&) = default;
+};
+
+/// FNV-1a over the query's identity, allocation-free (queries are the
+/// recommendation cache's keys; the hit path must not allocate).
+struct QueryHash {
+  std::size_t operator()(const Query& q) const;
+};
+
+enum class Source : std::uint8_t {
+  kCache,     ///< sharded LRU hit
+  kAtlas,     ///< atlas-slice interval lookup
+  kMeasured,  ///< direct classification on the machine model
+};
+
+std::string_view to_string(Source source);
+
+struct Recommendation {
+  std::size_t algorithm = 0;     ///< index to run (fastest known)
+  std::size_t flop_minimal = 0;  ///< what the FLOP discriminant would pick
+  bool flops_reliable = true;    ///< FLOP-minimal is safe here
+  double time_score = 0.0;       ///< severity at/around the instance
+  Source source = Source::kMeasured;
+
+  /// Equality over the selection payload; `source` is provenance, not part
+  /// of the answer.
+  friend bool operator==(const Recommendation& a, const Recommendation& b) {
+    return a.algorithm == b.algorithm && a.flop_minimal == b.flop_minimal &&
+           a.flops_reliable == b.flops_reliable &&
+           a.time_score == b.time_score;
+  }
+};
+
+struct ServiceConfig {
+  /// Slice geometry + classification threshold shared by every atlas the
+  /// service builds (part of the atlas identity, so stores segregate by it).
+  anomaly::AtlasConfig atlas;
+  std::size_t cache_capacity = 1u << 16;  ///< recommendations, all shards
+  std::size_t cache_shards = 16;
+  /// Workers for batch atlas builds; 0 = hardware threads. Parallel builds
+  /// engage only when the machine's timing is thread-safe.
+  std::size_t threads = 0;
+  /// Build missing atlas slices on demand; when false, a miss falls back to
+  /// direct classification (source kMeasured).
+  bool auto_build = true;
+};
+
+struct ServiceStats {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t atlases_built = 0;
+  std::uint64_t atlases_loaded = 0;     ///< warmed from a store
+  std::uint64_t measured_queries = 0;
+  long long atlas_samples = 0;          ///< classifications spent building
+};
+
+class SelectionService {
+ public:
+  /// The machine (and registry, defaulting to the process-wide one) must
+  /// outlive the service.
+  explicit SelectionService(model::MachineModel& machine,
+                            ServiceConfig config = {},
+                            const expr::FamilyRegistry* registry = nullptr);
+
+  const ServiceConfig& config() const { return config_; }
+
+  /// Answer one query. Safe for concurrent callers: the cache is sharded,
+  /// atlas builds are deduplicated per slice, and machines whose timing is
+  /// not thread-safe are serialised behind one timing mutex.
+  Recommendation query(const Query& q);
+
+  /// Answer a batch, results in input order. Missing atlas slices are first
+  /// deduplicated and built concurrently on the ThreadPool (when the
+  /// machine's timing is thread-safe); answers are bit-identical to issuing
+  /// the queries one by one.
+  std::vector<Recommendation> query_batch(const std::vector<Query>& batch);
+
+  /// Build (or load) the atlas slices the queries would need, without
+  /// producing recommendations. Returns the number of slices built.
+  std::size_t warm(const std::vector<Query>& batch);
+
+  /// Adopt every atlas in `atlas_store` built on this machine model with
+  /// this service's AtlasConfig; returns the number adopted.
+  std::size_t warm_from_store(const store::AtlasStore& atlas_store);
+
+  /// Persist every built slice; returns the number written.
+  std::size_t checkpoint(store::AtlasStore& atlas_store) const;
+
+  /// The built slice for a query's (family, dim, base), if any.
+  const anomaly::RegionAtlas* atlas_for(const Query& q);
+
+  std::size_t atlas_count() const;
+  std::size_t cache_size() const { return cache_.size(); }
+  ServiceStats stats() const;
+
+ private:
+  struct AtlasEntry {
+    store::AtlasKey key;
+    std::mutex build_mutex;
+    std::unique_ptr<const anomaly::RegionAtlas> atlas;  // set once, then const
+  };
+
+  /// Resolves a family by registry name (instantiated once, cached).
+  const expr::ExpressionFamily& resolve_family(const std::string& name);
+  /// Validates the query shape and resolves the family (cached per name).
+  const expr::ExpressionFamily& family_for(const Query& q);
+  store::AtlasKey atlas_key(const Query& q);
+  /// The entry for a slice key, inserting an unbuilt one if new.
+  std::shared_ptr<AtlasEntry> entry_for(const store::AtlasKey& key);
+  /// Builds the entry's atlas if absent; returns it built.
+  const anomaly::RegionAtlas& ensure_built(AtlasEntry& entry);
+  Recommendation classify_exact(const Query& q);
+
+  model::MachineModel& machine_;
+  ServiceConfig config_;
+  const expr::FamilyRegistry& registry_;
+  std::unique_ptr<parallel::ThreadPool> pool_;
+
+  std::mutex families_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<const expr::ExpressionFamily>>
+      families_;
+
+  mutable std::mutex atlases_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<AtlasEntry>> atlases_;
+
+  /// Serialises machine access when timing is not thread-safe.
+  std::mutex timing_mutex_;
+  const bool concurrent_timing_;
+
+  ShardedLruCache<Query, Recommendation, QueryHash> cache_;
+  std::atomic<std::uint64_t> atlases_built_{0};
+  std::atomic<std::uint64_t> atlases_loaded_{0};
+  std::atomic<std::uint64_t> measured_queries_{0};
+  std::atomic<long long> atlas_samples_{0};
+};
+
+}  // namespace lamb::serve

@@ -1,0 +1,32 @@
+// RegionAtlas persistence: exact round-trip of an atlas (base instance,
+// symbolic dimension, scan config, intervals, sample count) together with
+// the family and machine-model names it was built against — enough for a
+// reader to refuse an atlas that does not match its own configuration.
+#pragma once
+
+#include <string>
+
+#include "anomaly/atlas.hpp"
+#include "store/serial.hpp"
+
+namespace lamb::store {
+
+inline constexpr std::uint32_t kAtlasFormatVersion = 1;
+
+/// An atlas plus the provenance needed to validate a lookup against it.
+struct AtlasRecord {
+  std::string family;
+  std::string machine;
+  anomaly::RegionAtlas atlas;
+};
+
+void write_atlas(ByteWriter& w, const AtlasRecord& record);
+/// Throws SerialError on malformed input (including interval sets that do
+/// not partition the config range — validated by the RegionAtlas ctor).
+AtlasRecord read_atlas(ByteReader& r);
+
+/// Framed-file convenience wrappers (kind kKindAtlas).
+void save_atlas(const std::string& path, const AtlasRecord& record);
+AtlasRecord load_atlas(const std::string& path);
+
+}  // namespace lamb::store

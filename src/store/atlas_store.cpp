@@ -1,0 +1,78 @@
+#include "store/atlas_store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "support/hash.hpp"
+#include "support/str.hpp"
+
+namespace lamb::store {
+
+std::string AtlasKey::canonical() const {
+  std::string out = family + "|" + machine + "|" + support::strf("%d", dim);
+  out += "|";
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const int coord = static_cast<int>(i) == dim ? 0 : base[i];
+    out += support::strf("%s%d", i > 0 ? "," : "", coord);
+  }
+  out += support::strf("|%d:%d:%d:%.17g", config.lo, config.hi,
+                       config.coarse_step, config.time_score_threshold);
+  return out;
+}
+
+AtlasKey AtlasKey::of(const AtlasRecord& record) {
+  return AtlasKey{record.family, record.machine,
+                  record.atlas.symbolic_dimension(),
+                  record.atlas.base_instance(), record.atlas.config()};
+}
+
+AtlasStore::AtlasStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw SerialError("cannot create atlas store directory: " + dir_);
+  }
+}
+
+std::string AtlasStore::path_for(const AtlasKey& key) const {
+  return dir_ + support::strf("/%016llx.atlas",
+                              static_cast<unsigned long long>(
+                                  support::fnv1a64(key.canonical())));
+}
+
+bool AtlasStore::contains(const AtlasKey& key) const {
+  return std::filesystem::exists(path_for(key));
+}
+
+void AtlasStore::save(const AtlasKey& key,
+                      const anomaly::RegionAtlas& atlas) const {
+  save_atlas(path_for(key), AtlasRecord{key.family, key.machine, atlas});
+}
+
+std::optional<anomaly::RegionAtlas> AtlasStore::load(
+    const AtlasKey& key) const {
+  const std::string path = path_for(key);
+  if (!std::filesystem::exists(path)) {
+    return std::nullopt;
+  }
+  AtlasRecord record = load_atlas(path);
+  if (AtlasKey::of(record).canonical() != key.canonical()) {
+    throw SerialError("atlas key mismatch (hash collision or foreign file): " +
+                      path);
+  }
+  return std::move(record.atlas);
+}
+
+std::vector<std::string> AtlasStore::list() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".atlas") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lamb::store

@@ -1,0 +1,63 @@
+// AtlasStore: a directory of framed atlas files, keyed by the full identity
+// of a scan — (family, machine, symbolic dimension, base instance, scan
+// config). This is the persistent knowledge base the serving layer warms
+// from and checkpoints to, and what lets benches reuse atlases across runs
+// (--atlas-dir).
+//
+// File names are the FNV-1a64 hash of the key's canonical string
+// ("<hex>.atlas"); on load the stored identity is re-derived and compared to
+// the requested key, so a hash collision or a foreign file surfaces as a
+// SerialError instead of a silently wrong answer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/atlas_io.hpp"
+
+namespace lamb::store {
+
+struct AtlasKey {
+  std::string family;
+  std::string machine;
+  int dim = 0;
+  /// Base instance; the coordinate at `dim` is ignored (canonicalised to 0),
+  /// so every query along the same slice shares one atlas.
+  expr::Instance base;
+  anomaly::AtlasConfig config;
+
+  /// Canonical identity string (also the serving cache's atlas key).
+  std::string canonical() const;
+
+  /// Key of an existing record (for collision checks on load).
+  static AtlasKey of(const AtlasRecord& record);
+};
+
+class AtlasStore {
+ public:
+  /// Opens (creating if missing) the store directory.
+  explicit AtlasStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  std::string path_for(const AtlasKey& key) const;
+  bool contains(const AtlasKey& key) const;
+
+  /// Persist an atlas under `key`; overwrites any previous record.
+  void save(const AtlasKey& key, const anomaly::RegionAtlas& atlas) const;
+
+  /// Load the atlas for `key`; std::nullopt when absent. Throws SerialError
+  /// when the file exists but is corrupt or stores a different key.
+  std::optional<anomaly::RegionAtlas> load(const AtlasKey& key) const;
+
+  /// Paths of every ".atlas" file in the store, sorted.
+  std::vector<std::string> list() const;
+
+  std::size_t size() const { return list().size(); }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace lamb::store

@@ -1,0 +1,73 @@
+#include "store/profile_io.hpp"
+
+#include "support/check.hpp"
+
+namespace lamb::store {
+
+void write_profile(ByteWriter& w, const model::GriddedProfile& profile) {
+  w.u32(static_cast<std::uint32_t>(profile.dimension_count()));
+  for (const std::vector<double>& axis : profile.axes()) {
+    w.vec_f64(axis);
+  }
+  w.vec_f64(profile.values());
+}
+
+model::GriddedProfile read_profile(ByteReader& r) {
+  const std::uint32_t dims = r.u32();
+  if (dims == 0 || dims > 8) {
+    throw SerialError("corrupt profile record: implausible axis count");
+  }
+  std::vector<std::vector<double>> axes;
+  axes.reserve(dims);
+  for (std::uint32_t d = 0; d < dims; ++d) {
+    axes.push_back(r.vec_f64());
+  }
+  std::vector<double> values = r.vec_f64();
+  try {
+    return model::GriddedProfile(std::move(axes), std::move(values));
+  } catch (const support::CheckError& e) {
+    throw SerialError(std::string("corrupt profile record: ") + e.what());
+  }
+}
+
+void write_profile_set(ByteWriter& w, const ProfileSetRecord& record) {
+  w.str(record.machine);
+  write_profile(w, record.profiles.gemm());
+  write_profile(w, record.profiles.syrk());
+  write_profile(w, record.profiles.symm());
+  write_profile(w, record.profiles.tricopy());
+}
+
+ProfileSetRecord read_profile_set(ByteReader& r) {
+  std::string machine = r.str();
+  model::GriddedProfile gemm = read_profile(r);
+  model::GriddedProfile syrk = read_profile(r);
+  model::GriddedProfile symm = read_profile(r);
+  model::GriddedProfile tricopy = read_profile(r);
+  try {
+    return ProfileSetRecord{
+        std::move(machine),
+        model::KernelProfileSet(std::move(gemm), std::move(syrk),
+                                std::move(symm), std::move(tricopy))};
+  } catch (const support::CheckError& e) {
+    throw SerialError(std::string("corrupt profile record: ") + e.what());
+  }
+}
+
+void save_profile_set(const std::string& path,
+                      const ProfileSetRecord& record) {
+  ByteWriter w;
+  write_profile_set(w, record);
+  write_file(path, kKindProfile, kProfileFormatVersion, w.bytes());
+}
+
+ProfileSetRecord load_profile_set(const std::string& path) {
+  const std::string payload =
+      read_file(path, kKindProfile, kProfileFormatVersion);
+  ByteReader r(payload);
+  ProfileSetRecord record = read_profile_set(r);
+  r.expect_end();
+  return record;
+}
+
+}  // namespace lamb::store

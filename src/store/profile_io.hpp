@@ -1,0 +1,32 @@
+// Performance-profile persistence: exact round-trip of GriddedProfile grids
+// and the four-kernel KernelProfileSet, so a machine's isolated-call
+// benchmarks (minutes of measurement on real hardware) are paid once and
+// reused across processes.
+#pragma once
+
+#include <string>
+
+#include "model/perf_profile.hpp"
+#include "store/serial.hpp"
+
+namespace lamb::store {
+
+inline constexpr std::uint32_t kProfileFormatVersion = 1;
+
+void write_profile(ByteWriter& w, const model::GriddedProfile& profile);
+model::GriddedProfile read_profile(ByteReader& r);
+
+/// A profile set plus the machine-model name it was benchmarked on.
+struct ProfileSetRecord {
+  std::string machine;
+  model::KernelProfileSet profiles;
+};
+
+void write_profile_set(ByteWriter& w, const ProfileSetRecord& record);
+ProfileSetRecord read_profile_set(ByteReader& r);
+
+/// Framed-file convenience wrappers (kind kKindProfile).
+void save_profile_set(const std::string& path, const ProfileSetRecord& record);
+ProfileSetRecord load_profile_set(const std::string& path);
+
+}  // namespace lamb::store

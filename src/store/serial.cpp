@@ -1,0 +1,179 @@
+#include "store/serial.hpp"
+
+#include <fstream>
+#include <limits>
+
+#include "support/endian.hpp"
+#include "support/hash.hpp"
+#include "support/str.hpp"
+
+namespace lamb::store {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'A', 'M', 'B'};
+constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8 + 8;
+
+}  // namespace
+
+// ------------------------------------------------------------------ writer
+
+void ByteWriter::u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+void ByteWriter::u32(std::uint32_t v) { support::append_le32(bytes_, v); }
+void ByteWriter::u64(std::uint64_t v) { support::append_le64(bytes_, v); }
+void ByteWriter::i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+void ByteWriter::f64(double v) { support::append_f64(bytes_, v); }
+void ByteWriter::boolean(bool v) { u8(v ? 1 : 0); }
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.append(s.data(), s.size());
+}
+
+void ByteWriter::vec_i32(const std::vector<int>& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (int x : v) {
+    i32(x);
+  }
+}
+
+void ByteWriter::vec_f64(const std::vector<double>& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (double x : v) {
+    f64(x);
+  }
+}
+
+// ------------------------------------------------------------------ reader
+
+const unsigned char* ByteReader::need(std::size_t n) {
+  if (bytes_.size() - pos_ < n) {
+    throw SerialError(support::strf(
+        "truncated record: need %zu bytes at offset %zu of %zu", n, pos_,
+        bytes_.size()));
+  }
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(bytes_.data()) + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t ByteReader::u8() { return *need(1); }
+std::uint32_t ByteReader::u32() { return support::load_le32(need(4)); }
+std::uint64_t ByteReader::u64() { return support::load_le64(need(8)); }
+std::int32_t ByteReader::i32() { return static_cast<std::int32_t>(u32()); }
+std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(u64()); }
+double ByteReader::f64() { return support::load_f64(need(8)); }
+
+bool ByteReader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) {
+    throw SerialError(support::strf("corrupt boolean byte 0x%02X", v));
+  }
+  return v == 1;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  const auto* p = need(n);
+  return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+std::vector<int> ByteReader::vec_i32() {
+  const std::uint32_t n = u32();
+  if (remaining() / 4 < n) {
+    throw SerialError("truncated record: i32 vector length exceeds payload");
+  }
+  std::vector<int> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(i32());
+  }
+  return out;
+}
+
+std::vector<double> ByteReader::vec_f64() {
+  const std::uint32_t n = u32();
+  if (remaining() / 8 < n) {
+    throw SerialError("truncated record: f64 vector length exceeds payload");
+  }
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(f64());
+  }
+  return out;
+}
+
+void ByteReader::expect_end() const {
+  if (!at_end()) {
+    throw SerialError(support::strf(
+        "corrupt record: %zu trailing bytes after the payload", remaining()));
+  }
+}
+
+// ------------------------------------------------------------- framed files
+
+void write_file(const std::string& path, std::uint32_t kind,
+                std::uint32_t version, std::string_view payload) {
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  support::append_le32(header, kind);
+  support::append_le32(header, version);
+  support::append_le64(header, payload.size());
+  support::append_le64(header, support::fnv1a64(payload));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw SerialError("cannot open for writing: " + path);
+  }
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  if (!out) {
+    throw SerialError("write failed: " + path);
+  }
+}
+
+std::string read_file(const std::string& path, std::uint32_t kind,
+                      std::uint32_t expected_version) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SerialError("cannot open for reading: " + path);
+  }
+  std::string raw((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (raw.size() < kHeaderBytes) {
+    throw SerialError("truncated header: " + path);
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(raw.data());
+  if (raw.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    throw SerialError("bad magic (not a lamb store file): " + path);
+  }
+  const std::uint32_t got_kind = support::load_le32(p + 4);
+  if (got_kind != kind) {
+    throw SerialError(support::strf(
+        "record kind mismatch in %s: got 0x%08X, want 0x%08X", path.c_str(),
+        got_kind, kind));
+  }
+  const std::uint32_t got_version = support::load_le32(p + 8);
+  if (got_version != expected_version) {
+    throw SerialError(support::strf(
+        "unsupported format version %u in %s (this build reads %u)",
+        got_version, path.c_str(), expected_version));
+  }
+  const std::uint64_t payload_size = support::load_le64(p + 12);
+  if (payload_size != raw.size() - kHeaderBytes) {
+    throw SerialError("truncated payload: " + path);
+  }
+  const std::uint64_t checksum = support::load_le64(p + 20);
+  const std::string_view payload(raw.data() + kHeaderBytes,
+                                 static_cast<std::size_t>(payload_size));
+  if (support::fnv1a64(payload) != checksum) {
+    throw SerialError("checksum mismatch (corrupt file): " + path);
+  }
+  return std::string(payload);
+}
+
+}  // namespace lamb::store

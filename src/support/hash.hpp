@@ -1,0 +1,34 @@
+// FNV-1a 64-bit hashing.
+//
+// Used wherever a stable, seedable, endian-independent byte hash is needed:
+// store/ file checksums, AtlasStore file names, and shard selection in the
+// serving layer's concurrent cache. Not cryptographic — integrity checks
+// here guard against truncation and bit rot, not adversaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lamb::support {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                             std::uint64_t seed = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a64(std::string_view s,
+                             std::uint64_t seed = kFnvOffset) {
+  return fnv1a64(s.data(), s.size(), seed);
+}
+
+}  // namespace lamb::support

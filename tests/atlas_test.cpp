@@ -2,6 +2,8 @@
 // machine's exact anomaly window and on the simulated machine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "anomaly/atlas.hpp"
 #include "expr/family.hpp"
 #include "model/simulated_machine.hpp"
@@ -100,6 +102,87 @@ TEST(Atlas, ToStringListsIntervals) {
   EXPECT_NE(text.find("ANOMALOUS"), std::string::npos);
   EXPECT_NE(text.find("flops-safe"), std::string::npos);
   EXPECT_NE(text.find("expensive"), std::string::npos);
+}
+
+TEST(Atlas, LookupClampSemanticsAreExplicit) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  const RegionAtlas atlas(family, machine, {300}, 0, scripted_config());
+
+  // Below config.lo: the first interval answers.
+  EXPECT_EQ(&atlas.lookup(-100), &atlas.intervals().front());
+  EXPECT_EQ(&atlas.lookup(19), &atlas.intervals().front());
+  EXPECT_EQ(&atlas.lookup(20), &atlas.intervals().front());
+  // Above config.hi: the last interval answers.
+  EXPECT_EQ(&atlas.lookup(1200), &atlas.intervals().back());
+  EXPECT_EQ(&atlas.lookup(1201), &atlas.intervals().back());
+  EXPECT_EQ(&atlas.lookup(1 << 30), &atlas.intervals().back());
+  // Interior boundaries land on the covering interval, inclusive both ends.
+  for (const auto& interval : atlas.intervals()) {
+    EXPECT_EQ(&atlas.lookup(interval.lo), &interval);
+    EXPECT_EQ(&atlas.lookup(interval.hi), &interval);
+  }
+}
+
+TEST(Atlas, SingleIntervalAtlasAnswersEverything) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  machine.window_lo = 10000;  // window outside the scan: nothing anomalous
+  machine.window_hi = 20000;
+  AtlasConfig cfg = scripted_config();
+  const RegionAtlas atlas(family, machine, {300}, 0, cfg);
+  ASSERT_EQ(atlas.intervals().size(), 1u);
+  for (int size : {-5, 20, 600, 1200, 99999}) {
+    EXPECT_EQ(&atlas.lookup(size), &atlas.intervals().front()) << size;
+    EXPECT_TRUE(atlas.flops_reliable_at(size)) << size;
+  }
+}
+
+TEST(Atlas, DirectConstructionValidatesThePartition) {
+  using lamb::anomaly::AtlasInterval;
+  AtlasConfig cfg;
+  cfg.lo = 10;
+  cfg.hi = 30;
+  const AtlasInterval first{10, 19, false, 0, 0, 0.0};
+  const AtlasInterval second{20, 30, true, 1, 0, 0.5};
+
+  const RegionAtlas ok({5}, 0, cfg, {first, second}, 42);
+  EXPECT_EQ(ok.samples_used(), 42);
+  EXPECT_EQ(ok.recommend(25), 1u);
+  EXPECT_FALSE(ok.flops_reliable_at(25));
+
+  // Gap, overlap, wrong ends, empty: all rejected.
+  EXPECT_THROW(RegionAtlas({5}, 0, cfg, {first}, 1), support::CheckError);
+  EXPECT_THROW(RegionAtlas({5}, 0, cfg, {second}, 1), support::CheckError);
+  EXPECT_THROW(RegionAtlas({5}, 0, cfg, {first, {21, 30, true, 1, 0, 0.5}}, 1),
+               support::CheckError);
+  EXPECT_THROW(RegionAtlas({5}, 0, cfg, {}, 1), support::CheckError);
+  EXPECT_THROW(RegionAtlas({5}, 1, cfg, {first, second}, 1),
+               support::CheckError);  // dim out of range for the base
+}
+
+TEST(Atlas, ToCsvListsOneRowPerInterval) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  const RegionAtlas atlas(family, machine, {300}, 0, scripted_config());
+  const std::string csv = atlas.to_csv();
+  EXPECT_NE(csv.find("dim,lo,hi,anomalous,"), std::string::npos);
+  const auto rows = static_cast<std::size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(rows, atlas.intervals().size() + 1);  // header + intervals
+  EXPECT_NE(csv.find("200,400,1"), std::string::npos);  // the window row
+}
+
+TEST(Atlas, IterationCoversAllIntervals) {
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine machine;
+  const RegionAtlas atlas(family, machine, {300}, 0, scripted_config());
+  std::size_t seen = 0;
+  for (const auto& interval : atlas) {
+    EXPECT_LE(interval.lo, interval.hi);
+    ++seen;
+  }
+  EXPECT_EQ(seen, atlas.intervals().size());
 }
 
 TEST(Atlas, InvalidArgumentsRejected) {

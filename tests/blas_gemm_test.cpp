@@ -35,8 +35,10 @@ class GemmShapeTest
 
 TEST_P(GemmShapeTest, MatchesReferenceAllTransposeCombos) {
   const auto [m, n, k] = GetParam();
-  support::Rng rng(static_cast<std::uint64_t>(m * 73856093 ^ n * 19349663 ^
-                                              k * 83492791));
+  // Seed mixing in 64 bits: the products overflow (UB) in int arithmetic.
+  support::Rng rng((static_cast<std::uint64_t>(m) * 73856093u) ^
+                   (static_cast<std::uint64_t>(n) * 19349663u) ^
+                   (static_cast<std::uint64_t>(k) * 83492791u));
   for (const bool ta : {false, true}) {
     for (const bool tb : {false, true}) {
       const Matrix a = ta ? la::random_matrix(k, m, rng)

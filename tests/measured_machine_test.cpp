@@ -42,6 +42,37 @@ TEST(MeasuredMachine, IsolatedCallsAreMemoised) {
   EXPECT_EQ(m.benchmark_cache_size(), 0u);
 }
 
+TEST(MeasuredMachine, BenchmarkCacheIsCapacityBounded) {
+  MeasuredMachineConfig cfg = fast_config();
+  cfg.benchmark_cache_capacity = 2;
+  MeasuredMachine m(cfg);
+  EXPECT_EQ(m.benchmark_cache_capacity(), 2u);
+
+  m.time_call_isolated(make_gemm(16, 16, 16));
+  m.time_call_isolated(make_gemm(16, 16, 17));
+  m.time_call_isolated(make_gemm(16, 16, 18));  // evicts the k=16 call
+  EXPECT_EQ(m.benchmark_cache_size(), 2u);
+
+  // The evicted call re-measures (a miss); the resident ones hit.
+  const auto misses_before = m.benchmark_cache_misses();
+  m.time_call_isolated(make_gemm(16, 16, 16));
+  EXPECT_EQ(m.benchmark_cache_misses(), misses_before + 1);
+  EXPECT_EQ(m.benchmark_cache_size(), 2u);
+}
+
+TEST(MeasuredMachine, BenchmarkCacheCountersTrackHitsAndMisses) {
+  MeasuredMachine m(fast_config());
+  EXPECT_EQ(m.benchmark_cache_hits(), 0u);
+  EXPECT_EQ(m.benchmark_cache_misses(), 0u);
+  const KernelCall call = make_gemm(16, 16, 16);
+  m.time_call_isolated(call);
+  EXPECT_EQ(m.benchmark_cache_misses(), 1u);
+  m.time_call_isolated(call);
+  m.time_call_isolated(call);
+  EXPECT_EQ(m.benchmark_cache_hits(), 2u);
+  EXPECT_EQ(m.benchmark_cache_misses(), 1u);
+}
+
 TEST(MeasuredMachine, TimeStepsMatchesAlgorithmStructure) {
   MeasuredMachine m(fast_config());
   const auto algs = lamb::expr::enumerate_aatb_algorithms(20, 16, 24);

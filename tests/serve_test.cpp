@@ -1,0 +1,329 @@
+// serve/: SelectionService answers must be bit-identical to what the
+// underlying RegionAtlas / classifier produce directly, from every source
+// (atlas, measured, cache), under concurrency, and across a store
+// checkpoint/warm cycle.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "anomaly/classifier.hpp"
+#include "model/simulated_machine.hpp"
+#include "scripted.hpp"
+#include "serve/selection_service.hpp"
+#include "serve/shard_cache.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using namespace lamb;
+using serve::Query;
+using serve::Recommendation;
+using serve::SelectionService;
+using serve::ServiceConfig;
+using serve::Source;
+
+std::string temp_dir() {
+  static int counter = 0;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("lamb_serve_test_" + std::to_string(::getpid()) + "_" +
+        std::to_string(counter++)))
+          .string();
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+ServiceConfig scripted_config() {
+  ServiceConfig cfg;
+  cfg.atlas.lo = 20;
+  cfg.atlas.hi = 1200;
+  cfg.atlas.coarse_step = 40;
+  cfg.threads = 2;
+  return cfg;
+}
+
+// ----------------------------------------------------------- sharded cache
+
+TEST(ShardCache, BoundsCapacityAndCounts) {
+  serve::ShardedLruCache<std::string, int> cache(/*capacity=*/4, /*shards=*/2);
+  for (int i = 0; i < 100; ++i) {
+    cache.put(std::to_string(i), i);
+  }
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_EQ(cache.hits(), 0u);
+  cache.put("stay", 7);
+  ASSERT_TRUE(cache.get("stay").has_value());
+  EXPECT_EQ(*cache.get("stay"), 7);
+  EXPECT_GE(cache.hits(), 2u);
+  EXPECT_GE(cache.misses(), 0u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get("stay").has_value());
+}
+
+// ----------------------------------------------------------- correctness
+
+TEST(SelectionService, AtlasAnswersAreBitIdenticalToDirectAtlas) {
+  lamb::testing::ScriptedMachine machine;
+  lamb::testing::ScriptedFamily family;
+  const ServiceConfig cfg = scripted_config();
+
+  // Reference: the atlas built directly, same base/dim/config.
+  const anomaly::RegionAtlas direct(family, machine, {300}, 0, cfg.atlas);
+
+  // "scripted" is not in the global registry; register a local one.
+  expr::FamilyRegistry registry;
+  registry.add("scripted", "test double", [] {
+    return std::make_unique<lamb::testing::ScriptedFamily>();
+  });
+  SelectionService scripted_service(machine, cfg, &registry);
+
+  for (int size = 20; size <= 1200; size += 7) {
+    const Recommendation rec =
+        scripted_service.query(Query{"scripted", {size}, 0, false});
+    const anomaly::AtlasInterval& interval = direct.lookup(size);
+    EXPECT_EQ(rec.algorithm, interval.recommended) << size;
+    EXPECT_EQ(rec.flop_minimal, interval.flop_minimal) << size;
+    EXPECT_EQ(rec.flops_reliable, !interval.anomalous) << size;
+    EXPECT_EQ(rec.time_score, interval.worst_time_score) << size;
+  }
+  // One slice serves the whole sweep.
+  EXPECT_EQ(scripted_service.stats().atlases_built, 1u);
+}
+
+TEST(SelectionService, ExactQueriesMatchDirectClassification) {
+  model::SimulatedMachine machine;
+  const ServiceConfig cfg = scripted_config();
+  SelectionService service(machine, cfg);
+  const auto family = expr::make_family("aatb");
+
+  for (const expr::Instance& dims :
+       {expr::Instance{150, 260, 549}, expr::Instance{800, 260, 549}}) {
+    const Recommendation rec =
+        service.query(Query{"aatb", dims, 0, /*exact=*/true});
+    const anomaly::InstanceResult direct = anomaly::classify_instance(
+        *family, machine, dims, cfg.atlas.time_score_threshold);
+    EXPECT_EQ(rec.algorithm, direct.fastest.front());
+    EXPECT_EQ(rec.flop_minimal, direct.cheapest.front());
+    EXPECT_EQ(rec.flops_reliable, !direct.anomaly);
+    EXPECT_EQ(rec.time_score, direct.time_score);
+    EXPECT_EQ(rec.source, Source::kMeasured);
+  }
+  EXPECT_EQ(service.stats().measured_queries, 2u);
+  EXPECT_EQ(service.stats().atlases_built, 0u);
+}
+
+TEST(SelectionService, CachedAnswerIsIdenticalWithCacheSource) {
+  model::SimulatedMachine machine;
+  SelectionService service(machine, scripted_config());
+  const Query q{"aatb", {150, 260, 549}, 0, false};
+
+  const Recommendation first = service.query(q);
+  EXPECT_EQ(first.source, Source::kAtlas);
+  const Recommendation second = service.query(q);
+  EXPECT_EQ(second.source, Source::kCache);
+  EXPECT_EQ(second, first);  // payload equality ignores provenance
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+  EXPECT_EQ(service.stats().cache_misses, 1u);
+}
+
+TEST(SelectionService, SlicesAreSharedAcrossQueriesAlongTheSameLine) {
+  model::SimulatedMachine machine;
+  SelectionService service(machine, scripted_config());
+  for (int d0 = 100; d0 <= 1000; d0 += 100) {
+    service.query(Query{"aatb", {d0, 260, 549}, 0, false});
+  }
+  EXPECT_EQ(service.stats().atlases_built, 1u);
+  // A different dimension or a different base line is a different slice.
+  service.query(Query{"aatb", {150, 260, 549}, 1, false});
+  service.query(Query{"aatb", {150, 333, 549}, 0, false});
+  EXPECT_EQ(service.stats().atlases_built, 3u);
+  EXPECT_EQ(service.atlas_count(), 3u);
+}
+
+TEST(SelectionService, AutoBuildOffFallsBackToMeasured) {
+  model::SimulatedMachine machine;
+  ServiceConfig cfg = scripted_config();
+  cfg.auto_build = false;
+  SelectionService service(machine, cfg);
+  const Recommendation rec =
+      service.query(Query{"aatb", {150, 260, 549}, 0, false});
+  EXPECT_EQ(rec.source, Source::kMeasured);
+  EXPECT_EQ(service.stats().atlases_built, 0u);
+
+  // Once the slice is warmed explicitly, the atlas path takes over.
+  service.warm({Query{"aatb", {150, 260, 549}, 0, false}});
+  const Recommendation via_atlas =
+      service.query(Query{"aatb", {151, 260, 549}, 0, false});
+  EXPECT_EQ(via_atlas.source, Source::kAtlas);
+}
+
+TEST(SelectionService, InvalidQueriesAreRejected) {
+  model::SimulatedMachine machine;
+  SelectionService service(machine, scripted_config());
+  EXPECT_THROW(service.query(Query{"no_such_family", {100}, 0, false}),
+               support::CheckError);
+  EXPECT_THROW(service.query(Query{"aatb", {100, 200}, 0, false}),
+               support::CheckError);  // arity
+  EXPECT_THROW(service.query(Query{"aatb", {100, 200, 300}, 3, false}),
+               support::CheckError);  // dim out of range
+  EXPECT_THROW(service.query(Query{"aatb", {0, 200, 300}, 0, false}),
+               support::CheckError);  // non-positive size
+}
+
+TEST(SelectionService, QueryBatchMatchesSequentialQueries) {
+  model::SimulatedMachine machine;
+  SelectionService reference_service(machine, scripted_config());
+  SelectionService batch_service(machine, scripted_config());
+
+  std::vector<Query> batch;
+  for (int d0 = 50; d0 <= 1150; d0 += 50) {
+    batch.push_back(Query{"aatb", {d0, 260, 549}, 0, false});
+    batch.push_back(Query{"aatb", {80, d0, 768}, 1, false});
+  }
+  const auto batched = batch_service.query_batch(batch);
+  ASSERT_EQ(batched.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batched[i], reference_service.query(batch[i])) << i;
+  }
+}
+
+// ----------------------------------------------------------- persistence
+
+TEST(SelectionService, CheckpointThenWarmServesIdenticalAnswersWithoutBuilds) {
+  const std::string dir = temp_dir();
+  model::SimulatedMachine machine;
+  const ServiceConfig cfg = scripted_config();
+
+  std::vector<Query> queries;
+  for (int d0 = 100; d0 <= 1100; d0 += 200) {
+    queries.push_back(Query{"aatb", {d0, 260, 549}, 0, false});
+    queries.push_back(Query{"aatb", {d0, 514, 768}, 2, false});
+  }
+
+  SelectionService first(machine, cfg);
+  const auto answers = first.query_batch(queries);
+  store::AtlasStore atlas_store(dir);
+  EXPECT_EQ(first.checkpoint(atlas_store), first.atlas_count());
+  EXPECT_GT(atlas_store.size(), 0u);
+
+  SelectionService second(machine, cfg);
+  EXPECT_EQ(second.warm_from_store(atlas_store), atlas_store.size());
+  const auto reloaded = second.query_batch(queries);
+  ASSERT_EQ(reloaded.size(), answers.size());
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    EXPECT_EQ(reloaded[i], answers[i]) << i;
+    EXPECT_EQ(reloaded[i].source, Source::kAtlas) << i;
+  }
+  // Everything came from disk: no scans in the second service.
+  EXPECT_EQ(second.stats().atlases_built, 0u);
+  EXPECT_EQ(second.stats().atlases_loaded, atlas_store.size());
+  EXPECT_EQ(second.stats().atlas_samples, 0);
+}
+
+TEST(SelectionService, WarmFromStoreSkipsForeignRecords) {
+  const std::string dir = temp_dir();
+  store::AtlasStore atlas_store(dir);
+  model::SimulatedMachine machine;
+  const ServiceConfig cfg = scripted_config();
+
+  // A record for a different machine model.
+  lamb::testing::ScriptedFamily family;
+  lamb::testing::ScriptedMachine scripted;
+  const anomaly::RegionAtlas foreign(family, scripted, {300}, 0, cfg.atlas);
+  atlas_store.save(
+      store::AtlasKey{"scripted", scripted.name(), 0, {300}, cfg.atlas},
+      foreign);
+
+  SelectionService service(machine, cfg);
+  EXPECT_EQ(service.warm_from_store(atlas_store), 0u);
+  EXPECT_EQ(service.atlas_count(), 0u);
+}
+
+// ----------------------------------------------------------- concurrency
+
+TEST(SelectionService, ConcurrentQueriesMatchUncachedClassification) {
+  model::SimulatedMachine machine;
+  ServiceConfig cfg = scripted_config();
+  cfg.cache_capacity = 256;  // small enough to force eviction + rebuild hits
+  SelectionService service(machine, cfg);
+
+  // Reference answers computed serially from directly-built atlases.
+  const auto family = expr::make_family("aatb");
+  const anomaly::RegionAtlas direct_d0(*family, machine, {1, 260, 549}, 0,
+                                       cfg.atlas);
+  const anomaly::RegionAtlas direct_d1(*family, machine, {80, 1, 768}, 1,
+                                       cfg.atlas);
+
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 200;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        // Deterministic per-thread walk over both slices.
+        const int size = 20 + ((t * 131 + i * 17) % 1181);
+        const bool along_d0 = (t + i) % 2 == 0;
+        const Query q = along_d0
+                            ? Query{"aatb", {size, 260, 549}, 0, false}
+                            : Query{"aatb", {80, size, 768}, 1, false};
+        const Recommendation rec = service.query(q);
+        const anomaly::AtlasInterval& want =
+            (along_d0 ? direct_d0 : direct_d1).lookup(size);
+        if (rec.algorithm != want.recommended ||
+            rec.flop_minimal != want.flop_minimal ||
+            rec.flops_reliable != !want.anomalous ||
+            rec.time_score != want.worst_time_score) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  // The two slices were each built exactly once despite the stampede.
+  EXPECT_EQ(service.stats().atlases_built, 2u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses,
+            static_cast<std::uint64_t>(kThreads) * kQueriesPerThread);
+}
+
+TEST(SelectionService, WarmBatchBuildsOnThePoolBitIdenticalToSerial) {
+  model::SimulatedMachine machine;
+  ServiceConfig parallel_cfg = scripted_config();
+  parallel_cfg.threads = 4;
+  ServiceConfig serial_cfg = scripted_config();
+  serial_cfg.threads = 1;
+
+  std::vector<Query> queries;
+  for (int line = 0; line < 6; ++line) {
+    queries.push_back(
+        Query{"aatb", {150, 200 + 60 * line, 549}, 0, false});
+  }
+
+  SelectionService parallel_service(machine, parallel_cfg);
+  SelectionService serial_service(machine, serial_cfg);
+  EXPECT_EQ(parallel_service.warm(queries), queries.size());
+  EXPECT_EQ(serial_service.warm(queries), queries.size());
+  // Warming again is a no-op.
+  EXPECT_EQ(parallel_service.warm(queries), 0u);
+
+  for (const Query& q : queries) {
+    const anomaly::RegionAtlas* a = parallel_service.atlas_for(q);
+    const anomaly::RegionAtlas* b = serial_service.atlas_for(q);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->to_csv(), b->to_csv());
+    EXPECT_EQ(a->samples_used(), b->samples_used());
+  }
+}
+
+}  // namespace
