@@ -7,10 +7,15 @@
 //                             cache disabled: per-query cost is the atlas
 //                             binary search
 //   WarmCacheQuery          — warm SelectionService, sharded-LRU hit path
+//   WarmBatchQuery/N        — warm SelectionService, query_batch of N:
+//                             slice-grouped answers straight off the atlas
+//                             snapshot, no per-query hashing or locking
 //
-// The acceptance target is WarmCacheQuery >= 100x faster than
-// UncachedClassification; on the simulated machine the gap is typically
-// 3-4 orders of magnitude.
+// Acceptance targets: WarmCacheQuery >= 100x faster than
+// UncachedClassification (typically 3-4 orders of magnitude on the
+// simulated machine), and WarmBatchQuery/1024 >= 5x the warm single-query
+// throughput (compare the items_per_second counters; the batch path answers
+// a grouped slice sweep without touching the LRU).
 #include <benchmark/benchmark.h>
 
 #include "anomaly/classifier.hpp"
@@ -23,18 +28,20 @@ namespace {
 
 using namespace lamb;
 
-constexpr int kQueryCount = 256;
-
-std::vector<serve::Query> make_queries(const serve::ServiceConfig& cfg) {
+/// `count` queries spread over `slices` atlas slices (fixed bases, varying
+/// symbolic coordinate), slice-major: a burst of correlated sweeps, the
+/// traffic shape the batch API exists for.
+std::vector<serve::Query> make_queries(const serve::ServiceConfig& cfg,
+                                       int count, int slices = 1) {
   support::Rng rng(42);
   std::vector<serve::Query> queries;
-  queries.reserve(kQueryCount);
-  for (int i = 0; i < kQueryCount; ++i) {
-    // One slice (fixed d1, d2), varying symbolic coordinate: the serving
-    // sweet spot the atlas was designed for.
+  queries.reserve(static_cast<std::size_t>(count));
+  const int per_slice = (count + slices - 1) / slices;
+  for (int i = 0; i < count; ++i) {
+    const int d1 = 260 + 40 * (i / per_slice);
     queries.push_back(serve::Query{
         "aatb",
-        {rng.uniform_int(cfg.atlas.lo, cfg.atlas.hi), 260, 549},
+        {rng.uniform_int(cfg.atlas.lo, cfg.atlas.hi), d1, 549},
         0,
         false});
   }
@@ -45,13 +52,14 @@ void BM_UncachedClassification(benchmark::State& state) {
   model::SimulatedMachine machine;
   const auto family = expr::make_family("aatb");
   const serve::ServiceConfig cfg;
-  const auto queries = make_queries(cfg);
+  const auto queries = make_queries(cfg, 256);
   std::size_t i = 0;
   for (auto _ : state) {
     const auto& q = queries[i++ % queries.size()];
     benchmark::DoNotOptimize(anomaly::classify_instance(
         *family, machine, q.dims, cfg.atlas.time_score_threshold));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_UncachedClassification)->Unit(benchmark::kMicrosecond);
 
@@ -61,40 +69,90 @@ void BM_AtlasLookup(benchmark::State& state) {
   cfg.cache_capacity = 1;  // recommendation cache effectively disabled
   cfg.cache_shards = 1;
   serve::SelectionService service(machine, cfg);
-  const auto queries = make_queries(cfg);
+  const auto queries = make_queries(cfg, 256);
   service.warm(queries);
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(service.query(queries[i++ % queries.size()]));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AtlasLookup)->Unit(benchmark::kMicrosecond);
 
+/// The single-query baseline the batch mode is measured against: every
+/// query is a sharded-LRU hit (hash, shard mutex, list splice).
 void BM_WarmCacheQuery(benchmark::State& state) {
   model::SimulatedMachine machine;
   const serve::ServiceConfig cfg;
   serve::SelectionService service(machine, cfg);
-  const auto queries = make_queries(cfg);
-  service.query_batch(queries);  // build the atlas + populate the cache
+  const auto queries = make_queries(cfg, 256);
+  for (const serve::Query& q : queries) {
+    service.query(q);  // build the slice and populate the LRU
+  }
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(service.query(queries[i++ % queries.size()]));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_WarmCacheQuery)->Unit(benchmark::kMicrosecond);
+
+/// Batch mode: one query_batch call answers `Arg` warm queries by grouping
+/// them per slice and reading the immutable atlas snapshot directly.
+/// items_per_second here vs. BM_WarmCacheQuery's is the batch speedup
+/// (acceptance: >= 5x at batch size 1024).
+void BM_WarmBatchQuery(benchmark::State& state) {
+  model::SimulatedMachine machine;
+  const serve::ServiceConfig cfg;
+  serve::SelectionService service(machine, cfg);
+  const auto queries =
+      make_queries(cfg, static_cast<int>(state.range(0)), /*slices=*/4);
+  service.warm(queries);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.query_batch(queries));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WarmBatchQuery)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(8192)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Async path cost when everything is warm: the future resolves inline.
+void BM_WarmAsyncQuery(benchmark::State& state) {
+  model::SimulatedMachine machine;
+  const serve::ServiceConfig cfg;
+  serve::SelectionService service(machine, cfg);
+  const auto queries = make_queries(cfg, 256);
+  for (const serve::Query& q : queries) {
+    service.query(q);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        service.query_async(queries[i++ % queries.size()]).get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WarmAsyncQuery)->Unit(benchmark::kMicrosecond);
 
 void BM_WarmCacheQueryThreaded(benchmark::State& state) {
   static model::SimulatedMachine machine;
   static serve::SelectionService service(machine, {});
   static const auto queries = [] {
-    const auto qs = make_queries({});
+    const auto qs = make_queries({}, 256);
     service.query_batch(qs);
+    for (const serve::Query& q : qs) {
+      service.query(q);  // populate the LRU (batch answers bypass it)
+    }
     return qs;
   }();
   std::size_t i = static_cast<std::size_t>(state.thread_index()) * 31;
   for (auto _ : state) {
     benchmark::DoNotOptimize(service.query(queries[i++ % queries.size()]));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_WarmCacheQueryThreaded)
     ->Threads(4)

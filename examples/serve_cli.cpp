@@ -11,6 +11,13 @@
 //           comma-separated sizes; '#' starts a comment)
 //             echo 300,260,549 | serve_cli query --family=aatb
 //                       --atlas-dir=atlases
+//   batch   answer the query list through query_batch and report its
+//           throughput against repeated single query() calls on the same
+//           warm service
+//             serve_cli batch --family=aatb --queries=queries.csv --repeat=5
+//   async   submit every query through query_async (deduplicating
+//           background builds), then collect the futures in input order
+//             echo 300,260,549 | serve_cli async --family=aatb
 //   bench   time uncached classification vs warm-cache service queries
 //             serve_cli bench --family=aatb --queries-n=2000
 //
@@ -21,6 +28,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <sstream>
 
@@ -121,6 +129,20 @@ void print_stats(const serve::SelectionService& service) {
               static_cast<unsigned long long>(s.measured_queries));
 }
 
+void print_recommendations(const std::vector<serve::Query>& queries,
+                           const std::vector<serve::Recommendation>& recs) {
+  std::printf("instance,algorithm,flops_reliable,time_score,source\n");
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    std::string inst;
+    for (std::size_t d = 0; d < queries[i].dims.size(); ++d) {
+      inst += support::strf("%s%d", d > 0 ? "x" : "", queries[i].dims[d]);
+    }
+    std::printf("%s,%zu,%d,%.4f,%s\n", inst.c_str(), recs[i].algorithm + 1,
+                recs[i].flops_reliable ? 1 : 0, recs[i].time_score,
+                std::string(serve::to_string(recs[i].source)).c_str());
+  }
+}
+
 int cmd_build(const support::Cli& cli, serve::SelectionService& service) {
   const std::string family = cli.get_string("family", "aatb");
   const expr::Instance base =
@@ -151,16 +173,86 @@ int cmd_query(const support::Cli& cli, serve::SelectionService& service) {
   const bool exact = cli.get_bool("exact", false);
   const auto queries = read_queries(cli, family, dim, exact);
   const auto recs = service.query_batch(queries);
-  std::printf("instance,algorithm,flops_reliable,time_score,source\n");
-  for (std::size_t i = 0; i < recs.size(); ++i) {
-    std::string inst;
-    for (std::size_t d = 0; d < queries[i].dims.size(); ++d) {
-      inst += support::strf("%s%d", d > 0 ? "x" : "", queries[i].dims[d]);
-    }
-    std::printf("%s,%zu,%d,%.4f,%s\n", inst.c_str(), recs[i].algorithm + 1,
-                recs[i].flops_reliable ? 1 : 0, recs[i].time_score,
-                std::string(serve::to_string(recs[i].source)).c_str());
+  print_recommendations(queries, recs);
+  print_stats(service);
+  return 0;
+}
+
+int cmd_batch(const support::Cli& cli, serve::SelectionService& service) {
+  const std::string family = cli.get_string("family", "aatb");
+  const int dim = static_cast<int>(cli.get_int("dim", 0));
+  const int repeat = static_cast<int>(cli.get_int("repeat", 5));
+  const auto queries = read_queries(cli, family, dim, false);
+  if (queries.empty()) {
+    std::fprintf(stderr, "no queries\n");
+    return 1;
   }
+
+  // Cold pass builds every needed slice (grouped, deduplicated, parallel
+  // when the machine's timing allows), then the timed passes are warm.
+  using clock = std::chrono::steady_clock;
+  const auto t_cold = clock::now();
+  auto recs = service.query_batch(queries);
+  const double cold =
+      std::chrono::duration<double>(clock::now() - t_cold).count();
+
+  for (const serve::Query& q : queries) {
+    service.query(q);  // populate the LRU for the single-query baseline
+  }
+  const auto t_single = clock::now();
+  for (int r = 0; r < repeat; ++r) {
+    for (const serve::Query& q : queries) {
+      service.query(q);
+    }
+  }
+  const double single =
+      std::chrono::duration<double>(clock::now() - t_single).count();
+
+  const auto t_batch = clock::now();
+  for (int r = 0; r < repeat; ++r) {
+    recs = service.query_batch(queries);
+  }
+  const double batch =
+      std::chrono::duration<double>(clock::now() - t_batch).count();
+
+  print_recommendations(queries, recs);
+  const double per_query = static_cast<double>(queries.size()) * repeat;
+  std::printf("cold batch %.3f s; warm: single query %.0f ns/q, "
+              "query_batch %.0f ns/q -> %.1fx\n",
+              cold, 1e9 * single / per_query, 1e9 * batch / per_query,
+              single / batch);
+  print_stats(service);
+  return 0;
+}
+
+int cmd_async(const support::Cli& cli, serve::SelectionService& service) {
+  const std::string family = cli.get_string("family", "aatb");
+  const int dim = static_cast<int>(cli.get_int("dim", 0));
+  const bool exact = cli.get_bool("exact", false);
+  const auto queries = read_queries(cli, family, dim, exact);
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  std::vector<std::future<serve::Recommendation>> futures;
+  futures.reserve(queries.size());
+  for (const serve::Query& q : queries) {
+    futures.push_back(service.query_async(q));
+  }
+  const double submit =
+      std::chrono::duration<double>(clock::now() - t0).count();
+
+  std::vector<serve::Recommendation> recs;
+  recs.reserve(futures.size());
+  for (auto& fut : futures) {
+    recs.push_back(fut.get());
+  }
+  const double total =
+      std::chrono::duration<double>(clock::now() - t0).count();
+
+  print_recommendations(queries, recs);
+  std::printf("%zu async queries: submitted in %.6f s, all resolved after "
+              "%.3f s\n",
+              queries.size(), submit, total);
   print_stats(service);
   return 0;
 }
@@ -229,7 +321,7 @@ int main(int argc, char** argv) {
   const support::Cli cli(argc, argv);
   if (cli.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: %s build|warm|query|bench [flags]\n"
+                 "usage: %s build|warm|query|batch|async|bench [flags]\n"
                  "(see the header comment of examples/serve_cli.cpp)\n",
                  cli.program().c_str());
     return 1;
@@ -256,6 +348,10 @@ int main(int argc, char** argv) {
     rc = cmd_warm(cli, service);
   } else if (cmd == "query") {
     rc = cmd_query(cli, service);
+  } else if (cmd == "batch") {
+    rc = cmd_batch(cli, service);
+  } else if (cmd == "async") {
+    rc = cmd_async(cli, service);
   } else if (cmd == "bench") {
     rc = cmd_bench(cli, service, *machine);
   } else {

@@ -5,20 +5,31 @@
 #
 # Environment:
 #   CMAKE_BUILD_TYPE   build type (default Release; RelWithDebInfo when
-#                      SANITIZE=1)
+#                      sanitizing)
 #   JOBS               parallel build jobs (default: nproc)
-#   SANITIZE           1 -> ASan+UBSan build (default build dir build-asan),
-#                      exercising the concurrent serving caches under the
-#                      sanitizers
+#   SANITIZE           1|address -> ASan+UBSan build (default build dir
+#                      build-asan), exercising the concurrent serving caches
+#                      under the sanitizers
+#                      thread    -> TSan build (default build dir
+#                      build-tsan) running the concurrency-heavy suites
+#                      (serve_test, parallel_test), keeping the lock-free
+#                      snapshot path race-clean
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 SANITIZE="${SANITIZE:-0}"
-if [[ "$SANITIZE" == "1" ]]; then
+TEST_FILTER=()
+if [[ "$SANITIZE" == "1" || "$SANITIZE" == "address" ]]; then
   BUILD_DIR="${1:-build-asan}"
   CMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}"
-  SANITIZE_FLAGS=(-DLAMB_SANITIZE=ON)
+  SANITIZE_FLAGS=(-DLAMB_SANITIZE=address)
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+elif [[ "$SANITIZE" == "thread" ]]; then
+  BUILD_DIR="${1:-build-tsan}"
+  CMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}"
+  SANITIZE_FLAGS=(-DLAMB_SANITIZE=thread)
+  TEST_FILTER=(-R 'serve_test|parallel_test')
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 else
   BUILD_DIR="${1:-build}"
   SANITIZE_FLAGS=()
@@ -33,4 +44,5 @@ fi
 cmake -B "$BUILD_DIR" -S . "${GENERATOR[@]}" \
   -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}" "${SANITIZE_FLAGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+  ${TEST_FILTER[@]+"${TEST_FILTER[@]}"}

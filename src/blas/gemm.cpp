@@ -94,6 +94,36 @@ void gemm_blocked_range(bool trans_a, bool trans_b, double alpha,
 
 }  // namespace
 
+std::vector<ColumnStripe> partition_column_stripes(index_t n,
+                                                   index_t max_stripes) {
+  LAMB_CHECK(n >= 0, "stripe partition: negative range");
+  LAMB_CHECK(max_stripes >= 1, "stripe partition: need at least one stripe");
+  std::vector<ColumnStripe> stripes;
+  if (n == 0) {
+    return stripes;
+  }
+  // Distribute whole kNR blocks, not rounded-up per-stripe widths: rounding
+  // `ceil(n / stripes)` up to kNR used to oversize early stripes and leave
+  // trailing stripes empty (n = 65, 8 workers gave 2 of the 9 blocks to
+  // stripe 0 and none to stripes 5..7). The remainder blocks go to the
+  // TRAILING stripes so the clipped final panel lands in a stripe that also
+  // carries an extra block — that keeps column widths within kNR of each
+  // other in every case.
+  const index_t blocks = (n + kNR - 1) / kNR;
+  const index_t count = std::min(max_stripes, blocks);
+  const index_t per = blocks / count;
+  const index_t extra = blocks % count;
+  stripes.reserve(static_cast<std::size_t>(count));
+  index_t block = 0;
+  for (index_t s = 0; s < count; ++s) {
+    const index_t take = per + (s >= count - extra ? 1 : 0);
+    stripes.push_back(ColumnStripe{block * kNR,
+                                   std::min(n, (block + take) * kNR)});
+    block += take;
+  }
+  return stripes;
+}
+
 void gemm(bool trans_a, bool trans_b, double alpha, ConstMatrixView a,
           ConstMatrixView b, double beta, MatrixView c,
           const GemmOptions& opts) {
@@ -133,17 +163,14 @@ void gemm(bool trans_a, bool trans_b, double alpha, ConstMatrixView a,
 
   // Parallelise over disjoint column stripes; each stripe owns its packing
   // buffers and a disjoint part of C, so no synchronisation is needed.
-  const auto workers = static_cast<index_t>(pool->size());
-  const index_t stripes = std::min(workers, (n + kNR - 1) / kNR);
-  const index_t per_stripe = ((n + stripes - 1) / stripes + kNR - 1) / kNR * kNR;
-  pool->parallel_for(stripes, [&](index_t s_begin, index_t s_end) {
-    for (index_t s = s_begin; s < s_end; ++s) {
-      const index_t j0 = s * per_stripe;
-      const index_t j1 = std::min(n, j0 + per_stripe);
-      if (j0 < j1) {
-        gemm_blocked_range(trans_a, trans_b, alpha, a, b, c, opts.blocks, j0,
-                           j1);
-      }
+  const std::vector<ColumnStripe> stripes =
+      partition_column_stripes(n, static_cast<index_t>(pool->size()));
+  pool->parallel_for(static_cast<std::ptrdiff_t>(stripes.size()),
+                     [&](std::ptrdiff_t s_begin, std::ptrdiff_t s_end) {
+    for (std::ptrdiff_t s = s_begin; s < s_end; ++s) {
+      const ColumnStripe& stripe = stripes[static_cast<std::size_t>(s)];
+      gemm_blocked_range(trans_a, trans_b, alpha, a, b, c, opts.blocks,
+                         stripe.begin, stripe.end);
     }
   });
 }

@@ -8,6 +8,8 @@
 //                 blocks with a ThreadPool.
 #pragma once
 
+#include <vector>
+
 #include "blas/packing.hpp"
 #include "la/matrix.hpp"
 #include "parallel/thread_pool.hpp"
@@ -18,6 +20,22 @@ struct GemmOptions {
   BlockSizes blocks;
   parallel::ThreadPool* pool = nullptr;  ///< null -> serial
 };
+
+/// One worker's contiguous column range [begin, end) of C.
+struct ColumnStripe {
+  la::index_t begin = 0;
+  la::index_t end = 0;
+
+  friend bool operator==(const ColumnStripe&, const ColumnStripe&) = default;
+};
+
+/// Balanced kNR-aligned partition of [0, n) into at most `max_stripes`
+/// non-empty stripes: microkernel blocks are distributed as evenly as
+/// possible (stripe widths differ by at most kNR), every stripe boundary
+/// except the last is a kNR multiple, and the stripes exactly cover [0, n).
+/// This is the parallel GEMM work split, exposed for direct testing.
+std::vector<ColumnStripe> partition_column_stripes(la::index_t n,
+                                                   la::index_t max_stripes);
 
 /// op(A) is m x k, op(B) is k x n, C is m x n; op = transpose when flagged.
 void gemm(bool trans_a, bool trans_b, double alpha, la::ConstMatrixView a,

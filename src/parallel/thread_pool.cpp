@@ -35,9 +35,13 @@ void ThreadPool::parallel_for(
   }
   const auto participants = static_cast<std::ptrdiff_t>(size());
   if (participants == 1 || n == 1) {
-    fn(0, n);
+    fn(0, n);  // no shared state touched: no need to serialise
     return;
   }
+  // One loop at a time: the task slots and completion count are
+  // per-invocation state, and concurrent dispatches would clobber them
+  // (losing chunks for one caller, running others twice).
+  const std::lock_guard<std::mutex> dispatch_lock(dispatch_mutex_);
 
   const std::ptrdiff_t chunk = (n + participants - 1) / participants;
   std::ptrdiff_t caller_begin = 0;

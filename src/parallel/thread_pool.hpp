@@ -31,6 +31,9 @@ class ThreadPool {
   /// Run fn(begin, end) over [0, n) split into contiguous chunks, one chunk
   /// per participant (workers + caller). Blocks until all chunks finish.
   /// Exceptions from fn propagate to the caller (first one wins).
+  /// Safe to call from multiple threads: concurrent calls are serialised
+  /// behind a dispatch mutex (one loop runs at a time, later callers
+  /// block). Do not call parallel_for from inside fn — that deadlocks.
   void parallel_for(std::ptrdiff_t n,
                     const std::function<void(std::ptrdiff_t, std::ptrdiff_t)>&
                         fn);
@@ -49,6 +52,12 @@ class ThreadPool {
   void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
+  /// Serialises whole parallel_for invocations: the task slots, generation
+  /// counter and pending count below describe ONE loop at a time, so a
+  /// second concurrent caller must not start handing out chunks while the
+  /// first is still collecting (the serving layer's query_batch dispatches
+  /// builds from many threads at once).
+  std::mutex dispatch_mutex_;
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

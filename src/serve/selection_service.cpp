@@ -1,6 +1,8 @@
 #include "serve/selection_service.hpp"
 
+#include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "anomaly/classifier.hpp"
 #include "support/check.hpp"
@@ -23,7 +25,69 @@ bool same_config(const anomaly::AtlasConfig& a, const anomaly::AtlasConfig& b) {
          a.time_score_threshold == b.time_score_threshold;
 }
 
+/// Shape checks shared by every entry point; the family is resolved by the
+/// caller (so batch loops can memoise the registry lookup per name).
+void validate_query(const Query& q, const expr::ExpressionFamily& family) {
+  LAMB_CHECK(static_cast<int>(q.dims.size()) == family.dimension_count(),
+             "query arity mismatch for family " + q.family);
+  LAMB_CHECK(q.dim >= 0 && q.dim < family.dimension_count(),
+             "query dimension out of range");
+  for (int d : q.dims) {
+    LAMB_CHECK(d >= 1, "query dimensions must be positive");
+  }
+}
+
+/// Same atlas slice: same family, same scanned dimension, same base line
+/// (all coordinates equal except the scanned one). Cheaper than comparing
+/// canonical key strings — no allocation, and batches are typically sweeps
+/// where consecutive queries share a slice.
+bool same_slice(const Query& a, const Query& b) {
+  if (a.dim != b.dim || a.dims.size() != b.dims.size()) {
+    return false;
+  }
+  for (std::size_t d = 0; d < a.dims.size(); ++d) {
+    if (d != static_cast<std::size_t>(a.dim) && a.dims[d] != b.dims[d]) {
+      return false;
+    }
+  }
+  return a.family == b.family;  // the costliest comparison goes last
+}
+
+Recommendation recommendation_from(const anomaly::AtlasInterval& interval) {
+  Recommendation rec;
+  rec.algorithm = interval.recommended;
+  rec.flop_minimal = interval.flop_minimal;
+  rec.flops_reliable = !interval.anomalous;
+  rec.time_score = interval.worst_time_score;
+  rec.source = Source::kAtlas;
+  return rec;
+}
+
+constexpr std::uint32_t kNoGroup = ~std::uint32_t{0};
+
 }  // namespace
+
+std::size_t SelectionService::SliceIdHash::operator()(const SliceId& id) const {
+  std::uint64_t h = support::fnv1a64(id.family);
+  h = support::fnv1a64(&id.dim, sizeof(id.dim), h);
+  h = support::fnv1a64(id.base.data(), id.base.size() * sizeof(int), h);
+  return static_cast<std::size_t>(h);
+}
+
+SelectionService::SliceId SelectionService::slice_id(const Query& q) {
+  SliceId id{q.family, q.dim, q.dims};
+  id.base[static_cast<std::size_t>(q.dim)] = 0;
+  return id;
+}
+
+SelectionService::SliceId SelectionService::slice_id(
+    const store::AtlasKey& key) {
+  SliceId id{key.family, key.dim, key.base};
+  // Store keys may carry any value at the scanned coordinate (canonical()
+  // zeroes it only when printing); normalise here.
+  id.base[static_cast<std::size_t>(key.dim)] = 0;
+  return id;
+}
 
 std::size_t QueryHash::operator()(const Query& q) const {
   std::uint64_t h = support::fnv1a64(q.family);
@@ -50,11 +114,34 @@ SelectionService::SelectionService(model::MachineModel& machine,
                                    const expr::FamilyRegistry* registry)
     : machine_(machine), config_(config),
       registry_(registry != nullptr ? *registry : expr::registry()),
+      snapshot_(std::make_shared<const Snapshot>()),
       concurrent_timing_(machine.concurrent_timing_safe()),
       cache_(config.cache_capacity, config.cache_shards) {
+  // The pool only ever runs atlas builds, and those are serialised behind
+  // timing_mutex_ on machines whose timing is not thread-safe — don't park
+  // idle workers in that case.
   if (concurrent_timing_) {
     pool_ = std::make_unique<parallel::ThreadPool>(
         resolve_threads(config_.threads));
+  }
+}
+
+SelectionService::~SelectionService() {
+  {
+    const std::lock_guard<std::mutex> lock(async_mutex_);
+    async_stop_ = true;
+  }
+  async_cv_.notify_all();
+  if (async_worker_.joinable()) {
+    async_worker_.join();
+  }
+  // Fail anything that was still queued, instead of the anonymous
+  // broken-promise error the promise destructor would produce.
+  for (auto& [bucket_key, bucket] : async_pending_) {
+    for (AsyncWaiter& waiter : bucket.waiters) {
+      waiter.promise.set_exception(std::make_exception_ptr(support::CheckError(
+          "SelectionService destroyed with pending async queries")));
+    }
   }
 }
 
@@ -70,17 +157,11 @@ const expr::ExpressionFamily& SelectionService::resolve_family(
 
 const expr::ExpressionFamily& SelectionService::family_for(const Query& q) {
   const expr::ExpressionFamily& family = resolve_family(q.family);
-  LAMB_CHECK(static_cast<int>(q.dims.size()) == family.dimension_count(),
-             "query arity mismatch for family " + q.family);
-  LAMB_CHECK(q.dim >= 0 && q.dim < family.dimension_count(),
-             "query dimension out of range");
-  for (int d : q.dims) {
-    LAMB_CHECK(d >= 1, "query dimensions must be positive");
-  }
+  validate_query(q, family);
   return family;
 }
 
-store::AtlasKey SelectionService::atlas_key(const Query& q) {
+store::AtlasKey SelectionService::atlas_key(const Query& q) const {
   store::AtlasKey key;
   key.family = q.family;
   key.machine = machine_.name();
@@ -91,39 +172,84 @@ store::AtlasKey SelectionService::atlas_key(const Query& q) {
   return key;
 }
 
-std::shared_ptr<SelectionService::AtlasEntry> SelectionService::entry_for(
-    const store::AtlasKey& key) {
-  const std::string canonical = key.canonical();
-  const std::lock_guard<std::mutex> lock(atlases_mutex_);
-  auto it = atlases_.find(canonical);
-  if (it == atlases_.end()) {
-    auto entry = std::make_shared<AtlasEntry>();
-    entry->key = key;
-    it = atlases_.emplace(canonical, std::move(entry)).first;
-  }
-  return it->second;
+SelectionService::AtlasPtr SelectionService::find_slice(const Snapshot& snap,
+                                                        const SliceId& id) {
+  const auto it = snap.slices.find(id);
+  return it == snap.slices.end() ? nullptr : it->second.atlas;
 }
 
-const anomaly::RegionAtlas& SelectionService::ensure_built(AtlasEntry& entry) {
-  const std::lock_guard<std::mutex> lock(entry.build_mutex);
-  if (entry.atlas == nullptr) {
-    // The canonicalised base carries a 0 at the scanned coordinate, which
-    // the scan overrides at every sample; only the family name is needed.
-    const expr::ExpressionFamily& family = resolve_family(entry.key.family);
-    std::unique_ptr<const anomaly::RegionAtlas> built;
-    if (concurrent_timing_) {
-      built = std::make_unique<anomaly::RegionAtlas>(
-          family, machine_, entry.key.base, entry.key.dim, config_.atlas);
-    } else {
-      const std::lock_guard<std::mutex> timing_lock(timing_mutex_);
-      built = std::make_unique<anomaly::RegionAtlas>(
-          family, machine_, entry.key.base, entry.key.dim, config_.atlas);
-    }
-    atlas_samples_.fetch_add(built->samples_used());
-    atlases_built_.fetch_add(1);
-    entry.atlas = std::move(built);
+SelectionService::AtlasPtr SelectionService::build_slice(
+    const store::AtlasKey& key) {
+  // The canonicalised base carries a 0 at the scanned coordinate, which
+  // the scan overrides at every sample; only the family name is needed.
+  const expr::ExpressionFamily& family = resolve_family(key.family);
+  AtlasPtr built;
+  if (concurrent_timing_) {
+    built = std::make_shared<const anomaly::RegionAtlas>(
+        family, machine_, key.base, key.dim, config_.atlas);
+  } else {
+    const std::lock_guard<std::mutex> timing_lock(timing_mutex_);
+    built = std::make_shared<const anomaly::RegionAtlas>(
+        family, machine_, key.base, key.dim, config_.atlas);
   }
-  return *entry.atlas;
+  atlas_samples_.fetch_add(built->samples_used());
+  atlases_built_.fetch_add(1);
+  return built;
+}
+
+SelectionService::AtlasPtr SelectionService::publish(
+    const store::AtlasKey& key, const SliceId& id, AtlasPtr atlas) {
+  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  auto next = std::make_shared<Snapshot>(*snapshot_.load());
+  const auto [it, inserted] =
+      next->slices.try_emplace(id, Slice{key, std::move(atlas)});
+  const AtlasPtr result = it->second.atlas;
+  if (inserted) {
+    snapshot_.store(std::move(next));
+  }
+  return result;
+}
+
+SelectionService::AtlasPtr SelectionService::obtain_atlas(
+    const store::AtlasKey& key, const SliceId& id) {
+  if (AtlasPtr atlas = find_slice(*snapshot(), id)) {
+    return atlas;
+  }
+  std::promise<AtlasPtr> promise;
+  std::shared_future<AtlasPtr> shared;
+  bool builder = false;
+  {
+    const std::lock_guard<std::mutex> lock(builds_mutex_);
+    // Recheck under the lock: the builder publishes before it unregisters,
+    // so a slice absent from both the snapshot and in_flight_ is truly ours
+    // to build.
+    if (AtlasPtr atlas = find_slice(*snapshot(), id)) {
+      return atlas;
+    }
+    const auto [it, inserted] = in_flight_.try_emplace(id);
+    if (inserted) {
+      it->second = promise.get_future().share();
+      builder = true;
+    }
+    shared = it->second;
+  }
+  if (!builder) {
+    return shared.get();  // blocks on the builder; rethrows its error
+  }
+  try {
+    AtlasPtr result = publish(key, id, build_slice(key));
+    promise.set_value(result);
+    const std::lock_guard<std::mutex> lock(builds_mutex_);
+    in_flight_.erase(id);
+    return result;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    {
+      const std::lock_guard<std::mutex> lock(builds_mutex_);
+      in_flight_.erase(id);
+    }
+    throw;
+  }
 }
 
 Recommendation SelectionService::classify_exact(const Query& q) {
@@ -158,23 +284,14 @@ Recommendation SelectionService::query(const Query& q) {
   if (q.exact) {
     rec = classify_exact(q);
   } else {
-    const std::shared_ptr<AtlasEntry> entry = entry_for(atlas_key(q));
-    const anomaly::RegionAtlas* atlas = nullptr;
-    {
-      const std::lock_guard<std::mutex> lock(entry->build_mutex);
-      atlas = entry->atlas.get();
-    }
+    const SliceId id = slice_id(q);
+    AtlasPtr atlas = find_slice(*snapshot(), id);
     if (atlas == nullptr && config_.auto_build) {
-      atlas = &ensure_built(*entry);
+      atlas = obtain_atlas(atlas_key(q), id);
     }
     if (atlas != nullptr) {
-      const anomaly::AtlasInterval& interval =
-          atlas->lookup(q.dims[static_cast<std::size_t>(q.dim)]);
-      rec.algorithm = interval.recommended;
-      rec.flop_minimal = interval.flop_minimal;
-      rec.flops_reliable = !interval.anomalous;
-      rec.time_score = interval.worst_time_score;
-      rec.source = Source::kAtlas;
+      rec = recommendation_from(
+          atlas->lookup(q.dims[static_cast<std::size_t>(q.dim)]));
     } else {
       rec = classify_exact(q);
     }
@@ -184,33 +301,269 @@ Recommendation SelectionService::query(const Query& q) {
 }
 
 std::vector<Recommendation> SelectionService::query_batch(
-    const std::vector<Query>& batch) {
-  warm(batch);  // dedupe + parallel-build the missing slices first
-  std::vector<Recommendation> out;
-  out.reserve(batch.size());
-  for (const Query& q : batch) {
-    out.push_back(query(q));
+    std::span<const Query> batch) {
+  std::vector<Recommendation> out(batch.size());
+  if (batch.empty()) {
+    return out;
+  }
+  LAMB_CHECK(batch.size() <= ~std::uint32_t{0},
+             "query_batch: batch too large");  // indices are 32-bit
+
+  // With on-demand building off, a single query() may cache a measured
+  // (classified) answer that a later atlas lookup would not reproduce;
+  // strict bit-identity with sequential query() calls then requires the
+  // cache to stay in the loop. Builds are disabled anyway, so there is
+  // nothing for the batch path to group or amortise — delegate wholesale.
+  if (!config_.auto_build) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      out[i] = query(batch[i]);
+    }
+    return out;
+  }
+
+  struct Group {
+    std::size_t rep;  ///< index of the group's first query
+    AtlasPtr atlas;
+    // Hoisted for the answer path: the interval partition, its range, and a
+    // memo of the last interval hit — a sweep's next step (or a random
+    // coordinate in a wide interval) is a two-comparison answer.
+    const anomaly::AtlasInterval* intervals = nullptr;
+    const anomaly::AtlasInterval* memo = nullptr;
+    int lo = 0;
+    int hi = 0;
+  };
+  std::vector<Group> groups;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> deferred;  // (query, group)
+  std::vector<std::uint32_t> exact_queries;  // -> query() path, input order
+  const SnapshotPtr snap = snapshot();  // one atomic load for the whole batch
+
+  // Answer a query from its group's partition: clamp + scan of the ascending
+  // contiguous intervals, bit-identical to RegionAtlas::lookup() (the same
+  // clamp + partition point), but with no locks, hashing or function calls.
+  const auto answer = [&](std::size_t i, Group& group) {
+    const Query& q = batch[i];
+    int c = q.dims[static_cast<std::size_t>(q.dim)];
+    c = c < group.lo ? group.lo : (c > group.hi ? group.hi : c);
+    const anomaly::AtlasInterval* interval = group.memo;
+    if (interval == nullptr || c < interval->lo || c > interval->hi) {
+      interval = group.intervals;
+      while (interval->hi < c) {
+        ++interval;
+      }
+      group.memo = interval;
+    }
+    out[i] = recommendation_from(*interval);
+  };
+  const auto adopt = [](Group& group, AtlasPtr atlas) {
+    group.intervals = atlas->intervals().data();
+    group.lo = atlas->config().lo;
+    group.hi = atlas->config().hi;
+    group.atlas = std::move(atlas);
+  };
+
+  // Pass 1 — validate, group by slice, and answer everything already
+  // servable, in one sweep. Consecutive queries usually share a slice
+  // (batches are sweeps), so the hot case is one slice comparison plus one
+  // positivity check — the other coordinates were validated on the group's
+  // representative, and same_slice pins them equal. Distinct slices per
+  // batch are few, so the cold case is a linear group scan; brand-new
+  // groups resolve their slice against the snapshot once. Queries whose
+  // slice is not built yet are deferred.
+  const expr::ExpressionFamily* family = nullptr;
+  const std::string* family_name = nullptr;
+  std::uint32_t last_group = kNoGroup;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Query& q = batch[i];
+    std::uint32_t g;
+    if (!q.exact && last_group != kNoGroup &&
+        same_slice(q, batch[groups[last_group].rep])) {
+      LAMB_CHECK(q.dims[static_cast<std::size_t>(q.dim)] >= 1,
+                 "query dimensions must be positive");
+      g = last_group;
+    } else {
+      if (family_name == nullptr || *family_name != q.family) {
+        family = &resolve_family(q.family);
+        family_name = &q.family;
+      }
+      validate_query(q, *family);
+      if (q.exact) {
+        exact_queries.push_back(static_cast<std::uint32_t>(i));
+        continue;  // answered on the query() path below
+      }
+      g = kNoGroup;
+      for (std::uint32_t k = 0; k < groups.size(); ++k) {
+        if (same_slice(q, batch[groups[k].rep])) {
+          g = k;
+          break;
+        }
+      }
+      if (g == kNoGroup) {
+        Group group{i, nullptr, nullptr, nullptr, 0, 0};
+        if (AtlasPtr atlas = find_slice(*snap, slice_id(q))) {
+          adopt(group, std::move(atlas));
+        }
+        groups.push_back(std::move(group));
+        g = static_cast<std::uint32_t>(groups.size() - 1);
+      }
+      last_group = g;
+    }
+    if (groups[g].intervals != nullptr) {
+      answer(i, groups[g]);
+    } else {
+      deferred.emplace_back(static_cast<std::uint32_t>(i), g);
+    }
+  }
+
+  // Pass 2 — build every missing slice exactly once (in parallel on the
+  // pool when the machine's timing is thread-safe; a build failure
+  // propagates, first error wins), then answer the deferred queries.
+  if (!deferred.empty()) {
+    std::vector<std::pair<std::size_t, store::AtlasKey>> missing;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].atlas == nullptr) {
+        missing.emplace_back(g, atlas_key(batch[groups[g].rep]));
+      }
+    }
+    std::vector<AtlasPtr> built(missing.size());
+    const auto build_one = [&](std::size_t m) {
+      const store::AtlasKey& key = missing[m].second;
+      built[m] = obtain_atlas(key, slice_id(key));
+    };
+    if (pool_ != nullptr && pool_->size() > 1 && missing.size() > 1) {
+      pool_->parallel_for(static_cast<std::ptrdiff_t>(missing.size()),
+                          [&](std::ptrdiff_t begin, std::ptrdiff_t end) {
+                            for (std::ptrdiff_t m = begin; m < end; ++m) {
+                              build_one(static_cast<std::size_t>(m));
+                            }
+                          });
+    } else {
+      for (std::size_t m = 0; m < missing.size(); ++m) {
+        build_one(m);
+      }
+    }
+    for (std::size_t m = 0; m < missing.size(); ++m) {
+      adopt(groups[missing[m].first], std::move(built[m]));
+    }
+    for (const auto& [i, g] : deferred) {
+      answer(i, groups[g]);
+    }
+  }
+
+  // Pass 3 — exact queries take the ordinary query() path, in input order.
+  for (const std::uint32_t i : exact_queries) {
+    out[i] = query(batch[i]);
   }
   return out;
 }
 
-std::size_t SelectionService::warm(const std::vector<Query>& batch) {
-  // Distinct unbuilt slices, in first-appearance order.
-  std::vector<std::shared_ptr<AtlasEntry>> to_build;
-  std::unordered_map<std::string, bool> seen;
+std::future<Recommendation> SelectionService::query_async(Query q) {
+  family_for(q);  // invalid queries throw here, synchronously, like query()
+  std::promise<Recommendation> ready;
+  if (auto hit = cache_.get(q)) {
+    hit->source = Source::kCache;
+    ready.set_value(*hit);
+    return ready.get_future();
+  }
+  if (!q.exact) {
+    SliceId id = slice_id(q);
+    if (AtlasPtr atlas = find_slice(*snapshot(), id)) {
+      const Recommendation rec = recommendation_from(
+          atlas->lookup(q.dims[static_cast<std::size_t>(q.dim)]));
+      cache_.put(q, rec);
+      ready.set_value(rec);
+      return ready.get_future();
+    }
+    store::AtlasKey key = atlas_key(q);  // before q is moved from
+    return enqueue_async(std::move(id), std::move(key), false, std::move(q));
+  }
+  // Exact queries dedup by their own identity (dim -1 marks the bucket as
+  // exact-shaped); the bucket only batches waiters, the worker still
+  // answers each waiter individually.
+  SliceId bucket_id{q.family, -1, q.dims};
+  return enqueue_async(std::move(bucket_id), store::AtlasKey{}, true,
+                       std::move(q));
+}
+
+std::future<Recommendation> SelectionService::enqueue_async(
+    SliceId bucket_id, store::AtlasKey key, bool exact, Query q) {
+  std::future<Recommendation> fut;
+  {
+    const std::lock_guard<std::mutex> lock(async_mutex_);
+    LAMB_CHECK(!async_stop_, "query_async on a stopping service");
+    if (!async_worker_.joinable()) {
+      async_worker_ = std::thread([this] { async_worker_loop(); });
+    }
+    const auto [it, inserted] = async_pending_.try_emplace(bucket_id);
+    if (inserted) {
+      it->second.key = std::move(key);
+      it->second.exact = exact;
+      async_order_.push_back(std::move(bucket_id));
+    }
+    it->second.waiters.push_back(AsyncWaiter{std::move(q), {}});
+    fut = it->second.waiters.back().promise.get_future();
+  }
+  async_cv_.notify_one();
+  return fut;
+}
+
+void SelectionService::async_worker_loop() {
+  for (;;) {
+    AsyncBucket bucket;
+    {
+      std::unique_lock<std::mutex> lock(async_mutex_);
+      async_cv_.wait(lock,
+                     [&] { return async_stop_ || !async_order_.empty(); });
+      if (async_stop_) {
+        return;  // the destructor fails whatever is still queued
+      }
+      const SliceId bucket_id = std::move(async_order_.front());
+      async_order_.pop_front();
+      const auto it = async_pending_.find(bucket_id);
+      bucket = std::move(it->second);
+      async_pending_.erase(it);
+    }
+    if (!bucket.exact && config_.auto_build) {
+      // One deduplicated build for every waiter on this slice.
+      try {
+        obtain_atlas(bucket.key, slice_id(bucket.key));
+      } catch (...) {
+        const std::exception_ptr error = std::current_exception();
+        for (AsyncWaiter& waiter : bucket.waiters) {
+          waiter.promise.set_exception(error);
+        }
+        continue;
+      }
+    }
+    for (AsyncWaiter& waiter : bucket.waiters) {
+      try {
+        waiter.promise.set_value(query(waiter.query));
+      } catch (...) {
+        waiter.promise.set_exception(std::current_exception());
+      }
+    }
+  }
+}
+
+std::size_t SelectionService::warm(std::span<const Query> batch) {
+  // Distinct slices missing from the current snapshot, in first-appearance
+  // order. obtain_atlas() rechecks and deduplicates against concurrent
+  // builders, so a stale snapshot only costs a redundant queue entry.
+  std::vector<std::pair<store::AtlasKey, SliceId>> to_build;
+  const SnapshotPtr snap = snapshot();
   for (const Query& q : batch) {
     if (q.exact) {
       continue;
     }
     family_for(q);
-    const store::AtlasKey key = atlas_key(q);
-    if (!seen.emplace(key.canonical(), true).second) {
+    SliceId id = slice_id(q);
+    if (find_slice(*snap, id) != nullptr) {
       continue;
     }
-    const std::shared_ptr<AtlasEntry> entry = entry_for(key);
-    const std::lock_guard<std::mutex> lock(entry->build_mutex);
-    if (entry->atlas == nullptr) {
-      to_build.push_back(entry);
+    const auto dup = std::find_if(
+        to_build.begin(), to_build.end(),
+        [&](const auto& entry) { return entry.second == id; });
+    if (dup == to_build.end()) {
+      to_build.emplace_back(atlas_key(q), std::move(id));
     }
   }
   if (to_build.empty()) {
@@ -220,12 +573,14 @@ std::size_t SelectionService::warm(const std::vector<Query>& batch) {
     pool_->parallel_for(static_cast<std::ptrdiff_t>(to_build.size()),
                         [&](std::ptrdiff_t begin, std::ptrdiff_t end) {
                           for (std::ptrdiff_t i = begin; i < end; ++i) {
-                            ensure_built(*to_build[static_cast<std::size_t>(i)]);
+                            const auto& [key, id] =
+                                to_build[static_cast<std::size_t>(i)];
+                            obtain_atlas(key, id);
                           }
                         });
   } else {
-    for (const auto& entry : to_build) {
-      ensure_built(*entry);
+    for (const auto& [key, id] : to_build) {
+      obtain_atlas(key, id);
     }
   }
   return to_build.size();
@@ -233,63 +588,57 @@ std::size_t SelectionService::warm(const std::vector<Query>& batch) {
 
 std::size_t SelectionService::warm_from_store(
     const store::AtlasStore& atlas_store) {
-  std::size_t adopted = 0;
+  std::vector<std::pair<store::AtlasKey, AtlasPtr>> fresh;
   for (const std::string& path : atlas_store.list()) {
     store::AtlasRecord record = store::load_atlas(path);
     if (record.machine != machine_.name() ||
         !same_config(record.atlas.config(), config_.atlas)) {
       continue;  // built for another machine model or another scan geometry
     }
-    const std::shared_ptr<AtlasEntry> entry =
-        entry_for(store::AtlasKey::of(record));
-    const std::lock_guard<std::mutex> lock(entry->build_mutex);
-    if (entry->atlas == nullptr) {
-      entry->atlas = std::make_unique<const anomaly::RegionAtlas>(
-          std::move(record.atlas));
+    store::AtlasKey key = store::AtlasKey::of(record);  // before the move
+    fresh.emplace_back(
+        std::move(key),
+        std::make_shared<const anomaly::RegionAtlas>(std::move(record.atlas)));
+  }
+  if (fresh.empty()) {
+    return 0;
+  }
+  // One copy-on-write swap adopts everything; already-present slices win
+  // (they may be referenced by outstanding atlas_for() pointers).
+  std::size_t adopted = 0;
+  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  auto next = std::make_shared<Snapshot>(*snapshot_.load());
+  for (auto& [key, atlas] : fresh) {
+    const auto [it, inserted] =
+        next->slices.try_emplace(slice_id(key), Slice{key, std::move(atlas)});
+    if (inserted) {
       atlases_loaded_.fetch_add(1);
       ++adopted;
     }
+  }
+  if (adopted > 0) {
+    snapshot_.store(std::move(next));
   }
   return adopted;
 }
 
 std::size_t SelectionService::checkpoint(store::AtlasStore& atlas_store) const {
-  std::vector<std::shared_ptr<AtlasEntry>> entries;
-  {
-    const std::lock_guard<std::mutex> lock(atlases_mutex_);
-    entries.reserve(atlases_.size());
-    for (const auto& [canonical, entry] : atlases_) {
-      entries.push_back(entry);
-    }
+  const SnapshotPtr snap = snapshot_.load();
+  for (const auto& [id, slice] : snap->slices) {
+    atlas_store.save(slice.key, *slice.atlas);
   }
-  std::size_t written = 0;
-  for (const auto& entry : entries) {
-    const std::lock_guard<std::mutex> lock(entry->build_mutex);
-    if (entry->atlas != nullptr) {
-      atlas_store.save(entry->key, *entry->atlas);
-      ++written;
-    }
-  }
-  return written;
+  return snap->slices.size();
 }
 
 const anomaly::RegionAtlas* SelectionService::atlas_for(const Query& q) {
   family_for(q);
-  const std::shared_ptr<AtlasEntry> entry = entry_for(atlas_key(q));
-  const std::lock_guard<std::mutex> lock(entry->build_mutex);
-  return entry->atlas.get();
+  // Safe to return raw: published atlases are never dropped while the
+  // service lives (snapshots only ever grow).
+  return find_slice(*snapshot(), slice_id(q)).get();
 }
 
 std::size_t SelectionService::atlas_count() const {
-  const std::lock_guard<std::mutex> lock(atlases_mutex_);
-  std::size_t built = 0;
-  for (const auto& [canonical, entry] : atlases_) {
-    const std::lock_guard<std::mutex> entry_lock(entry->build_mutex);
-    if (entry->atlas != nullptr) {
-      ++built;
-    }
-  }
-  return built;
+  return snapshot_.load()->slices.size();
 }
 
 ServiceStats SelectionService::stats() const {

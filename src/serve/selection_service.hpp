@@ -16,21 +16,37 @@
 //
 //   1. a sharded LRU cache of final recommendations (mutex-striped,
 //      capacity-bounded, safe for concurrent callers),
-//   2. atlas slices — built on demand, batch-built on the ThreadPool when
-//      the machine's timing is thread-safe, warmable from / checkpointable
-//      to a store::AtlasStore directory,
+//   2. atlas slices — immutable once built, published through atomically
+//      swapped snapshots (see below), built on demand, batch-built on the
+//      ThreadPool when the machine's timing is thread-safe, warmable from /
+//      checkpointable to a store::AtlasStore directory,
 //   3. direct classification ("measured") for exact queries and for misses
 //      when on-demand building is disabled.
 //
+// Snapshot semantics: the slice map is an immutable std::shared_ptr-held
+// value, replaced copy-on-write under a writer mutex and read with a single
+// atomic shared_ptr load. A warm query therefore takes no lock other than
+// its LRU shard; a reader may observe a snapshot one swap behind (and then
+// simply builds or waits for the slice it needs — builds are deduplicated
+// per slice), but never a torn or partially built one. Published atlases are
+// never replaced or dropped while the service lives, so raw pointers
+// returned by atlas_for() stay valid.
+//
 // Answers are bit-identical to what the underlying RegionAtlas / classifier
-// would produce directly (tests/serve_test.cpp pins this).
+// would produce directly, from every entry point — query(), query_batch(),
+// query_async() — (tests/serve_test.cpp pins this).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -88,8 +104,9 @@ struct ServiceConfig {
   anomaly::AtlasConfig atlas;
   std::size_t cache_capacity = 1u << 16;  ///< recommendations, all shards
   std::size_t cache_shards = 16;
-  /// Workers for batch atlas builds; 0 = hardware threads. Parallel builds
-  /// engage only when the machine's timing is thread-safe.
+  /// Workers for batch atlas builds and batch answering; 0 = hardware
+  /// threads. Parallel builds engage only when the machine's timing is
+  /// thread-safe.
   std::size_t threads = 0;
   /// Build missing atlas slices on demand; when false, a miss falls back to
   /// direct classification (source kMeasured).
@@ -112,23 +129,51 @@ class SelectionService {
   explicit SelectionService(model::MachineModel& machine,
                             ServiceConfig config = {},
                             const expr::FamilyRegistry* registry = nullptr);
+  /// Abandons queued async queries: their futures fail with CheckError.
+  ~SelectionService();
+
+  SelectionService(const SelectionService&) = delete;
+  SelectionService& operator=(const SelectionService&) = delete;
 
   const ServiceConfig& config() const { return config_; }
 
   /// Answer one query. Safe for concurrent callers: the cache is sharded,
-  /// atlas builds are deduplicated per slice, and machines whose timing is
-  /// not thread-safe are serialised behind one timing mutex.
+  /// the slice map is read via an atomic snapshot load, atlas builds are
+  /// deduplicated per slice, and machines whose timing is not thread-safe
+  /// are serialised behind one timing mutex.
   Recommendation query(const Query& q);
 
-  /// Answer a batch, results in input order. Missing atlas slices are first
-  /// deduplicated and built concurrently on the ThreadPool (when the
-  /// machine's timing is thread-safe); answers are bit-identical to issuing
-  /// the queries one by one.
-  std::vector<Recommendation> query_batch(const std::vector<Query>& batch);
+  /// Answer a batch, results in input order. Queries are grouped by atlas
+  /// slice, each missing slice is built exactly once (on the ThreadPool when
+  /// the machine's timing is thread-safe), and grouped queries are answered
+  /// straight from the slice snapshot — the per-query LRU is neither
+  /// consulted nor populated for them, which is what makes a warm batch
+  /// several times faster than repeated query() calls; with on-demand
+  /// building on, the payloads are identical either way, since the LRU then
+  /// only ever caches atlas answers for non-exact queries. Exact queries
+  /// take the query() path; with auto_build off (where cached measured
+  /// answers are possible) the whole batch does, preserving strict
+  /// bit-identity with sequential query() calls in every configuration.
+  /// A slice-build failure propagates to the caller (first error wins).
+  std::vector<Recommendation> query_batch(std::span<const Query> batch);
+  std::vector<Recommendation> query_batch(std::initializer_list<Query> batch) {
+    return query_batch(std::span<const Query>(batch.begin(), batch.size()));
+  }
+
+  /// Answer one query without blocking on atlas scans. Cache hits and
+  /// already-built slices resolve immediately; anything needing a scan (or
+  /// an exact classification) is handed to a background worker through a
+  /// deduplicating build queue — N pending queries on the same slice cost
+  /// one build. Invalid queries throw synchronously; a failed build fails
+  /// the future. Destroying the service fails still-queued futures.
+  std::future<Recommendation> query_async(Query q);
 
   /// Build (or load) the atlas slices the queries would need, without
   /// producing recommendations. Returns the number of slices built.
-  std::size_t warm(const std::vector<Query>& batch);
+  std::size_t warm(std::span<const Query> batch);
+  std::size_t warm(std::initializer_list<Query> batch) {
+    return warm(std::span<const Query>(batch.begin(), batch.size()));
+  }
 
   /// Adopt every atlas in `atlas_store` built on this machine model with
   /// this service's AtlasConfig; returns the number adopted.
@@ -137,7 +182,8 @@ class SelectionService {
   /// Persist every built slice; returns the number written.
   std::size_t checkpoint(store::AtlasStore& atlas_store) const;
 
-  /// The built slice for a query's (family, dim, base), if any.
+  /// The built slice for a query's (family, dim, base), if any. The pointer
+  /// stays valid for the service's lifetime (slices are never dropped).
   const anomaly::RegionAtlas* atlas_for(const Query& q);
 
   std::size_t atlas_count() const;
@@ -145,22 +191,74 @@ class SelectionService {
   ServiceStats stats() const;
 
  private:
-  struct AtlasEntry {
+  using AtlasPtr = std::shared_ptr<const anomaly::RegionAtlas>;
+
+  /// In-memory slice identity: machine and scan config are fixed per
+  /// service, so (family, dim, base line) is enough — and hashing it is a
+  /// handful of FNV steps, where the store's canonical() string costs a
+  /// dozen snprintf calls. Strings stay at the store boundary. An exact
+  /// query's async bucket reuses this shape with dim = -1 and the full
+  /// instance as base.
+  struct SliceId {
+    std::string family;
+    int dim = 0;
+    expr::Instance base;  ///< coordinate at `dim` zeroed
+
+    friend bool operator==(const SliceId&, const SliceId&) = default;
+  };
+  struct SliceIdHash {
+    std::size_t operator()(const SliceId& id) const;
+  };
+  static SliceId slice_id(const Query& q);
+  static SliceId slice_id(const store::AtlasKey& key);
+
+  struct Slice {
     store::AtlasKey key;
-    std::mutex build_mutex;
-    std::unique_ptr<const anomaly::RegionAtlas> atlas;  // set once, then const
+    AtlasPtr atlas;
+  };
+  /// Immutable once published; replaced whole via copy-on-write.
+  struct Snapshot {
+    std::unordered_map<SliceId, Slice, SliceIdHash> slices;
+  };
+  using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+  struct AsyncWaiter {
+    Query query;
+    std::promise<Recommendation> promise;
+  };
+  /// One queued unit of background work: all waiters for one slice (or one
+  /// exact-classification bucket).
+  struct AsyncBucket {
+    store::AtlasKey key;
+    bool exact = false;
+    std::vector<AsyncWaiter> waiters;
   };
 
   /// Resolves a family by registry name (instantiated once, cached).
   const expr::ExpressionFamily& resolve_family(const std::string& name);
   /// Validates the query shape and resolves the family (cached per name).
   const expr::ExpressionFamily& family_for(const Query& q);
-  store::AtlasKey atlas_key(const Query& q);
-  /// The entry for a slice key, inserting an unbuilt one if new.
-  std::shared_ptr<AtlasEntry> entry_for(const store::AtlasKey& key);
-  /// Builds the entry's atlas if absent; returns it built.
-  const anomaly::RegionAtlas& ensure_built(AtlasEntry& entry);
+  store::AtlasKey atlas_key(const Query& q) const;
+
+  SnapshotPtr snapshot() const { return snapshot_.load(); }
+  /// The published atlas for a slice, or null.
+  static AtlasPtr find_slice(const Snapshot& snap, const SliceId& id);
+  /// The slice's atlas: published, in-flight (waits for the builder), or
+  /// built here and published. Throws what the build threw.
+  AtlasPtr obtain_atlas(const store::AtlasKey& key, const SliceId& id);
+  /// Scans the slice (serialised behind timing_mutex_ when the machine's
+  /// timing is not thread-safe).
+  AtlasPtr build_slice(const store::AtlasKey& key);
+  /// Copy-on-write insert + atomic swap; first publication of a key wins.
+  AtlasPtr publish(const store::AtlasKey& key, const SliceId& id,
+                   AtlasPtr atlas);
+
   Recommendation classify_exact(const Query& q);
+
+  std::future<Recommendation> enqueue_async(SliceId bucket_id,
+                                            store::AtlasKey key, bool exact,
+                                            Query q);
+  void async_worker_loop();
 
   model::MachineModel& machine_;
   ServiceConfig config_;
@@ -171,8 +269,23 @@ class SelectionService {
   std::unordered_map<std::string, std::unique_ptr<const expr::ExpressionFamily>>
       families_;
 
-  mutable std::mutex atlases_mutex_;
-  std::unordered_map<std::string, std::shared_ptr<AtlasEntry>> atlases_;
+  /// The warm read path: one atomic load, no mutex.
+  std::atomic<SnapshotPtr> snapshot_;
+  /// Serialises copy-on-write snapshot swaps (writers only).
+  mutable std::mutex publish_mutex_;
+  /// Deduplicates concurrent builds of the same slice: the first caller
+  /// registers a future, everyone else waits on it.
+  std::mutex builds_mutex_;
+  std::unordered_map<SliceId, std::shared_future<AtlasPtr>, SliceIdHash>
+      in_flight_;
+
+  /// Background build queue for query_async (worker started lazily).
+  std::mutex async_mutex_;
+  std::condition_variable async_cv_;
+  std::deque<SliceId> async_order_;  // FIFO of bucket ids
+  std::unordered_map<SliceId, AsyncBucket, SliceIdHash> async_pending_;
+  std::thread async_worker_;
+  bool async_stop_ = false;
 
   /// Serialises machine access when timing is not thread-safe.
   std::mutex timing_mutex_;

@@ -1,9 +1,10 @@
 // Sharded LRU cache: N independent support::LruCache shards, each behind its
 // own mutex, shard chosen by the key's hash. Concurrent callers on different
-// shards never contend; capacity is split evenly across shards (shard count
-// is clamped down to the capacity when needed) so the global bound holds.
-// The hit path performs no allocations — keys are hashed and compared in
-// place, which is what keeps a warm service query at nanoseconds
+// shards never contend; capacity is split across shards (shard count is
+// clamped down to the capacity when needed) with the remainder distributed
+// one-per-shard, so the per-shard capacities sum to exactly the requested
+// global bound. The hit path performs no allocations — keys are hashed and
+// compared in place, which is what keeps a warm service query at nanoseconds
 // (bench/bm_service_throughput.cpp).
 #pragma once
 
@@ -28,9 +29,13 @@ class ShardedLruCache {
       shard_count = std::min(shard_count, capacity);
     }
     const std::size_t per_shard = capacity == 0 ? 0 : capacity / shard_count;
+    const std::size_t remainder = capacity == 0 ? 0 : capacity % shard_count;
     shards_.reserve(shard_count);
     for (std::size_t i = 0; i < shard_count; ++i) {
-      shards_.push_back(std::make_unique<Shard>(per_shard));
+      // The first `remainder` shards take one extra slot, so the aggregate
+      // bound is exactly `capacity` (10 over 4 shards = 3+3+2+2, not 4*2).
+      shards_.push_back(std::make_unique<Shard>(per_shard +
+                                                (i < remainder ? 1 : 0)));
     }
   }
 
@@ -55,9 +60,20 @@ class ShardedLruCache {
     return total;
   }
 
+  /// Aggregate bound: the per-shard capacities sum to the requested one.
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->cache.capacity();
+    }
+    return total;
+  }
+
   std::uint64_t hits() const { return sum(&Shard::hits); }
   std::uint64_t misses() const { return sum(&Shard::misses); }
 
+  /// Drops every entry and resets the hit/miss counters (mirrors
+  /// support::LruCache::clear(), which the per-shard call performs).
   void clear() {
     for (const auto& shard : shards_) {
       const std::lock_guard<std::mutex> lock(shard->mutex);

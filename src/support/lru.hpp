@@ -53,9 +53,14 @@ class LruCache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 
+  /// Drops every entry and resets the hit/miss counters — a cleared cache
+  /// reports a fresh hit rate instead of one skewed by its previous life
+  /// (serve/'s cache-hit-rate reporting depends on this).
   void clear() {
     map_.clear();
     order_.clear();
+    hits_ = 0;
+    misses_ = 0;
   }
 
  private:

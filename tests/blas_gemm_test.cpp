@@ -10,6 +10,7 @@
 #include "blas/variant.hpp"
 #include "la/generators.hpp"
 #include "la/norms.hpp"
+#include "support/check.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -159,6 +160,83 @@ TEST(Gemm, OperatesOnSubBlocks) {
   Matrix c_ref(60, 40);
   blas::ref_gemm(false, false, 1.0, a, b, 0.0, c_ref.view());
   EXPECT_LE(la::max_abs_diff(c, c_ref.view()), la::gemm_tolerance(50));
+}
+
+TEST(GemmStripes, ExactlyCoverAdversarialRanges) {
+  using blas::kNR;
+  for (const index_t workers : {1, 2, 3, 5, 8, 16}) {
+    for (const index_t n :
+         {index_t{1}, kNR - 1, kNR, kNR + 1, 2 * kNR + 1, 7 * kNR + 1,
+          8 * kNR - 1, 8 * kNR, 8 * kNR + 1, 16 * kNR + 1, index_t{1000}}) {
+      const auto stripes = blas::partition_column_stripes(n, workers);
+      const index_t blocks = (n + kNR - 1) / kNR;
+      ASSERT_EQ(static_cast<index_t>(stripes.size()),
+                std::min(workers, blocks))
+          << "n=" << n << " workers=" << workers;
+      index_t cursor = 0;
+      index_t narrowest = n;
+      index_t widest = 0;
+      for (const blas::ColumnStripe& stripe : stripes) {
+        ASSERT_EQ(stripe.begin, cursor) << "n=" << n << " workers=" << workers;
+        ASSERT_LT(stripe.begin, stripe.end)  // no empty stripes, ever
+            << "n=" << n << " workers=" << workers;
+        ASSERT_EQ(stripe.begin % kNR, 0)     // panel-aligned starts
+            << "n=" << n << " workers=" << workers;
+        narrowest = std::min(narrowest, stripe.end - stripe.begin);
+        widest = std::max(widest, stripe.end - stripe.begin);
+        cursor = stripe.end;
+      }
+      ASSERT_EQ(cursor, n) << "n=" << n << " workers=" << workers;  // covers [0, n)
+      EXPECT_LE(widest - narrowest, kNR)
+          << "unbalanced: n=" << n << " workers=" << workers;
+    }
+  }
+}
+
+TEST(GemmStripes, RegressionRoundingUpNoLongerStarvesTrailingWorkers) {
+  using blas::kNR;
+  // n just above a stripe multiple: 8 workers, 65 columns. The old
+  // round-up-to-kNR split gave the first worker 16 columns and workers
+  // 5..7 nothing; the balanced split hands every worker one 8-column
+  // panel and the 1-column remainder panel to the last.
+  const auto stripes = blas::partition_column_stripes(8 * kNR + 1, 8);
+  ASSERT_EQ(stripes.size(), 8u);
+  for (const blas::ColumnStripe& stripe : stripes) {
+    EXPECT_GT(stripe.end, stripe.begin);
+    EXPECT_LE(stripe.end - stripe.begin, 2 * kNR);
+  }
+  EXPECT_EQ(stripes.back().end, 8 * kNR + 1);
+}
+
+TEST(GemmStripes, DegenerateRanges) {
+  EXPECT_TRUE(blas::partition_column_stripes(0, 4).empty());
+  const auto one = blas::partition_column_stripes(3, 4);
+  ASSERT_EQ(one.size(), 1u);  // a single partial panel: one stripe only
+  EXPECT_EQ(one.front(), (blas::ColumnStripe{0, 3}));
+  EXPECT_THROW(blas::partition_column_stripes(8, 0), support::CheckError);
+  EXPECT_THROW(blas::partition_column_stripes(-1, 2), support::CheckError);
+}
+
+TEST(Gemm, ParallelMatchesSerialOnStripeAdversarialWidths) {
+  support::Rng rng(77);
+  const index_t m = 96;
+  const index_t k = 64;
+  for (const index_t n : {blas::kNR * 8 + 1, blas::kNR * 5 - 1, blas::kNR * 2 + 3}) {
+    const Matrix a = la::random_matrix(m, k, rng);
+    const Matrix b = la::random_matrix(k, n, rng);
+    Matrix c_serial(m, n);
+    blas::gemm(false, false, 1.0, a.view(), b.view(), 0.0, c_serial.view());
+    for (const std::size_t threads : {4u, 8u}) {
+      parallel::ThreadPool pool(threads);
+      blas::GemmOptions opts;
+      opts.pool = &pool;
+      Matrix c_par(m, n);
+      blas::gemm(false, false, 1.0, a.view(), b.view(), 0.0, c_par.view(),
+                 opts);
+      EXPECT_TRUE(la::approx_equal(c_serial.view(), c_par.view(), 1e-12))
+          << "threads=" << threads << " n=" << n;
+    }
+  }
 }
 
 TEST(Gemm, ParallelPoolMatchesSerial) {

@@ -42,10 +42,18 @@ TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
 }
 
 TEST(ThreadPool, EmptyRangeIsNoOp) {
-  ThreadPool pool(3);
-  bool called = false;
-  pool.parallel_for(0, [&](std::ptrdiff_t, std::ptrdiff_t) { called = true; });
-  EXPECT_FALSE(called);
+  for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    std::atomic<int> calls{0};
+    pool.parallel_for(0,
+                      [&](std::ptrdiff_t, std::ptrdiff_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0) << "threads " << threads;
+    // The pool stays usable after the no-op dispatch.
+    pool.parallel_for(5, [&](std::ptrdiff_t b, std::ptrdiff_t e) {
+      calls.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(calls.load(), 5) << "threads " << threads;
+  }
 }
 
 TEST(ThreadPool, NegativeRangeThrows) {
@@ -128,6 +136,41 @@ TEST(ThreadPool, ManySequentialInvocations) {
     });
     ASSERT_EQ(count.load(), 37);
   }
+}
+
+TEST(ThreadPool, ConcurrentCallersEachGetTheirFullRange) {
+  // Regression: concurrent parallel_for calls used to clobber each other's
+  // task slots (chunks lost for one caller, run twice for another). Calls
+  // are now serialised behind a dispatch mutex; every caller must see its
+  // own range covered exactly once.
+  ThreadPool pool(4);
+  constexpr int kCallers = 8;
+  constexpr int kRounds = 50;
+  constexpr std::ptrdiff_t kRange = 97;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::atomic<int>> hits(kRange);
+        pool.parallel_for(kRange, [&](std::ptrdiff_t b, std::ptrdiff_t e) {
+          for (std::ptrdiff_t i = b; i < e; ++i) {
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+          }
+        });
+        for (std::ptrdiff_t i = 0; i < kRange; ++i) {
+          if (hits[static_cast<std::size_t>(i)].load() != 1) {
+            bad.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& caller : callers) {
+    caller.join();
+  }
+  EXPECT_EQ(bad.load(), 0);
 }
 
 TEST(ThreadPool, GlobalPoolIsUsable) {

@@ -8,6 +8,8 @@
 
 #include <atomic>
 #include <filesystem>
+#include <future>
+#include <stdexcept>
 #include <thread>
 
 #include "anomaly/classifier.hpp"
@@ -46,6 +48,34 @@ ServiceConfig scripted_config() {
   return cfg;
 }
 
+/// A family whose atlas build always fails: exercises error propagation
+/// through batch builds, async futures and the build-dedup layer.
+class BoomFamily final : public expr::ExpressionFamily {
+ public:
+  std::string name() const override { return "boom"; }
+  int dimension_count() const override { return 1; }
+  std::vector<model::Algorithm> algorithms(
+      const expr::Instance&) const override {
+    throw std::runtime_error("boom: scripted build failure");
+  }
+  std::vector<la::Matrix> make_externals(const expr::Instance&,
+                                         support::Rng&) const override {
+    throw std::runtime_error("boom: no externals");
+  }
+};
+
+/// Registry with the scripted test double and the failing family.
+expr::FamilyRegistry test_registry() {
+  expr::FamilyRegistry registry;
+  registry.add("scripted", "test double", [] {
+    return std::make_unique<lamb::testing::ScriptedFamily>();
+  });
+  registry.add("boom", "always fails to build", [] {
+    return std::make_unique<BoomFamily>();
+  });
+  return registry;
+}
+
 // ----------------------------------------------------------- sharded cache
 
 TEST(ShardCache, BoundsCapacityAndCounts) {
@@ -63,6 +93,46 @@ TEST(ShardCache, BoundsCapacityAndCounts) {
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.get("stay").has_value());
+}
+
+/// Hash that maps an int key straight to its shard (key % shard_count), so
+/// tests can fill every shard deterministically.
+struct IdentityHash {
+  std::size_t operator()(int key) const { return static_cast<std::size_t>(key); }
+};
+
+TEST(ShardCache, CapacityRemainderIsDistributedNotDropped) {
+  // Regression: capacity 10 over 4 shards used to give 4 * (10 / 4) = 8
+  // global slots; the remainder must be spread across shards instead.
+  serve::ShardedLruCache<int, int, IdentityHash> cache(/*capacity=*/10,
+                                                       /*shards=*/4);
+  EXPECT_EQ(cache.capacity(), 10u);
+  for (int k = 0; k < 400; ++k) {
+    cache.put(k, k);  // k % 4 selects the shard: every shard saturates
+  }
+  EXPECT_EQ(cache.size(), 10u);
+
+  // The aggregate bound equals the requested capacity for any split.
+  for (const std::size_t shards : {1u, 2u, 3u, 4u, 7u, 16u}) {
+    for (const std::size_t capacity : {1u, 5u, 10u, 16u, 17u, 100u}) {
+      serve::ShardedLruCache<int, int, IdentityHash> c(capacity, shards);
+      EXPECT_EQ(c.capacity(), capacity)
+          << "capacity " << capacity << " shards " << shards;
+    }
+  }
+}
+
+TEST(ShardCache, ClearResetsCountersLikeTheUnshardedCache) {
+  serve::ShardedLruCache<int, int, IdentityHash> cache(8, 2);
+  cache.put(1, 10);
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
 }
 
 // ----------------------------------------------------------- correctness
@@ -294,6 +364,298 @@ TEST(SelectionService, ConcurrentQueriesMatchUncachedClassification) {
   const auto stats = service.stats();
   EXPECT_EQ(stats.cache_hits + stats.cache_misses,
             static_cast<std::uint64_t>(kThreads) * kQueriesPerThread);
+}
+
+TEST(SelectionService, ConcurrentBatchesAreBitIdenticalToDirectAtlases) {
+  model::SimulatedMachine machine;
+  SelectionService service(machine, scripted_config());
+  const ServiceConfig cfg = scripted_config();
+
+  // Reference answers from directly-built atlases, computed serially.
+  const auto family = expr::make_family("aatb");
+  const anomaly::RegionAtlas direct_d0(*family, machine, {1, 260, 549}, 0,
+                                       cfg.atlas);
+  const anomaly::RegionAtlas direct_d1(*family, machine, {80, 1, 768}, 1,
+                                       cfg.atlas);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  constexpr int kBatch = 64;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<Query> batch;
+        batch.reserve(kBatch);
+        for (int i = 0; i < kBatch; ++i) {
+          const int size = 20 + ((t * 311 + round * 97 + i * 17) % 1181);
+          const bool along_d0 = (t + round + i) % 2 == 0;
+          batch.push_back(along_d0
+                              ? Query{"aatb", {size, 260, 549}, 0, false}
+                              : Query{"aatb", {80, size, 768}, 1, false});
+        }
+        const auto recs = service.query_batch(batch);
+        for (int i = 0; i < kBatch; ++i) {
+          const int size =
+              batch[static_cast<std::size_t>(i)]
+                  .dims[static_cast<std::size_t>(
+                      batch[static_cast<std::size_t>(i)].dim)];
+          const anomaly::AtlasInterval& want =
+              (batch[static_cast<std::size_t>(i)].dim == 0 ? direct_d0
+                                                           : direct_d1)
+                  .lookup(size);
+          const Recommendation& rec = recs[static_cast<std::size_t>(i)];
+          if (rec.algorithm != want.recommended ||
+              rec.flop_minimal != want.flop_minimal ||
+              rec.flops_reliable != !want.anomalous ||
+              rec.time_score != want.worst_time_score) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  // Both slices were built exactly once despite 8 racing batch callers.
+  EXPECT_EQ(service.stats().atlases_built, 2u);
+}
+
+TEST(SelectionService, ConcurrentMixedSingleBatchAndAsyncCallersAgree) {
+  model::SimulatedMachine machine;
+  ServiceConfig cfg = scripted_config();
+  cfg.cache_capacity = 128;  // force eviction churn alongside the snapshots
+  SelectionService service(machine, cfg);
+
+  const auto family = expr::make_family("aatb");
+  const anomaly::RegionAtlas direct(*family, machine, {1, 260, 549}, 0,
+                                    cfg.atlas);
+  const auto check = [&](int size, const Recommendation& rec) {
+    const anomaly::AtlasInterval& want = direct.lookup(size);
+    return rec.algorithm == want.recommended &&
+           rec.flop_minimal == want.flop_minimal &&
+           rec.flops_reliable == !want.anomalous &&
+           rec.time_score == want.worst_time_score;
+  };
+
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 60; ++i) {
+        const int size = 20 + ((t * 131 + i * 29) % 1181);
+        const Query q{"aatb", {size, 260, 549}, 0, false};
+        switch ((t + i) % 3) {
+          case 0: {
+            if (!check(size, service.query(q))) {
+              mismatches.fetch_add(1);
+            }
+            break;
+          }
+          case 1: {
+            const auto recs = service.query_batch({q, q});
+            if (!check(size, recs[0]) || !check(size, recs[1])) {
+              mismatches.fetch_add(1);
+            }
+            break;
+          }
+          default: {
+            if (!check(size, service.query_async(q).get())) {
+              mismatches.fetch_add(1);
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(service.stats().atlases_built, 1u);
+}
+
+// ------------------------------------------------------ batch edge cases
+
+TEST(SelectionService, EmptyBatchIsAnEmptyAnswer) {
+  model::SimulatedMachine machine;
+  SelectionService service(machine, scripted_config());
+  EXPECT_TRUE(service.query_batch(std::vector<Query>{}).empty());
+  EXPECT_EQ(service.warm(std::vector<Query>{}), 0u);
+  EXPECT_EQ(service.stats().atlases_built, 0u);
+  EXPECT_EQ(service.stats().cache_misses, 0u);
+}
+
+TEST(SelectionService, AllDuplicateBatchBuildsOnceAndAgreesWithSingleQuery) {
+  model::SimulatedMachine machine;
+  SelectionService batch_service(machine, scripted_config());
+  SelectionService reference_service(machine, scripted_config());
+
+  const Query q{"aatb", {300, 260, 549}, 0, false};
+  const std::vector<Query> batch(512, q);
+  const auto recs = batch_service.query_batch(batch);
+  ASSERT_EQ(recs.size(), batch.size());
+  const Recommendation want = reference_service.query(q);
+  for (const Recommendation& rec : recs) {
+    EXPECT_EQ(rec, want);
+    EXPECT_EQ(rec.source, Source::kAtlas);
+  }
+  EXPECT_EQ(batch_service.stats().atlases_built, 1u);
+}
+
+TEST(SelectionService, MixedExactAndAtlasBatchMatchesSequentialQueries) {
+  model::SimulatedMachine machine;
+  SelectionService batch_service(machine, scripted_config());
+  SelectionService reference_service(machine, scripted_config());
+
+  std::vector<Query> batch;
+  for (int d0 = 100; d0 <= 900; d0 += 100) {
+    batch.push_back(Query{"aatb", {d0, 260, 549}, 0, false});
+    batch.push_back(Query{"aatb", {d0, 260, 549}, 0, /*exact=*/true});
+    batch.push_back(Query{"aatb", {d0, 260, 549}, 0, false});  // duplicate
+  }
+  const auto batched = batch_service.query_batch(batch);
+  ASSERT_EQ(batched.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batched[i], reference_service.query(batch[i])) << i;
+  }
+}
+
+TEST(SelectionService, QueryBatchPropagatesSliceBuildFailure) {
+  lamb::testing::ScriptedMachine machine;
+  const expr::FamilyRegistry registry = test_registry();
+  SelectionService service(machine, scripted_config(), &registry);
+
+  const std::vector<Query> batch{Query{"boom", {100}, 0, false},
+                                 Query{"scripted", {100}, 0, false}};
+  EXPECT_THROW(service.query_batch(batch), std::runtime_error);
+
+  // The failure is not sticky: the healthy slice still answers, and a
+  // retried boom build fails afresh instead of wedging the service.
+  const Recommendation rec = service.query(Query{"scripted", {100}, 0, false});
+  EXPECT_EQ(rec.source, Source::kAtlas);
+  EXPECT_THROW(service.query(Query{"boom", {100}, 0, false}),
+               std::runtime_error);
+}
+
+TEST(SelectionService, LargeBatchTakesTheParallelAnswerPathBitIdentically) {
+  lamb::testing::ScriptedMachine machine;
+  const expr::FamilyRegistry registry = test_registry();
+  ServiceConfig cfg = scripted_config();
+  cfg.threads = 4;  // batch.size() >= 4096 + pool > 1 => parallel answering
+  SelectionService service(machine, cfg, &registry);
+
+  lamb::testing::ScriptedFamily family;
+  const anomaly::RegionAtlas direct(family, machine, {1}, 0, cfg.atlas);
+
+  std::vector<Query> batch;
+  batch.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    batch.push_back(Query{"scripted", {20 + (i * 13) % 1181}, 0, false});
+  }
+  const auto recs = service.query_batch(batch);
+  ASSERT_EQ(recs.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const anomaly::AtlasInterval& want = direct.lookup(batch[i].dims[0]);
+    ASSERT_EQ(recs[i].algorithm, want.recommended) << i;
+    ASSERT_EQ(recs[i].flop_minimal, want.flop_minimal) << i;
+    ASSERT_EQ(recs[i].flops_reliable, !want.anomalous) << i;
+    ASSERT_EQ(recs[i].time_score, want.worst_time_score) << i;
+  }
+  EXPECT_EQ(service.stats().atlases_built, 1u);
+}
+
+// ------------------------------------------------------------------ async
+
+TEST(SelectionService, AsyncAnswersMatchSyncAndDeduplicateBuilds) {
+  model::SimulatedMachine machine;
+  SelectionService async_service(machine, scripted_config());
+  SelectionService reference_service(machine, scripted_config());
+
+  // Flood the queue before anything is built: one slice, many waiters.
+  std::vector<Query> queries;
+  std::vector<std::future<Recommendation>> futures;
+  for (int d0 = 50; d0 <= 1150; d0 += 25) {
+    queries.push_back(Query{"aatb", {d0, 260, 549}, 0, false});
+    futures.push_back(async_service.query_async(queries.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), reference_service.query(queries[i])) << i;
+  }
+  EXPECT_EQ(async_service.stats().atlases_built, 1u);
+
+  // Warm slices and cache hits resolve without touching the queue again.
+  auto warm_future = async_service.query_async(queries.front());
+  const Recommendation warm_rec = warm_future.get();
+  EXPECT_EQ(warm_rec, reference_service.query(queries.front()));
+  EXPECT_EQ(async_service.stats().atlases_built, 1u);
+}
+
+TEST(SelectionService, AsyncExactQueriesMatchDirectClassification) {
+  model::SimulatedMachine machine;
+  const ServiceConfig cfg = scripted_config();
+  SelectionService service(machine, cfg);
+  const auto family = expr::make_family("aatb");
+
+  const Query q{"aatb", {150, 260, 549}, 0, /*exact=*/true};
+  Recommendation rec = service.query_async(q).get();
+  const anomaly::InstanceResult direct = anomaly::classify_instance(
+      *family, machine, q.dims, cfg.atlas.time_score_threshold);
+  EXPECT_EQ(rec.algorithm, direct.fastest.front());
+  EXPECT_EQ(rec.flop_minimal, direct.cheapest.front());
+  EXPECT_EQ(rec.flops_reliable, !direct.anomaly);
+  EXPECT_EQ(rec.time_score, direct.time_score);
+  EXPECT_EQ(rec.source, Source::kMeasured);
+  // A repeat is a cache hit and never re-measures.
+  EXPECT_EQ(service.query_async(q).get().source, Source::kCache);
+  EXPECT_EQ(service.stats().measured_queries, 1u);
+}
+
+TEST(SelectionService, AsyncBuildFailureFailsTheFuturesNotTheService) {
+  lamb::testing::ScriptedMachine machine;
+  const expr::FamilyRegistry registry = test_registry();
+  SelectionService service(machine, scripted_config(), &registry);
+
+  auto bad_a = service.query_async(Query{"boom", {100}, 0, false});
+  auto bad_b = service.query_async(Query{"boom", {200}, 0, false});
+  EXPECT_THROW(bad_a.get(), std::runtime_error);
+  EXPECT_THROW(bad_b.get(), std::runtime_error);
+  // Invalid queries fail synchronously, exactly like query().
+  EXPECT_THROW(service.query_async(Query{"scripted", {100, 5}, 0, false}),
+               support::CheckError);
+  // The service is still healthy.
+  EXPECT_EQ(service.query_async(Query{"scripted", {100}, 0, false})
+                .get()
+                .source,
+            Source::kAtlas);
+}
+
+// -------------------------------------------------------------- snapshots
+
+TEST(SelectionService, PublishedAtlasPointersSurviveLaterSnapshotSwaps) {
+  model::SimulatedMachine machine;
+  SelectionService service(machine, scripted_config());
+  const Query first{"aatb", {150, 260, 549}, 0, false};
+  service.query(first);
+  const anomaly::RegionAtlas* before = service.atlas_for(first);
+  ASSERT_NE(before, nullptr);
+  const std::string csv_before = before->to_csv();
+
+  // Each new slice swaps in a fresh snapshot; the earlier atlas must keep
+  // its identity and contents (atlas_for pointers are service-lifetime).
+  for (int d1 = 300; d1 <= 800; d1 += 100) {
+    service.query(Query{"aatb", {150, d1, 549}, 0, false});
+  }
+  const anomaly::RegionAtlas* after = service.atlas_for(first);
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(after->to_csv(), csv_before);
 }
 
 TEST(SelectionService, WarmBatchBuildsOnThePoolBitIdenticalToSerial) {

@@ -355,7 +355,12 @@ TEST(Lru, CountersAndClear) {
   EXPECT_EQ(cache.misses(), 1u);
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.hits(), 1u);  // counters survive clear()
+  // clear() resets the counters too: hit rates reported after a clear()
+  // describe the cache's new life, not its previous one.
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
 }
 
 TEST(Lru, ZeroCapacityIsUnbounded) {
