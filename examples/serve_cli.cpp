@@ -20,11 +20,18 @@
 //             echo 300,260,549 | serve_cli async --family=aatb
 //   bench   time uncached classification vs warm-cache service queries
 //             serve_cli bench --family=aatb --queries-n=2000
+//   serve   HTTP front-end: warm from --atlas-dir (and --queries, if given),
+//           then listen until SIGINT/SIGTERM (graceful drain, checkpoint on
+//           exit when an atlas dir is set)
+//             serve_cli serve --port=8080 --atlas-dir=atlases
+//                       [--bind=127.0.0.1 --http-threads=2]
 //
 // Common flags: --family=NAME (registry name), --dim=N (slice dimension,
 // default 0), --exact (bypass the atlas), --atlas-dir=DIR (persistent store;
 // omitted = in-memory only), --real (measured machine instead of simulated),
 // --lo/--hi/--step/--threshold (atlas scan geometry), --threads=N.
+#include <atomic>
+#include <csignal>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -35,6 +42,8 @@
 #include "anomaly/classifier.hpp"
 #include "model/measured_machine.hpp"
 #include "model/simulated_machine.hpp"
+#include "net/routes.hpp"
+#include "net/server.hpp"
 #include "serve/selection_service.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
@@ -120,13 +129,24 @@ std::vector<serve::Query> read_queries(const support::Cli& cli,
 void print_stats(const serve::SelectionService& service) {
   const serve::ServiceStats s = service.stats();
   std::printf("stats: cache %llu hits / %llu misses, %llu atlases built "
-              "(+%llu loaded, %lld scan samples), %llu measured queries\n",
+              "(+%llu loaded, %llu skipped, %lld scan samples), "
+              "%llu measured queries\n",
               static_cast<unsigned long long>(s.cache_hits),
               static_cast<unsigned long long>(s.cache_misses),
               static_cast<unsigned long long>(s.atlases_built),
               static_cast<unsigned long long>(s.atlases_loaded),
+              static_cast<unsigned long long>(s.atlases_skipped),
               s.atlas_samples,
               static_cast<unsigned long long>(s.measured_queries));
+  std::printf("stats: answers by source cache=%llu atlas=%llu "
+              "measured=%llu; %llu batch calls (%llu queries), "
+              "%llu async calls\n",
+              static_cast<unsigned long long>(s.cache_answers),
+              static_cast<unsigned long long>(s.atlas_answers),
+              static_cast<unsigned long long>(s.measured_queries),
+              static_cast<unsigned long long>(s.batch_calls),
+              static_cast<unsigned long long>(s.batch_queries),
+              static_cast<unsigned long long>(s.async_calls));
 }
 
 void print_recommendations(const std::vector<serve::Query>& queries,
@@ -314,6 +334,56 @@ int cmd_bench(const support::Cli& cli, serve::SelectionService& service,
   return 0;
 }
 
+/// stop() is an atomic store plus one eventfd write: async-signal-safe.
+std::atomic<net::Server*> g_serving{nullptr};
+
+void handle_stop_signal(int) {
+  if (net::Server* server = g_serving.load()) {
+    server->stop();
+  }
+}
+
+int cmd_serve(const support::Cli& cli, serve::SelectionService& service) {
+  const std::string family = cli.get_string("family", "aatb");
+  const int dim = static_cast<int>(cli.get_int("dim", 0));
+  if (cli.has("queries")) {
+    const auto queries = read_queries(cli, family, dim, false);
+    const std::size_t built = service.warm(queries);
+    std::printf("pre-warmed %zu atlas slices from %zu queries\n", built,
+                queries.size());
+  }
+
+  net::SelectionRoutesConfig routes_cfg;
+  routes_cfg.worker_threads =
+      static_cast<std::size_t>(cli.get_int("http-threads", 2));
+  net::SelectionRoutes routes(service, routes_cfg);
+
+  net::ServerConfig server_cfg;
+  server_cfg.bind_address = cli.get_string("bind", "127.0.0.1");
+  server_cfg.port = static_cast<std::uint16_t>(cli.get_int("port", 8080));
+  net::Server server(routes.router(), server_cfg);
+  routes.attach_http_stats(&server.stats());
+
+  g_serving.store(&server);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  std::printf("serving on http://%s:%u (POST /v1/query, POST /v1/batch, "
+              "GET /healthz, GET /metrics); SIGINT/SIGTERM drains\n",
+              server_cfg.bind_address.c_str(), server.port());
+  std::fflush(stdout);
+  server.run();
+  g_serving.store(nullptr);
+
+  const auto& h = server.stats();
+  std::printf("drained: %llu connections, %llu requests, %llu bytes out\n",
+              static_cast<unsigned long long>(h.connections_accepted.load()),
+              static_cast<unsigned long long>(h.requests_total.load()),
+              static_cast<unsigned long long>(h.bytes_written.load()));
+  print_stats(service);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -321,7 +391,8 @@ int main(int argc, char** argv) {
   const support::Cli cli(argc, argv);
   if (cli.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: %s build|warm|query|batch|async|bench [flags]\n"
+                 "usage: %s build|warm|query|batch|async|bench|serve "
+                 "[flags]\n"
                  "(see the header comment of examples/serve_cli.cpp)\n",
                  cli.program().c_str());
     return 1;
@@ -354,6 +425,8 @@ int main(int argc, char** argv) {
     rc = cmd_async(cli, service);
   } else if (cmd == "bench") {
     rc = cmd_bench(cli, service, *machine);
+  } else if (cmd == "serve") {
+    rc = cmd_serve(cli, service);
   } else {
     std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
   }

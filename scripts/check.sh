@@ -12,8 +12,9 @@
 #                      under the sanitizers
 #                      thread    -> TSan build (default build dir
 #                      build-tsan) running the concurrency-heavy suites
-#                      (serve_test, parallel_test), keeping the lock-free
-#                      snapshot path race-clean
+#                      (serve_test, parallel_test, net_test), keeping the
+#                      lock-free snapshot path and the HTTP event loop /
+#                      completion-hub handoff race-clean
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,7 +29,7 @@ elif [[ "$SANITIZE" == "thread" ]]; then
   BUILD_DIR="${1:-build-tsan}"
   CMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}"
   SANITIZE_FLAGS=(-DLAMB_SANITIZE=thread)
-  TEST_FILTER=(-R 'serve_test|parallel_test')
+  TEST_FILTER=(-R 'serve_test|parallel_test|net_test')
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 else
   BUILD_DIR="${1:-build}"

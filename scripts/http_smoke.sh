@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the HTTP serving front-end: start `serve_cli serve`,
+# drive query/batch/healthz/metrics over loopback with curl, then check a
+# graceful SIGTERM drain (exit 0).
+#
+#   scripts/http_smoke.sh [build-dir]     (default: build)
+#
+# Environment: PORT (default 18080).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+PORT="${PORT:-18080}"
+BIN="$BUILD_DIR/serve_cli"
+BASE="http://127.0.0.1:$PORT"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "http_smoke: $BIN not built" >&2
+  exit 1
+fi
+
+# --hi=400 keeps on-demand atlas scans quick on the simulated machine.
+"$BIN" serve --port="$PORT" --hi=400 &
+SRV=$!
+trap 'kill -9 "$SRV" 2>/dev/null || true' EXIT
+
+for _ in $(seq 100); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+[[ "$(curl -sf "$BASE/healthz")" == "ok" ]]
+
+ANSWER="$(curl -sf -X POST --data-binary 'aatb,300,260,549' "$BASE/v1/query")"
+echo "query  -> $ANSWER"
+[[ "$ANSWER" == *,atlas ]]
+
+BATCH="$(printf 'aatb,100,260,549\naatb,200,260,549\naatb,300,260,549\n' \
+  | curl -sf -X POST --data-binary @- "$BASE/v1/batch")"
+echo "batch  -> $(echo "$BATCH" | tr '\n' ' ')"
+[[ "$(echo "$BATCH" | wc -l)" -eq 3 ]]
+
+# A malformed body must answer 400, not kill the server.
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  --data-binary 'aatb,not-a-size' "$BASE/v1/query")"
+[[ "$CODE" == 400 ]]
+
+METRICS="$(curl -sf "$BASE/metrics")"
+echo "$METRICS" | grep -q 'lamb_http_requests_total'
+echo "$METRICS" | grep -q 'lamb_selection_answers_total{source="atlas"}'
+echo "$METRICS" | grep -q 'lamb_http_request_duration_seconds_bucket'
+
+# Graceful drain: SIGTERM must produce a clean exit 0 from run().
+kill -TERM "$SRV"
+wait "$SRV"
+trap - EXIT
+echo "http smoke OK"

@@ -1,0 +1,142 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "support/str.hpp"
+
+namespace lamb::net {
+
+Client::Client(const std::string& host, std::uint16_t port,
+               std::size_t max_response_bytes)
+    : parser_(max_response_bytes) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw NetError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError("bad address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError(support::strf("connect %s:%u: ", host.c_str(), port) +
+                   error);
+  }
+  const int on = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+}
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), parser_(std::move(other.parser_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    parser_ = std::move(other.parser_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send_raw(std::string_view bytes) {
+  if (fd_ < 0) {
+    throw NetError("send on a closed connection");
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a server that closed first must surface as EPIPE, not
+    // kill the process with SIGPIPE.
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const std::string error = std::strerror(errno);
+      close();
+      throw NetError("write: " + error);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void Client::send(std::string_view method, std::string_view target,
+                  std::string_view body) {
+  std::string request;
+  request.reserve(target.size() + body.size() + 96);
+  request.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
+  request.append("Host: lamb\r\n");
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request += support::strf("Content-Length: %zu\r\n", body.size());
+  }
+  request.append("\r\n").append(body);
+  send_raw(request);
+}
+
+ResponseParser::Parsed Client::receive() {
+  if (fd_ < 0) {
+    throw NetError("receive on a closed connection");
+  }
+  if (parser_.advance()) {  // a pipelined response may already be buffered
+    ResponseParser::Parsed out = parser_.response();
+    if (!out.keep_alive) {
+      close();
+    }
+    return out;
+  }
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const std::string error = std::strerror(errno);
+      close();
+      throw NetError("read: " + error);
+    }
+    if (n == 0) {
+      close();
+      throw NetError("connection closed mid-response");
+    }
+    if (parser_.feed(std::string_view(buf, static_cast<std::size_t>(n)))) {
+      ResponseParser::Parsed out = parser_.response();
+      if (!out.keep_alive) {
+        close();
+      }
+      return out;
+    }
+  }
+}
+
+ResponseParser::Parsed Client::request(std::string_view method,
+                                       std::string_view target,
+                                       std::string_view body) {
+  send(method, target, body);
+  return receive();
+}
+
+}  // namespace lamb::net

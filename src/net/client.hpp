@@ -1,0 +1,53 @@
+// net::Client — a minimal blocking HTTP/1.1 client for tests, the load
+// generator and smoke scripts. One TCP connection, keep-alive by default,
+// explicit pipelining support (send() N times, then receive() N times — the
+// server answers strictly in order). Not a general user agent: no TLS, no
+// redirects, no chunked bodies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/http.hpp"
+
+namespace lamb::net {
+
+class Client {
+ public:
+  /// Connects immediately; throws NetError on failure.
+  Client(const std::string& host, std::uint16_t port,
+         std::size_t max_response_bytes = 64u << 20);
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One round trip: send + receive.
+  ResponseParser::Parsed request(std::string_view method,
+                                 std::string_view target,
+                                 std::string_view body = {});
+
+  /// Write one request without waiting for the answer (pipelining); pair
+  /// each send() with a later receive(), in order.
+  void send(std::string_view method, std::string_view target,
+            std::string_view body = {});
+  /// Block until the next pipelined response is complete. Throws NetError
+  /// if the server closes the connection mid-response.
+  ResponseParser::Parsed receive();
+
+  /// Push raw bytes down the socket (tests feed the server malformed and
+  /// partial requests through this).
+  void send_raw(std::string_view bytes);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  ResponseParser parser_;
+};
+
+}  // namespace lamb::net

@@ -1,0 +1,397 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/str.hpp"
+
+namespace lamb::net {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+const std::string* find_header(const std::vector<Header>& headers,
+                               std::string_view name) {
+  for (const Header& h : headers) {
+    if (iequals(h.name, name)) {
+      return &h.value;
+    }
+  }
+  return nullptr;
+}
+
+/// Strict non-negative decimal (Content-Length must not be signed, hex, or
+/// have trailing junk); false on overflow or malformed input.
+bool parse_content_length(std::string_view s, std::size_t& out) {
+  s = trim(s);
+  if (s.empty()) {
+    return false;
+  }
+  std::size_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    if (value > (~std::size_t{0} - 9) / 10) {
+      return false;
+    }
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+/// Split the header block into lines; returns the offset one past the blank
+/// line, or npos while incomplete. Lines end in LF; a trailing CR is
+/// stripped (CRLF and bare LF both accepted).
+std::size_t head_end(std::string_view buf, std::vector<std::string_view>& lines) {
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t nl = buf.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      return std::string_view::npos;
+    }
+    std::string_view line = buf.substr(pos, nl - pos);
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    pos = nl + 1;
+    if (line.empty()) {
+      return pos;
+    }
+    lines.push_back(line);
+  }
+}
+
+bool resolve_keep_alive(const std::string& version,
+                        const std::vector<Header>& headers) {
+  const std::string* connection = find_header(headers, "Connection");
+  if (connection != nullptr) {
+    if (iequals(trim(*connection), "close")) {
+      return false;
+    }
+    if (iequals(trim(*connection), "keep-alive")) {
+      return true;
+    }
+  }
+  return version == "HTTP/1.1";
+}
+
+}  // namespace
+
+const std::string* Request::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+const std::string* ResponseParser::Parsed::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+std::string_view status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+  }
+  return "Unknown";
+}
+
+Response text_response(int status, std::string body) {
+  Response r;
+  r.status = status;
+  r.body = std::move(body);
+  return r;
+}
+
+void append_response(std::string& out, const Response& response,
+                     bool keep_alive) {
+  const bool persist = keep_alive && !response.close;
+  out += support::strf("HTTP/1.1 %d ", response.status);
+  out += status_reason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += support::strf("\r\nContent-Length: %zu", response.body.size());
+  out += persist ? "\r\nConnection: keep-alive\r\n\r\n"
+                 : "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+}
+
+// ---------------------------------------------------------- request parser
+
+RequestParser::RequestParser(std::size_t max_request_bytes)
+    : max_request_bytes_(max_request_bytes) {}
+
+RequestParser::State RequestParser::fail(int status, std::string message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_message_ = std::move(message);
+  return state_;
+}
+
+RequestParser::State RequestParser::feed(std::string_view bytes) {
+  if (state_ == State::kError) {
+    return state_;  // poisoned; the connection is about to close
+  }
+  buf_.append(bytes.data(), bytes.size());
+  if (state_ == State::kComplete) {
+    return state_;  // pipelined bytes wait for advance()
+  }
+  return parse();
+}
+
+RequestParser::State RequestParser::advance() {
+  if (state_ != State::kComplete) {
+    return state_;
+  }
+  buf_.erase(0, head_bytes_ + body_bytes_);
+  request_ = Request{};
+  stage_ = Stage::kHead;
+  head_bytes_ = 0;
+  body_bytes_ = 0;
+  scan_pos_ = 0;
+  line_start_ = 0;
+  line_spans_.clear();
+  state_ = State::kNeedMore;
+  return parse();
+}
+
+bool RequestParser::parse_head(const std::vector<std::string_view>& lines) {
+  if (lines.empty()) {
+    fail(400, "empty request");
+    return false;
+  }
+
+  // Request line: METHOD SP target SP HTTP-version.
+  const std::string_view line = lines.front();
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos || sp1 == 0 ||
+      sp2 == sp1 + 1 || sp2 + 1 == line.size()) {
+    fail(400, "malformed request line");
+    return false;
+  }
+  request_.method = std::string(line.substr(0, sp1));
+  request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request_.version = std::string(line.substr(sp2 + 1));
+  if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+    fail(505, "unsupported protocol version: " + request_.version);
+    return false;
+  }
+  const std::size_t qmark = request_.target.find('?');
+  request_.path = request_.target.substr(0, qmark);
+  request_.query_string = qmark == std::string::npos
+                              ? std::string()
+                              : request_.target.substr(qmark + 1);
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view h = lines[i];
+    const std::size_t colon = h.find(':');
+    if (colon == 0 || colon == std::string_view::npos) {
+      fail(400, "malformed header line");
+      return false;
+    }
+    const std::string_view name = h.substr(0, colon);
+    if (name.find(' ') != std::string_view::npos ||
+        name.find('\t') != std::string_view::npos) {
+      fail(400, "whitespace in header name");
+      return false;
+    }
+    request_.headers.push_back(
+        Header{std::string(name), std::string(trim(h.substr(colon + 1)))});
+  }
+
+  if (request_.header("Transfer-Encoding") != nullptr) {
+    fail(501, "transfer encodings are not implemented; use Content-Length");
+    return false;
+  }
+  body_bytes_ = 0;
+  bool have_length = false;
+  for (const Header& h : request_.headers) {
+    if (!iequals(h.name, "Content-Length")) {
+      continue;
+    }
+    std::size_t length = 0;
+    if (!parse_content_length(h.value, length)) {
+      fail(400, "malformed Content-Length");
+      return false;
+    }
+    // Conflicting duplicates are the classic request-smuggling desync
+    // (RFC 9112 §6.3): reject rather than silently pick one framing.
+    if (have_length && length != body_bytes_) {
+      fail(400, "conflicting Content-Length headers");
+      return false;
+    }
+    body_bytes_ = length;
+    have_length = true;
+  }
+  if (body_bytes_ > max_request_bytes_ ||
+      head_bytes_ + body_bytes_ > max_request_bytes_) {
+    fail(413, support::strf("request exceeds the %zu-byte limit",
+                            max_request_bytes_));
+    return false;
+  }
+  request_.keep_alive = resolve_keep_alive(request_.version, request_.headers);
+  return true;
+}
+
+RequestParser::State RequestParser::parse() {
+  while (stage_ == Stage::kHead) {
+    const std::size_t nl = buf_.find('\n', scan_pos_);
+    if (nl == std::string::npos) {
+      if (buf_.size() > max_request_bytes_) {
+        return fail(431, support::strf("header block exceeds the %zu-byte "
+                                       "request limit", max_request_bytes_));
+      }
+      scan_pos_ = buf_.size();  // resume the '\n' search where we stopped
+      return state_;            // kNeedMore
+    }
+    std::size_t len = nl - line_start_;
+    if (len > 0 && buf_[line_start_ + len - 1] == '\r') {
+      --len;
+    }
+    if (len == 0) {  // blank line: the header block is complete
+      head_bytes_ = nl + 1;
+      std::vector<std::string_view> lines;
+      lines.reserve(line_spans_.size());
+      for (const auto& [start, span_len] : line_spans_) {
+        lines.emplace_back(buf_.data() + start, span_len);
+      }
+      if (!parse_head(lines)) {
+        return state_;  // kError, set by parse_head
+      }
+      stage_ = Stage::kBody;
+      break;
+    }
+    line_spans_.emplace_back(line_start_, len);
+    line_start_ = nl + 1;
+    scan_pos_ = nl + 1;
+  }
+  if (stage_ == Stage::kBody) {
+    if (buf_.size() < head_bytes_ + body_bytes_) {
+      return state_;  // kNeedMore
+    }
+    request_.body = buf_.substr(head_bytes_, body_bytes_);
+    stage_ = Stage::kDone;
+    state_ = State::kComplete;
+  }
+  return state_;
+}
+
+// --------------------------------------------------------- response parser
+
+ResponseParser::ResponseParser(std::size_t max_response_bytes)
+    : max_response_bytes_(max_response_bytes) {}
+
+bool ResponseParser::feed(std::string_view bytes) {
+  buf_.append(bytes.data(), bytes.size());
+  if (stage_ == Stage::kDone) {
+    return true;
+  }
+  return parse();
+}
+
+bool ResponseParser::advance() {
+  if (stage_ != Stage::kDone) {
+    return complete();
+  }
+  buf_.erase(0, head_bytes_ + body_bytes_);
+  response_ = Parsed{};
+  stage_ = Stage::kHead;
+  head_bytes_ = 0;
+  body_bytes_ = 0;
+  return parse();
+}
+
+bool ResponseParser::parse() {
+  if (stage_ == Stage::kHead) {
+    std::vector<std::string_view> lines;
+    head_bytes_ = head_end(buf_, lines);
+    if (head_bytes_ == std::string_view::npos) {
+      if (buf_.size() > max_response_bytes_) {
+        throw NetError("response header block too large");
+      }
+      return false;
+    }
+    if (lines.empty()) {
+      throw NetError("empty response head");
+    }
+    // Status line: HTTP-version SP status [SP reason].
+    const std::string_view line = lines.front();
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string_view::npos ||
+        line.substr(0, sp1).substr(0, 5) != "HTTP/") {
+      throw NetError("malformed status line: " + std::string(line));
+    }
+    const std::string_view code = trim(line.substr(sp1 + 1)).substr(0, 3);
+    if (code.size() != 3 ||
+        !std::all_of(code.begin(), code.end(),
+                     [](char c) { return c >= '0' && c <= '9'; })) {
+      throw NetError("malformed status code: " + std::string(line));
+    }
+    response_.status = (code[0] - '0') * 100 + (code[1] - '0') * 10 +
+                       (code[2] - '0');
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      const std::size_t colon = lines[i].find(':');
+      if (colon == 0 || colon == std::string_view::npos) {
+        throw NetError("malformed response header: " + std::string(lines[i]));
+      }
+      response_.headers.push_back(
+          Header{std::string(lines[i].substr(0, colon)),
+                 std::string(trim(lines[i].substr(colon + 1)))});
+    }
+    body_bytes_ = 0;
+    if (const std::string* cl = response_.header("Content-Length")) {
+      if (!parse_content_length(*cl, body_bytes_) ||
+          body_bytes_ > max_response_bytes_) {
+        throw NetError("malformed response Content-Length: " + *cl);
+      }
+    }
+    const std::string* connection = response_.header("Connection");
+    response_.keep_alive =
+        connection == nullptr || !iequals(trim(*connection), "close");
+    stage_ = Stage::kBody;
+  }
+  if (stage_ == Stage::kBody) {
+    if (buf_.size() < head_bytes_ + body_bytes_) {
+      return false;
+    }
+    response_.body = buf_.substr(head_bytes_, body_bytes_);
+    stage_ = Stage::kDone;
+  }
+  return true;
+}
+
+}  // namespace lamb::net

@@ -1,0 +1,170 @@
+// Minimal HTTP/1.1 message layer: just enough protocol for the serving
+// front-end — request/response structs, incremental parsers, and response
+// serialization. No allocator tricks, no chunked transfer encoding (a 501
+// tells the client to retry without it), bodies are delimited by
+// Content-Length only.
+//
+// RequestParser is a resumable state machine fed arbitrary byte slices (the
+// epoll loop hands it whatever read() produced): it buffers, finds the
+// header block, enforces the configured size bound, and extracts the body.
+// Pipelining falls out naturally — bytes beyond the first complete request
+// stay buffered, and advance() re-parses them as the next request. A
+// protocol violation parks the parser in kError with the HTTP status the
+// server should answer before closing.
+//
+// Line endings are CRLF per RFC 9112, but a bare LF is tolerated (hand-typed
+// requests through netcat are a supported debugging tool).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lamb::net {
+
+/// Thrown on socket-level failures (connect/bind/read/write); protocol
+/// errors are status codes, not exceptions.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct Header {
+  std::string name;
+  std::string value;
+};
+
+struct Request {
+  std::string method;        ///< e.g. "GET", "POST" (uppercase per spec)
+  std::string target;        ///< full request target, query string included
+  std::string path;          ///< target up to '?'
+  std::string query_string;  ///< after '?', possibly empty
+  std::string version;       ///< "HTTP/1.1" or "HTTP/1.0"
+  std::vector<Header> headers;
+  std::string body;
+  /// Per-request connection persistence: 1.1 default-on unless
+  /// "Connection: close", 1.0 default-off unless "Connection: keep-alive".
+  bool keep_alive = true;
+
+  /// First header with this name (case-insensitive), or nullptr.
+  const std::string* header(std::string_view name) const;
+};
+
+struct Response {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  /// Force "Connection: close" regardless of what the request asked for
+  /// (used for protocol errors and drain).
+  bool close = false;
+};
+
+/// Canonical reason phrase ("OK", "Not Found", ...); "Unknown" for codes the
+/// server never emits.
+std::string_view status_reason(int status);
+
+/// Convenience constructor for plain-text answers.
+Response text_response(int status, std::string body);
+
+/// Serialize a response (status line, Content-Type/Length, Connection)
+/// appended onto `out` — the server's per-connection output buffer.
+void append_response(std::string& out, const Response& response,
+                     bool keep_alive);
+
+class RequestParser {
+ public:
+  enum class State : std::uint8_t {
+    kNeedMore,  ///< incomplete; feed more bytes
+    kComplete,  ///< request() is valid; call advance() when done with it
+    kError,     ///< protocol violation; answer error_status() and close
+  };
+
+  /// `max_request_bytes` bounds one framed request (header block + body).
+  explicit RequestParser(std::size_t max_request_bytes);
+
+  /// Append bytes and resume parsing.
+  State feed(std::string_view bytes);
+
+  State state() const { return state_; }
+  /// The parsed request; valid only in kComplete.
+  const Request& request() const { return request_; }
+
+  /// Drop the completed request and parse any pipelined bytes already
+  /// buffered behind it. Only valid in kComplete.
+  State advance();
+
+  /// Status to answer in kError (400, 413, 501 or 505) and a one-line
+  /// explanation for the body.
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// Bytes buffered but not yet consumed by a completed request (zero on a
+  /// quiet keep-alive connection; nonzero means a pipelined request is
+  /// in progress).
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  enum class Stage : std::uint8_t { kHead, kBody, kDone };
+
+  State fail(int status, std::string message);
+  State parse();
+  /// Consumes the header lines found by parse() (head_bytes_ already set).
+  bool parse_head(const std::vector<std::string_view>& lines);
+
+  std::size_t max_request_bytes_;
+  std::string buf_;
+  std::size_t body_bytes_ = 0;    ///< Content-Length once headers parsed
+  std::size_t head_bytes_ = 0;    ///< header-block size once delimited
+  /// Incremental header scan state: byte-dribbled input must not re-scan
+  /// the whole buffer per feed() (that would be O(n^2) on the event-loop
+  /// thread). Spans, not views — buf_ reallocates as it grows.
+  std::size_t scan_pos_ = 0;   ///< '\n' search resumes here
+  std::size_t line_start_ = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> line_spans_;
+  Stage stage_ = Stage::kHead;
+  State state_ = State::kNeedMore;
+  int error_status_ = 0;
+  std::string error_message_;
+  Request request_;
+};
+
+/// Client-side mirror of RequestParser for one response; Content-Length
+/// delimited, same size bound and error semantics (an unparseable response
+/// is a NetError at the call site, not a status code).
+class ResponseParser {
+ public:
+  struct Parsed {
+    int status = 0;
+    std::vector<Header> headers;
+    std::string body;
+    bool keep_alive = true;
+    const std::string* header(std::string_view name) const;
+  };
+
+  explicit ResponseParser(std::size_t max_response_bytes);
+
+  /// Append bytes; returns true once the response is complete.
+  bool feed(std::string_view bytes);
+  bool complete() const { return stage_ == Stage::kDone; }
+  const Parsed& response() const { return response_; }
+  /// Drop the completed response, keeping pipelined bytes for the next one;
+  /// returns true if the next response is already complete.
+  bool advance();
+
+ private:
+  enum class Stage : std::uint8_t { kHead, kBody, kDone };
+
+  bool parse();
+
+  std::size_t max_response_bytes_;
+  std::string buf_;
+  std::size_t body_bytes_ = 0;
+  std::size_t head_bytes_ = 0;
+  Stage stage_ = Stage::kHead;
+  Parsed response_;
+};
+
+}  // namespace lamb::net

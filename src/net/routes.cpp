@@ -1,0 +1,429 @@
+#include "net/routes.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <future>
+#include <limits>
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace lamb::net {
+
+namespace {
+
+constexpr std::string_view kCsvType = "text/csv; charset=utf-8";
+constexpr std::string_view kPrometheusType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && is_space(s.front())) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && is_space(s.back())) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t next = s.find(sep, pos);
+    out.push_back(s.substr(pos, next - pos));
+    if (next == std::string_view::npos) {
+      return out;
+    }
+    pos = next + 1;
+  }
+}
+
+/// Whole-field integer parse; throws with the offending field quoted.
+long long parse_int_field(std::string_view field) {
+  field = trim(field);
+  long long value = 0;
+  const auto [end, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || end != field.data() + field.size() ||
+      field.empty()) {
+    throw std::invalid_argument("bad integer field '" + std::string(field) +
+                                "'");
+  }
+  return value;
+}
+
+/// Same, bounded to int: a value like 4294967297 must be a 400, not a
+/// silent wrap to 1 that answers for a different instance.
+int parse_int32_field(std::string_view field) {
+  const long long value = parse_int_field(field);
+  if (value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument("integer field '" + std::string(trim(field)) +
+                                "' out of range");
+  }
+  return static_cast<int>(value);
+}
+
+double parse_double_field(std::string_view field) {
+  field = trim(field);
+  double value = 0.0;
+  const auto [end, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || end != field.data() + field.size() ||
+      field.empty()) {
+    throw std::invalid_argument("bad number field '" + std::string(field) +
+                                "'");
+  }
+  return value;
+}
+
+Response csv_response(std::string body) {
+  Response r;
+  r.content_type = std::string(kCsvType);
+  r.body = std::move(body);
+  return r;
+}
+
+}  // namespace
+
+serve::Query parse_query_line(std::string_view line) {
+  const std::vector<std::string_view> fields = split(line, ',');
+  serve::Query q;
+  q.family = std::string(trim(fields.front()));
+  if (q.family.empty()) {
+    throw std::invalid_argument("query line starts with an empty family");
+  }
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    const std::string_view field = trim(fields[i]);
+    if (field == "exact") {
+      q.exact = true;
+    } else if (field.substr(0, 4) == "dim=") {
+      q.dim = parse_int32_field(field.substr(4));
+    } else {
+      q.dims.push_back(parse_int32_field(field));
+    }
+  }
+  if (q.dims.empty()) {
+    throw std::invalid_argument(
+        "query line needs at least one dimension after the family");
+  }
+  return q;
+}
+
+std::string format_recommendation(const serve::Recommendation& rec) {
+  return support::strf(
+      "%zu,%zu,%d,%.17g,%s", rec.algorithm, rec.flop_minimal,
+      rec.flops_reliable ? 1 : 0, rec.time_score,
+      std::string(serve::to_string(rec.source)).c_str());
+}
+
+serve::Recommendation parse_recommendation(std::string_view line) {
+  const std::vector<std::string_view> fields = split(trim(line), ',');
+  if (fields.size() != 5) {
+    throw std::invalid_argument("answer line needs 5 fields, got " +
+                                std::to_string(fields.size()));
+  }
+  serve::Recommendation rec;
+  rec.algorithm = static_cast<std::size_t>(parse_int_field(fields[0]));
+  rec.flop_minimal = static_cast<std::size_t>(parse_int_field(fields[1]));
+  const long long reliable = parse_int_field(fields[2]);
+  if (reliable != 0 && reliable != 1) {
+    throw std::invalid_argument("flops_reliable must be 0 or 1");
+  }
+  rec.flops_reliable = reliable == 1;
+  rec.time_score = parse_double_field(fields[3]);
+  const std::string_view source = trim(fields[4]);
+  if (source == "cache") {
+    rec.source = serve::Source::kCache;
+  } else if (source == "atlas") {
+    rec.source = serve::Source::kAtlas;
+  } else if (source == "measured") {
+    rec.source = serve::Source::kMeasured;
+  } else {
+    throw std::invalid_argument("unknown source '" + std::string(source) +
+                                "'");
+  }
+  return rec;
+}
+
+// --------------------------------------------------------- SelectionRoutes
+
+SelectionRoutes::SelectionRoutes(serve::SelectionService& service,
+                                 SelectionRoutesConfig config)
+    : service_(service), config_(config) {
+  const std::size_t workers =
+      config_.worker_threads > 0 ? config_.worker_threads : 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SelectionRoutes::~SelectionRoutes() {
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mutex_);
+    stop_ = true;
+  }
+  jobs_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void SelectionRoutes::defer(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs_.push_back(std::move(job));
+  }
+  jobs_cv_.notify_one();
+}
+
+void SelectionRoutes::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mutex_);
+      jobs_cv_.wait(lock, [&] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        return;  // stopping, queue drained
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();  // jobs catch their own exceptions and answer 500 themselves
+  }
+}
+
+void SelectionRoutes::handle_query(const Request& request,
+                                   Responder responder) {
+  // Exactly one non-empty line; batches go to /v1/batch.
+  std::string_view line;
+  for (std::string_view candidate : split(request.body, '\n')) {
+    candidate = trim(candidate);
+    if (candidate.empty()) {
+      continue;
+    }
+    if (!line.empty()) {
+      responder.send(text_response(
+          400, "expected one query line; POST batches to /v1/batch\n"));
+      return;
+    }
+    line = candidate;
+  }
+  if (line.empty()) {
+    responder.send(text_response(400, "empty query body\n"));
+    return;
+  }
+
+  std::shared_future<serve::Recommendation> answer;
+  try {
+    answer = service_.query_async(parse_query_line(line)).share();
+  } catch (const std::invalid_argument& e) {
+    responder.send(text_response(400, std::string(e.what()) + "\n"));
+    return;
+  } catch (const support::CheckError& e) {
+    // The service rejected the query shape (unknown family, arity, range).
+    responder.send(text_response(400, std::string(e.what()) + "\n"));
+    return;
+  }
+
+  const auto respond = [](const Responder& r,
+                          const std::shared_future<serve::Recommendation>& f) {
+    try {
+      r.send(csv_response(format_recommendation(f.get()) + "\n"));
+    } catch (const std::exception& e) {
+      r.send(text_response(500, std::string("query failed: ") + e.what() +
+                                    "\n"));
+    }
+  };
+  // Warm answers (LRU hit or built slice) are already resolved: finish on
+  // the event loop. A cold one rides the service's background builder; a
+  // worker waits on it so the loop thread never does.
+  if (answer.wait_for(std::chrono::seconds(0)) ==
+      std::future_status::ready) {
+    respond(responder, answer);
+    return;
+  }
+  defer([respond, responder = std::move(responder),
+         answer = std::move(answer)] { respond(responder, answer); });
+}
+
+void SelectionRoutes::handle_batch(const Request& request,
+                                   Responder responder) {
+  // The request object dies when this returns; the job owns a copy of the
+  // body and parses it off the event loop.
+  defer([this, body = request.body, responder = std::move(responder)] {
+    std::vector<serve::Query> queries;
+    try {
+      std::size_t line_number = 0;
+      for (std::string_view line : split(body, '\n')) {
+        ++line_number;
+        line = trim(line);
+        if (line.empty()) {
+          continue;
+        }
+        try {
+          queries.push_back(parse_query_line(line));
+        } catch (const std::invalid_argument& e) {
+          throw std::invalid_argument(
+              support::strf("line %zu: ", line_number) + e.what());
+        }
+        if (queries.size() > config_.max_batch_queries) {
+          responder.send(text_response(
+              413, support::strf("batch exceeds %zu queries\n",
+                                 config_.max_batch_queries)));
+          return;
+        }
+      }
+      const std::vector<serve::Recommendation> recommendations =
+          service_.query_batch(queries);
+      std::string out;
+      out.reserve(recommendations.size() * 48);
+      for (const serve::Recommendation& rec : recommendations) {
+        out += format_recommendation(rec);
+        out += '\n';
+      }
+      responder.send(csv_response(std::move(out)));
+    } catch (const std::invalid_argument& e) {
+      responder.send(text_response(400, std::string(e.what()) + "\n"));
+    } catch (const support::CheckError& e) {
+      responder.send(text_response(400, std::string(e.what()) + "\n"));
+    } catch (const std::exception& e) {
+      responder.send(text_response(
+          500, std::string("batch failed: ") + e.what() + "\n"));
+    }
+  });
+}
+
+Response SelectionRoutes::metrics_response() const {
+  const serve::ServiceStats s = service_.stats();
+  std::string out;
+  out.reserve(4096);
+
+  const auto counter = [&out](const char* name, const char* labels,
+                              std::uint64_t value) {
+    out += support::strf("%s%s %llu\n", name, labels,
+                         static_cast<unsigned long long>(value));
+  };
+  const auto type = [&out](const char* name, const char* kind) {
+    out += support::strf("# TYPE %s %s\n", name, kind);
+  };
+
+  type("lamb_selection_answers_total", "counter");
+  counter("lamb_selection_answers_total", "{source=\"cache\"}",
+          s.cache_answers);
+  counter("lamb_selection_answers_total", "{source=\"atlas\"}",
+          s.atlas_answers);
+  counter("lamb_selection_answers_total", "{source=\"measured\"}",
+          s.measured_queries);
+
+  type("lamb_selection_cache_hits_total", "counter");
+  counter("lamb_selection_cache_hits_total", "", s.cache_hits);
+  type("lamb_selection_cache_misses_total", "counter");
+  counter("lamb_selection_cache_misses_total", "", s.cache_misses);
+  type("lamb_selection_cache_hit_ratio", "gauge");
+  const std::uint64_t lookups = s.cache_hits + s.cache_misses;
+  out += support::strf(
+      "lamb_selection_cache_hit_ratio %.6f\n",
+      lookups == 0 ? 0.0
+                   : static_cast<double>(s.cache_hits) /
+                         static_cast<double>(lookups));
+
+  type("lamb_selection_atlases_built_total", "counter");
+  counter("lamb_selection_atlases_built_total", "", s.atlases_built);
+  type("lamb_selection_atlases_loaded_total", "counter");
+  counter("lamb_selection_atlases_loaded_total", "", s.atlases_loaded);
+  type("lamb_selection_atlases_skipped_total", "counter");
+  counter("lamb_selection_atlases_skipped_total", "", s.atlases_skipped);
+  type("lamb_selection_atlas_samples_total", "counter");
+  counter("lamb_selection_atlas_samples_total", "",
+          static_cast<std::uint64_t>(s.atlas_samples < 0 ? 0
+                                                         : s.atlas_samples));
+  type("lamb_selection_batch_calls_total", "counter");
+  counter("lamb_selection_batch_calls_total", "", s.batch_calls);
+  type("lamb_selection_batch_queries_total", "counter");
+  counter("lamb_selection_batch_queries_total", "", s.batch_queries);
+  type("lamb_selection_async_calls_total", "counter");
+  counter("lamb_selection_async_calls_total", "", s.async_calls);
+
+  type("lamb_selection_atlas_count", "gauge");
+  counter("lamb_selection_atlas_count", "", service_.atlas_count());
+  type("lamb_selection_cache_size", "gauge");
+  counter("lamb_selection_cache_size", "", service_.cache_size());
+
+  if (http_stats_ != nullptr) {
+    const HttpStats& h = *http_stats_;
+    const auto load = [](const std::atomic<std::uint64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    type("lamb_http_connections_accepted_total", "counter");
+    counter("lamb_http_connections_accepted_total", "",
+            load(h.connections_accepted));
+    type("lamb_http_connections_rejected_total", "counter");
+    counter("lamb_http_connections_rejected_total", "",
+            load(h.connections_rejected));
+    type("lamb_http_requests_total", "counter");
+    counter("lamb_http_requests_total", "", load(h.requests_total));
+    type("lamb_http_responses_total", "counter");
+    counter("lamb_http_responses_total", "{class=\"2xx\"}",
+            load(h.responses_2xx));
+    counter("lamb_http_responses_total", "{class=\"4xx\"}",
+            load(h.responses_4xx));
+    counter("lamb_http_responses_total", "{class=\"5xx\"}",
+            load(h.responses_5xx));
+    counter("lamb_http_responses_total", "{class=\"other\"}",
+            load(h.responses_other));
+    type("lamb_http_parse_errors_total", "counter");
+    counter("lamb_http_parse_errors_total", "", load(h.parse_errors));
+    type("lamb_http_bytes_read_total", "counter");
+    counter("lamb_http_bytes_read_total", "", load(h.bytes_read));
+    type("lamb_http_bytes_written_total", "counter");
+    counter("lamb_http_bytes_written_total", "", load(h.bytes_written));
+
+    const LatencyHistogram::Snapshot latency = h.request_latency.snapshot();
+    type("lamb_http_request_duration_seconds", "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < LatencyHistogram::kBounds.size(); ++b) {
+      cumulative += latency.counts[b];
+      out += support::strf(
+          "lamb_http_request_duration_seconds_bucket{le=\"%g\"} %llu\n",
+          LatencyHistogram::kBounds[b],
+          static_cast<unsigned long long>(cumulative));
+    }
+    counter("lamb_http_request_duration_seconds_bucket", "{le=\"+Inf\"}",
+            latency.count);
+    out += support::strf("lamb_http_request_duration_seconds_sum %.9f\n",
+                         latency.sum_seconds);
+    counter("lamb_http_request_duration_seconds_count", "", latency.count);
+  }
+
+  Response r;
+  r.content_type = std::string(kPrometheusType);
+  r.body = std::move(out);
+  return r;
+}
+
+Router SelectionRoutes::router() {
+  Router router;
+  router.get("/healthz",
+             [](const Request&) { return text_response(200, "ok\n"); });
+  router.get("/metrics",
+             [this](const Request&) { return metrics_response(); });
+  router.handle("POST", "/v1/query",
+                [this](const Request& request, Responder responder) {
+                  handle_query(request, std::move(responder));
+                });
+  router.handle("POST", "/v1/batch",
+                [this](const Request& request, Responder responder) {
+                  handle_batch(request, std::move(responder));
+                });
+  return router;
+}
+
+}  // namespace lamb::net

@@ -1,0 +1,104 @@
+// SelectionRoutes: the HTTP surface of a SelectionService.
+//
+//   POST /v1/query    one query line  -> one recommendation line
+//   POST /v1/batch    N query lines   -> N recommendation lines, in order,
+//                     fused into a single SelectionService::query_batch()
+//                     call (the wire-level face of the 6x batch win)
+//   GET  /healthz     liveness probe ("ok")
+//   GET  /metrics     Prometheus text: ServiceStats counters, cache hit
+//                     rate, per-source answer counts, HTTP counters and the
+//                     request-latency histogram
+//
+// Wire format (also documented in the README):
+//   query line   := family ',' d1 ',' d2 [',' dk]* [',dim=' N] [',exact']
+//   answer line  := algorithm ',' flop_minimal ',' flops_reliable ','
+//                   time_score ',' source
+// time_score is printed with %.17g, so parsing the answer back reproduces
+// the service's double bit-for-bit (tests pin HTTP answers against direct
+// query() calls this way). algorithm/flop_minimal are 0-based indices;
+// source is cache|atlas|measured.
+//
+// Threading: /healthz and /metrics are answered on the event loop.
+// /v1/query asks through query_async — already-warm answers (cache hit or
+// built slice) resolve inline on the loop thread; anything needing an atlas
+// scan resolves on the service's background builder, watched by this
+// object's small worker pool so the loop never blocks. /v1/batch parses and
+// answers entirely on a worker (its slice builds ride the service's
+// ThreadPool inside query_batch).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "net/server.hpp"
+#include "serve/selection_service.hpp"
+
+namespace lamb::net {
+
+struct SelectionRoutesConfig {
+  /// Threads watching deferred query futures and running batch requests.
+  std::size_t worker_threads = 2;
+  /// Upper bound on query lines per /v1/batch request: bounds the fused
+  /// batch the service sees independently of the HTTP byte limit (a 1 MB
+  /// body can hold ~260k minimal lines; this keeps the answer sweep and
+  /// the response allocation an order of magnitude smaller).
+  std::size_t max_batch_queries = 1u << 16;
+};
+
+/// Parse one wire-format query line; throws std::invalid_argument with a
+/// caller-facing message on malformed input.
+serve::Query parse_query_line(std::string_view line);
+
+/// One answer line (no trailing newline), %.17g time_score.
+std::string format_recommendation(const serve::Recommendation& rec);
+
+/// Parse an answer line back (tests round-trip through this); throws
+/// std::invalid_argument on malformed input.
+serve::Recommendation parse_recommendation(std::string_view line);
+
+class SelectionRoutes {
+ public:
+  explicit SelectionRoutes(serve::SelectionService& service,
+                           SelectionRoutesConfig config = {});
+  /// Joins the workers; queued jobs finish first (their Responders may
+  /// already be dead-lettered if the server is gone — that is safe).
+  ~SelectionRoutes();
+
+  SelectionRoutes(const SelectionRoutes&) = delete;
+  SelectionRoutes& operator=(const SelectionRoutes&) = delete;
+
+  /// A Router serving the four endpoints, bound to this object (which must
+  /// outlive the Server running it).
+  Router router();
+
+  /// Give /metrics the front-end counters too (call between constructing
+  /// the Server and run()). Without it only service metrics are exported.
+  void attach_http_stats(const HttpStats* stats) { http_stats_ = stats; }
+
+ private:
+  void handle_query(const Request& request, Responder responder);
+  void handle_batch(const Request& request, Responder responder);
+  Response metrics_response() const;
+
+  void defer(std::function<void()> job);
+  void worker_loop();
+
+  serve::SelectionService& service_;
+  SelectionRoutesConfig config_;
+  const HttpStats* http_stats_ = nullptr;
+
+  std::mutex jobs_mutex_;
+  std::condition_variable jobs_cv_;
+  std::deque<std::function<void()>> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lamb::net

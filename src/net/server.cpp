@@ -1,0 +1,654 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "support/str.hpp"
+
+namespace lamb::net {
+
+namespace {
+
+constexpr std::uint64_t kListenerId = 0;
+constexpr std::uint64_t kWakeId = 1;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ router
+
+void Router::handle(std::string method, std::string path, Handler handler) {
+  routes_.push_back(Route{std::move(method), std::move(path),
+                          std::move(handler)});
+}
+
+void Router::get(std::string path, SyncHandler handler) {
+  handle("GET", std::move(path),
+         [h = std::move(handler)](const Request& req, Responder responder) {
+           responder.send(h(req));
+         });
+}
+
+void Router::post(std::string path, SyncHandler handler) {
+  handle("POST", std::move(path),
+         [h = std::move(handler)](const Request& req, Responder responder) {
+           responder.send(h(req));
+         });
+}
+
+void Router::dispatch(const Request& request, Responder responder) const {
+  const Route* found = nullptr;
+  bool path_known = false;
+  for (const Route& route : routes_) {
+    if (route.path != request.path) {
+      continue;
+    }
+    path_known = true;
+    if (route.method == request.method) {
+      found = &route;
+      break;
+    }
+  }
+  if (found == nullptr) {
+    responder.send(text_response(
+        path_known ? 405 : 404,
+        path_known ? "method not allowed on " + request.path + "\n"
+                   : "no such route: " + request.path + "\n"));
+    return;
+  }
+  try {
+    found->handler(request, responder);  // keep a copy for the catch below
+  } catch (const std::exception& e) {
+    // If the handler already answered, the first send() won and this is a
+    // no-op; otherwise the exception becomes the response.
+    responder.send(text_response(500, std::string("handler error: ") +
+                                          e.what() + "\n"));
+  }
+}
+
+// -------------------------------------------------------- completion hub
+
+struct Server::Completion {
+  std::uint64_t conn_id = 0;
+  std::uint64_t seq = 0;
+  Response response;
+  bool keep_alive = true;
+  std::chrono::steady_clock::time_point start;
+};
+
+/// Queue between handler threads and the event loop. Outlives the Server
+/// through the shared_ptr in each outstanding ticket; `open` flips false
+/// before the eventfd closes, and the eventfd write happens under the same
+/// mutex, so a straggling send() can never touch a dead fd.
+struct Server::Hub {
+  std::mutex mutex;
+  std::vector<Completion> ready;
+  int wake_fd = -1;
+  bool open = true;
+
+  void post(Completion&& completion) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!open) {
+      return;  // server already torn down; the response has nowhere to go
+    }
+    ready.push_back(std::move(completion));
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd, &one, sizeof(one));
+  }
+
+  void close() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    open = false;
+    ready.clear();
+  }
+};
+
+struct Responder::Ticket {
+  std::shared_ptr<Server::Hub> hub;
+  std::uint64_t conn_id = 0;
+  std::uint64_t seq = 0;
+  bool keep_alive = true;
+  std::chrono::steady_clock::time_point start;
+  std::atomic<bool> sent{false};
+
+  ~Ticket() {
+    if (!sent.load(std::memory_order_acquire)) {
+      // Every copy of the Responder was dropped without answering; a silent
+      // drop would wedge the pipeline (responses are strictly ordered).
+      hub->post(Server::Completion{
+          conn_id, seq,
+          text_response(500, "handler dropped the request\n"), keep_alive,
+          start});
+    }
+  }
+};
+
+void Responder::send(Response response) const {
+  if (ticket_ == nullptr ||
+      ticket_->sent.exchange(true, std::memory_order_acq_rel)) {
+    return;  // default-constructed, or a racing copy answered first
+  }
+  ticket_->hub->post(Server::Completion{ticket_->conn_id, ticket_->seq,
+                                        std::move(response),
+                                        ticket_->keep_alive, ticket_->start});
+}
+
+// -------------------------------------------------------------- connection
+
+struct Server::Connection {
+  explicit Connection(std::size_t max_request_bytes)
+      : parser(max_request_bytes) {}
+
+  int fd = -1;
+  std::uint64_t id = 0;
+  RequestParser parser;
+  std::string out;          ///< serialized responses awaiting write()
+  std::size_t out_pos = 0;  ///< already written prefix of `out`
+  std::uint64_t next_seq = 0;      ///< next request sequence to assign
+  std::uint64_t next_to_send = 0;  ///< next response sequence to emit
+  /// Completions that arrived ahead of an earlier still-pending request.
+  std::map<std::uint64_t, Completion> parked;
+  std::size_t parked_bytes = 0;  ///< response bodies held in `parked`
+  std::size_t inflight = 0;  ///< dispatched requests not yet responded
+  bool want_write = false;   ///< EPOLLOUT currently requested
+  bool paused = false;       ///< EPOLLIN dropped (pipeline backpressure)
+  bool read_closed = false;  ///< EOF seen or protocol error: no more parsing
+  bool close_after_flush = false;
+};
+
+// ------------------------------------------------------------------ server
+
+Server::Server(Router router, ServerConfig config)
+    : router_(std::move(router)), config_(std::move(config)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    throw_errno("socket");
+  }
+  const int on = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    throw NetError("bad bind address: " + config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, config_.backlog) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("bind/listen on " + config_.bind_address +
+                support::strf(":%u", config_.port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  // A throwing constructor skips the destructor: every failure from here
+  // on must release what is already open (a retrying caller would
+  // otherwise leak the bound listening socket and keep the port busy).
+  const auto fail = [this](const std::string& what) {
+    const int saved = errno;
+    for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+      if (*fd >= 0) {
+        ::close(*fd);
+        *fd = -1;
+      }
+    }
+    errno = saved;
+    throw_errno(what);
+  };
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    fail("epoll_create1/eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    fail("epoll_ctl(listener)");
+  }
+  ev.data.u64 = kWakeId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    fail("epoll_ctl(eventfd)");
+  }
+  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  hub_ = std::make_shared<Hub>();
+  hub_->wake_fd = wake_fd_;
+}
+
+Server::~Server() {
+  hub_->close();  // after this no ticket can touch wake_fd_
+  for (auto& [id, conn] : connections_) {
+    ::close(conn->fd);
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+  if (reserve_fd_ >= 0) {
+    ::close(reserve_fd_);
+  }
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void Server::stop() {
+  stop_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  // Direct write, not Hub::post — this must stay async-signal-safe.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::update_interest(Connection& conn) {
+  epoll_event ev{};
+  if (!conn.paused && !conn.read_closed) {
+    ev.events |= EPOLLIN;
+  }
+  if (conn.want_write) {
+    ev.events |= EPOLLOUT;
+  }
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void Server::close_connection(std::uint64_t id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) {
+    return;
+  }
+  ::close(it->second->fd);  // epoll deregisters the fd automatically
+  connections_.erase(it);
+  if (listener_muted_ && listen_fd_ >= 0) {
+    // A descriptor just freed: re-arm the accept path muted under EMFILE.
+    if (reserve_fd_ < 0) {
+      reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenerId;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev);
+    listener_muted_ = false;
+  }
+}
+
+void Server::accept_new() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors with a connection still queued: with
+        // level-triggered epoll, returning would re-report the listener
+        // instantly and spin the loop. Release the reserve fd, accept the
+        // connection just to refuse it, then re-arm the reserve.
+        int doomed = -1;
+        if (reserve_fd_ >= 0) {
+          ::close(reserve_fd_);
+          reserve_fd_ = -1;
+          doomed = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (doomed >= 0) {
+            stats_.connections_rejected.fetch_add(1,
+                                                  std::memory_order_relaxed);
+            ::close(doomed);
+          }
+          reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        }
+        if (doomed >= 0 && reserve_fd_ >= 0) {
+          continue;
+        }
+        // Could not shed the pending connection (no reserve, or another
+        // thread stole the freed slot): mute the listener until a
+        // connection closes, or this same branch would livelock the loop.
+        epoll_event ev{};
+        ev.data.u64 = kListenerId;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev);
+        listener_muted_ = true;
+        return;
+      }
+      return;  // EAGAIN: backlog drained (other errors: retry on next event)
+    }
+    if (connections_.size() >= config_.max_connections) {
+      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    const int on = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+    if (config_.so_sndbuf > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.so_sndbuf,
+                   sizeof(config_.so_sndbuf));
+    }
+    auto conn = std::make_unique<Connection>(config_.max_request_bytes);
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    connections_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void Server::queue_error_response(Connection& conn, int status,
+                                  std::string body) {
+  stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+  // Through the regular ticket machinery so the error response stays
+  // ordered behind earlier pipelined requests still being handled.
+  auto ticket = std::make_shared<Responder::Ticket>();
+  ticket->hub = hub_;
+  ticket->conn_id = conn.id;
+  ticket->seq = conn.next_seq++;
+  ticket->keep_alive = false;
+  ticket->start = std::chrono::steady_clock::now();
+  ++conn.inflight;
+  Response response = text_response(status, std::move(body));
+  response.close = true;
+  Responder(std::move(ticket)).send(std::move(response));
+}
+
+void Server::dispatch_parsed(Connection& conn) {
+  while (!conn.read_closed && !conn.paused &&
+         conn.parser.state() == RequestParser::State::kComplete) {
+    const Request& request = conn.parser.request();
+    stats_.requests_total.fetch_add(1, std::memory_order_relaxed);
+    auto ticket = std::make_shared<Responder::Ticket>();
+    ticket->hub = hub_;
+    ticket->conn_id = conn.id;
+    ticket->seq = conn.next_seq++;
+    ticket->keep_alive = request.keep_alive;
+    ticket->start = std::chrono::steady_clock::now();
+    ++conn.inflight;
+    if (!request.keep_alive) {
+      // Nothing after this request will be answered; stop parsing.
+      conn.read_closed = true;
+    }
+    router_.dispatch(request, Responder(std::move(ticket)));
+    conn.parser.advance();
+    // Enforce the pipeline bound inside the loop: one large read can hold
+    // thousands of tiny buffered requests, and dispatching them all before
+    // pausing would make max_pipeline bound nothing. Paused, the remainder
+    // stays in the parser until responses flush (flush_ready resumes).
+    if (conn.inflight >= config_.max_pipeline) {
+      conn.paused = true;
+    }
+  }
+  if (!conn.read_closed && !conn.paused &&
+      conn.parser.state() == RequestParser::State::kError) {
+    queue_error_response(conn, conn.parser.error_status(),
+                         conn.parser.error_message() + "\n");
+    conn.read_closed = true;
+  }
+  if (conn.paused) {
+    update_interest(conn);
+  }
+}
+
+void Server::on_readable(Connection& conn) {
+  if (conn.read_closed) {
+    return;  // response path decides when this connection dies
+  }
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      stats_.bytes_read.fetch_add(static_cast<std::uint64_t>(n),
+                                  std::memory_order_relaxed);
+      conn.parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      dispatch_parsed(conn);
+      if (conn.read_closed || conn.paused) {
+        update_interest(conn);
+        return;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    // EOF or a hard error. Anything already dispatched still gets its
+    // response written (the client may have shutdown only its write side).
+    conn.read_closed = true;
+    if (conn.inflight == 0 && conn.out_pos == conn.out.size()) {
+      close_connection(conn.id);
+    } else {
+      conn.close_after_flush = true;
+      update_interest(conn);
+    }
+    return;
+  }
+}
+
+bool Server::write_some(Connection& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-response must come back as
+    // EPIPE (we close the connection), never as a process-wide SIGPIPE.
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_pos,
+                             conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      stats_.bytes_written.fetch_add(static_cast<std::uint64_t>(n),
+                                     std::memory_order_relaxed);
+      conn.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        update_interest(conn);
+      }
+      return true;
+    }
+    close_connection(conn.id);  // EPIPE/ECONNRESET: peer is gone
+    return false;
+  }
+  conn.out.clear();
+  conn.out_pos = 0;
+  if (conn.want_write) {
+    conn.want_write = false;
+    update_interest(conn);
+  }
+  if (conn.close_after_flush && conn.inflight == 0) {
+    close_connection(conn.id);
+    return false;
+  }
+  return true;
+}
+
+void Server::on_writable(Connection& conn) { write_some(conn); }
+
+void Server::flush_ready(Connection& conn) {
+  bool appended = false;
+  for (auto it = conn.parked.find(conn.next_to_send);
+       it != conn.parked.end(); it = conn.parked.find(conn.next_to_send)) {
+    Completion completion = std::move(it->second);
+    conn.parked.erase(it);
+    conn.parked_bytes -= completion.response.body.size();
+    append_response(conn.out, completion.response, completion.keep_alive);
+    appended = true;
+    ++conn.next_to_send;
+    --conn.inflight;
+    const int status = completion.response.status;
+    auto& counter = status < 300 && status >= 200 ? stats_.responses_2xx
+                    : status >= 500               ? stats_.responses_5xx
+                    : status >= 400               ? stats_.responses_4xx
+                                                  : stats_.responses_other;
+    counter.fetch_add(1, std::memory_order_relaxed);
+    stats_.request_latency.record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      completion.start)
+            .count());
+    if (!completion.keep_alive || completion.response.close) {
+      conn.close_after_flush = true;
+      conn.read_closed = true;
+    }
+  }
+  if (!appended) {
+    return;
+  }
+  if (conn.paused && conn.inflight < config_.max_pipeline) {
+    conn.paused = false;
+    // Requests may already be buffered in the parser from before the pause.
+    dispatch_parsed(conn);
+  }
+  // A client that pipelines heavily but never reads would otherwise grow
+  // the output buffer without bound; past the cap the connection is
+  // abusive, and its already-computed responses are dropped with it.
+  if (conn.out.size() - conn.out_pos + conn.parked_bytes >
+      config_.max_buffered_response_bytes) {
+    close_connection(conn.id);
+    return;
+  }
+  // Re-sync epoll interest in one place: the loop above may have set
+  // read_closed (a Connection: close response), and with level-triggered
+  // epoll a stale EPOLLIN on a connection we no longer read would spin.
+  update_interest(conn);
+  if (!write_some(conn)) {
+    return;  // connection destroyed
+  }
+  if (draining_ && conn.inflight == 0 && conn.out_pos == conn.out.size()) {
+    close_connection(conn.id);
+  }
+}
+
+void Server::drain_completions() {
+  std::vector<Completion> ready;
+  {
+    const std::lock_guard<std::mutex> lock(hub_->mutex);
+    ready.swap(hub_->ready);
+  }
+  for (Completion& completion : ready) {
+    const auto it = connections_.find(completion.conn_id);
+    if (it == connections_.end()) {
+      continue;  // connection died before its response was ready
+    }
+    it->second->parked_bytes += completion.response.body.size();
+    it->second->parked.emplace(completion.seq, std::move(completion));
+  }
+  // Second pass (a batch may hold several responses for one connection, in
+  // any order): splice every connection that can now make progress.
+  for (Completion& completion : ready) {
+    const auto it = connections_.find(completion.conn_id);
+    if (it != connections_.end()) {
+      flush_ready(*it->second);
+    }
+  }
+}
+
+void Server::begin_drain() {
+  draining_ = true;
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  close_drained_idle();
+}
+
+void Server::close_drained_idle() {
+  // Connections with nothing in flight and nothing left to flush are done.
+  // Swept every loop iteration while draining: the last flush may happen on
+  // any path (completion splice, EPOLLOUT round), and a keep-alive client
+  // that simply holds its socket open must not pin run() forever.
+  std::vector<std::uint64_t> idle;
+  for (const auto& [id, conn] : connections_) {
+    if (conn->inflight == 0 && conn->out_pos == conn->out.size()) {
+      idle.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : idle) {
+    close_connection(id);
+  }
+}
+
+void Server::run() {
+  running_.store(true, std::memory_order_release);
+  epoll_event events[64];
+  while (true) {
+    if (stop_.load(std::memory_order_acquire) && !draining_) {
+      begin_drain();
+    }
+    if (draining_ && connections_.empty()) {
+      break;
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      running_.store(false, std::memory_order_release);
+      throw_errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      if (id == kListenerId) {
+        accept_new();
+        continue;
+      }
+      if (id == kWakeId) {
+        std::uint64_t counter = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &counter, sizeof(counter));
+        continue;  // completions drain below, stop flag re-checked on loop
+      }
+      const auto it = connections_.find(id);
+      if (it == connections_.end()) {
+        continue;  // closed earlier in this batch
+      }
+      Connection& conn = *it->second;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
+          (events[i].events & EPOLLIN) == 0) {
+        close_connection(id);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        if (!write_some(conn)) {
+          continue;
+        }
+      }
+      if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+        on_readable(conn);
+      }
+    }
+    drain_completions();
+    if (draining_) {
+      close_drained_idle();
+    }
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace lamb::net

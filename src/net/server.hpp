@@ -1,0 +1,192 @@
+// lamb::net::Server — a dependency-free Linux epoll HTTP/1.1 front-end.
+//
+// One thread owns the event loop (run()): a non-blocking listener, an
+// eventfd for cross-thread wakeups, and a per-connection state machine —
+// incremental request parsing (net/http.hpp), keep-alive, pipelining with
+// strict response ordering, bounded request sizes, read backpressure once
+// too many pipelined requests are in flight, and buffered writes that
+// survive partial write()s.
+//
+// Handlers never block the loop: a Router handler receives the parsed
+// request plus a Responder ticket it may complete from any thread (the
+// selection routes hand cold work to SelectionService::query_async and a
+// small worker pool). Completed responses are posted to a completion hub
+// that wakes the loop through the eventfd; the loop splices each response
+// into its connection in request order, so pipelined clients always read
+// answers in the order they asked. A Responder dropped without send()
+// answers 500, so a lost ticket can never wedge a connection.
+//
+// Shutdown is graceful by default: stop() (async-signal-safe — an atomic
+// store plus one eventfd write, so a SIGTERM handler may call it) closes
+// the listener, lets in-flight requests finish and flush, then run()
+// returns. Idle keep-alive connections are closed immediately.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/histogram.hpp"
+#include "net/http.hpp"
+
+namespace lamb::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 picks an ephemeral port (see Server::port())
+  int backlog = 128;
+  std::size_t max_request_bytes = 1u << 20;  ///< header block + body, framed
+  std::size_t max_connections = 1024;
+  /// Pipelined requests in flight per connection before the server stops
+  /// reading from it (resumes as responses flush).
+  std::size_t max_pipeline = 128;
+  /// Completed-but-unwritten response bytes per connection (output buffer
+  /// plus parked out-of-order completions) before the connection is deemed
+  /// abusive (pipelining heavily, never reading) and closed.
+  std::size_t max_buffered_response_bytes = 32u << 20;
+  /// When > 0, shrink each connection's kernel send buffer (SO_SNDBUF) —
+  /// tests use this to force the partial-write path deterministically.
+  int so_sndbuf = 0;
+};
+
+/// Monotonic front-end counters, all updated with relaxed atomics; read
+/// them live from any thread (the /metrics route renders these).
+struct HttpStats {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_rejected{0};  ///< over max_connections
+  std::atomic<std::uint64_t> requests_total{0};
+  std::atomic<std::uint64_t> responses_2xx{0};
+  std::atomic<std::uint64_t> responses_4xx{0};
+  std::atomic<std::uint64_t> responses_5xx{0};
+  std::atomic<std::uint64_t> responses_other{0};
+  std::atomic<std::uint64_t> parse_errors{0};
+  std::atomic<std::uint64_t> bytes_read{0};
+  std::atomic<std::uint64_t> bytes_written{0};
+  /// Dispatch-to-response-queued seconds per request.
+  LatencyHistogram request_latency;
+};
+
+class Server;
+
+/// Completion ticket for one request. Copyable (handlers live in
+/// std::function); the first send() wins, and if every copy is destroyed
+/// unsent the server answers 500 on the request's behalf. send() is safe
+/// from any thread and harmless after the server has stopped.
+class Responder {
+ public:
+  Responder() = default;
+  void send(Response response) const;
+
+ private:
+  friend class Server;
+  struct Ticket;
+  explicit Responder(std::shared_ptr<Ticket> ticket)
+      : ticket_(std::move(ticket)) {}
+  std::shared_ptr<Ticket> ticket_;
+};
+
+/// Exact-path router. The Request& passed to a handler is valid only for
+/// the duration of the dispatch call — a handler that defers (completes the
+/// Responder later, from another thread) must copy what it needs first.
+class Router {
+ public:
+  using Handler = std::function<void(const Request&, Responder)>;
+  using SyncHandler = std::function<Response(const Request&)>;
+
+  void handle(std::string method, std::string path, Handler handler);
+  /// Sync conveniences: the handler's Response is sent immediately.
+  void get(std::string path, SyncHandler handler);
+  void post(std::string path, SyncHandler handler);
+
+  /// Route and invoke; unknown path answers 404, known path with the wrong
+  /// method 405. Never throws — a throwing handler answers 500.
+  void dispatch(const Request& request, Responder responder) const;
+
+ private:
+  struct Route {
+    std::string method;
+    std::string path;
+    Handler handler;
+  };
+  std::vector<Route> routes_;
+};
+
+class Server {
+ public:
+  /// Binds and listens (throws NetError on failure); run() starts serving.
+  explicit Server(Router router, ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (the ephemeral one when config.port was 0).
+  std::uint16_t port() const { return port_; }
+  const ServerConfig& config() const { return config_; }
+  const HttpStats& stats() const { return stats_; }
+
+  /// Event loop; blocks until stop(). One caller at a time.
+  void run();
+
+  /// Request a graceful drain: stop accepting, finish and flush in-flight
+  /// requests, close idle connections, return from run(). Thread- and
+  /// async-signal-safe; idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  friend class Responder;  // tickets reference Hub and Completion
+
+  struct Hub;         ///< completion queue shared with Responder tickets
+  struct Completion;  ///< one finished response, routed back to its conn
+  struct Connection;
+
+  void accept_new();
+  void on_readable(Connection& conn);
+  void on_writable(Connection& conn);
+  void dispatch_parsed(Connection& conn);
+  void queue_error_response(Connection& conn, int status, std::string body);
+  void drain_completions();
+  /// Append every in-order completed response to the connection's output
+  /// buffer and try to flush it.
+  void flush_ready(Connection& conn);
+  bool write_some(Connection& conn);  ///< false when the conn was destroyed
+  void update_interest(Connection& conn);
+  void close_connection(std::uint64_t id);
+  void begin_drain();
+  /// While draining: close every connection with nothing in flight and
+  /// nothing left to flush (swept per loop iteration — the final flush can
+  /// happen on any path).
+  void close_drained_idle();
+
+  Router router_;
+  ServerConfig config_;
+  HttpStats stats_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  /// Sacrificial descriptor released under EMFILE so a queued connection
+  /// can still be accepted and refused instead of spinning the loop.
+  int reserve_fd_ = -1;
+  /// Listener interest dropped because fd exhaustion could not be shed;
+  /// re-armed when a connection closes (close_connection).
+  bool listener_muted_ = false;
+  std::shared_ptr<Hub> hub_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  bool draining_ = false;
+  std::uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = eventfd
+  /// Owned by the loop thread exclusively; epoll events carry the id, and
+  /// every event re-resolves it here (a connection closed earlier in the
+  /// same epoll batch simply no longer resolves).
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace lamb::net

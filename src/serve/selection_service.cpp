@@ -1,6 +1,8 @@
 #include "serve/selection_service.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -276,6 +278,7 @@ Recommendation SelectionService::classify_exact(const Query& q) {
 Recommendation SelectionService::query(const Query& q) {
   if (auto hit = cache_.get(q)) {
     hit->source = Source::kCache;
+    cache_answers_.fetch_add(1);
     return *hit;
   }
   family_for(q);  // validate family, arity and dimension before working
@@ -292,6 +295,7 @@ Recommendation SelectionService::query(const Query& q) {
     if (atlas != nullptr) {
       rec = recommendation_from(
           atlas->lookup(q.dims[static_cast<std::size_t>(q.dim)]));
+      atlas_answers_.fetch_add(1);
     } else {
       rec = classify_exact(q);
     }
@@ -308,6 +312,8 @@ std::vector<Recommendation> SelectionService::query_batch(
   }
   LAMB_CHECK(batch.size() <= ~std::uint32_t{0},
              "query_batch: batch too large");  // indices are 32-bit
+  batch_calls_.fetch_add(1);
+  batch_queries_.fetch_add(batch.size());
 
   // With on-demand building off, a single query() may cache a measured
   // (classified) answer that a later atlas lookup would not reproduce;
@@ -453,14 +459,18 @@ std::vector<Recommendation> SelectionService::query_batch(
   for (const std::uint32_t i : exact_queries) {
     out[i] = query(batch[i]);
   }
+  // Everything not on the exact path was answered from a grouped slice.
+  atlas_answers_.fetch_add(batch.size() - exact_queries.size());
   return out;
 }
 
 std::future<Recommendation> SelectionService::query_async(Query q) {
   family_for(q);  // invalid queries throw here, synchronously, like query()
+  async_calls_.fetch_add(1);
   std::promise<Recommendation> ready;
   if (auto hit = cache_.get(q)) {
     hit->source = Source::kCache;
+    cache_answers_.fetch_add(1);
     ready.set_value(*hit);
     return ready.get_future();
   }
@@ -469,6 +479,7 @@ std::future<Recommendation> SelectionService::query_async(Query q) {
     if (AtlasPtr atlas = find_slice(*snapshot(), id)) {
       const Recommendation rec = recommendation_from(
           atlas->lookup(q.dims[static_cast<std::size_t>(q.dim)]));
+      atlas_answers_.fetch_add(1);
       cache_.put(q, rec);
       ready.set_value(rec);
       return ready.get_future();
@@ -590,15 +601,25 @@ std::size_t SelectionService::warm_from_store(
     const store::AtlasStore& atlas_store) {
   std::vector<std::pair<store::AtlasKey, AtlasPtr>> fresh;
   for (const std::string& path : atlas_store.list()) {
-    store::AtlasRecord record = store::load_atlas(path);
-    if (record.machine != machine_.name() ||
-        !same_config(record.atlas.config(), config_.atlas)) {
+    std::optional<store::AtlasRecord> record;
+    try {
+      record.emplace(store::load_atlas(path));
+    } catch (const store::SerialError& e) {
+      // One corrupt, truncated or foreign file (a crash mid-write, a disk
+      // error) must not abort warming the healthy rest of the store.
+      std::fprintf(stderr, "warm_from_store: skipping %s: %s\n", path.c_str(),
+                   e.what());
+      atlases_skipped_.fetch_add(1);
+      continue;
+    }
+    if (record->machine != machine_.name() ||
+        !same_config(record->atlas.config(), config_.atlas)) {
       continue;  // built for another machine model or another scan geometry
     }
-    store::AtlasKey key = store::AtlasKey::of(record);  // before the move
-    fresh.emplace_back(
-        std::move(key),
-        std::make_shared<const anomaly::RegionAtlas>(std::move(record.atlas)));
+    store::AtlasKey key = store::AtlasKey::of(*record);  // before the move
+    fresh.emplace_back(std::move(key),
+                       std::make_shared<const anomaly::RegionAtlas>(
+                           std::move(record->atlas)));
   }
   if (fresh.empty()) {
     return 0;
@@ -647,8 +668,14 @@ ServiceStats SelectionService::stats() const {
   s.cache_misses = cache_.misses();
   s.atlases_built = atlases_built_.load();
   s.atlases_loaded = atlases_loaded_.load();
+  s.atlases_skipped = atlases_skipped_.load();
   s.measured_queries = measured_queries_.load();
   s.atlas_samples = atlas_samples_.load();
+  s.cache_answers = cache_answers_.load();
+  s.atlas_answers = atlas_answers_.load();
+  s.batch_calls = batch_calls_.load();
+  s.batch_queries = batch_queries_.load();
+  s.async_calls = async_calls_.load();
   return s;
 }
 

@@ -118,8 +118,17 @@ struct ServiceStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t atlases_built = 0;
   std::uint64_t atlases_loaded = 0;     ///< warmed from a store
-  std::uint64_t measured_queries = 0;
+  std::uint64_t atlases_skipped = 0;    ///< corrupt store files skipped
+  std::uint64_t measured_queries = 0;   ///< answers classified directly
   long long atlas_samples = 0;          ///< classifications spent building
+  // Monotonic per-source answer counters and per-entry-point call counts.
+  // Unlike the LRU's hit/miss pair these are never reset by clear(), which
+  // is what a scrape-based exporter (the HTTP /metrics endpoint) needs.
+  std::uint64_t cache_answers = 0;  ///< answers served from the LRU
+  std::uint64_t atlas_answers = 0;  ///< answers served from an atlas slice
+  std::uint64_t batch_calls = 0;    ///< query_batch() invocations
+  std::uint64_t batch_queries = 0;  ///< queries summed over those batches
+  std::uint64_t async_calls = 0;    ///< query_async() invocations
 };
 
 class SelectionService {
@@ -294,8 +303,14 @@ class SelectionService {
   ShardedLruCache<Query, Recommendation, QueryHash> cache_;
   std::atomic<std::uint64_t> atlases_built_{0};
   std::atomic<std::uint64_t> atlases_loaded_{0};
+  std::atomic<std::uint64_t> atlases_skipped_{0};
   std::atomic<std::uint64_t> measured_queries_{0};
   std::atomic<long long> atlas_samples_{0};
+  std::atomic<std::uint64_t> cache_answers_{0};
+  std::atomic<std::uint64_t> atlas_answers_{0};
+  std::atomic<std::uint64_t> batch_calls_{0};
+  std::atomic<std::uint64_t> batch_queries_{0};
+  std::atomic<std::uint64_t> async_calls_{0};
 };
 
 }  // namespace lamb::serve

@@ -1,5 +1,11 @@
 #include "store/serial.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 
@@ -124,15 +130,55 @@ void write_file(const std::string& path, std::uint32_t kind,
   support::append_le64(header, payload.size());
   support::append_le64(header, support::fnv1a64(payload));
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw SerialError("cannot open for writing: " + path);
+  // Crash-safe replace: stage the full record in a sibling temp file,
+  // fsync it, then rename over the destination. The fsync matters — without
+  // it a power loss can commit the rename before the data blocks, leaving a
+  // zero-length frame under the real name. A crash mid-write leaves at
+  // worst a stale ".tmp" next to an intact old file (readers skip / reject
+  // the temp name by extension). The staging name is unique per writer
+  // (pid + counter): concurrent checkpoints of the same key must not
+  // interleave into one staging file and publish a mixed frame.
+  static std::atomic<std::uint64_t> stage_counter{0};
+  const std::string tmp = path +
+                          support::strf(".%ld.%llu.tmp",
+                                        static_cast<long>(::getpid()),
+                                        static_cast<unsigned long long>(
+                                            stage_counter.fetch_add(1)));
+  const auto fail = [&tmp](const std::string& what) -> SerialError {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    return SerialError(what);
+  };
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    throw SerialError("cannot open for writing: " + tmp);
   }
-  out.write(header.data(), static_cast<std::streamsize>(header.size()));
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  out.flush();
-  if (!out) {
-    throw SerialError("write failed: " + path);
+  const auto write_all = [fd](std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  if (!write_all(header) || !write_all(payload) || ::fsync(fd) != 0) {
+    ::close(fd);
+    throw fail("write failed: " + tmp);
+  }
+  if (::close(fd) != 0) {
+    throw fail("close failed: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw fail("cannot replace " + path + ": " + ec.message());
   }
 }
 

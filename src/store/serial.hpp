@@ -84,7 +84,11 @@ inline constexpr std::uint32_t kKindAtlas = 0x41544C53;    // "ATLS"
 inline constexpr std::uint32_t kKindProfile = 0x50524F46;  // "PROF"
 
 /// Write a framed file (magic + kind + version + size + checksum + payload);
-/// throws SerialError on I/O failure.
+/// throws SerialError on I/O failure. The write is crash-safe: the record is
+/// staged in a writer-unique "<path>.<pid>.<n>.tmp" sibling, fsynced, and
+/// atomically renamed into place, so the destination always holds either
+/// the old complete frame or the new one, never a truncated mix — even
+/// under concurrent writers of the same destination.
 void write_file(const std::string& path, std::uint32_t kind,
                 std::uint32_t version, std::string_view payload);
 

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <stdexcept>
 #include <thread>
@@ -293,6 +294,49 @@ TEST(SelectionService, CheckpointThenWarmServesIdenticalAnswersWithoutBuilds) {
   EXPECT_EQ(second.stats().atlases_built, 0u);
   EXPECT_EQ(second.stats().atlases_loaded, atlas_store.size());
   EXPECT_EQ(second.stats().atlas_samples, 0);
+}
+
+TEST(SelectionService, WarmFromStoreSkipsCorruptFilesWithoutAborting) {
+  const std::string dir = temp_dir();
+  model::SimulatedMachine machine;
+  const ServiceConfig cfg = scripted_config();
+
+  // Two healthy slices on disk...
+  SelectionService first(machine, cfg);
+  first.query_batch({Query{"aatb", {300, 260, 549}, 0, false},
+                     Query{"aatb", {80, 300, 768}, 1, false}});
+  store::AtlasStore atlas_store(dir);
+  ASSERT_EQ(first.checkpoint(atlas_store), 2u);
+  const std::vector<std::string> paths = atlas_store.list();
+  ASSERT_EQ(paths.size(), 2u);
+
+  // ...then one is truncated mid-frame (a crash without the atomic-rename
+  // write), and a zero-byte straggler appears next to them.
+  {
+    std::ifstream in(paths.front(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 40u);
+    std::ofstream out(paths.front(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  { std::ofstream zero(dir + "/0000000000000000.atlas", std::ios::binary); }
+
+  // The healthy slice is adopted, the two bad files are skipped with a
+  // diagnostic, and nothing throws.
+  SelectionService second(machine, cfg);
+  EXPECT_EQ(second.warm_from_store(atlas_store), 1u);
+  EXPECT_EQ(second.atlas_count(), 1u);
+  EXPECT_EQ(second.stats().atlases_loaded, 1u);
+  EXPECT_EQ(second.stats().atlases_skipped, 2u);
+
+  // Both queries still answer identically to the first service: one from
+  // the adopted slice, the other rebuilt on demand behind the miss.
+  for (const Query& q : {Query{"aatb", {300, 260, 549}, 0, false},
+                         Query{"aatb", {80, 300, 768}, 1, false}}) {
+    EXPECT_EQ(second.query(q), first.query(q));
+  }
 }
 
 TEST(SelectionService, WarmFromStoreSkipsForeignRecords) {

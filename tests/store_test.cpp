@@ -356,6 +356,34 @@ TEST(AtlasStore, SaveLoadContainsAndList) {
       store::AtlasKey{"scripted", "scripted", 0, {300}, narrower}));
 }
 
+TEST(AtlasStore, WritesAreStagedAndAtomicallyRenamed) {
+  const anomaly::RegionAtlas atlas = scripted_atlas();
+  const std::string dir = temp_dir() + "/store";
+  store::AtlasStore atlas_store(dir);
+  const store::AtlasKey key{"scripted", "scripted", 0, {300},
+                            atlas.config()};
+
+  // Overwriting an existing record goes through a ".tmp" sibling + rename,
+  // so a reader can never observe a half-written frame; afterwards no temp
+  // file lingers and the record is intact.
+  atlas_store.save(key, atlas);
+  atlas_store.save(key, atlas);
+  std::size_t total_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+    ++total_files;
+  }
+  EXPECT_EQ(total_files, 1u);
+  EXPECT_EQ(atlas_store.list().size(), 1u);
+  const auto back = atlas_store.load(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->to_csv(), atlas.to_csv());
+
+  // A stale ".tmp" from a simulated crash is invisible to the store.
+  { std::ofstream stale(dir + "/deadbeef.atlas.tmp"); stale << "junk"; }
+  EXPECT_EQ(atlas_store.list().size(), 1u);
+}
+
 TEST(AtlasStore, ForeignFileUnderKeyNameIsRejected) {
   const anomaly::RegionAtlas atlas = scripted_atlas();
   store::AtlasStore atlas_store(temp_dir() + "/store");
