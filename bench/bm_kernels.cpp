@@ -1,10 +1,38 @@
-// google-benchmark microbenchmarks of the BLAS substrate: GEMM variants,
-// SYRK, SYMM and the reference kernels, over sizes crossing the dispatch
-// thresholds. Reports FLOP throughput as a counter.
-#include <benchmark/benchmark.h>
+// bm_kernels: microbenchmarks of the BLAS substrate.
+//
+// Standalone driver (own main, no google-benchmark) so CI can run it as an
+// acceptance gate the same way bm_net_throughput gates the HTTP front-end:
+//
+//   bm_kernels [--seconds=0.15] [--json=PATH] [--min-gflops=0]
+//              [--threads=1] [--sizes=64,128,256,384]
+//
+// Sections:
+//   gemm      blocked dgemm squares, once per available microkernel tier
+//             (scalar / avx2 / avx512) — the headline GFLOP/s numbers
+//   variant   one shape per dispatch variant (naive / small-k / blocked)
+//             plus the transposed blocked path, on the auto-dispatched tier
+//   level3    syrk / symm / trsm routed through the dispatched microkernel
+//   pack      pack_a / pack_b throughput (GB/s) against a baseline that
+//             zero-fills the whole buffer per block the way the packing
+//             layer used to (buf.assign) — shows the zero-copy win
+//   parallel  column-stripe and row-block pool splits (with --threads > 1)
+//
+// --json writes every row as a JSON array (see scripts/check.sh, which emits
+// BENCH_kernels.json from it — the perf trajectory the BENCH_* files track).
+// --min-gflops fails the run (exit 1) if the best blocked dgemm of the
+// auto-dispatched kernel stays below the floor, so kernel regressions break
+// CI instead of silently eroding the atlas measurements.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "blas/blas.hpp"
+#include "blas/microkernel.hpp"
 #include "la/generators.hpp"
+#include "parallel/thread_pool.hpp"
+#include "perf/timer.hpp"
+#include "support/cli.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -13,117 +41,340 @@ using namespace lamb;
 using la::index_t;
 using la::Matrix;
 
-void BM_GemmSquare(benchmark::State& state) {
-  const auto n = static_cast<index_t>(state.range(0));
-  support::Rng rng(1);
-  const Matrix a = la::random_matrix(n, n, rng);
-  const Matrix b = la::random_matrix(n, n, rng);
-  Matrix c(n, n);
-  for (auto _ : state) {
-    blas::matmul(a.view(), b.view(), c.view());
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.counters["flops"] = benchmark::Counter(
-      2.0 * static_cast<double>(n) * n * n *
-          static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_GemmSquare)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+struct Row {
+  std::string section;
+  std::string name;
+  std::string kernel;   ///< microkernel tier ("-" for non-GEMM rows)
+  std::string variant;  ///< gemm dispatch variant ("-" when n/a)
+  index_t m = 0, n = 0, k = 0;
+  double value = 0.0;  ///< GFLOP/s (compute rows) or GB/s (pack rows)
+  const char* unit = "gflops";
+  double seconds = 0.0;
+  int iterations = 0;
+};
 
-void BM_GemmSmallK(benchmark::State& state) {
-  const auto n = static_cast<index_t>(state.range(0));
-  const index_t k = 16;  // small-k dispatch path
-  support::Rng rng(2);
-  const Matrix a = la::random_matrix(n, k, rng);
-  const Matrix b = la::random_matrix(k, n, rng);
-  Matrix c(n, n);
-  for (auto _ : state) {
-    blas::matmul(a.view(), b.view(), c.view());
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.counters["flops"] = benchmark::Counter(
-      2.0 * static_cast<double>(n) * n * k *
-          static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_GemmSmallK)->Arg(128)->Arg(256);
+std::vector<Row> g_rows;
+double g_seconds = 0.15;
 
-void BM_GemmTransposed(benchmark::State& state) {
-  const auto n = static_cast<index_t>(state.range(0));
-  support::Rng rng(3);
-  const Matrix a = la::random_matrix(n, n, rng);
-  const Matrix b = la::random_matrix(n, n, rng);
-  Matrix c(n, n);
-  for (auto _ : state) {
-    blas::gemm(true, true, 1.0, a.view(), b.view(), 0.0, c.view());
-    benchmark::DoNotOptimize(c.data());
+/// Repeats fn until the budget elapses; returns (seconds, iterations).
+template <typename Fn>
+std::pair<double, int> run_timed(Fn&& fn) {
+  fn();  // warm-up (page-in, buffer growth) outside the timed window
+  int iters = 0;
+  perf::Timer timer;
+  do {
+    fn();
+    ++iters;
+  } while (timer.elapsed() < g_seconds);
+  return {timer.elapsed(), iters};
+}
+
+void report(Row row, double work_per_iter, double seconds, int iters) {
+  row.value = work_per_iter * iters / seconds / 1e9;
+  row.seconds = seconds;
+  row.iterations = iters;
+  std::printf("%-9s %-26s %-7s %-8s %4td %4td %4td  %8.2f %s\n",
+              row.section.c_str(), row.name.c_str(), row.kernel.c_str(),
+              row.variant.c_str(), row.m, row.n, row.k, row.value, row.unit);
+  g_rows.push_back(std::move(row));
+}
+
+void bench_gemm(const std::string& section, const std::string& name,
+                const blas::Microkernel* force, bool ta, bool tb, index_t m,
+                index_t n, index_t k, const blas::GemmOptions& opts = {}) {
+  support::Rng rng(42);
+  const Matrix a = ta ? la::random_matrix(k, m, rng)
+                      : la::random_matrix(m, k, rng);
+  const Matrix b = tb ? la::random_matrix(n, k, rng)
+                      : la::random_matrix(k, n, rng);
+  Matrix c(m, n);
+  blas::force_microkernel(force);
+  const auto [seconds, iters] = run_timed([&] {
+    blas::gemm(ta, tb, 1.0, a.view(), b.view(), 0.0, c.view(), opts);
+  });
+  blas::force_microkernel(nullptr);
+  const blas::GemmVariant variant =
+      opts.force_variant.value_or(blas::select_gemm_variant(m, n, k));
+  // Only the blocked variant runs the microkernel; naive/small-k rows get
+  // "-" so the JSON never attributes their numbers to a SIMD tier.
+  const std::string kernel =
+      variant == blas::GemmVariant::kBlocked
+          ? (force != nullptr ? force->name : blas::active_microkernel().name)
+          : "-";
+  Row row{section, name,           kernel,
+          std::string(blas::to_string(variant)),
+          m,       n,
+          k};
+  report(std::move(row), 2.0 * static_cast<double>(m) * n * k, seconds,
+         iters);
+}
+
+/// Head-to-head variant runs on the SAME shape (via GemmOptions'
+/// force_variant) across the dispatch boundaries — the data the
+/// select_gemm_variant thresholds are tuned against.
+void bench_crossovers() {
+  for (const index_t k : {index_t{2}, index_t{4}, index_t{8}, index_t{12},
+                          index_t{16}, index_t{24}, index_t{32}}) {
+    for (const auto v :
+         {blas::GemmVariant::kSmallK, blas::GemmVariant::kBlocked}) {
+      blas::GemmOptions opts;
+      opts.force_variant = v;
+      bench_gemm("crossover", std::string("k_sweep_") +
+                                  std::string(blas::to_string(v)),
+                 nullptr, false, false, 256, 256, k, opts);
+    }
+  }
+  for (const index_t n : {index_t{8}, index_t{16}, index_t{24}, index_t{32},
+                          index_t{48}, index_t{64}}) {
+    for (const auto v :
+         {blas::GemmVariant::kNaive, blas::GemmVariant::kBlocked}) {
+      blas::GemmOptions opts;
+      opts.force_variant = v;
+      bench_gemm("crossover", std::string("cube_sweep_") +
+                                  std::string(blas::to_string(v)),
+                 nullptr, false, false, n, n, n, opts);
+    }
   }
 }
-BENCHMARK(BM_GemmTransposed)->Arg(128)->Arg(256);
 
-void BM_RefGemm(benchmark::State& state) {
-  const auto n = static_cast<index_t>(state.range(0));
-  support::Rng rng(4);
-  const Matrix a = la::random_matrix(n, n, rng);
-  const Matrix b = la::random_matrix(n, n, rng);
-  Matrix c(n, n);
-  for (auto _ : state) {
-    blas::ref_gemm(false, false, 1.0, a.view(), b.view(), 0.0, c.view());
-    benchmark::DoNotOptimize(c.data());
+void bench_gemm_tiers(const std::vector<index_t>& sizes) {
+  for (const blas::Microkernel* mk : blas::available_microkernels()) {
+    for (const index_t n : sizes) {
+      bench_gemm("gemm", "dgemm_square", mk, false, false, n, n, n);
+    }
   }
 }
-BENCHMARK(BM_RefGemm)->Arg(64)->Arg(128);
 
-void BM_Syrk(benchmark::State& state) {
-  const auto n = static_cast<index_t>(state.range(0));
-  support::Rng rng(5);
-  const Matrix a = la::random_matrix(n, n / 2, rng);
-  Matrix c(n, n);
-  for (auto _ : state) {
-    blas::syrk(1.0, a.view(), 0.0, c.view());
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.counters["flops"] = benchmark::Counter(
-      static_cast<double>(n + 1) * n * (n / 2) *
-          static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate);
+void bench_variants() {
+  // One representative shape per dispatch variant, forced so the rows keep
+  // measuring their path even as the thresholds move.
+  blas::GemmOptions naive;
+  naive.force_variant = blas::GemmVariant::kNaive;
+  bench_gemm("variant", "naive", nullptr, false, false, 24, 24, 24, naive);
+  blas::GemmOptions small_k;
+  small_k.force_variant = blas::GemmVariant::kSmallK;
+  bench_gemm("variant", "small_k", nullptr, false, false, 256, 256, 8,
+             small_k);
+  bench_gemm("variant", "blocked", nullptr, false, false, 256, 256, 256);
+  bench_gemm("variant", "blocked_tt", nullptr, true, true, 256, 256, 256);
 }
-BENCHMARK(BM_Syrk)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_Symm(benchmark::State& state) {
-  const auto n = static_cast<index_t>(state.range(0));
-  support::Rng rng(6);
-  const Matrix a = la::random_symmetric(n, rng);
-  const Matrix b = la::random_matrix(n, n, rng);
-  Matrix c(n, n);
-  for (auto _ : state) {
-    blas::symm(1.0, a.view(), b.view(), 0.0, c.view());
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.counters["flops"] = benchmark::Counter(
-      2.0 * static_cast<double>(n) * n * n *
-          static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_Symm)->Arg(64)->Arg(128)->Arg(256);
-
-void BM_GemmParallel(benchmark::State& state) {
-  const auto n = static_cast<index_t>(256);
-  const auto threads = static_cast<std::size_t>(state.range(0));
+void bench_level3() {
   support::Rng rng(7);
-  const Matrix a = la::random_matrix(n, n, rng);
-  const Matrix b = la::random_matrix(n, n, rng);
-  Matrix c(n, n);
+  const index_t n = 256;
+  {
+    const Matrix a = la::random_matrix(n, n / 2, rng);
+    Matrix c(n, n);
+    const auto [seconds, iters] =
+        run_timed([&] { blas::syrk(1.0, a.view(), 0.0, c.view()); });
+    report(Row{"level3", "dsyrk", blas::active_microkernel().name, "-", n, n,
+               n / 2},
+           static_cast<double>(n + 1) * n * (n / 2), seconds, iters);
+  }
+  {
+    const Matrix a = la::random_symmetric(n, rng);
+    const Matrix b = la::random_matrix(n, n, rng);
+    Matrix c(n, n);
+    const auto [seconds, iters] = run_timed(
+        [&] { blas::symm(1.0, a.view(), b.view(), 0.0, c.view()); });
+    report(Row{"level3", "dsymm", blas::active_microkernel().name, "-", n, n,
+               n},
+           2.0 * static_cast<double>(n) * n * n, seconds, iters);
+  }
+  {
+    // Well-conditioned lower-triangular L: random strict-lower part with a
+    // dominant diagonal so the solve stays numerically tame.
+    Matrix l = la::random_matrix(n, n, rng);
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < j; ++i) {
+        l(i, j) = 0.0;
+      }
+      l(j, j) = static_cast<double>(n);
+    }
+    const Matrix b0 = la::random_matrix(n, n, rng);
+    Matrix b(n, n);
+    const auto [seconds, iters] = run_timed([&] {
+      b = b0;
+      blas::trsm_left_lower(false, 1.0, l.view(), b.view());
+    });
+    report(Row{"level3", "dtrsm_lln", blas::active_microkernel().name, "-", n,
+               n, n},
+           static_cast<double>(n) * n * n, seconds, iters);
+  }
+}
+
+/// Baseline replicating the packing layer's old behaviour: zero-fill the
+/// whole panel buffer with assign() on every block, then write the interior.
+void pack_a_zerofill(bool trans, la::ConstMatrixView a, index_t ic,
+                     index_t pc, index_t mc, index_t kc, index_t mr,
+                     std::vector<double>& buf) {
+  const index_t panels = (mc + mr - 1) / mr;
+  buf.assign(static_cast<std::size_t>(panels * mr * kc), 0.0);
+  double* dst = buf.data();
+  for (index_t ip = 0; ip < panels; ++ip) {
+    const index_t i0 = ip * mr;
+    const index_t rows = std::min(mr, mc - i0);
+    for (index_t p = 0; p < kc; ++p) {
+      for (index_t i = 0; i < rows; ++i) {
+        dst[p * mr + i] = trans ? a(pc + p, ic + i0 + i) : a(ic + i0 + i, pc + p);
+      }
+    }
+    dst += mr * kc;
+  }
+}
+
+void bench_pack() {
+  const blas::Microkernel& mk = blas::active_microkernel();
+  const blas::BlockSizes bs;
+  support::Rng rng(11);
+  // One representative block each: full-height A block, wide B block, with
+  // a fringe panel (the -3) so the zeroing paths are exercised.
+  const index_t mc = bs.mc - 3;
+  const index_t nc = 509;
+  const index_t kc = bs.kc;
+  const Matrix a = la::random_matrix(bs.mc, kc, rng);
+  const Matrix b = la::random_matrix(kc, 512, rng);
+  const double a_bytes = static_cast<double>(mc) * kc * sizeof(double);
+  const double b_bytes = static_cast<double>(nc) * kc * sizeof(double);
+
+  std::vector<double> buf;
+  {
+    const auto [seconds, iters] = run_timed(
+        [&] { blas::pack_a(false, a.view(), 0, 0, mc, kc, mk.mr, buf); });
+    report(Row{"pack", "pack_a", mk.name, "-", mc, 0, kc, 0.0, "gbps"},
+           a_bytes, seconds, iters);
+  }
+  {
+    const auto [seconds, iters] = run_timed(
+        [&] { pack_a_zerofill(false, a.view(), 0, 0, mc, kc, mk.mr, buf); });
+    report(Row{"pack", "pack_a_zerofill_base", mk.name, "-", mc, 0, kc, 0.0,
+               "gbps"},
+           a_bytes, seconds, iters);
+  }
+  {
+    const auto [seconds, iters] = run_timed(
+        [&] { blas::pack_b(false, b.view(), 0, 0, kc, nc, mk.nr, buf); });
+    report(Row{"pack", "pack_b", mk.name, "-", 0, nc, kc, 0.0, "gbps"},
+           b_bytes, seconds, iters);
+  }
+}
+
+void bench_parallel(std::size_t threads) {
+  if (threads <= 1) {
+    return;
+  }
   parallel::ThreadPool pool(threads);
   blas::GemmOptions opts;
   opts.pool = &pool;
-  for (auto _ : state) {
-    blas::matmul(a.view(), b.view(), c.view(), opts);
-    benchmark::DoNotOptimize(c.data());
-  }
+  // Wide shape -> column stripes; tall-skinny -> row blocks sharing the
+  // packed B panel (see select_gemm_parallel_mode).
+  bench_gemm("parallel", "dgemm_wide", nullptr, false, false, 256, 1024, 256,
+             opts);
+  bench_gemm("parallel", "dgemm_tall_skinny", nullptr, false, false, 4096, 16,
+             256, opts);
 }
-BENCHMARK(BM_GemmParallel)->Arg(1)->Arg(2)->Arg(4);
+
+void write_json(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bm_kernels: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < g_rows.size(); ++i) {
+    const Row& r = g_rows[i];
+    std::fprintf(f,
+                 "  {\"section\": \"%s\", \"name\": \"%s\", \"kernel\": "
+                 "\"%s\", \"variant\": \"%s\", \"m\": %td, \"n\": %td, "
+                 "\"k\": %td, \"%s\": %.4f, \"seconds\": %.4f, "
+                 "\"iterations\": %d}%s\n",
+                 r.section.c_str(), r.name.c_str(), r.kernel.c_str(),
+                 r.variant.c_str(), r.m, r.n, r.k, r.unit, r.value, r.seconds,
+                 r.iterations, i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %zu rows to %s\n", g_rows.size(), path.c_str());
+}
+
+std::vector<index_t> parse_sizes(const std::string& csv) {
+  std::vector<index_t> sizes;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) {
+      try {
+        std::size_t used = 0;
+        const long long v = std::stoll(tok, &used);
+        if (used != tok.size() || v <= 0) {
+          throw std::invalid_argument(tok);
+        }
+        sizes.push_back(static_cast<index_t>(v));
+      } catch (const std::exception&) {
+        std::fprintf(stderr,
+                     "bm_kernels: --sizes expects positive integers, got "
+                     "'%s'\n",
+                     tok.c_str());
+        std::exit(1);
+      }
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return sizes;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const support::Cli cli(argc, argv);
+  g_seconds = cli.get_double("seconds", 0.15);
+  const std::string json_path = cli.get_string("json", "");
+  const double min_gflops = cli.get_double("min-gflops", 0.0);
+  const auto threads =
+      static_cast<std::size_t>(cli.get_int("threads", 1));
+  const std::vector<index_t> sizes =
+      parse_sizes(cli.get_string("sizes", "64,128,256,384"));
+
+  std::printf("active kernel: %s (LAMB_KERNEL to override)\n",
+              blas::active_microkernel().name);
+  std::printf("%-9s %-26s %-7s %-8s %4s %4s %4s  %8s\n", "section", "name",
+              "kernel", "variant", "m", "n", "k", "value");
+
+  bench_gemm_tiers(sizes);
+  bench_variants();
+  bench_crossovers();
+  bench_level3();
+  bench_pack();
+  bench_parallel(threads);
+
+  if (!json_path.empty()) {
+    write_json(json_path);
+  }
+
+  if (min_gflops > 0.0) {
+    // Gate on the auto-dispatched tier's best blocked dgemm square.
+    const std::string active = blas::active_microkernel().name;
+    double best = 0.0;
+    for (const Row& r : g_rows) {
+      if (r.section == "gemm" && r.kernel == active &&
+          r.variant == "blocked") {
+        best = std::max(best, r.value);
+      }
+    }
+    if (best < min_gflops) {
+      std::fprintf(stderr,
+                   "FAIL: blocked dgemm peaked at %.2f GFLOP/s on kernel "
+                   "'%s', below the --min-gflops floor of %.2f\n",
+                   best, active.c_str(), min_gflops);
+      return 1;
+    }
+    std::printf("blocked dgemm %.2f GFLOP/s >= floor %.2f: ok\n", best,
+                min_gflops);
+  }
+  return 0;
+}

@@ -5,4 +5,5 @@
 #include "blas/ref_blas.hpp"  // IWYU pragma: export
 #include "blas/symm.hpp"    // IWYU pragma: export
 #include "blas/syrk.hpp"    // IWYU pragma: export
+#include "blas/trsm.hpp"    // IWYU pragma: export
 #include "blas/variant.hpp"  // IWYU pragma: export

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "blas/level1.hpp"
 #include "blas/microkernel.hpp"
 #include "blas/ref_blas.hpp"
 #include "blas/variant.hpp"
@@ -14,17 +15,6 @@ namespace {
 using la::ConstMatrixView;
 using la::index_t;
 using la::MatrixView;
-
-void scale_c(MatrixView c, double beta) {
-  if (beta == 1.0) {
-    return;
-  }
-  for (index_t j = 0; j < c.cols(); ++j) {
-    for (index_t i = 0; i < c.rows(); ++i) {
-      c(i, j) = (beta == 0.0) ? 0.0 : beta * c(i, j);
-    }
-  }
-}
 
 double op_at(ConstMatrixView m, bool trans, index_t i, index_t j) {
   return trans ? m(j, i) : m(i, j);
@@ -55,10 +45,43 @@ void gemm_small_k(bool trans_a, bool trans_b, double alpha, ConstMatrixView a,
   }
 }
 
-/// One serial blocked GEMM over the given column range [j_begin, j_end).
-void gemm_blocked_range(bool trans_a, bool trans_b, double alpha,
-                        ConstMatrixView a, ConstMatrixView b, MatrixView c,
-                        const BlockSizes& bs, index_t j_begin, index_t j_end) {
+/// Macro-kernel: sweep the micro-panel grid of one packed (mc x kc) A block
+/// against one packed (kc x nc) B block, writing the C tiles at
+/// (ic.., jc..) directly through the dispatched microkernel. `beta` applies
+/// to this slab's store (the caller folds the user's beta into the first
+/// kc slab and accumulates the rest).
+void macro_kernel(const Microkernel& mk, const double* a_buf,
+                  const double* b_buf, index_t kc, index_t mc, index_t nc,
+                  double alpha, double beta, MatrixView c, index_t ic,
+                  index_t jc) {
+  const index_t a_panels = (mc + mk.mr - 1) / mk.mr;
+  const index_t b_panels = (nc + mk.nr - 1) / mk.nr;
+  const index_t ldc = c.ld();
+  for (index_t jp = 0; jp < b_panels; ++jp) {
+    const double* bp = b_buf + jp * mk.nr * kc;
+    const index_t j0 = jp * mk.nr;
+    const index_t cols = std::min(mk.nr, nc - j0);
+    for (index_t ip = 0; ip < a_panels; ++ip) {
+      const double* ap = a_buf + ip * mk.mr * kc;
+      const index_t i0 = ip * mk.mr;
+      const index_t rows = std::min(mk.mr, mc - i0);
+      double* ctile = &c(ic + i0, jc + j0);
+      if (rows == mk.mr && cols == mk.nr) {
+        mk.fn(kc, alpha, ap, bp, beta, ctile, ldc);
+      } else {
+        microkernel_fringe(mk, kc, alpha, ap, bp, beta, ctile, ldc, rows,
+                           cols);
+      }
+    }
+  }
+}
+
+/// One serial blocked GEMM over the given column range [j_begin, j_end),
+/// applying the user's beta on the first kc slab of each column block.
+void gemm_blocked_range(const Microkernel& mk, bool trans_a, bool trans_b,
+                        double alpha, ConstMatrixView a, ConstMatrixView b,
+                        double beta, MatrixView c, const BlockSizes& bs,
+                        index_t j_begin, index_t j_end) {
   const index_t m = c.rows();
   const index_t k = trans_a ? a.rows() : a.cols();
 
@@ -69,25 +92,52 @@ void gemm_blocked_range(bool trans_a, bool trans_b, double alpha,
     const index_t nc = std::min(bs.nc, j_end - jc);
     for (index_t pc = 0; pc < k; pc += bs.kc) {
       const index_t kc = std::min(bs.kc, k - pc);
-      pack_b(trans_b, b, pc, jc, kc, nc, b_buf);
+      const double beta_eff = (pc == 0) ? beta : 1.0;
+      pack_b(trans_b, b, pc, jc, kc, nc, mk.nr, b_buf);
       for (index_t ic = 0; ic < m; ic += bs.mc) {
         const index_t mc = std::min(bs.mc, m - ic);
-        pack_a(trans_a, a, ic, pc, mc, kc, a_buf);
-        // Macro-kernel: sweep micro-panels.
-        const index_t a_panels = (mc + kMR - 1) / kMR;
-        const index_t b_panels = (nc + kNR - 1) / kNR;
-        for (index_t jp = 0; jp < b_panels; ++jp) {
-          const double* bp = b_buf.data() + jp * kNR * kc;
-          const index_t j0 = jc + jp * kNR;
-          const index_t cols = std::min(kNR, jc + nc - j0);
-          for (index_t ip = 0; ip < a_panels; ++ip) {
-            const double* ap = a_buf.data() + ip * kMR * kc;
-            const index_t i0 = ic + ip * kMR;
-            const index_t rows = std::min(kMR, ic + mc - i0);
-            microkernel(kc, alpha, ap, bp, c, i0, j0, rows, cols);
-          }
-        }
+        pack_a(trans_a, a, ic, pc, mc, kc, mk.mr, a_buf);
+        macro_kernel(mk, a_buf.data(), b_buf.data(), kc, mc, nc, alpha,
+                     beta_eff, c, ic, jc);
       }
+    }
+  }
+}
+
+/// Row-block parallel blocked GEMM: the caller thread packs each (jc, pc)
+/// B panel once, then the pool splits that slab's mc row blocks — every
+/// worker packs its own A block (disjoint C rows, no synchronisation) while
+/// sharing the hot packed B panel. This keeps the pool busy on tall-skinny
+/// shapes whose n cannot feed one column stripe per worker.
+void gemm_blocked_row_parallel(const Microkernel& mk, bool trans_a,
+                               bool trans_b, double alpha, ConstMatrixView a,
+                               ConstMatrixView b, double beta, MatrixView c,
+                               const BlockSizes& bs,
+                               parallel::ThreadPool& pool) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = trans_a ? a.rows() : a.cols();
+  const index_t row_blocks = (m + bs.mc - 1) / bs.mc;
+
+  std::vector<double> b_buf;
+  for (index_t jc = 0; jc < n; jc += bs.nc) {
+    const index_t nc = std::min(bs.nc, n - jc);
+    for (index_t pc = 0; pc < k; pc += bs.kc) {
+      const index_t kc = std::min(bs.kc, k - pc);
+      const double beta_eff = (pc == 0) ? beta : 1.0;
+      pack_b(trans_b, b, pc, jc, kc, nc, mk.nr, b_buf);
+      pool.parallel_for(
+          static_cast<std::ptrdiff_t>(row_blocks),
+          [&](std::ptrdiff_t rb_begin, std::ptrdiff_t rb_end) {
+            std::vector<double> a_buf;
+            for (std::ptrdiff_t rb = rb_begin; rb < rb_end; ++rb) {
+              const index_t ic = static_cast<index_t>(rb) * bs.mc;
+              const index_t mc = std::min(bs.mc, m - ic);
+              pack_a(trans_a, a, ic, pc, mc, kc, mk.mr, a_buf);
+              macro_kernel(mk, a_buf.data(), b_buf.data(), kc, mc, nc, alpha,
+                           beta_eff, c, ic, jc);
+            }
+          });
     }
   }
 }
@@ -95,21 +145,23 @@ void gemm_blocked_range(bool trans_a, bool trans_b, double alpha,
 }  // namespace
 
 std::vector<ColumnStripe> partition_column_stripes(index_t n,
-                                                   index_t max_stripes) {
+                                                   index_t max_stripes,
+                                                   index_t width) {
   LAMB_CHECK(n >= 0, "stripe partition: negative range");
   LAMB_CHECK(max_stripes >= 1, "stripe partition: need at least one stripe");
+  LAMB_CHECK(width >= 1, "stripe partition: need a positive panel width");
   std::vector<ColumnStripe> stripes;
   if (n == 0) {
     return stripes;
   }
-  // Distribute whole kNR blocks, not rounded-up per-stripe widths: rounding
-  // `ceil(n / stripes)` up to kNR used to oversize early stripes and leave
-  // trailing stripes empty (n = 65, 8 workers gave 2 of the 9 blocks to
-  // stripe 0 and none to stripes 5..7). The remainder blocks go to the
-  // TRAILING stripes so the clipped final panel lands in a stripe that also
-  // carries an extra block — that keeps column widths within kNR of each
-  // other in every case.
-  const index_t blocks = (n + kNR - 1) / kNR;
+  // Distribute whole width-blocks, not rounded-up per-stripe widths: rounding
+  // `ceil(n / stripes)` up to the panel width used to oversize early stripes
+  // and leave trailing stripes empty (n = 65, 8 workers gave 2 of the 9
+  // blocks to stripe 0 and none to stripes 5..7). The remainder blocks go to
+  // the TRAILING stripes so the clipped final panel lands in a stripe that
+  // also carries an extra block — that keeps column widths within one panel
+  // of each other in every case.
+  const index_t blocks = (n + width - 1) / width;
   const index_t count = std::min(max_stripes, blocks);
   const index_t per = blocks / count;
   const index_t extra = blocks % count;
@@ -117,11 +169,30 @@ std::vector<ColumnStripe> partition_column_stripes(index_t n,
   index_t block = 0;
   for (index_t s = 0; s < count; ++s) {
     const index_t take = per + (s >= count - extra ? 1 : 0);
-    stripes.push_back(ColumnStripe{block * kNR,
-                                   std::min(n, (block + take) * kNR)});
+    stripes.push_back(ColumnStripe{block * width,
+                                   std::min(n, (block + take) * width)});
     block += take;
   }
   return stripes;
+}
+
+GemmParallelMode select_gemm_parallel_mode(index_t m, index_t n,
+                                           std::size_t pool_size,
+                                           const BlockSizes& bs, index_t nr) {
+  if (pool_size <= 1 || m == 0 || n == 0) {
+    return GemmParallelMode::kSerial;
+  }
+  const auto workers = static_cast<index_t>(pool_size);
+  const index_t col_stripes = std::min(workers, (n + nr - 1) / nr);
+  const index_t row_blocks = std::min(workers, (m + bs.mc - 1) / bs.mc);
+  // Column stripes are cheaper (one barrier per GEMM, fully independent
+  // packing pipelines), so they win whenever n is wide enough to feed every
+  // worker — or at least as many workers as row blocks could.
+  if (col_stripes >= workers || col_stripes >= row_blocks) {
+    return col_stripes > 1 ? GemmParallelMode::kColumnStripes
+                           : GemmParallelMode::kSerial;
+  }
+  return GemmParallelMode::kRowBlocks;
 }
 
 void gemm(bool trans_a, bool trans_b, double alpha, ConstMatrixView a,
@@ -138,39 +209,50 @@ void gemm(bool trans_a, bool trans_b, double alpha, ConstMatrixView a,
     return;
   }
   if (k == 0 || alpha == 0.0) {
-    scale_c(c, beta);
+    scale_matrix(c, beta);
     return;
   }
 
-  switch (select_gemm_variant(m, n, k)) {
+  switch (opts.force_variant.value_or(select_gemm_variant(m, n, k))) {
     case GemmVariant::kNaive:
       ref_gemm(trans_a, trans_b, alpha, a, b, beta, c);
       return;
     case GemmVariant::kSmallK:
-      scale_c(c, beta);
+      scale_matrix(c, beta);
       gemm_small_k(trans_a, trans_b, alpha, a, b, c);
       return;
     case GemmVariant::kBlocked:
       break;
   }
 
-  scale_c(c, beta);
+  // Blocked path: beta is folded into the first kc slab's store inside the
+  // microkernel (no separate O(m*n) scaling sweep over C).
+  const Microkernel& mk = active_microkernel();
   parallel::ThreadPool* pool = opts.pool;
-  if (pool == nullptr || pool->size() == 1 || n < 2 * kNR) {
-    gemm_blocked_range(trans_a, trans_b, alpha, a, b, c, opts.blocks, 0, n);
-    return;
+  const std::size_t pool_size = (pool != nullptr) ? pool->size() : 1;
+  switch (select_gemm_parallel_mode(m, n, pool_size, opts.blocks, mk.nr)) {
+    case GemmParallelMode::kSerial:
+      gemm_blocked_range(mk, trans_a, trans_b, alpha, a, b, beta, c,
+                         opts.blocks, 0, n);
+      return;
+    case GemmParallelMode::kRowBlocks:
+      gemm_blocked_row_parallel(mk, trans_a, trans_b, alpha, a, b, beta, c,
+                                opts.blocks, *pool);
+      return;
+    case GemmParallelMode::kColumnStripes:
+      break;
   }
 
   // Parallelise over disjoint column stripes; each stripe owns its packing
   // buffers and a disjoint part of C, so no synchronisation is needed.
-  const std::vector<ColumnStripe> stripes =
-      partition_column_stripes(n, static_cast<index_t>(pool->size()));
+  const std::vector<ColumnStripe> stripes = partition_column_stripes(
+      n, static_cast<index_t>(pool->size()), mk.nr);
   pool->parallel_for(static_cast<std::ptrdiff_t>(stripes.size()),
                      [&](std::ptrdiff_t s_begin, std::ptrdiff_t s_end) {
     for (std::ptrdiff_t s = s_begin; s < s_end; ++s) {
       const ColumnStripe& stripe = stripes[static_cast<std::size_t>(s)];
-      gemm_blocked_range(trans_a, trans_b, alpha, a, b, c, opts.blocks,
-                         stripe.begin, stripe.end);
+      gemm_blocked_range(mk, trans_a, trans_b, alpha, a, b, beta, c,
+                         opts.blocks, stripe.begin, stripe.end);
     }
   });
 }

@@ -34,4 +34,9 @@ void swap(std::span<double> x, std::span<double> y);
 /// y := x.
 void copy(std::span<const double> x, std::span<double> y);
 
+/// A := s * A over a matrix view, with BLAS beta semantics: s == 0 stores
+/// exact zeros without reading A (garbage/NaN content is overwritten) and
+/// s == 1 is a no-op. Shared by the level-3 kernels' scaling edge paths.
+void scale_matrix(la::MatrixView a, double s);
+
 }  // namespace lamb::blas

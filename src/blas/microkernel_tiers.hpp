@@ -1,0 +1,15 @@
+// Internal: descriptors of the SIMD microkernel tiers. Each is defined in
+// its own translation unit compiled with the matching -m flags (see
+// CMakeLists.txt); the dispatcher references them only when the build
+// defines LAMB_HAVE_<TIER>_KERNEL, so builds for other targets simply omit
+// the files.
+#pragma once
+
+#include "blas/microkernel.hpp"
+
+namespace lamb::blas {
+
+const Microkernel& detail_avx2_microkernel();    // microkernel_avx2.cpp
+const Microkernel& detail_avx512_microkernel();  // microkernel_avx512.cpp
+
+}  // namespace lamb::blas

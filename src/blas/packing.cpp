@@ -1,46 +1,95 @@
 #include "blas/packing.hpp"
 
+#include <cstring>
+
 namespace lamb::blas {
 
 using la::ConstMatrixView;
 using la::index_t;
 
+namespace {
+
+/// Grow-only resize: keeps existing capacity (and contents) so packing a
+/// stream of blocks allocates at most once. The packed region is fully
+/// (re)written by the callers, so no zero-fill of reused storage is needed.
+void ensure_size(std::vector<double>& buf, index_t n) {
+  if (static_cast<index_t>(buf.size()) < n) {
+    buf.resize(static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
 void pack_a(bool trans, ConstMatrixView a, index_t ic, index_t pc, index_t mc,
-            index_t kc, std::vector<double>& buf) {
-  const index_t panels = (mc + kMR - 1) / kMR;
-  buf.assign(static_cast<std::size_t>(panels * kMR * kc), 0.0);
+            index_t kc, index_t mr, std::vector<double>& buf) {
+  const index_t panels = (mc + mr - 1) / mr;
+  ensure_size(buf, panels * mr * kc);
   double* dst = buf.data();
   for (index_t ip = 0; ip < panels; ++ip) {
-    const index_t i0 = ip * kMR;
-    const index_t rows = std::min(kMR, mc - i0);
-    for (index_t p = 0; p < kc; ++p) {
-      for (index_t i = 0; i < rows; ++i) {
-        const index_t gi = ic + i0 + i;
-        const index_t gp = pc + p;
-        dst[p * kMR + i] = trans ? a(gp, gi) : a(gi, gp);
+    const index_t i0 = ip * mr;
+    const index_t rows = std::min(mr, mc - i0);
+    if (!trans) {
+      // Source column (ic+i0 .., pc+p) is contiguous: bulk-copy `rows`
+      // doubles per k step, then pad the fringe rows of a partial panel.
+      for (index_t p = 0; p < kc; ++p) {
+        const double* src = &a(ic + i0, pc + p);
+        double* col = dst + p * mr;
+        std::memcpy(col, src, static_cast<std::size_t>(rows) * sizeof(double));
+        for (index_t i = rows; i < mr; ++i) {
+          col[i] = 0.0;
+        }
       }
-      // rows..kMR-1 stay zero from assign().
+    } else {
+      // op(A) = A^T: source rows become panel rows; strided gather.
+      for (index_t p = 0; p < kc; ++p) {
+        double* col = dst + p * mr;
+        for (index_t i = 0; i < rows; ++i) {
+          col[i] = a(pc + p, ic + i0 + i);
+        }
+        for (index_t i = rows; i < mr; ++i) {
+          col[i] = 0.0;
+        }
+      }
     }
-    dst += kMR * kc;
+    dst += mr * kc;
   }
 }
 
 void pack_b(bool trans, ConstMatrixView b, index_t pc, index_t jc, index_t kc,
-            index_t nc, std::vector<double>& buf) {
-  const index_t panels = (nc + kNR - 1) / kNR;
-  buf.assign(static_cast<std::size_t>(panels * kNR * kc), 0.0);
+            index_t nc, index_t nr, std::vector<double>& buf) {
+  const index_t panels = (nc + nr - 1) / nr;
+  ensure_size(buf, panels * nr * kc);
   double* dst = buf.data();
   for (index_t jp = 0; jp < panels; ++jp) {
-    const index_t j0 = jp * kNR;
-    const index_t cols = std::min(kNR, nc - j0);
-    for (index_t p = 0; p < kc; ++p) {
+    const index_t j0 = jp * nr;
+    const index_t cols = std::min(nr, nc - j0);
+    if (trans) {
+      // op(B) = B^T: element (p, j) comes from b(jc+j, pc+p); the p-run is
+      // a contiguous source column per j, so walk j outer / p inner.
       for (index_t j = 0; j < cols; ++j) {
-        const index_t gj = jc + j0 + j;
-        const index_t gp = pc + p;
-        dst[p * kNR + j] = trans ? b(gj, gp) : b(gp, gj);
+        const double* src = &b(jc + j0 + j, pc);
+        const index_t ldb = b.ld();
+        for (index_t p = 0; p < kc; ++p) {
+          dst[p * nr + j] = src[p * ldb];
+        }
+      }
+    } else {
+      // Source column (pc.., jc+j0+j) is contiguous over p per j.
+      for (index_t j = 0; j < cols; ++j) {
+        const double* src = &b(pc, jc + j0 + j);
+        for (index_t p = 0; p < kc; ++p) {
+          dst[p * nr + j] = src[p];
+        }
       }
     }
-    dst += kNR * kc;
+    if (cols < nr) {
+      for (index_t p = 0; p < kc; ++p) {
+        for (index_t j = cols; j < nr; ++j) {
+          dst[p * nr + j] = 0.0;
+        }
+      }
+    }
+    dst += nr * kc;
   }
 }
 

@@ -1,8 +1,15 @@
 // Panel packing for the blocked GEMM.
 //
-// A-panels are packed into row-major micro-panels of MR rows; B-panels into
-// column micro-panels of NR columns. Edges are zero-padded so the microkernel
-// never needs a scalar cleanup path for the k-loop.
+// A-panels are packed into row-major micro-panels of `mr` rows; B-panels into
+// column micro-panels of `nr` columns, where (mr, nr) is the geometry of the
+// runtime-dispatched microkernel (see blas/microkernel.hpp). Edge panels are
+// zero-padded so the microkernel never needs a scalar cleanup path for the
+// k-loop.
+//
+// The pack routines reuse the capacity of the caller's buffer across blocks:
+// the buffer only ever grows, interior panel elements are written exactly
+// once, and zero-fill is confined to the fringe rows/columns of the final
+// partial micro-panel — no per-block whole-buffer assign().
 #pragma once
 
 #include <vector>
@@ -11,8 +18,9 @@
 
 namespace lamb::blas {
 
-inline constexpr la::index_t kMR = 4;  ///< microkernel rows
-inline constexpr la::index_t kNR = 8;  ///< microkernel cols
+inline constexpr la::index_t kMR = 4;  ///< scalar-microkernel rows
+inline constexpr la::index_t kNR = 8;  ///< scalar-microkernel cols (canonical
+                                       ///< panel width for the parallel split)
 
 /// Cache blocking parameters (double precision, tuned for a ~32K L1 / 1M L2).
 struct BlockSizes {
@@ -21,16 +29,20 @@ struct BlockSizes {
   la::index_t nc = 2048;
 };
 
-/// Pack op(A)(ic:ic+mc, pc:pc+kc) into `buf` as ceil(mc/MR) micro-panels of
-/// MR x kc (zero-padded rows at the edge). `trans` selects op = transpose.
-/// Element (i, p) of the block lands at buf[(i/MR)*MR*kc + p*MR + i%MR].
+/// Pack op(A)(ic:ic+mc, pc:pc+kc) into `buf` as ceil(mc/mr) micro-panels of
+/// mr x kc (zero-padded rows in the final partial panel only). `trans`
+/// selects op = transpose. Element (i, p) of the block lands at
+/// buf[(i/mr)*mr*kc + p*mr + i%mr]. `buf` is grown if needed but never
+/// shrunk or cleared; every element of the packed region is written.
 void pack_a(bool trans, la::ConstMatrixView a, la::index_t ic, la::index_t pc,
-            la::index_t mc, la::index_t kc, std::vector<double>& buf);
+            la::index_t mc, la::index_t kc, la::index_t mr,
+            std::vector<double>& buf);
 
-/// Pack op(B)(pc:pc+kc, jc:jc+nc) into `buf` as ceil(nc/NR) micro-panels of
-/// kc x NR (zero-padded cols at the edge).
-/// Element (p, j) of the block lands at buf[(j/NR)*NR*kc + p*NR + j%NR].
+/// Pack op(B)(pc:pc+kc, jc:jc+nc) into `buf` as ceil(nc/nr) micro-panels of
+/// kc x nr (zero-padded cols in the final partial panel only).
+/// Element (p, j) of the block lands at buf[(j/nr)*nr*kc + p*nr + j%nr].
 void pack_b(bool trans, la::ConstMatrixView b, la::index_t pc, la::index_t jc,
-            la::index_t kc, la::index_t nc, std::vector<double>& buf);
+            la::index_t kc, la::index_t nc, la::index_t nr,
+            std::vector<double>& buf);
 
 }  // namespace lamb::blas

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "blas/level1.hpp"
 #include "blas/ref_blas.hpp"
+#include "blas/variant.hpp"
 
 namespace lamb::blas {
 
@@ -14,18 +16,9 @@ using la::MatrixView;
 
 constexpr index_t kSymmBlock = 96;
 // Below this size the plain symmetric loop beats materialising the block.
-constexpr index_t kSymmNaiveLimit = 32;
-
-void scale_c(MatrixView c, double beta) {
-  if (beta == 1.0) {
-    return;
-  }
-  for (index_t j = 0; j < c.cols(); ++j) {
-    for (index_t i = 0; i < c.rows(); ++i) {
-      c(i, j) = (beta == 0.0) ? 0.0 : beta * c(i, j);
-    }
-  }
-}
+// Tied to the GEMM naive crossover so the dispatched-microkernel path takes
+// over at the same shape the GEMM variant selection hands work to it.
+constexpr index_t kSymmNaiveLimit = kNaiveLimit;
 
 /// C_block += alpha * A_diag * B_block with A_diag symmetric, lower stored.
 /// Beyond tiny blocks the symmetric diagonal block is materialised in full
@@ -61,7 +54,7 @@ void symm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
     return;
   }
 
-  scale_c(c, beta);
+  scale_matrix(c, beta);
   if (m <= kSymmBlock) {
     symm_diag_block(alpha, a, b, c, opts);
     return;

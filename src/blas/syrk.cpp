@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "blas/ref_blas.hpp"
+#include "blas/variant.hpp"
 
 #include "la/matrix.hpp"
 
@@ -16,7 +17,9 @@ using la::MatrixView;
 
 constexpr index_t kSyrkBlock = 96;
 // Below this size the plain triangular loop beats the detour through GEMM.
-constexpr index_t kSyrkNaiveLimit = 32;
+// Tied to the GEMM naive crossover so every diagonal block large enough for
+// the dispatched microkernel path actually reaches it.
+constexpr index_t kSyrkNaiveLimit = kNaiveLimit;
 
 /// Triangular update of a diagonal block: lower(Cb) := alpha * Ab * Ab^T +
 /// beta * lower(Cb). For all but tiny blocks the full product is formed with

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "blas/level1.hpp"
 #include "blas/level2.hpp"
 #include "support/check.hpp"
 
@@ -15,17 +16,6 @@ using la::index_t;
 using la::MatrixView;
 
 constexpr index_t kTrsmBlock = 64;
-
-void scale(MatrixView b, double alpha) {
-  if (alpha == 1.0) {
-    return;
-  }
-  for (index_t j = 0; j < b.cols(); ++j) {
-    for (index_t i = 0; i < b.rows(); ++i) {
-      b(i, j) *= alpha;
-    }
-  }
-}
 
 /// Unblocked solve op(Lkk) * X = B, column by column via TRSV.
 void solve_diag_left(bool trans, ConstMatrixView lkk, MatrixView b) {
@@ -57,7 +47,7 @@ void trsm_left_lower(bool trans, double alpha, ConstMatrixView l,
                      MatrixView b, const GemmOptions& opts) {
   const index_t m = b.rows();
   LAMB_CHECK(l.rows() == m && l.cols() == m, "trsm: L must be m x m");
-  scale(b, alpha);
+  scale_matrix(b, alpha);
   if (m == 0 || b.cols() == 0) {
     return;
   }
@@ -97,7 +87,7 @@ void trsm_right_lower(bool trans, double alpha, ConstMatrixView l,
                       MatrixView b, const GemmOptions& opts) {
   const index_t n = b.cols();
   LAMB_CHECK(l.rows() == n && l.cols() == n, "trsm: L must be n x n");
-  scale(b, alpha);
+  scale_matrix(b, alpha);
   if (n == 0 || b.rows() == 0) {
     return;
   }

@@ -26,7 +26,15 @@ std::string_view to_string(GemmVariant v);
 GemmVariant select_gemm_variant(la::index_t m, la::index_t n, la::index_t k);
 
 /// Thresholds (exposed for tests and for the efficiency model narrative).
-inline constexpr la::index_t kNaiveLimit = 32;   ///< max(m,n,k) <= this -> naive
-inline constexpr la::index_t kSmallKLimit = 24;  ///< k <= this -> small-k path
+///
+/// Re-tuned against the dispatched SIMD microkernels with the bm_kernels
+/// crossover sweeps (`bm_kernels` section "crossover"): the vectorised
+/// blocked path beats naive from ~8 cubes up on every tier (8.6 vs 5.8
+/// GFLOP/s at 32-cubes even on the scalar tier) and beats the unpacked
+/// small-k update from k ~ 5 on the scalar tier (8.4 vs 7.7 GFLOP/s at
+/// k = 8) and from k = 2 on the AVX tiers, so both crossovers sit far below
+/// their pre-SIMD values (32 / 24).
+inline constexpr la::index_t kNaiveLimit = 8;   ///< max(m,n,k) <= this -> naive
+inline constexpr la::index_t kSmallKLimit = 4;  ///< k <= this -> small-k path
 
 }  // namespace lamb::blas

@@ -3,9 +3,11 @@
 // thread counts.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <tuple>
 
 #include "blas/gemm.hpp"
+#include "blas/microkernel.hpp"
 #include "blas/ref_blas.hpp"
 #include "blas/variant.hpp"
 #include "la/generators.hpp"
@@ -239,6 +241,110 @@ TEST(Gemm, ParallelMatchesSerialOnStripeAdversarialWidths) {
   }
 }
 
+TEST(GemmParallelMode, PicksRowBlocksOnlyForTallSkinnyShapes) {
+  using blas::GemmParallelMode;
+  const blas::BlockSizes bs;  // mc = 128
+  const index_t nr = 8;
+  // One participant: always serial.
+  EXPECT_EQ(blas::select_gemm_parallel_mode(4096, 4096, 1, bs, nr),
+            GemmParallelMode::kSerial);
+  // Wide n: a stripe per worker exists, columns win.
+  EXPECT_EQ(blas::select_gemm_parallel_mode(256, 1024, 8, bs, nr),
+            GemmParallelMode::kColumnStripes);
+  // Tall and skinny (n = one panel, m = many mc blocks): rows win.
+  EXPECT_EQ(blas::select_gemm_parallel_mode(4096, 8, 8, bs, nr),
+            GemmParallelMode::kRowBlocks);
+  // Narrow n with as few row blocks as stripes: columns win (cheaper split).
+  EXPECT_EQ(blas::select_gemm_parallel_mode(200, 3 * nr, 8, bs, nr),
+            GemmParallelMode::kColumnStripes);
+  // Single stripe AND single row block: nothing to split.
+  EXPECT_EQ(blas::select_gemm_parallel_mode(100, 8, 8, bs, nr),
+            GemmParallelMode::kSerial);
+}
+
+TEST(Gemm, RowBlockParallelMatchesSerialOnTallSkinnyShapes) {
+  // Shapes chosen so select_gemm_parallel_mode picks kRowBlocks: n too
+  // narrow for one stripe per worker, m spanning many mc row blocks (small
+  // custom mc keeps the test fast). Includes beta != 0 so the shared-B
+  // row path exercises the beta fold too.
+  support::Rng rng(91);
+  blas::BlockSizes bs;
+  bs.mc = 32;
+  bs.kc = 48;
+  for (const index_t n : {index_t{8}, index_t{17}}) {
+    const index_t m = 512;
+    const index_t k = 100;  // > bs.kc: several pc slabs share packed B
+    const Matrix a = la::random_matrix(m, k, rng);
+    const Matrix b = la::random_matrix(k, n, rng);
+    const Matrix c0 = la::random_matrix(m, n, rng);
+    Matrix c_serial = c0;
+    blas::GemmOptions serial_opts;
+    serial_opts.blocks = bs;
+    blas::gemm(false, false, 1.5, a.view(), b.view(), -0.5, c_serial.view(),
+               serial_opts);
+    for (const std::size_t threads : {4u, 8u}) {
+      parallel::ThreadPool pool(threads);
+      ASSERT_EQ(blas::select_gemm_parallel_mode(m, n, pool.size(), bs,
+                                                blas::active_microkernel().nr),
+                blas::GemmParallelMode::kRowBlocks);
+      blas::GemmOptions opts;
+      opts.blocks = bs;
+      opts.pool = &pool;
+      Matrix c_par = c0;
+      blas::gemm(false, false, 1.5, a.view(), b.view(), -0.5, c_par.view(),
+                 opts);
+      EXPECT_TRUE(la::approx_equal(c_serial.view(), c_par.view(), 1e-12))
+          << "threads=" << threads << " n=" << n;
+    }
+  }
+}
+
+TEST(Gemm, BetaFoldMatchesReferenceAcrossKcSlabs) {
+  // The blocked path folds beta into the first kc slab's store instead of
+  // pre-scaling C; with several slabs (k > kc) every later slab must
+  // accumulate. Tiny custom kc straddles the slab boundary cheaply.
+  support::Rng rng(17);
+  blas::BlockSizes bs;
+  bs.kc = 16;
+  const index_t m = 64;
+  const index_t n = 48;
+  for (const index_t k : {index_t{15}, index_t{16}, index_t{17}, index_t{70}}) {
+    const Matrix a = la::random_matrix(m, k, rng);
+    const Matrix b = la::random_matrix(k, n, rng);
+    for (const double beta : {0.0, 1.0, -0.75}) {
+      Matrix c = la::random_matrix(m, n, rng);
+      Matrix c_ref = c;
+      blas::GemmOptions opts;
+      opts.blocks = bs;
+      opts.force_variant = blas::GemmVariant::kBlocked;
+      blas::gemm(false, false, 2.0, a.view(), b.view(), beta, c.view(), opts);
+      blas::ref_gemm(false, false, 2.0, a.view(), b.view(), beta,
+                     c_ref.view());
+      EXPECT_LE(la::max_abs_diff(c.view(), c_ref.view()),
+                la::gemm_tolerance(k) * 4.0)
+          << "k=" << k << " beta=" << beta;
+    }
+  }
+}
+
+TEST(Gemm, BlockedBetaZeroOverwritesGarbageWithoutReadingIt) {
+  // beta = 0 on the blocked path is a pure store: NaN garbage in C must not
+  // leak through (NaN * 0 would).
+  support::Rng rng(3);
+  const index_t m = 70;
+  const index_t n = 40;
+  const index_t k = 50;
+  const Matrix a = la::random_matrix(m, k, rng);
+  const Matrix b = la::random_matrix(k, n, rng);
+  Matrix c(m, n, std::numeric_limits<double>::quiet_NaN());
+  blas::GemmOptions opts;
+  opts.force_variant = blas::GemmVariant::kBlocked;
+  blas::gemm(false, false, 1.0, a.view(), b.view(), 0.0, c.view(), opts);
+  Matrix c_ref(m, n);
+  blas::ref_gemm(false, false, 1.0, a.view(), b.view(), 0.0, c_ref.view());
+  EXPECT_LE(la::max_abs_diff(c.view(), c_ref.view()), la::gemm_tolerance(k));
+}
+
 TEST(Gemm, ParallelPoolMatchesSerial) {
   support::Rng rng(31);
   const index_t m = 180;
@@ -285,12 +391,38 @@ TEST(Gemm, MatmulConvenience) {
 }
 
 TEST(GemmVariant, SelectionThresholds) {
+  // Pins the crossovers re-tuned against the SIMD microkernels (see
+  // blas/variant.hpp for the bm_kernels measurements behind them).
   using blas::GemmVariant;
+  EXPECT_EQ(blas::select_gemm_variant(1, 1, 1), GemmVariant::kNaive);
   EXPECT_EQ(blas::select_gemm_variant(8, 8, 8), GemmVariant::kNaive);
-  EXPECT_EQ(blas::select_gemm_variant(32, 32, 32), GemmVariant::kNaive);
-  EXPECT_EQ(blas::select_gemm_variant(33, 32, 32), GemmVariant::kBlocked);
-  EXPECT_EQ(blas::select_gemm_variant(100, 100, 24), GemmVariant::kSmallK);
-  EXPECT_EQ(blas::select_gemm_variant(100, 100, 25), GemmVariant::kBlocked);
+  EXPECT_EQ(blas::select_gemm_variant(9, 8, 8), GemmVariant::kBlocked);
+  EXPECT_EQ(blas::select_gemm_variant(32, 32, 32), GemmVariant::kBlocked);
+  EXPECT_EQ(blas::select_gemm_variant(100, 100, 4), GemmVariant::kSmallK);
+  EXPECT_EQ(blas::select_gemm_variant(100, 100, 5), GemmVariant::kBlocked);
+  EXPECT_EQ(blas::select_gemm_variant(100, 100, 24), GemmVariant::kBlocked);
+}
+
+TEST(GemmVariant, ForcedVariantBypassesSelection) {
+  // Every variant must produce the same numbers when forced onto a shape
+  // the selector would route elsewhere.
+  support::Rng rng(21);
+  const index_t m = 60;
+  const index_t n = 52;
+  const index_t k = 44;
+  const Matrix a = la::random_matrix(m, k, rng);
+  const Matrix b = la::random_matrix(k, n, rng);
+  Matrix c_ref(m, n);
+  blas::ref_gemm(false, false, 1.0, a.view(), b.view(), 0.0, c_ref.view());
+  for (const auto v : {blas::GemmVariant::kNaive, blas::GemmVariant::kSmallK,
+                       blas::GemmVariant::kBlocked}) {
+    blas::GemmOptions opts;
+    opts.force_variant = v;
+    Matrix c(m, n);
+    blas::gemm(false, false, 1.0, a.view(), b.view(), 0.0, c.view(), opts);
+    EXPECT_LE(la::max_abs_diff(c.view(), c_ref.view()), la::gemm_tolerance(k))
+        << "variant=" << blas::to_string(v);
+  }
 }
 
 TEST(GemmVariant, Names) {
