@@ -17,10 +17,14 @@
 //
 //   bm_net_throughput [--connections=4] [--requests=20000] [--pipeline=32]
 //                     [--batch=64] [--seconds=2] [--min-qps=0]
-//                     [--port=0] [--http-threads=2]
+//                     [--port=0] [--http-threads=2] [--json=PATH]
+//
+// --json writes the phase results as a flat JSON array (the same shape as
+// bm_kernels --json), which scripts/check.sh collects as BENCH_serving.json.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -213,6 +217,37 @@ int main(int argc, char** argv) {
 
   server.stop();
   loop.join();
+
+  if (cli.has("json")) {
+    const std::string path = cli.get_string("json", "");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    const auto phase_json = [](const char* name, const PhaseResult& r,
+                               std::uint64_t queries_per_request) {
+      return support::strf(
+          "  {\"section\": \"serving\", \"name\": \"%s\", "
+          "\"requests\": %llu, \"queries_per_request\": %llu, "
+          "\"qps\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
+          "\"per_query_ns\": %.1f}",
+          name, static_cast<unsigned long long>(r.requests),
+          static_cast<unsigned long long>(queries_per_request), r.qps(),
+          1e6 * r.quantile(0.50), 1e6 * r.quantile(0.99),
+          1e9 * r.seconds / static_cast<double>(r.queries));
+    };
+    out << "[\n"
+        << phase_json("single", single, 1) << ",\n"
+        << phase_json("batch", batched, static_cast<std::uint64_t>(batch))
+        << ",\n"
+        << support::strf(
+               "  {\"section\": \"serving\", \"name\": \"batch_speedup\", "
+               "\"per_query_speedup\": %.2f}\n",
+               single_per_query / batch_per_query)
+        << "]\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
 
   bool ok = true;
   if (min_qps > 0.0 && single.qps() < min_qps) {

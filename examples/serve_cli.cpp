@@ -25,6 +25,22 @@
 //           exit when an atlas dir is set)
 //             serve_cli serve --port=8080 --atlas-dir=atlases
 //                       [--bind=127.0.0.1 --http-threads=2]
+//                       [--drift-refresh --drift-interval=30
+//                        --drift-threshold=0.15 --drift-probes=12]
+//           --drift-refresh runs a background DriftMonitor: it re-measures a
+//           sampled probe grid on a cadence and rebuilds every atlas slice
+//           through the copy-on-write refresh path when the machine's
+//           timings move; progress is visible as lamb_drift_* on /metrics.
+//           With --atlas-dir the drift baseline persists next to the slices.
+//   simulate  replay a trace spec (sim/trace.hpp grammar) against a fresh
+//           service, in-process or through a loopback HTTP server, and
+//           report per-phase qps, latency percentiles and the answer-source
+//           mix. Deterministic: same --trace + --seed => same stream, and
+//           (in-process, or --http with --connections=1) the same source
+//           mix — the CI smoke diffs two runs.
+//             serve_cli simulate [--trace=spec.toml] [--seed=1]
+//                       [--http --connections=1] [--warm] [--pace=1]
+//                       [--json=out.json] [--max-p99-ms=N] [--print-trace]
 //
 // Common flags: --family=NAME (registry name), --dim=N (slice dimension,
 // default 0), --exact (bypass the atlas), --atlas-dir=DIR (persistent store;
@@ -37,14 +53,21 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <span>
 #include <sstream>
+
+#include <thread>
 
 #include "anomaly/classifier.hpp"
 #include "model/measured_machine.hpp"
 #include "model/simulated_machine.hpp"
 #include "net/routes.hpp"
 #include "net/server.hpp"
+#include "serve/drift.hpp"
 #include "serve/selection_service.hpp"
+#include "sim/generator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
 #include "support/str.hpp"
@@ -343,7 +366,8 @@ void handle_stop_signal(int) {
   }
 }
 
-int cmd_serve(const support::Cli& cli, serve::SelectionService& service) {
+int cmd_serve(const support::Cli& cli, serve::SelectionService& service,
+              model::MachineModel& machine) {
   const std::string family = cli.get_string("family", "aatb");
   const int dim = static_cast<int>(cli.get_int("dim", 0));
   if (cli.has("queries")) {
@@ -357,6 +381,29 @@ int cmd_serve(const support::Cli& cli, serve::SelectionService& service) {
   routes_cfg.worker_threads =
       static_cast<std::size_t>(cli.get_int("http-threads", 2));
   net::SelectionRoutes routes(service, routes_cfg);
+
+  std::unique_ptr<serve::DriftMonitor> drift;
+  if (cli.get_bool("drift-refresh", false)) {
+    serve::DriftConfig drift_cfg;
+    drift_cfg.check_interval_seconds =
+        cli.get_double("drift-interval", drift_cfg.check_interval_seconds);
+    drift_cfg.threshold =
+        cli.get_double("drift-threshold", drift_cfg.threshold);
+    drift_cfg.probes = static_cast<std::size_t>(
+        cli.get_int("drift-probes", static_cast<long long>(drift_cfg.probes)));
+    const std::string atlas_dir = cli.get_string("atlas-dir", "");
+    if (!atlas_dir.empty()) {
+      drift_cfg.baseline_path = atlas_dir + "/drift_baseline.lamb";
+    }
+    drift = std::make_unique<serve::DriftMonitor>(service, machine, drift_cfg);
+    routes.attach_drift(drift.get());
+    drift->start();
+    std::printf("drift refresh: every %.1f s, %zu probes, threshold %.2f%s\n",
+                drift_cfg.check_interval_seconds, drift_cfg.probes,
+                drift_cfg.threshold,
+                drift_cfg.baseline_path.empty() ? ""
+                                                : ", persisted baseline");
+  }
 
   net::ServerConfig server_cfg;
   server_cfg.bind_address = cli.get_string("bind", "127.0.0.1");
@@ -374,6 +421,17 @@ int cmd_serve(const support::Cli& cli, serve::SelectionService& service) {
   std::fflush(stdout);
   server.run();
   g_serving.store(nullptr);
+  if (drift != nullptr) {
+    drift->stop();
+    const serve::DriftStats d = drift->stats();
+    std::printf("drift: %llu checks, %llu drift events, %llu refresh rounds "
+                "(%llu slices), last score %.4f\n",
+                static_cast<unsigned long long>(d.checks),
+                static_cast<unsigned long long>(d.drift_detected),
+                static_cast<unsigned long long>(d.refresh_rounds),
+                static_cast<unsigned long long>(d.slices_refreshed),
+                d.last_score);
+  }
 
   const auto& h = server.stats();
   std::printf("drained: %llu connections, %llu requests, %llu bytes out\n",
@@ -384,6 +442,94 @@ int cmd_serve(const support::Cli& cli, serve::SelectionService& service) {
   return 0;
 }
 
+int cmd_simulate(const support::Cli& cli, serve::SelectionService& service) {
+  const sim::TraceSpec spec = cli.has("trace")
+                                  ? sim::load_trace(cli.get_string("trace", ""))
+                                  : sim::default_trace();
+  if (cli.get_bool("print-trace", false)) {
+    std::printf("%s", spec.to_string().c_str());
+    return 0;
+  }
+
+  const std::uint64_t seed = cli.get_seed("seed", 1);
+  sim::TraceGenerator generator(spec, seed);
+  const std::vector<sim::Request> requests = generator.generate();
+
+  sim::ReplayConfig replay_cfg;
+  replay_cfg.connections =
+      static_cast<std::size_t>(cli.get_int("connections", 1));
+  replay_cfg.warm = cli.get_bool("warm", false);
+  replay_cfg.pace = cli.get_double("pace", 0.0);
+
+  std::printf("%s", spec.to_string().c_str());
+  std::printf("seed %llu -> %zu requests\n",
+              static_cast<unsigned long long>(seed), requests.size());
+  std::fflush(stdout);
+
+  sim::SimReport report;
+  if (cli.get_bool("http", false)) {
+    // Loopback replay through the full HTTP tier: the service owner warms
+    // directly (replay_http cannot), then a background thread runs the
+    // server on an ephemeral port while this thread drives the clients.
+    if (replay_cfg.warm) {
+      for (const sim::Request& req : requests) {
+        service.warm(std::span<const serve::Query>(req.queries));
+      }
+    }
+    net::SelectionRoutesConfig routes_cfg;
+    routes_cfg.worker_threads =
+        static_cast<std::size_t>(cli.get_int("http-threads", 2));
+    net::SelectionRoutes routes(service, routes_cfg);
+    net::ServerConfig server_cfg;
+    server_cfg.bind_address = "127.0.0.1";
+    server_cfg.port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+    net::Server server(routes.router(), server_cfg);
+    routes.attach_http_stats(&server.stats());
+    std::thread loop([&server] { server.run(); });
+    try {
+      report = sim::replay_http("127.0.0.1", server.port(), requests, spec,
+                                replay_cfg);
+    } catch (...) {
+      server.stop();
+      loop.join();
+      throw;
+    }
+    server.stop();
+    loop.join();
+  } else {
+    report = sim::replay_in_process(service, requests, spec, replay_cfg);
+  }
+
+  std::printf("%s", report.to_string().c_str());
+  std::printf("source mix:\n%s", report.source_mix().c_str());
+  print_stats(service);
+
+  if (cli.has("json")) {
+    const std::string path = cli.get_string("json", "");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << report.to_json();
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  const double max_p99_ms = cli.get_double("max-p99-ms", 0.0);
+  if (max_p99_ms > 0.0) {
+    for (const sim::PhaseStats& p : report.phases) {
+      if (p.p99_us > max_p99_ms * 1000.0) {
+        std::fprintf(stderr,
+                     "FAIL: phase %s p99 %.1f us exceeds ceiling %.1f us\n",
+                     p.name.c_str(), p.p99_us, max_p99_ms * 1000.0);
+        return 1;
+      }
+    }
+    std::printf("p99 ceiling %.1f ms: ok\n", max_p99_ms);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -391,7 +537,7 @@ int main(int argc, char** argv) {
   const support::Cli cli(argc, argv);
   if (cli.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: %s build|warm|query|batch|async|bench|serve "
+                 "usage: %s build|warm|query|batch|async|bench|serve|simulate "
                  "[flags]\n"
                  "(see the header comment of examples/serve_cli.cpp)\n",
                  cli.program().c_str());
@@ -426,7 +572,9 @@ int main(int argc, char** argv) {
   } else if (cmd == "bench") {
     rc = cmd_bench(cli, service, *machine);
   } else if (cmd == "serve") {
-    rc = cmd_serve(cli, service);
+    rc = cmd_serve(cli, service, *machine);
+  } else if (cmd == "simulate") {
+    rc = cmd_simulate(cli, service);
   } else {
     std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
   }

@@ -12,15 +12,16 @@
 #                      under the sanitizers
 #                      thread    -> TSan build (default build dir
 #                      build-tsan) running the concurrency-heavy suites
-#                      (serve_test, parallel_test, net_test,
-#                      blas_kernel_dispatch_test — the row-block GEMM split
-#                      and kernel dispatch), keeping the lock-free snapshot
-#                      path and the HTTP event loop / completion-hub handoff
+#                      (serve_test, parallel_test, net_test, drift_test,
+#                      sim_test, blas_kernel_dispatch_test — the row-block
+#                      GEMM split and kernel dispatch), keeping the
+#                      lock-free snapshot path, the drift-refresh swap and
+#                      the HTTP event loop / completion-hub handoff
 #                      race-clean
-#   BENCH              0 to skip the BENCH_kernels.json emission that
-#                      otherwise follows a clean non-sanitized test run
-#                      (the kernel GFLOP/s trajectory the BENCH_* files
-#                      track)
+#   BENCH              0 to skip the BENCH_kernels.json / BENCH_serving.json
+#                      emission that otherwise follows a clean non-sanitized
+#                      test run (the kernel GFLOP/s and serving-throughput
+#                      trajectories the BENCH_* files track)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,7 +36,7 @@ elif [[ "$SANITIZE" == "thread" ]]; then
   BUILD_DIR="${1:-build-tsan}"
   CMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}"
   SANITIZE_FLAGS=(-DLAMB_SANITIZE=thread)
-  TEST_FILTER=(-R 'serve_test|parallel_test|net_test|blas_kernel_dispatch_test|blas_gemm_test')
+  TEST_FILTER=(-R 'serve_test|parallel_test|net_test|drift_test|sim_test|blas_kernel_dispatch_test|blas_gemm_test')
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 else
   BUILD_DIR="${1:-build}"
@@ -54,10 +55,16 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
   ${TEST_FILTER[@]+"${TEST_FILTER[@]}"}
 
-# Seed/extend the kernel perf trajectory: a quick bm_kernels sweep into
-# BENCH_kernels.json (skipped under sanitizers — those builds aren't
+# Seed/extend the perf trajectories: a quick bm_kernels sweep into
+# BENCH_kernels.json and a short bm_net_throughput run into
+# BENCH_serving.json (skipped under sanitizers — those builds aren't
 # representative — or with BENCH=0).
 if [[ "$SANITIZE" == "0" && "${BENCH:-1}" != "0" \
       && -x "$BUILD_DIR/bm_kernels" ]]; then
   "$BUILD_DIR/bm_kernels" --seconds=0.1 --json BENCH_kernels.json
+fi
+if [[ "$SANITIZE" == "0" && "${BENCH:-1}" != "0" \
+      && -x "$BUILD_DIR/bm_net_throughput" ]]; then
+  "$BUILD_DIR/bm_net_throughput" --requests=4000 --connections=2 \
+    --json BENCH_serving.json
 fi

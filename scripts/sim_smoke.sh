@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Smoke test of the trace-driven load simulator: replay the built-in demo
+# trace twice with the same seed — in-process and through the loopback HTTP
+# tier — and require
+#   1. bit-identical per-phase answer-source counts between the two runs of
+#      each mode (deterministic replay),
+#   2. the same source mix from the HTTP replay as from the in-process one
+#      (the wire tier answers exactly what the service answers),
+#   3. a p99 request-latency ceiling (generous: this is a correctness gate
+#      with a sanity floor, not a perf benchmark).
+#
+#   scripts/sim_smoke.sh [build-dir]     (default: build)
+#
+# Environment: SEED (default 7), MAX_P99_MS (default 50).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SEED="${SEED:-7}"
+MAX_P99_MS="${MAX_P99_MS:-50}"
+BIN="$BUILD_DIR/serve_cli"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "sim_smoke: $BIN not built" >&2
+  exit 1
+fi
+
+mix() {
+  sed -n '/^source mix:$/,/^stats/p' | sed '1d;$d'
+}
+
+run_inproc() {
+  "$BIN" simulate --seed="$SEED" --max-p99-ms="$MAX_P99_MS" | mix
+}
+
+run_http() {
+  "$BIN" simulate --seed="$SEED" --http --connections=1 --warm \
+    --max-p99-ms="$MAX_P99_MS" | mix
+}
+
+echo "sim_smoke: in-process replay x2 (seed $SEED)"
+A="$(run_inproc)"
+B="$(run_inproc)"
+if [[ "$A" != "$B" ]]; then
+  echo "FAIL: in-process replay is not deterministic" >&2
+  diff <(echo "$A") <(echo "$B") >&2 || true
+  exit 1
+fi
+echo "$A"
+
+echo "sim_smoke: HTTP replay x2 (1 connection, pre-warmed)"
+H1="$(run_http)"
+H2="$(run_http)"
+if [[ "$H1" != "$H2" ]]; then
+  echo "FAIL: HTTP replay is not deterministic" >&2
+  diff <(echo "$H1") <(echo "$H2") >&2 || true
+  exit 1
+fi
+
+# The wire tier must not change what gets answered: with one connection and
+# warm slices, the HTTP mix is the in-process mix.
+if [[ "$A" != "$H1" ]]; then
+  echo "FAIL: HTTP source mix differs from in-process" >&2
+  diff <(echo "$A") <(echo "$H1") >&2 || true
+  exit 1
+fi
+
+echo "sim smoke OK"

@@ -65,6 +65,14 @@ std::size_t GriddedProfile::flat_index(
   return flat;
 }
 
+double GriddedProfile::node_value(const std::vector<std::size_t>& idx) const {
+  LAMB_CHECK(idx.size() == axes_.size(), "node index arity mismatch");
+  for (std::size_t d = 0; d < axes_.size(); ++d) {
+    LAMB_CHECK(idx[d] < axes_[d].size(), "node index out of range");
+  }
+  return values_[flat_index(idx)];
+}
+
 double GriddedProfile::interpolate(const std::vector<double>& coords) const {
   LAMB_CHECK(coords.size() == axes_.size(), "coordinate arity mismatch");
   const std::size_t dims = axes_.size();

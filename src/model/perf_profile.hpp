@@ -34,6 +34,12 @@ class GriddedProfile {
 
   double interpolate(const std::vector<double>& coords) const;
 
+  /// Exact grid value at a node, addressed by per-axis node indices — the
+  /// drift monitor (serve/drift.hpp) compares re-measured node timings
+  /// against the stored grid with no interpolation error in the way.
+  /// Throws support::CheckError on arity mismatch or out-of-range indices.
+  double node_value(const std::vector<std::size_t>& idx) const;
+
   std::size_t dimension_count() const { return axes_.size(); }
   const std::vector<std::vector<double>>& axes() const { return axes_; }
 

@@ -6,8 +6,15 @@
 #include <limits>
 #include <utility>
 
+#include "blas/microkernel.hpp"
 #include "support/check.hpp"
 #include "support/str.hpp"
+
+// Stamped by CMake from `git describe` at configure time; "unknown" when
+// building outside a git checkout (tarballs).
+#ifndef LAMB_GIT_DESCRIBE
+#define LAMB_GIT_DESCRIBE "unknown"
+#endif
 
 namespace lamb::net {
 
@@ -352,10 +359,44 @@ Response SelectionRoutes::metrics_response() const {
   type("lamb_selection_async_calls_total", "counter");
   counter("lamb_selection_async_calls_total", "", s.async_calls);
 
+  type("lamb_selection_refresh_rounds_total", "counter");
+  counter("lamb_selection_refresh_rounds_total", "", s.refresh_rounds);
+  type("lamb_selection_slices_refreshed_total", "counter");
+  counter("lamb_selection_slices_refreshed_total", "", s.slices_refreshed);
+
   type("lamb_selection_atlas_count", "gauge");
   counter("lamb_selection_atlas_count", "", service_.atlas_count());
   type("lamb_selection_cache_size", "gauge");
   counter("lamb_selection_cache_size", "", service_.cache_size());
+
+  type("lamb_uptime_seconds", "gauge");
+  out += support::strf(
+      "lamb_uptime_seconds %.3f\n",
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count());
+  type("lamb_build_info", "gauge");
+  out += support::strf(
+      "lamb_build_info{version=\"%s\",kernel_tier=\"%s\"} 1\n",
+      LAMB_GIT_DESCRIBE, blas::active_microkernel().name);
+
+  if (drift_ != nullptr) {
+    const serve::DriftStats d = drift_->stats();
+    type("lamb_drift_checks_total", "counter");
+    counter("lamb_drift_checks_total", "", d.checks);
+    type("lamb_drift_probe_measurements_total", "counter");
+    counter("lamb_drift_probe_measurements_total", "", d.probe_measurements);
+    type("lamb_drift_detected_total", "counter");
+    counter("lamb_drift_detected_total", "", d.drift_detected);
+    type("lamb_drift_refreshes_total", "counter");
+    counter("lamb_drift_refreshes_total", "", d.refresh_rounds);
+    type("lamb_drift_slices_refreshed_total", "counter");
+    counter("lamb_drift_slices_refreshed_total", "", d.slices_refreshed);
+    type("lamb_drift_score", "gauge");
+    out += support::strf("lamb_drift_score %.6f\n", d.last_score);
+    type("lamb_drift_last_refresh_age_seconds", "gauge");
+    out += support::strf("lamb_drift_last_refresh_age_seconds %.3f\n",
+                         d.last_refresh_age_seconds);
+  }
 
   if (http_stats_ != nullptr) {
     const HttpStats& h = *http_stats_;
@@ -386,14 +427,16 @@ Response SelectionRoutes::metrics_response() const {
     type("lamb_http_bytes_written_total", "counter");
     counter("lamb_http_bytes_written_total", "", load(h.bytes_written));
 
-    const LatencyHistogram::Snapshot latency = h.request_latency.snapshot();
+    const support::LatencyHistogram::Snapshot latency =
+        h.request_latency.snapshot();
     type("lamb_http_request_duration_seconds", "histogram");
     std::uint64_t cumulative = 0;
-    for (std::size_t b = 0; b < LatencyHistogram::kBounds.size(); ++b) {
+    for (std::size_t b = 0; b < support::LatencyHistogram::kBounds.size();
+         ++b) {
       cumulative += latency.counts[b];
       out += support::strf(
           "lamb_http_request_duration_seconds_bucket{le=\"%g\"} %llu\n",
-          LatencyHistogram::kBounds[b],
+          support::LatencyHistogram::kBounds[b],
           static_cast<unsigned long long>(cumulative));
     }
     counter("lamb_http_request_duration_seconds_bucket", "{le=\"+Inf\"}",

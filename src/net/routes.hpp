@@ -6,8 +6,11 @@
 //                     call (the wire-level face of the 6x batch win)
 //   GET  /healthz     liveness probe ("ok")
 //   GET  /metrics     Prometheus text: ServiceStats counters, cache hit
-//                     rate, per-source answer counts, HTTP counters and the
-//                     request-latency histogram
+//                     rate, per-source answer counts, HTTP counters, the
+//                     request-latency histogram, process uptime and build
+//                     info, and — when a DriftMonitor is attached — the
+//                     lamb_drift_* series (score, checks, refreshes,
+//                     last-refresh age)
 //
 // Wire format (also documented in the README):
 //   query line   := family ',' d1 ',' d2 [',' dk]* [',dim=' N] [',exact']
@@ -27,6 +30,7 @@
 // ThreadPool inside query_batch).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -38,6 +42,7 @@
 #include <vector>
 
 #include "net/server.hpp"
+#include "serve/drift.hpp"
 #include "serve/selection_service.hpp"
 
 namespace lamb::net {
@@ -82,6 +87,11 @@ class SelectionRoutes {
   /// the Server and run()). Without it only service metrics are exported.
   void attach_http_stats(const HttpStats* stats) { http_stats_ = stats; }
 
+  /// Export a drift monitor's counters as lamb_drift_* series (same
+  /// lifecycle rule as attach_http_stats; the monitor must outlive the
+  /// routes). Without it the drift series are simply absent.
+  void attach_drift(const serve::DriftMonitor* monitor) { drift_ = monitor; }
+
  private:
   void handle_query(const Request& request, Responder responder);
   void handle_batch(const Request& request, Responder responder);
@@ -93,6 +103,11 @@ class SelectionRoutes {
   serve::SelectionService& service_;
   SelectionRoutesConfig config_;
   const HttpStats* http_stats_ = nullptr;
+  const serve::DriftMonitor* drift_ = nullptr;
+  /// lamb_uptime_seconds epoch: the routes object's construction, which in
+  /// every deployment shape coincides with process start.
+  const std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
 
   std::mutex jobs_mutex_;
   std::condition_variable jobs_cv_;

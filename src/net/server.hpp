@@ -31,8 +31,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "net/histogram.hpp"
 #include "net/http.hpp"
+#include "support/histogram.hpp"
 
 namespace lamb::net {
 
@@ -68,7 +68,7 @@ struct HttpStats {
   std::atomic<std::uint64_t> bytes_read{0};
   std::atomic<std::uint64_t> bytes_written{0};
   /// Dispatch-to-response-queued seconds per request.
-  LatencyHistogram request_latency;
+  support::LatencyHistogram request_latency;
 };
 
 class Server;

@@ -651,6 +651,68 @@ std::size_t SelectionService::checkpoint(store::AtlasStore& atlas_store) const {
   return snap->slices.size();
 }
 
+std::size_t SelectionService::refresh_slices() {
+  // One refresh round at a time: a second caller rebuilds against the new
+  // generation, never the same stale one twice.
+  const std::lock_guard<std::mutex> refresh_lock(refresh_mutex_);
+  // The stale generation: everything published at this instant. Slices that
+  // appear concurrently (on-demand builds) were scanned against the
+  // machine's current timings and are not stale.
+  const SnapshotPtr stale = snapshot_.load();
+  std::vector<const Slice*> slices;
+  slices.reserve(stale->slices.size());
+  for (const auto& [id, slice] : stale->slices) {
+    slices.push_back(&slice);
+  }
+  if (slices.empty()) {
+    refresh_rounds_.fetch_add(1);
+    return 0;
+  }
+
+  // Rebuild every stale slice off to the side; queries keep answering from
+  // the old generation the whole time. A build failure throws out of here
+  // with the old generation fully intact.
+  std::vector<AtlasPtr> rebuilt(slices.size());
+  const auto build_one = [&](std::size_t i) {
+    rebuilt[i] = build_slice(slices[i]->key);
+  };
+  if (pool_ != nullptr && pool_->size() > 1 && slices.size() > 1) {
+    pool_->parallel_for(static_cast<std::ptrdiff_t>(slices.size()),
+                        [&](std::ptrdiff_t begin, std::ptrdiff_t end) {
+                          for (std::ptrdiff_t i = begin; i < end; ++i) {
+                            build_one(static_cast<std::size_t>(i));
+                          }
+                        });
+  } else {
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+      build_one(i);
+    }
+  }
+
+  // One copy-on-write swap replaces the whole stale set. The copy is taken
+  // from the *current* snapshot, so slices published since the stale load
+  // survive; replaced atlases are retired, never freed, keeping
+  // atlas_for() raw pointers valid.
+  {
+    const std::lock_guard<std::mutex> lock(publish_mutex_);
+    auto next = std::make_shared<Snapshot>(*snapshot_.load());
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+      const auto it = next->slices.find(slice_id(slices[i]->key));
+      retired_.push_back(std::move(it->second.atlas));
+      it->second.atlas = std::move(rebuilt[i]);
+    }
+    snapshot_.store(std::move(next));
+  }
+  // Cached recommendations quote the stale generation; drop them after the
+  // swap so every later answer re-reads the refreshed slices. (This resets
+  // the LRU hit/miss pair; the monotonic per-source counters are
+  // unaffected.)
+  cache_.clear();
+  slices_refreshed_.fetch_add(slices.size());
+  refresh_rounds_.fetch_add(1);
+  return slices.size();
+}
+
 const anomaly::RegionAtlas* SelectionService::atlas_for(const Query& q) {
   family_for(q);
   // Safe to return raw: published atlases are never dropped while the
@@ -676,6 +738,8 @@ ServiceStats SelectionService::stats() const {
   s.batch_calls = batch_calls_.load();
   s.batch_queries = batch_queries_.load();
   s.async_calls = async_calls_.load();
+  s.slices_refreshed = slices_refreshed_.load();
+  s.refresh_rounds = refresh_rounds_.load();
   return s;
 }
 

@@ -129,6 +129,8 @@ struct ServiceStats {
   std::uint64_t batch_calls = 0;    ///< query_batch() invocations
   std::uint64_t batch_queries = 0;  ///< queries summed over those batches
   std::uint64_t async_calls = 0;    ///< query_async() invocations
+  std::uint64_t slices_refreshed = 0;  ///< slices rebuilt by refresh_slices()
+  std::uint64_t refresh_rounds = 0;    ///< refresh_slices() invocations
 };
 
 class SelectionService {
@@ -190,6 +192,22 @@ class SelectionService {
 
   /// Persist every built slice; returns the number written.
   std::size_t checkpoint(store::AtlasStore& atlas_store) const;
+
+  /// Re-scan every published slice against the machine's *current* timings
+  /// and swap the rebuilt set in with one copy-on-write publication — the
+  /// drift monitor's answer to a machine whose timings have moved (see
+  /// serve/drift.hpp). The stale slices are marked internally, rebuilt, and
+  /// only then replaced in a single atomic snapshot store, so no published
+  /// snapshot ever contains a stale-marked, unrefreshed slice: readers see
+  /// either the complete old generation or the complete new one. Replaced
+  /// atlases are retired, not freed — raw pointers from atlas_for() stay
+  /// valid for the service's lifetime. The recommendation LRU is cleared
+  /// after the swap (its entries quote the stale generation); slices
+  /// published concurrently by on-demand builds are already fresh and are
+  /// kept untouched. Rebuilds run on the ThreadPool when the machine's
+  /// timing is thread-safe; a build failure propagates and leaves the old
+  /// generation fully in place. Returns the number of slices rebuilt.
+  std::size_t refresh_slices();
 
   /// The built slice for a query's (family, dim, base), if any. The pointer
   /// stays valid for the service's lifetime (slices are never dropped).
@@ -282,6 +300,12 @@ class SelectionService {
   std::atomic<SnapshotPtr> snapshot_;
   /// Serialises copy-on-write snapshot swaps (writers only).
   mutable std::mutex publish_mutex_;
+  /// Atlases replaced by refresh_slices(), kept so atlas_for() pointers
+  /// stay valid for the service's lifetime (guarded by publish_mutex_).
+  std::vector<AtlasPtr> retired_;
+  /// Serialises whole-generation refreshes (each stale slice is rebuilt
+  /// exactly once per refresh round).
+  std::mutex refresh_mutex_;
   /// Deduplicates concurrent builds of the same slice: the first caller
   /// registers a future, everyone else waits on it.
   std::mutex builds_mutex_;
@@ -311,6 +335,8 @@ class SelectionService {
   std::atomic<std::uint64_t> batch_calls_{0};
   std::atomic<std::uint64_t> batch_queries_{0};
   std::atomic<std::uint64_t> async_calls_{0};
+  std::atomic<std::uint64_t> slices_refreshed_{0};
+  std::atomic<std::uint64_t> refresh_rounds_{0};
 };
 
 }  // namespace lamb::serve

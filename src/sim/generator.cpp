@@ -1,0 +1,222 @@
+#include "sim/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "expr/registry.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace lamb::sim {
+
+namespace {
+
+/// Instantaneous arrival rate at `t` seconds into the phase.
+double rate_at(const PhaseSpec& ph, double t) {
+  double rate = ph.rate;
+  if (ph.rate_end >= 0.0) {
+    rate += (ph.rate_end - ph.rate) * (t / ph.duration);
+  }
+  if (ph.arrival == Arrival::kBursty) {
+    // An on/off square wave scaled so the mean over a period stays `rate`:
+    // bursts probe queueing behaviour, not a different total load.
+    const double pos = std::fmod(t, ph.burst_period) / ph.burst_period;
+    const bool on = pos < ph.burst_duty;
+    const double mean_factor = ph.burst_duty * ph.burst_factor +
+                               (1.0 - ph.burst_duty);
+    rate *= (on ? ph.burst_factor : 1.0) / mean_factor;
+  }
+  return rate;
+}
+
+/// Peak rate over the phase, the thinning envelope.
+double rate_max(const PhaseSpec& ph) {
+  double peak = std::max(ph.rate, ph.rate_end >= 0.0 ? ph.rate_end : 0.0);
+  if (ph.arrival == Arrival::kBursty) {
+    const double mean_factor = ph.burst_duty * ph.burst_factor +
+                               (1.0 - ph.burst_duty);
+    peak *= ph.burst_factor / mean_factor;
+  }
+  return peak;
+}
+
+int clamp_coord(const PhaseSpec& ph, int coord) {
+  return std::clamp(coord, ph.lo, ph.hi);
+}
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(TraceSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {
+  for (const PhaseSpec& ph : spec_.phases) {
+    for (const auto& [name, weight] : ph.families) {
+      (void)weight;
+      family_info(name, ph);
+    }
+  }
+}
+
+const TraceGenerator::FamilyInfo& TraceGenerator::family_info(
+    const std::string& name, const PhaseSpec& ph) {
+  const auto check_dim = [&](const FamilyInfo& info) {
+    LAMB_CHECK(ph.dim < info.dimension_count,
+               support::strf("trace: phase \"%s\" scans dim %d but family %s "
+                             "has %d dimension(s)",
+                             ph.name.c_str(), ph.dim, name.c_str(),
+                             info.dimension_count));
+  };
+  // One base instance depends only on (seed, family name, base index): a
+  // family shared by several phases keeps hitting the same atlas slices,
+  // which is what makes multi-phase traces exercise the cache across phase
+  // boundaries — and a later phase asking for more bases just extends the
+  // list without disturbing the earlier ones.
+  const auto make_base = [&](const FamilyInfo& info, std::size_t b) {
+    support::Rng rng(support::hash_combine(seed_ ^ support::hash_string(name),
+                                           b));
+    const int spread = std::max(1, (ph.hi - ph.lo) / 4);
+    expr::Instance base(static_cast<std::size_t>(info.dimension_count));
+    for (int d = 0; d < info.dimension_count; ++d) {
+      base[static_cast<std::size_t>(d)] =
+          ph.lo +
+          static_cast<int>(rng.bounded(static_cast<std::uint64_t>(spread)));
+    }
+    return base;
+  };
+  const auto extend_bases = [&](FamilyInfo& info) {
+    while (info.bases.size() < static_cast<std::size_t>(ph.bases)) {
+      info.bases.push_back(make_base(info, info.bases.size()));
+    }
+  };
+  for (FamilyInfo& info : families_) {
+    if (info.name == name) {
+      check_dim(info);
+      extend_bases(info);
+      return info;
+    }
+  }
+  const std::unique_ptr<expr::ExpressionFamily> family =
+      expr::make_family(name);
+  FamilyInfo info;
+  info.name = name;
+  info.dimension_count = family->dimension_count();
+  check_dim(info);
+  extend_bases(info);
+  families_.push_back(std::move(info));
+  return families_.back();
+}
+
+serve::Query TraceGenerator::make_query(const PhaseSpec& ph,
+                                        const FamilyInfo& fam,
+                                        std::size_t base_index, int coord,
+                                        bool exact) const {
+  serve::Query q;
+  q.family = fam.name;
+  q.dims = fam.bases[base_index];
+  q.dims[static_cast<std::size_t>(ph.dim)] = clamp_coord(ph, coord);
+  q.dim = ph.dim;
+  q.exact = exact;
+  return q;
+}
+
+std::vector<Request> TraceGenerator::generate() {
+  std::vector<Request> out;
+  support::Rng rng(seed_);
+  double phase_start = 0.0;
+
+  for (std::size_t pi = 0; pi < spec_.phases.size(); ++pi) {
+    const PhaseSpec& ph = spec_.phases[pi];
+    // Per-family walk state: the locality walk survives across requests
+    // within a phase, one walker per (family, base) pair.
+    struct Walker {
+      const FamilyInfo* fam = nullptr;
+      std::vector<int> coords;  // one per base
+    };
+    std::vector<Walker> walkers;
+    double total_weight = 0.0;
+    for (const auto& [name, weight] : ph.families) {
+      Walker w;
+      w.fam = &family_info(name, ph);
+      w.coords.assign(static_cast<std::size_t>(ph.bases),
+                      (ph.lo + ph.hi) / 2);
+      walkers.push_back(std::move(w));
+      total_weight += weight;
+    }
+
+    const double envelope = rate_max(ph);
+    double t = 0.0;
+    std::uint64_t tick = 0;
+    while (true) {
+      // Next arrival: thinning for the non-homogeneous processes, a fixed
+      // tick for kUniform (the rate ramp still applies via rate_at).
+      if (ph.arrival == Arrival::kUniform) {
+        ++tick;
+        const double r = rate_at(ph, t);
+        t += 1.0 / (r > 0.0 ? r : ph.rate);
+      } else {
+        while (true) {
+          t += -std::log(1.0 - rng.uniform()) / envelope;
+          if (t >= ph.duration) {
+            break;
+          }
+          if (rng.uniform() * envelope <= rate_at(ph, t)) {
+            break;
+          }
+        }
+      }
+      if (t >= ph.duration) {
+        break;
+      }
+
+      // Family draw from the weighted mix, then a base of that family.
+      double pick = rng.uniform() * total_weight;
+      std::size_t wi = 0;
+      for (; wi + 1 < walkers.size(); ++wi) {
+        pick -= ph.families[wi].second;
+        if (pick < 0.0) {
+          break;
+        }
+      }
+      Walker& walker = walkers[wi];
+      const std::size_t base_index = static_cast<std::size_t>(
+          rng.bounded(static_cast<std::uint64_t>(ph.bases)));
+      int& coord = walker.coords[base_index];
+
+      // Coordinate: locality walk or independent draw.
+      if (rng.uniform() < ph.locality) {
+        const int step = rng.uniform() < 0.5 ? -ph.locality_step
+                                             : ph.locality_step;
+        coord = clamp_coord(ph, coord + step);
+      } else {
+        coord = ph.lo + static_cast<int>(rng.bounded(
+                            static_cast<std::uint64_t>(ph.hi - ph.lo + 1)));
+      }
+
+      Request req;
+      req.time = phase_start + t;
+      req.phase = pi;
+      if (rng.uniform() < ph.batch_fraction) {
+        // A batch sweeps consecutive coordinates from the walker's current
+        // position — the dimension-locality sweep that makes query_batch's
+        // slice grouping pay off.
+        req.batch = true;
+        req.queries.reserve(static_cast<std::size_t>(ph.batch_size));
+        for (int i = 0; i < ph.batch_size; ++i) {
+          req.queries.push_back(
+              make_query(ph, *walker.fam, base_index, coord + i, false));
+        }
+      } else {
+        const bool exact = rng.uniform() < ph.exact_fraction;
+        req.queries.push_back(
+            make_query(ph, *walker.fam, base_index, coord, exact));
+      }
+      out.push_back(std::move(req));
+    }
+    phase_start += ph.duration;
+  }
+  return out;
+}
+
+}  // namespace lamb::sim

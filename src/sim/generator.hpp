@@ -1,0 +1,76 @@
+// Deterministic request-stream generation from a TraceSpec.
+//
+// TraceGenerator expands a spec into a concrete, timestamped request list —
+// the entire stream is a pure function of (spec, seed), so the same trace
+// replays bit-identically in-process, over HTTP, today and in CI. The
+// expansion is eager (a vector, not an iterator): traces are seconds long
+// and tens of thousands of requests, and materialising them up front means
+// replay loops measure the service, not the generator.
+//
+// Per phase the generator draws:
+//   * arrival times — exponential inter-arrivals at the (possibly ramping,
+//     possibly burst-modulated) instantaneous rate, via thinning; or a
+//     fixed 1/rate tick for Arrival::kUniform,
+//   * a family for each request from the weighted mix, and one of `bases`
+//     deterministic base instances of that family (each base is its own
+//     atlas slice),
+//   * the scanned coordinate — a ±locality_step random walk with
+//     probability `locality` (a correlated sweep: consecutive queries land
+//     in the same atlas neighbourhood, the cache-friendly regime), an
+//     independent uniform draw otherwise,
+//   * the request shape: a batch of batch_size queries sweeping consecutive
+//     coordinates with probability batch_fraction, a single query
+//     otherwise; singles are exact (atlas-bypassing) with probability
+//     exact_fraction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/selection_service.hpp"
+#include "sim/trace.hpp"
+
+namespace lamb::sim {
+
+/// One timestamped request: a single query or one batch, aimed at either
+/// SelectionService directly or the /v1/query / /v1/batch endpoints.
+struct Request {
+  double time = 0.0;        ///< virtual seconds from trace start
+  std::size_t phase = 0;    ///< index into TraceSpec::phases
+  bool batch = false;       ///< route to query_batch / /v1/batch
+  std::vector<serve::Query> queries;  ///< one entry unless `batch`
+};
+
+class TraceGenerator {
+ public:
+  /// Resolves every family named by the spec through the process-wide
+  /// registry (throws support::CheckError for unknown names) and fixes the
+  /// per-family base instances from the seed.
+  TraceGenerator(TraceSpec spec, std::uint64_t seed);
+
+  const TraceSpec& spec() const { return spec_; }
+
+  /// Expand the whole trace. Deterministic: same spec + seed => the same
+  /// request list, element for element.
+  std::vector<Request> generate();
+
+ private:
+  struct FamilyInfo {
+    std::string name;
+    int dimension_count = 0;
+    /// `bases` deterministic base instances (scanned coordinate included;
+    /// the generator overwrites it per request).
+    std::vector<expr::Instance> bases;
+  };
+
+  const FamilyInfo& family_info(const std::string& name, const PhaseSpec& ph);
+  serve::Query make_query(const PhaseSpec& ph, const FamilyInfo& fam,
+                          std::size_t base_index, int coord, bool exact) const;
+
+  TraceSpec spec_;
+  std::uint64_t seed_;
+  std::vector<FamilyInfo> families_;  // resolution order = first use
+};
+
+}  // namespace lamb::sim

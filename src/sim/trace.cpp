@@ -1,0 +1,331 @@
+#include "sim/trace.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace lamb::sim {
+
+namespace {
+
+std::string_view strip(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Drop a trailing comment, respecting double-quoted strings.
+std::string_view strip_comment(std::string_view line) {
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '"') {
+      quoted = !quoted;
+    } else if (line[i] == '#' && !quoted) {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
+double parse_number(std::string_view value, int line_no) {
+  std::size_t pos = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(std::string(value), &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  LAMB_CHECK(pos == value.size() && !value.empty(),
+             support::strf("trace line %d: expected a number, got \"%.*s\"",
+                           line_no, static_cast<int>(value.size()),
+                           value.data()));
+  return out;
+}
+
+int parse_int(std::string_view value, int line_no) {
+  const double d = parse_number(value, line_no);
+  const int i = static_cast<int>(d);
+  LAMB_CHECK(static_cast<double>(i) == d,
+             support::strf("trace line %d: expected an integer", line_no));
+  return i;
+}
+
+std::string parse_string(std::string_view value, int line_no) {
+  LAMB_CHECK(value.size() >= 2 && value.front() == '"' && value.back() == '"',
+             support::strf("trace line %d: expected a quoted string", line_no));
+  return std::string(value.substr(1, value.size() - 2));
+}
+
+Arrival parse_arrival(std::string_view value, int line_no) {
+  const std::string name = parse_string(value, line_no);
+  if (name == "poisson") {
+    return Arrival::kPoisson;
+  }
+  if (name == "bursty") {
+    return Arrival::kBursty;
+  }
+  if (name == "uniform") {
+    return Arrival::kUniform;
+  }
+  LAMB_CHECK(false, support::strf(
+                        "trace line %d: arrival must be poisson|bursty|uniform",
+                        line_no));
+  return Arrival::kPoisson;  // unreachable
+}
+
+/// "aatb" or "aatb:0.7 gram:0.3" — space-separated name[:weight] terms.
+std::vector<std::pair<std::string, double>> parse_families(
+    std::string_view value, int line_no) {
+  const std::string spec = parse_string(value, line_no);
+  std::vector<std::pair<std::string, double>> out;
+  std::istringstream terms(spec);
+  std::string term;
+  while (terms >> term) {
+    const std::size_t colon = term.find(':');
+    if (colon == std::string::npos) {
+      out.emplace_back(term, 1.0);
+    } else {
+      const double weight =
+          parse_number(std::string_view(term).substr(colon + 1), line_no);
+      LAMB_CHECK(weight > 0.0,
+                 support::strf("trace line %d: family weight must be positive",
+                               line_no));
+      out.emplace_back(term.substr(0, colon), weight);
+    }
+  }
+  LAMB_CHECK(!out.empty(),
+             support::strf("trace line %d: families must name at least one "
+                           "family",
+                           line_no));
+  return out;
+}
+
+void apply_key(PhaseSpec& phase, std::string_view key, std::string_view value,
+               int line_no) {
+  if (key == "name") {
+    phase.name = parse_string(value, line_no);
+  } else if (key == "duration") {
+    phase.duration = parse_number(value, line_no);
+  } else if (key == "arrival") {
+    phase.arrival = parse_arrival(value, line_no);
+  } else if (key == "rate") {
+    phase.rate = parse_number(value, line_no);
+  } else if (key == "rate_end") {
+    phase.rate_end = parse_number(value, line_no);
+  } else if (key == "burst_period") {
+    phase.burst_period = parse_number(value, line_no);
+  } else if (key == "burst_duty") {
+    phase.burst_duty = parse_number(value, line_no);
+  } else if (key == "burst_factor") {
+    phase.burst_factor = parse_number(value, line_no);
+  } else if (key == "families") {
+    phase.families = parse_families(value, line_no);
+  } else if (key == "bases") {
+    phase.bases = parse_int(value, line_no);
+  } else if (key == "batch_fraction") {
+    phase.batch_fraction = parse_number(value, line_no);
+  } else if (key == "batch_size") {
+    phase.batch_size = parse_int(value, line_no);
+  } else if (key == "exact_fraction") {
+    phase.exact_fraction = parse_number(value, line_no);
+  } else if (key == "locality") {
+    phase.locality = parse_number(value, line_no);
+  } else if (key == "locality_step") {
+    phase.locality_step = parse_int(value, line_no);
+  } else if (key == "dim") {
+    phase.dim = parse_int(value, line_no);
+  } else if (key == "lo") {
+    phase.lo = parse_int(value, line_no);
+  } else if (key == "hi") {
+    phase.hi = parse_int(value, line_no);
+  } else {
+    LAMB_CHECK(false, support::strf("trace line %d: unknown key \"%.*s\"",
+                                    line_no, static_cast<int>(key.size()),
+                                    key.data()));
+  }
+}
+
+void validate_phase(const PhaseSpec& phase, std::size_t index) {
+  const auto ctx = [&](const char* what) {
+    return support::strf("trace phase %zu (%s): %s", index, phase.name.c_str(),
+                         what);
+  };
+  LAMB_CHECK(phase.duration > 0.0, ctx("duration must be positive"));
+  LAMB_CHECK(phase.rate > 0.0, ctx("rate must be positive"));
+  LAMB_CHECK(phase.rate_end < 0.0 || phase.rate_end > 0.0,
+             ctx("rate_end must be positive (or omitted)"));
+  LAMB_CHECK(phase.burst_period > 0.0, ctx("burst_period must be positive"));
+  LAMB_CHECK(phase.burst_duty > 0.0 && phase.burst_duty < 1.0,
+             ctx("burst_duty must lie in (0, 1)"));
+  LAMB_CHECK(phase.burst_factor >= 1.0, ctx("burst_factor must be >= 1"));
+  LAMB_CHECK(phase.bases >= 1, ctx("bases must be >= 1"));
+  LAMB_CHECK(phase.batch_fraction >= 0.0 && phase.batch_fraction <= 1.0,
+             ctx("batch_fraction must lie in [0, 1]"));
+  LAMB_CHECK(phase.batch_size >= 1, ctx("batch_size must be >= 1"));
+  LAMB_CHECK(phase.exact_fraction >= 0.0 && phase.exact_fraction <= 1.0,
+             ctx("exact_fraction must lie in [0, 1]"));
+  LAMB_CHECK(phase.locality >= 0.0 && phase.locality <= 1.0,
+             ctx("locality must lie in [0, 1]"));
+  LAMB_CHECK(phase.locality_step >= 1, ctx("locality_step must be >= 1"));
+  LAMB_CHECK(phase.dim >= 0, ctx("dim must be >= 0"));
+  LAMB_CHECK(phase.lo >= 1, ctx("lo must be >= 1"));
+  LAMB_CHECK(phase.hi >= phase.lo, ctx("hi must be >= lo"));
+}
+
+}  // namespace
+
+std::string_view to_string(Arrival arrival) {
+  switch (arrival) {
+    case Arrival::kPoisson:
+      return "poisson";
+    case Arrival::kBursty:
+      return "bursty";
+    case Arrival::kUniform:
+      return "uniform";
+  }
+  return "?";
+}
+
+double TraceSpec::total_duration() const {
+  double total = 0.0;
+  for (const PhaseSpec& phase : phases) {
+    total += phase.duration;
+  }
+  return total;
+}
+
+std::string TraceSpec::to_string() const {
+  std::string out = support::strf("trace: %zu phase(s), %.3f virtual s\n",
+                                  phases.size(), total_duration());
+  for (const PhaseSpec& p : phases) {
+    std::string families;
+    for (const auto& [name, weight] : p.families) {
+      families += support::strf("%s%s:%g", families.empty() ? "" : " ",
+                                name.c_str(), weight);
+    }
+    out += support::strf(
+        "  %-10s %6.2fs %s rate=%g%s dims=[%d,%d] locality=%g batch=%g "
+        "exact=%g families=%s\n",
+        p.name.c_str(), p.duration, std::string(sim::to_string(p.arrival)).c_str(),
+        p.rate,
+        p.rate_end >= 0.0 ? support::strf("->%g", p.rate_end).c_str() : "",
+        p.lo, p.hi, p.locality, p.batch_fraction, p.exact_fraction,
+        families.c_str());
+  }
+  return out;
+}
+
+TraceSpec parse_trace(std::string_view text) {
+  // [trace] keys set the defaults every later [[phase]] starts from; keys
+  // inside a [[phase]] override for that phase only.
+  PhaseSpec defaults;
+  TraceSpec spec;
+  enum class Section { kNone, kDefaults, kPhase };
+  Section section = Section::kNone;
+
+  int line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    std::string_view line = text.substr(
+        start, end == std::string_view::npos ? std::string_view::npos
+                                             : end - start);
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_no;
+
+    line = strip(strip_comment(line));
+    if (line.empty()) {
+      continue;
+    }
+    if (line == "[trace]") {
+      LAMB_CHECK(spec.phases.empty(),
+                 support::strf("trace line %d: [trace] must precede every "
+                               "[[phase]]",
+                               line_no));
+      section = Section::kDefaults;
+      continue;
+    }
+    if (line == "[[phase]]") {
+      spec.phases.push_back(defaults);
+      spec.phases.back().name =
+          support::strf("phase%zu", spec.phases.size() - 1);
+      section = Section::kPhase;
+      continue;
+    }
+    LAMB_CHECK(line.front() != '[',
+               support::strf("trace line %d: unknown section \"%.*s\"", line_no,
+                             static_cast<int>(line.size()), line.data()));
+
+    const std::size_t eq = line.find('=');
+    LAMB_CHECK(eq != std::string_view::npos,
+               support::strf("trace line %d: expected key = value", line_no));
+    const std::string_view key = strip(line.substr(0, eq));
+    const std::string_view value = strip(line.substr(eq + 1));
+    LAMB_CHECK(section != Section::kNone,
+               support::strf("trace line %d: key outside [trace]/[[phase]]",
+                             line_no));
+    apply_key(section == Section::kDefaults ? defaults : spec.phases.back(),
+              key, value, line_no);
+  }
+
+  LAMB_CHECK(!spec.phases.empty(), "trace: no [[phase]] blocks");
+  for (std::size_t i = 0; i < spec.phases.size(); ++i) {
+    validate_phase(spec.phases[i], i);
+  }
+  return spec;
+}
+
+TraceSpec load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  LAMB_CHECK(in.good(),
+             support::strf("trace: cannot read %s", path.c_str()));
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_trace(buf.str());
+}
+
+TraceSpec default_trace() {
+  return parse_trace(R"(# built-in demo trace: one of everything, replayable in seconds
+[trace]
+families = "aatb"
+lo = 24
+hi = 320
+bases = 2
+
+[[phase]]
+name = "steady"
+duration = 0.6
+arrival = "poisson"
+rate = 1500
+
+[[phase]]
+name = "sweep-burst"
+duration = 0.6
+arrival = "bursty"
+rate = 2500
+burst_period = 0.2
+burst_duty = 0.4
+burst_factor = 3.0
+locality = 0.9
+locality_step = 3
+
+[[phase]]
+name = "evening"
+duration = 0.8
+arrival = "poisson"
+rate = 2000
+rate_end = 400
+batch_fraction = 0.3
+batch_size = 24
+exact_fraction = 0.02
+)");
+}
+
+}  // namespace lamb::sim

@@ -1,0 +1,103 @@
+// Trace specifications for the load simulator.
+//
+// A trace is an ordered list of PHASES, each describing a stationary (or
+// linearly ramping) traffic regime: how requests arrive (Poisson, bursty
+// on/off, or a uniform tick), what they ask (family mix, batch-vs-single
+// mix, exact fraction), and how query coordinates move (locality sweeps vs
+// independent uniform draws). Phases chained together express the
+// scenarios the benchmarks never covered: a steady morning, a correlated
+// sweep burst, a diurnal ramp-down.
+//
+// Specs are data, not code: parse_trace() reads a small TOML subset
+//
+//   [trace]                 # optional defaults inherited by every phase
+//   families = "aatb"
+//   lo = 20
+//   hi = 400
+//
+//   [[phase]]
+//   name = "steady"
+//   duration = 2.0          # virtual seconds
+//   arrival = "poisson"     # poisson | bursty | uniform
+//   rate = 2000             # requests/s at phase start
+//   rate_end = 500          # optional linear ramp (diurnal shift)
+//   locality = 0.9          # P(next coordinate steps from the previous)
+//   batch_fraction = 0.25   # P(a request is a /v1/batch-sized sweep)
+//   batch_size = 64
+//
+// so a new workload is a text file, not a recompile (the grammar is
+// documented in the README's "Load simulation & drift refresh" section).
+// Everything downstream of a spec is deterministic given a seed
+// (sim/generator.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lamb::sim {
+
+enum class Arrival : std::uint8_t {
+  kPoisson,  ///< exponential inter-arrivals at rate(t)
+  kBursty,   ///< Poisson modulated by an on/off square wave
+  kUniform,  ///< fixed 1/rate tick (the benchmarks' implicit model)
+};
+
+std::string_view to_string(Arrival arrival);
+
+struct PhaseSpec {
+  std::string name = "phase";
+  double duration = 1.0;  ///< virtual seconds
+  Arrival arrival = Arrival::kPoisson;
+  double rate = 1000.0;   ///< requests/s at phase start
+  /// Requests/s at phase end; < 0 means flat at `rate`. A linear ramp
+  /// between the two models diurnal rise/fall inside one phase.
+  double rate_end = -1.0;
+  // Bursty modulation: the on/off square wave's period, on-fraction and
+  // on-rate multiplier (the off-rate is scaled down so the mean over a
+  // period stays `rate`).
+  double burst_period = 0.25;
+  double burst_duty = 0.5;
+  double burst_factor = 4.0;
+  /// Weighted family mix, e.g. {{"aatb", 0.7}, {"gram", 0.3}}.
+  std::vector<std::pair<std::string, double>> families = {{"aatb", 1.0}};
+  /// Number of distinct base instances per family (atlas slices the phase
+  /// touches); bases are drawn deterministically from the trace seed.
+  int bases = 2;
+  double batch_fraction = 0.0;  ///< P(request is a batch)
+  int batch_size = 32;          ///< queries per batch request
+  double exact_fraction = 0.0;  ///< P(single query bypasses the atlas)
+  /// Dimension locality: with probability `locality` the next coordinate
+  /// is a +-locality_step walk from the previous one (a correlated sweep);
+  /// otherwise an independent uniform draw over [lo, hi].
+  double locality = 0.0;
+  int locality_step = 4;
+  int dim = 0;   ///< scanned (symbolic) dimension of every query
+  int lo = 20;   ///< coordinate range for the scanned dimension
+  int hi = 1200;
+};
+
+struct TraceSpec {
+  std::vector<PhaseSpec> phases;
+
+  double total_duration() const;
+  std::string to_string() const;  ///< human-readable summary table
+};
+
+/// Parse the TOML subset above; throws support::CheckError with a
+/// line-numbered message on malformed input or invalid parameter ranges.
+TraceSpec parse_trace(std::string_view text);
+
+/// parse_trace over a file's contents; throws support::CheckError when the
+/// file cannot be read.
+TraceSpec load_trace(const std::string& path);
+
+/// The built-in demo trace: a steady Poisson phase, a bursty correlated
+/// sweep, and a diurnal ramp-down with batches — one of everything, sized
+/// to replay in seconds (serve_cli simulate's default, and the CI smoke's
+/// in-process spec).
+TraceSpec default_trace();
+
+}  // namespace lamb::sim

@@ -70,4 +70,22 @@ ProfileSetRecord load_profile_set(const std::string& path) {
   return record;
 }
 
+void save_drift_baseline(const std::string& path,
+                         const BaselineRecord& record) {
+  ByteWriter w;
+  w.str(record.machine);
+  write_profile(w, record.profile);
+  write_file(path, kKindDriftBaseline, kProfileFormatVersion, w.bytes());
+}
+
+BaselineRecord load_drift_baseline(const std::string& path) {
+  const std::string payload =
+      read_file(path, kKindDriftBaseline, kProfileFormatVersion);
+  ByteReader r(payload);
+  std::string machine = r.str();
+  model::GriddedProfile profile = read_profile(r);
+  r.expect_end();
+  return BaselineRecord{std::move(machine), std::move(profile)};
+}
+
 }  // namespace lamb::store

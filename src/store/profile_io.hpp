@@ -29,4 +29,18 @@ ProfileSetRecord read_profile_set(ByteReader& r);
 void save_profile_set(const std::string& path, const ProfileSetRecord& record);
 ProfileSetRecord load_profile_set(const std::string& path);
 
+/// A single profile plus the machine it was measured on — the drift
+/// monitor's persisted baseline (serve/drift.hpp), so a restarted service
+/// detects drift against the timings its atlases were actually built with.
+struct BaselineRecord {
+  std::string machine;
+  model::GriddedProfile profile;
+};
+
+/// Framed-file wrappers (kind kKindDriftBaseline; crash-safe like every
+/// store write).
+void save_drift_baseline(const std::string& path,
+                         const BaselineRecord& record);
+BaselineRecord load_drift_baseline(const std::string& path);
+
 }  // namespace lamb::store

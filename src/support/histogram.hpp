@@ -1,0 +1,87 @@
+// Lock-free latency histogram shared by the HTTP front-end and the trace
+// simulator: fixed 1-2-5 bucket bounds from 10us to 10s (request handling
+// spans nanosecond cache hits to multi-second cold atlas builds), relaxed
+// atomic counters, and a plain snapshot for rendering. Sum is kept in
+// integer nanoseconds so concurrent record() calls never lose precision to
+// a racing double. Snapshots extract percentiles by linear interpolation
+// inside the matched bucket (the Prometheus histogram_quantile estimator),
+// so p50/p99/p999 cost no per-sample storage.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace lamb::support {
+
+class LatencyHistogram {
+ public:
+  /// Upper bucket bounds in seconds; an implicit +Inf bucket follows.
+  static constexpr std::array<double, 18> kBounds = {
+      1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3,
+      1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1.0,  2.0,  5.0};
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBounds.size() + 1> counts{};  ///< per bucket
+    std::uint64_t count = 0;
+    double sum_seconds = 0.0;
+
+    /// Estimated q-quantile (q clamped to [0, 1]) of the recorded values:
+    /// the rank is located in the cumulative bucket counts and linearly
+    /// interpolated between the bucket's bounds. Values landing in the
+    /// +Inf bucket answer the largest finite bound (the estimate cannot
+    /// exceed what the histogram resolved). 0 when empty.
+    double quantile(double q) const {
+      if (count == 0) {
+        return 0.0;
+      }
+      q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+      const double rank = q * static_cast<double>(count);
+      double cumulative = 0.0;
+      for (std::size_t b = 0; b < counts.size(); ++b) {
+        const double in_bucket = static_cast<double>(counts[b]);
+        if (cumulative + in_bucket < rank || in_bucket == 0.0) {
+          cumulative += in_bucket;
+          continue;
+        }
+        if (b >= kBounds.size()) {
+          return kBounds.back();  // +Inf bucket: clamp to the last bound
+        }
+        const double lower = b == 0 ? 0.0 : kBounds[b - 1];
+        const double upper = kBounds[b];
+        const double fraction = (rank - cumulative) / in_bucket;
+        return lower + (upper - lower) * fraction;
+      }
+      return kBounds.back();
+    }
+  };
+
+  void record(double seconds) {
+    std::size_t b = 0;
+    while (b < kBounds.size() && seconds > kBounds[b]) {
+      ++b;
+    }
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                      std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      s.counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    }
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum_seconds = static_cast<double>(
+                        sum_ns_.load(std::memory_order_relaxed)) / 1e9;
+    return s;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBounds.size() + 1> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+}  // namespace lamb::support

@@ -1,0 +1,302 @@
+// sim/: the trace grammar must parse (and reject) correctly, the generator
+// must be a pure function of (spec, seed) honouring every phase knob, and
+// in-process replay must be deterministic in its answer-source mix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/simulated_machine.hpp"
+#include "serve/selection_service.hpp"
+#include "sim/generator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using namespace lamb;
+using sim::Arrival;
+using sim::Request;
+using sim::TraceGenerator;
+using sim::TraceSpec;
+
+constexpr const char* kTwoPhaseSpec = R"(
+# comment lines and blank lines are ignored
+[trace]
+families = "aatb"
+lo = 24
+hi = 96          # trailing comments too
+bases = 2
+
+[[phase]]
+name = "steady"
+duration = 0.5
+arrival = "poisson"
+rate = 400
+
+[[phase]]
+name = "ramp"
+duration = 0.25
+arrival = "uniform"
+rate = 800
+rate_end = 200
+batch_fraction = 0.5
+batch_size = 8
+locality = 0.9
+locality_step = 3
+)";
+
+TEST(Trace, ParsesDefaultsAndOverrides) {
+  const TraceSpec spec = sim::parse_trace(kTwoPhaseSpec);
+  ASSERT_EQ(spec.phases.size(), 2u);
+
+  const sim::PhaseSpec& steady = spec.phases[0];
+  EXPECT_EQ(steady.name, "steady");
+  EXPECT_EQ(steady.arrival, Arrival::kPoisson);
+  EXPECT_DOUBLE_EQ(steady.duration, 0.5);
+  EXPECT_DOUBLE_EQ(steady.rate, 400.0);
+  EXPECT_LT(steady.rate_end, 0.0);  // flat
+  EXPECT_EQ(steady.lo, 24);         // inherited from [trace]
+  EXPECT_EQ(steady.hi, 96);
+  EXPECT_EQ(steady.bases, 2);
+  ASSERT_EQ(steady.families.size(), 1u);
+  EXPECT_EQ(steady.families[0].first, "aatb");
+
+  const sim::PhaseSpec& ramp = spec.phases[1];
+  EXPECT_EQ(ramp.arrival, Arrival::kUniform);
+  EXPECT_DOUBLE_EQ(ramp.rate_end, 200.0);
+  EXPECT_DOUBLE_EQ(ramp.batch_fraction, 0.5);
+  EXPECT_EQ(ramp.batch_size, 8);
+  EXPECT_DOUBLE_EQ(ramp.locality, 0.9);
+  EXPECT_EQ(ramp.locality_step, 3);
+
+  EXPECT_NEAR(spec.total_duration(), 0.75, 1e-12);
+  EXPECT_FALSE(spec.to_string().empty());
+}
+
+TEST(Trace, ParsesWeightedFamilyMix) {
+  const TraceSpec spec = sim::parse_trace(
+      "[[phase]]\nduration = 0.1\nfamilies = \"aatb:0.7 gram:0.3\"\n");
+  ASSERT_EQ(spec.phases[0].families.size(), 2u);
+  EXPECT_EQ(spec.phases[0].families[0].first, "aatb");
+  EXPECT_DOUBLE_EQ(spec.phases[0].families[0].second, 0.7);
+  EXPECT_EQ(spec.phases[0].families[1].first, "gram");
+  EXPECT_DOUBLE_EQ(spec.phases[0].families[1].second, 0.3);
+}
+
+TEST(Trace, RejectsMalformedSpecs) {
+  EXPECT_THROW(sim::parse_trace(""), support::CheckError);  // no phases
+  EXPECT_THROW(sim::parse_trace("[[phase]]\nbogus_key = 1\n"),
+               support::CheckError);
+  EXPECT_THROW(sim::parse_trace("[[phase]]\narrival = \"sometimes\"\n"),
+               support::CheckError);
+  EXPECT_THROW(sim::parse_trace("[[phase]]\nduration = -1\n"),
+               support::CheckError);
+  EXPECT_THROW(sim::parse_trace("[[phase]]\nrate = zero\n"),
+               support::CheckError);
+  EXPECT_THROW(sim::parse_trace("[[phase]]\nlo = 50\nhi = 20\n"),
+               support::CheckError);
+  EXPECT_THROW(sim::parse_trace("rate = 10\n"),  // key outside a section
+               support::CheckError);
+  // [trace] after the first [[phase]] would silently not apply: reject.
+  EXPECT_THROW(sim::parse_trace("[[phase]]\nduration = 1\n[trace]\nlo = 9\n"),
+               support::CheckError);
+}
+
+TEST(Trace, UnknownFamilyIsRejectedByTheGenerator) {
+  const TraceSpec spec =
+      sim::parse_trace("[[phase]]\nfamilies = \"nonesuch\"\n");
+  EXPECT_THROW(TraceGenerator(spec, 1), support::CheckError);
+}
+
+TEST(Trace, ScanDimensionMustExist) {
+  const TraceSpec spec =
+      sim::parse_trace("[[phase]]\nfamilies = \"aatb\"\ndim = 7\n");
+  EXPECT_THROW(TraceGenerator(spec, 1), support::CheckError);
+}
+
+TEST(Trace, DefaultTraceIsValid) {
+  const TraceSpec spec = sim::default_trace();
+  EXPECT_GE(spec.phases.size(), 2u);
+  EXPECT_GT(spec.total_duration(), 0.0);
+  TraceGenerator generator(spec, 1);
+  EXPECT_FALSE(generator.generate().empty());
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const TraceSpec spec = sim::parse_trace(kTwoPhaseSpec);
+  const std::vector<Request> a = TraceGenerator(spec, 42).generate();
+  const std::vector<Request> b = TraceGenerator(spec, 42).generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].phase, b[i].phase);
+    EXPECT_EQ(a[i].batch, b[i].batch);
+    ASSERT_EQ(a[i].queries.size(), b[i].queries.size());
+    for (std::size_t q = 0; q < a[i].queries.size(); ++q) {
+      EXPECT_TRUE(a[i].queries[q] == b[i].queries[q]);
+    }
+  }
+
+  const std::vector<Request> c = TraceGenerator(spec, 43).generate();
+  bool identical = a.size() == c.size();
+  for (std::size_t i = 0; identical && i < a.size(); ++i) {
+    identical = a[i].time == c[i].time && a[i].queries == c[i].queries;
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(Generator, TimesAreOrderedAndPhased) {
+  const TraceSpec spec = sim::parse_trace(kTwoPhaseSpec);
+  const std::vector<Request> requests = TraceGenerator(spec, 7).generate();
+  ASSERT_FALSE(requests.empty());
+  double last = 0.0;
+  for (const Request& req : requests) {
+    EXPECT_GE(req.time, last);
+    last = req.time;
+    EXPECT_LT(req.time, spec.total_duration());
+    ASSERT_LT(req.phase, spec.phases.size());
+    // Timestamps land inside their phase's window.
+    const double phase_start = req.phase == 0 ? 0.0 : spec.phases[0].duration;
+    EXPECT_GE(req.time, phase_start);
+    for (const serve::Query& q : req.queries) {
+      const int coord = q.dims[static_cast<std::size_t>(q.dim)];
+      EXPECT_GE(coord, spec.phases[req.phase].lo);
+      EXPECT_LE(coord, spec.phases[req.phase].hi);
+    }
+  }
+}
+
+TEST(Generator, UniformArrivalMatchesRequestedRate) {
+  const TraceSpec spec = sim::parse_trace(
+      "[[phase]]\nduration = 1.0\narrival = \"uniform\"\nrate = 100\n"
+      "families = \"aatb\"\n");
+  const std::vector<Request> requests = TraceGenerator(spec, 3).generate();
+  // A fixed 1/rate tick yields rate*duration requests (+-1 boundary).
+  EXPECT_NEAR(static_cast<double>(requests.size()), 100.0, 1.0);
+}
+
+TEST(Generator, PoissonArrivalApproximatesRequestedRate) {
+  const TraceSpec spec = sim::parse_trace(
+      "[[phase]]\nduration = 2.0\nrate = 1000\nfamilies = \"aatb\"\n");
+  const std::vector<Request> requests = TraceGenerator(spec, 5).generate();
+  // ~2000 expected; 5 sigma ~ 224.
+  EXPECT_GT(requests.size(), 1700u);
+  EXPECT_LT(requests.size(), 2300u);
+}
+
+TEST(Generator, BatchFractionOneMakesEveryRequestABatch) {
+  const TraceSpec spec = sim::parse_trace(
+      "[[phase]]\nduration = 0.2\nrate = 200\nbatch_fraction = 1\n"
+      "batch_size = 5\nfamilies = \"aatb\"\n");
+  const std::vector<Request> requests = TraceGenerator(spec, 9).generate();
+  ASSERT_FALSE(requests.empty());
+  for (const Request& req : requests) {
+    EXPECT_TRUE(req.batch);
+    EXPECT_EQ(req.queries.size(), 5u);
+    // Batches sweep consecutive coordinates along the scanned dimension.
+    for (std::size_t i = 1; i < req.queries.size(); ++i) {
+      const int prev = req.queries[i - 1].dims[0];
+      const int cur = req.queries[i].dims[0];
+      EXPECT_TRUE(cur == prev + 1 || cur == spec.phases[0].hi);  // clamped
+    }
+  }
+}
+
+TEST(Generator, ExactFractionOneMarksEverySingleExact) {
+  const TraceSpec spec = sim::parse_trace(
+      "[[phase]]\nduration = 0.2\nrate = 200\nexact_fraction = 1\n"
+      "families = \"aatb\"\n");
+  for (const Request& req : TraceGenerator(spec, 11).generate()) {
+    ASSERT_EQ(req.queries.size(), 1u);
+    EXPECT_TRUE(req.queries[0].exact);
+  }
+}
+
+TEST(Generator, LocalityWalksInSteps) {
+  const TraceSpec spec = sim::parse_trace(
+      "[[phase]]\nduration = 0.3\nrate = 300\nlocality = 1\n"
+      "locality_step = 2\nbases = 1\nfamilies = \"aatb\"\n");
+  const std::vector<Request> requests = TraceGenerator(spec, 13).generate();
+  ASSERT_GT(requests.size(), 10u);
+  // One family, one base => one walker: consecutive coordinates move by at
+  // most the step (exactly the step away from the clamping boundaries).
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    const int prev = requests[i - 1].queries[0].dims[0];
+    const int cur = requests[i].queries[0].dims[0];
+    EXPECT_LE(std::abs(cur - prev), 2);
+  }
+}
+
+TEST(Replay, InProcessSourceMixIsDeterministic) {
+  const TraceSpec spec = sim::parse_trace(
+      "[trace]\nfamilies = \"aatb\"\nlo = 24\nhi = 96\n"
+      "[[phase]]\nduration = 0.2\nrate = 500\nlocality = 0.5\n"
+      "[[phase]]\nduration = 0.1\nrate = 400\nbatch_fraction = 0.3\n"
+      "batch_size = 6\n");
+  const std::vector<Request> requests = TraceGenerator(spec, 21).generate();
+
+  const auto run = [&] {
+    model::SimulatedMachine machine;
+    serve::ServiceConfig cfg;
+    cfg.atlas.lo = 24;
+    cfg.atlas.hi = 96;
+    cfg.atlas.coarse_step = 8;
+    cfg.threads = 2;
+    serve::SelectionService service(machine, cfg);
+    return sim::replay_in_process(service, requests, spec, {});
+  };
+
+  const sim::SimReport a = run();
+  const sim::SimReport b = run();
+  EXPECT_FALSE(a.source_mix().empty());
+  EXPECT_EQ(a.source_mix(), b.source_mix());
+
+  // The mix accounts for every query, phase by phase.
+  ASSERT_EQ(a.phases.size(), 2u);
+  std::uint64_t generated = 0;
+  for (const Request& req : requests) {
+    generated += req.queries.size();
+  }
+  EXPECT_EQ(a.total_queries(), generated);
+  for (const sim::PhaseStats& p : a.phases) {
+    EXPECT_EQ(p.cache + p.atlas + p.measured, p.queries);
+    EXPECT_GT(p.requests, 0u);
+  }
+  EXPECT_GT(a.phases[1].batches, 0u);
+
+  // Report renderers produce something for every phase.
+  EXPECT_NE(a.to_string().find("phase"), std::string::npos);
+  EXPECT_NE(a.to_json().find("\"section\": \"sim\""), std::string::npos);
+}
+
+TEST(Replay, WarmReplayServesNothingMeasured) {
+  const TraceSpec spec = sim::parse_trace(
+      "[[phase]]\nduration = 0.15\nrate = 400\nlo = 24\nhi = 96\n"
+      "families = \"aatb\"\n");
+  const std::vector<Request> requests = TraceGenerator(spec, 33).generate();
+
+  model::SimulatedMachine machine;
+  serve::ServiceConfig cfg;
+  cfg.atlas.lo = 24;
+  cfg.atlas.hi = 96;
+  cfg.atlas.coarse_step = 8;
+  serve::SelectionService service(machine, cfg);
+  sim::ReplayConfig replay;
+  replay.warm = true;
+  const sim::SimReport report =
+      sim::replay_in_process(service, requests, spec, replay);
+  // Non-exact queries on warmed slices come from the atlas or the LRU.
+  EXPECT_EQ(report.phases[0].measured, 0u);
+  EXPECT_GT(report.phases[0].cache + report.phases[0].atlas, 0u);
+}
+
+TEST(Replay, FormatQueryLineRoundTrips) {
+  serve::Query q{"aatb", {100, 260, 549}, 1, true};
+  EXPECT_EQ(sim::format_query_line(q), "aatb,100,260,549,dim=1,exact");
+  q = serve::Query{"gram", {64, 32}, 0, false};
+  EXPECT_EQ(sim::format_query_line(q), "gram,64,32");
+}
+
+}  // namespace

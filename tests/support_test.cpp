@@ -11,6 +11,7 @@
 #include "support/csv.hpp"
 #include "support/endian.hpp"
 #include "support/hash.hpp"
+#include "support/histogram.hpp"
 #include "support/lru.hpp"
 #include "support/rng.hpp"
 #include "support/statistics.hpp"
@@ -184,6 +185,62 @@ TEST(Statistics, HistogramCountsAndClamping) {
   EXPECT_EQ(h.counts[0], 2u);  // -1 clamped into the first bin, plus 0.1
   EXPECT_EQ(h.counts[1], 3u);  // 0.5, 0.9, and 2.0 clamped into the last bin
   EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(LatencyHistogram, QuantilesFromBucketCounts) {
+  lamb::support::LatencyHistogram h;
+  // 100 samples squarely inside the (2e-4, 5e-4] bucket.
+  for (int i = 0; i < 100; ++i) {
+    h.record(3e-4);
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  // Every quantile interpolates within that bucket's bounds.
+  for (double q : {0.01, 0.5, 0.99, 0.999}) {
+    const double v = snap.quantile(q);
+    EXPECT_GE(v, 2e-4);
+    EXPECT_LE(v, 5e-4);
+  }
+  // Higher quantiles never rank below lower ones.
+  EXPECT_LE(snap.quantile(0.50), snap.quantile(0.99));
+  EXPECT_LE(snap.quantile(0.99), snap.quantile(0.999));
+}
+
+TEST(LatencyHistogram, QuantileSpansBuckets) {
+  lamb::support::LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.record(1.5e-5);  // (1e-5, 2e-5]
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.record(0.15);  // (1e-1, 2e-1]
+  }
+  const auto snap = h.snapshot();
+  // p50 comes from the fast bucket, p99 from the slow one.
+  EXPECT_LE(snap.quantile(0.50), 2e-5);
+  EXPECT_GE(snap.quantile(0.99), 1e-1);
+  EXPECT_LE(snap.quantile(0.99), 2e-1);
+}
+
+TEST(LatencyHistogram, QuantileEdgeCases) {
+  lamb::support::LatencyHistogram empty;
+  EXPECT_EQ(empty.snapshot().quantile(0.5), 0.0);
+
+  lamb::support::LatencyHistogram one;
+  one.record(3e-3);  // (2e-3, 5e-3]
+  const auto single = one.snapshot();
+  EXPECT_GE(single.quantile(0.5), 2e-3);
+  EXPECT_LE(single.quantile(0.5), 5e-3);
+  // Out-of-range q clamps instead of reading out of bounds.
+  EXPECT_GE(single.quantile(-1.0), 0.0);
+  EXPECT_LE(single.quantile(2.0), 5e-3);
+
+  // Values beyond the largest bound land in the +Inf bucket; quantiles
+  // clamp to the largest finite bound rather than inventing a value.
+  lamb::support::LatencyHistogram huge;
+  huge.record(30.0);
+  EXPECT_DOUBLE_EQ(
+      huge.snapshot().quantile(0.99),
+      lamb::support::LatencyHistogram::kBounds.back());
 }
 
 TEST(Statistics, RunningStats) {
