@@ -18,12 +18,28 @@
 //   bm_net_throughput [--connections=4] [--requests=20000] [--pipeline=32]
 //                     [--batch=64] [--seconds=2] [--min-qps=0]
 //                     [--port=0] [--http-threads=2] [--json=PATH]
+//                     [--trace=off|counters|sampled|full] [--trace-sweep]
+//                     [--rounds=3] [--max-sampled-overhead=0]
 //
 // --json writes the phase results as a flat JSON array (the same shape as
 // bm_kernels --json), which scripts/check.sh collects as BENCH_serving.json.
+//
+// --trace configures the server-side tracer before the phases run, so the
+// normal numbers can be taken under any tracing tier. --trace-sweep replaces
+// the phases entirely: it re-runs the single-query phase under off, sampled
+// (1-in-64), and full tracing in interleaved rounds (rotating the mode
+// order so drift hits every mode equally), computes each round's overhead
+// against that round's own off-mode qps, and reports the MINIMUM overhead
+// across rounds — real instrumentation cost recurs every round, machine
+// noise does not. --max-sampled-overhead=PCT (0 =
+// report only) fails the run when sampled tracing costs more than PCT% of
+// the untraced qps — the ISSUE 7 gate. With --json the sweep writes
+// {"section": "obs", ...} rows, which check.sh collects as BENCH_obs.json.
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -33,6 +49,7 @@
 #include "net/client.hpp"
 #include "net/routes.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "serve/selection_service.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
@@ -137,6 +154,28 @@ void report(const char* name, const PhaseResult& r,
       1e9 * r.seconds / static_cast<double>(r.queries));
 }
 
+/// Applies one tracing tier to the process-wide tracer (the server runs in
+/// this process, so this is the server's tracer too). False on a bad name.
+bool apply_trace_mode(const std::string& mode) {
+  obs::TracerConfig tc;
+  if (mode == "off") {
+    tc.enabled = false;
+  } else if (mode == "counters") {
+    tc.enabled = true;
+    tc.sample_every = 0;
+  } else if (mode == "sampled") {
+    tc.enabled = true;
+    tc.sample_every = 64;
+  } else if (mode == "full") {
+    tc.enabled = true;
+    tc.sample_every = 1;
+  } else {
+    return false;
+  }
+  obs::tracer().configure(tc);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -147,6 +186,12 @@ int main(int argc, char** argv) {
   const int window = static_cast<int>(cli.get_int("pipeline", 32));
   const int batch = static_cast<int>(cli.get_int("batch", 64));
   const double min_qps = cli.get_double("min-qps", 0.0);
+  const std::string trace_mode = cli.get_string("trace", "off");
+  if (!apply_trace_mode(trace_mode)) {
+    std::fprintf(stderr, "bad --trace=%s (off|counters|sampled|full)\n",
+                 trace_mode.c_str());
+    return 1;
+  }
 
   model::SimulatedMachine machine;
   serve::ServiceConfig cfg;
@@ -194,6 +239,99 @@ int main(int argc, char** argv) {
   std::printf("bm_net_throughput: %d connections, pipeline %d, loopback "
               "port %u\n",
               connections, window, server.port());
+
+  if (cli.get_bool("trace-sweep", false)) {
+    const int rounds = static_cast<int>(cli.get_int("rounds", 3));
+    const double max_overhead = cli.get_double("max-sampled-overhead", 0.0);
+    static constexpr const char* kModes[] = {"off", "sampled", "full"};
+    PhaseResult best[3];
+    double best_qps[3] = {0.0, 0.0, 0.0};
+
+    // One untimed pass warms the wire path (socket buffers, allocator,
+    // branch predictors) so round 0 is not systematically slow.
+    apply_trace_mode("off");
+    run_phase("127.0.0.1", server.port(), single_bodies, "/v1/query",
+              connections, std::max(1, requests / 4), window, 1);
+
+    // Interleave the modes within each round — machine-wide drift (thermal,
+    // noisy neighbours) then degrades every mode of a round roughly equally
+    // — and rotate the starting mode per round so no mode always runs first
+    // or last. Overheads are computed per round against that round's own
+    // off-mode qps, and the gate takes the MINIMUM overhead across rounds:
+    // a genuine instrumentation cost shows up in every round, while a
+    // noisy-neighbour stall only inflates the rounds it hit.
+    std::vector<std::array<double, 3>> round_qps(
+        static_cast<std::size_t>(rounds));
+    for (int r = 0; r < rounds; ++r) {
+      for (int i = 0; i < 3; ++i) {
+        const int m = (r + i) % 3;
+        apply_trace_mode(kModes[m]);
+        const PhaseResult result =
+            run_phase("127.0.0.1", server.port(), single_bodies, "/v1/query",
+                      connections, requests, window, 1);
+        round_qps[static_cast<std::size_t>(r)][static_cast<std::size_t>(m)] =
+            result.qps();
+        std::printf("  round %d %-8s %8.0f q/s\n", r, kModes[m],
+                    result.qps());
+        if (result.qps() > best_qps[m]) {
+          best_qps[m] = result.qps();
+          best[m] = result;
+        }
+      }
+    }
+    apply_trace_mode("off");
+
+    double sampled_pct = std::numeric_limits<double>::infinity();
+    double full_pct = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < rounds; ++r) {
+      const std::array<double, 3>& q = round_qps[static_cast<std::size_t>(r)];
+      const double sampled_r = 100.0 * (1.0 - q[1] / q[0]);
+      const double full_r = 100.0 * (1.0 - q[2] / q[0]);
+      std::printf("  round %d overhead: sampled %+.2f%%  full %+.2f%%\n", r,
+                  sampled_r, full_r);
+      sampled_pct = std::min(sampled_pct, sampled_r);
+      full_pct = std::min(full_pct, full_r);
+    }
+    std::printf(
+        "trace sweep (%d rounds): off %.0f q/s | sampled %.0f q/s | full "
+        "%.0f q/s | min-round overhead sampled %+.2f%% full %+.2f%%\n",
+        rounds, best_qps[0], best_qps[1], best_qps[2], sampled_pct, full_pct);
+
+    server.stop();
+    loop.join();
+
+    if (cli.has("json")) {
+      const std::string path = cli.get_string("json", "");
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+      }
+      out << "[\n";
+      for (int m = 0; m < 3; ++m) {
+        out << support::strf(
+            "  {\"section\": \"obs\", \"name\": \"trace_%s\", "
+            "\"qps\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f},\n",
+            kModes[m], best_qps[m], 1e6 * best[m].quantile(0.50),
+            1e6 * best[m].quantile(0.99));
+      }
+      out << support::strf(
+                 "  {\"section\": \"obs\", \"name\": \"trace_overhead\", "
+                 "\"sampled_pct\": %.2f, \"full_pct\": %.2f}\n",
+                 sampled_pct, full_pct)
+          << "]\n";
+      std::printf("wrote %s\n", path.c_str());
+    }
+
+    if (max_overhead > 0.0 && sampled_pct > max_overhead) {
+      std::fprintf(stderr,
+                   "FAIL: sampled tracing costs %.2f%% qps "
+                   "(--max-sampled-overhead=%.2f)\n",
+                   sampled_pct, max_overhead);
+      return 1;
+    }
+    return 0;
+  }
 
   const PhaseResult single =
       run_phase("127.0.0.1", server.port(), single_bodies, "/v1/query",

@@ -25,6 +25,8 @@
 //           exit when an atlas dir is set)
 //             serve_cli serve --port=8080 --atlas-dir=atlases
 //                       [--bind=127.0.0.1 --http-threads=2]
+//                       [--trace=off|counters|sampled|full
+//                        --trace-sample=64 --slow-ms=10]
 //                       [--drift-refresh --drift-interval=30
 //                        --drift-threshold=0.15 --drift-probes=12]
 //           --drift-refresh runs a background DriftMonitor: it re-measures a
@@ -32,6 +34,16 @@
 //           through the copy-on-write refresh path when the machine's
 //           timings move; progress is visible as lamb_drift_* on /metrics.
 //           With --atlas-dir the drift baseline persists next to the slices.
+//           --trace controls the obs::Tracer (default sampled): counters
+//           keeps only the always-on lamb_stage_seconds histograms, sampled
+//           adds full span capture for 1-in---trace-sample requests, full
+//           samples everything. Spans surface on GET /debug/trace (Chrome
+//           trace-event JSON), requests slower than --slow-ms on
+//           GET /debug/slow; POST /debug/sample_rate retunes sampling live.
+//   trace   fetch /debug/trace (or /debug/slow with --slow) from a running
+//           server and print or save it
+//             serve_cli trace --port=8080 [--host=127.0.0.1] [--slow]
+//                       [--out=trace.json]
 //   simulate  replay a trace spec (sim/trace.hpp grammar) against a fresh
 //           service, in-process or through a loopback HTTP server, and
 //           report per-phase qps, latency percentiles and the answer-source
@@ -41,6 +53,10 @@
 //             serve_cli simulate [--trace=spec.toml] [--seed=1]
 //                       [--http --connections=1] [--warm] [--pace=1]
 //                       [--json=out.json] [--max-p99-ms=N] [--print-trace]
+//                       [--stage-breakdown]
+//           --stage-breakdown additionally attributes serving time to the
+//           pipeline stages (parse/route/lru/atlas/build/kernel) per phase,
+//           via the tracer's always-on counters tier.
 //
 // Common flags: --family=NAME (registry name), --dim=N (slice dimension,
 // default 0), --exact (bypass the atlas), --atlas-dir=DIR (persistent store;
@@ -61,8 +77,10 @@
 #include "anomaly/classifier.hpp"
 #include "model/measured_machine.hpp"
 #include "model/simulated_machine.hpp"
+#include "net/client.hpp"
 #include "net/routes.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "serve/drift.hpp"
 #include "serve/selection_service.hpp"
 #include "sim/generator.hpp"
@@ -357,6 +375,35 @@ int cmd_bench(const support::Cli& cli, serve::SelectionService& service,
   return 0;
 }
 
+/// --trace=off|counters|sampled|full (+ --trace-sample, --slow-ms) ->
+/// tracer configuration. Returns the mode string for the banner.
+std::string configure_tracing(const support::Cli& cli) {
+  const std::string mode = cli.get_string("trace", "sampled");
+  obs::TracerConfig tc;
+  if (mode == "off") {
+    tc.enabled = false;
+  } else if (mode == "counters") {
+    tc.enabled = true;
+    tc.sample_every = 0;  // histograms only, no span capture
+  } else if (mode == "sampled") {
+    tc.enabled = true;
+    tc.sample_every = static_cast<std::uint32_t>(
+        cli.get_int("trace-sample", 64));
+  } else if (mode == "full") {
+    tc.enabled = true;
+    tc.sample_every = 1;
+  } else {
+    std::fprintf(stderr,
+                 "bad --trace=%s (want off|counters|sampled|full)\n",
+                 mode.c_str());
+    std::exit(1);
+  }
+  tc.slow_threshold_ns = static_cast<std::uint64_t>(
+      cli.get_double("slow-ms", 10.0) * 1e6);
+  obs::tracer().configure(tc);
+  return mode;
+}
+
 /// stop() is an atomic store plus one eventfd write: async-signal-safe.
 std::atomic<net::Server*> g_serving{nullptr};
 
@@ -376,6 +423,8 @@ int cmd_serve(const support::Cli& cli, serve::SelectionService& service,
     std::printf("pre-warmed %zu atlas slices from %zu queries\n", built,
                 queries.size());
   }
+
+  const std::string trace_mode = configure_tracing(cli);
 
   net::SelectionRoutesConfig routes_cfg;
   routes_cfg.worker_threads =
@@ -416,8 +465,21 @@ int cmd_serve(const support::Cli& cli, serve::SelectionService& service,
   std::signal(SIGTERM, handle_stop_signal);
 
   std::printf("serving on http://%s:%u (POST /v1/query, POST /v1/batch, "
-              "GET /healthz, GET /metrics); SIGINT/SIGTERM drains\n",
+              "GET /healthz, GET /metrics, GET /debug/trace, "
+              "GET /debug/slow, POST /debug/sample_rate); "
+              "SIGINT/SIGTERM drains\n",
               server_cfg.bind_address.c_str(), server.port());
+  if (trace_mode != "off") {
+    const obs::TracerConfig tc = obs::tracer().config();
+    const std::string capture =
+        tc.sample_every == 0 ? "no span capture"
+                             : support::strf("1-in-%u span capture",
+                                             tc.sample_every);
+    std::printf("tracing %s: %s, slow log at %.1f ms, %s timestamps\n",
+                trace_mode.c_str(), capture.c_str(),
+                static_cast<double>(tc.slow_threshold_ns) * 1e-6,
+                obs::using_tsc() ? "tsc" : "steady_clock");
+  }
   std::fflush(stdout);
   server.run();
   g_serving.store(nullptr);
@@ -442,6 +504,34 @@ int cmd_serve(const support::Cli& cli, serve::SelectionService& service,
   return 0;
 }
 
+int cmd_trace(const support::Cli& cli) {
+  const std::string host = cli.get_string("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(cli.get_int("port", 8080));
+  const char* target = cli.get_bool("slow", false) ? "/debug/slow"
+                                                   : "/debug/trace";
+  net::Client client(host, port);
+  const net::ResponseParser::Parsed response = client.request("GET", target);
+  if (response.status != 200) {
+    std::fprintf(stderr, "HTTP %d from %s\n%s", response.status, target,
+                 response.body.c_str());
+    return 1;
+  }
+  const std::string out_path = cli.get_string("out", "");
+  if (out_path.empty()) {
+    std::printf("%s", response.body.c_str());
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << response.body;
+  std::printf("wrote %s (%zu bytes; open in chrome://tracing or Perfetto)\n",
+              out_path.c_str(), response.body.size());
+  return 0;
+}
+
 int cmd_simulate(const support::Cli& cli, serve::SelectionService& service) {
   const sim::TraceSpec spec = cli.has("trace")
                                   ? sim::load_trace(cli.get_string("trace", ""))
@@ -460,6 +550,7 @@ int cmd_simulate(const support::Cli& cli, serve::SelectionService& service) {
       static_cast<std::size_t>(cli.get_int("connections", 1));
   replay_cfg.warm = cli.get_bool("warm", false);
   replay_cfg.pace = cli.get_double("pace", 0.0);
+  replay_cfg.stage_breakdown = cli.get_bool("stage-breakdown", false);
 
   std::printf("%s", spec.to_string().c_str());
   std::printf("seed %llu -> %zu requests\n",
@@ -537,13 +628,17 @@ int main(int argc, char** argv) {
   const support::Cli cli(argc, argv);
   if (cli.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: %s build|warm|query|batch|async|bench|serve|simulate "
-                 "[flags]\n"
+                 "usage: %s build|warm|query|batch|async|bench|serve|"
+                 "simulate|trace [flags]\n"
                  "(see the header comment of examples/serve_cli.cpp)\n",
                  cli.program().c_str());
     return 1;
   }
   const std::string cmd = cli.positional().front();
+  if (cmd == "trace") {
+    // Pure HTTP client; needs no service or machine model.
+    return cmd_trace(cli);
+  }
 
   const auto machine = make_machine(cli);
   serve::SelectionService service(*machine, service_config(cli,

@@ -36,7 +36,7 @@ elif [[ "$SANITIZE" == "thread" ]]; then
   BUILD_DIR="${1:-build-tsan}"
   CMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}"
   SANITIZE_FLAGS=(-DLAMB_SANITIZE=thread)
-  TEST_FILTER=(-R 'serve_test|parallel_test|net_test|drift_test|sim_test|blas_kernel_dispatch_test|blas_gemm_test')
+  TEST_FILTER=(-R 'serve_test|parallel_test|net_test|drift_test|sim_test|blas_kernel_dispatch_test|blas_gemm_test|obs_test')
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 else
   BUILD_DIR="${1:-build}"
@@ -67,4 +67,10 @@ if [[ "$SANITIZE" == "0" && "${BENCH:-1}" != "0" \
       && -x "$BUILD_DIR/bm_net_throughput" ]]; then
   "$BUILD_DIR/bm_net_throughput" --requests=4000 --connections=2 \
     --json BENCH_serving.json
+  # Tracing overhead trajectory: qps with tracing off / sampled (1-in-64) /
+  # full, interleaved rounds with the min-round overhead statistic.
+  # Report-only here; CI gates the sampled overhead with
+  # --max-sampled-overhead on longer windows.
+  "$BUILD_DIR/bm_net_throughput" --requests=20000 --connections=2 \
+    --trace-sweep --rounds=3 --json BENCH_obs.json
 fi

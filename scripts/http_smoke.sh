@@ -49,9 +49,21 @@ METRICS="$(curl -sf "$BASE/metrics")"
 echo "$METRICS" | grep -q 'lamb_http_requests_total'
 echo "$METRICS" | grep -q 'lamb_selection_answers_total{source="atlas"}'
 echo "$METRICS" | grep -q 'lamb_http_request_duration_seconds_bucket'
+echo "$METRICS" | grep -q 'lamb_http_connections_active'
+echo "$METRICS" | grep -q 'lamb_stage_seconds_bucket{stage="route"'
+
+# Exposition lint: HELP/TYPE before every family, no duplicate series, and
+# counters monotonic between two scrapes separated by more traffic.
+SCRAPE_DIR="$(mktemp -d)"
+trap 'kill -9 "$SRV" 2>/dev/null || true; rm -rf "$SCRAPE_DIR"' EXIT
+echo "$METRICS" > "$SCRAPE_DIR/scrape1.txt"
+curl -sf -X POST --data-binary 'aatb,220,260,549' "$BASE/v1/query" >/dev/null
+curl -sf "$BASE/metrics" > "$SCRAPE_DIR/scrape2.txt"
+scripts/metrics_lint.sh "$SCRAPE_DIR/scrape1.txt" "$SCRAPE_DIR/scrape2.txt"
 
 # Graceful drain: SIGTERM must produce a clean exit 0 from run().
 kill -TERM "$SRV"
 wait "$SRV"
 trap - EXIT
+rm -rf "$SCRAPE_DIR"
 echo "http smoke OK"

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Lint the Prometheus exposition produced by /metrics:
+#
+#   scripts/metrics_lint.sh SCRAPE1 [SCRAPE2]
+#
+# With one file: every series must be preceded by # HELP and # TYPE lines
+# for its family (histogram _bucket/_sum/_count series map back to their
+# base family), and no series (name + label set) may appear twice.
+# With two files (two scrapes of the same server, second taken later):
+# additionally every series of a `counter` family must be monotonic —
+# value(SCRAPE2) >= value(SCRAPE1). Gauges are exempt by construction.
+set -euo pipefail
+
+if [[ $# -lt 1 || $# -gt 2 ]]; then
+  echo "usage: $0 SCRAPE1 [SCRAPE2]" >&2
+  exit 2
+fi
+
+python3 - "$@" <<'EOF'
+import re
+import sys
+
+SERIES = re.compile(r'^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})?\s+(\S+)$')
+
+
+def parse(path):
+    """-> (help set, {family: kind}, {series key: value}, errors)."""
+    helps, types, series, errors = set(), {}, {}, []
+    with open(path) as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.rstrip('\n')
+            if not line:
+                continue
+            if line.startswith('# HELP '):
+                helps.add(line.split()[2])
+                continue
+            if line.startswith('# TYPE '):
+                parts = line.split()
+                types[parts[2]] = parts[3]
+                continue
+            if line.startswith('#'):
+                continue
+            m = SERIES.match(line)
+            if not m:
+                errors.append(f'{path}:{lineno}: unparseable line: {line}')
+                continue
+            name, labels, value = m.group(1), m.group(2) or '', m.group(3)
+            key = name + labels
+            if key in series:
+                errors.append(f'{path}:{lineno}: duplicate series {key}')
+            try:
+                series[key] = float(value)
+            except ValueError:
+                errors.append(f'{path}:{lineno}: non-numeric value: {line}')
+            # The declarations must precede the family's first series.
+            family = name
+            for suffix in ('_bucket', '_sum', '_count'):
+                base = name.removesuffix(suffix)
+                if base != name and base in types:
+                    family = base
+                    break
+            if family not in types:
+                errors.append(f'{path}:{lineno}: no # TYPE before {name}')
+            if family not in helps:
+                errors.append(f'{path}:{lineno}: no # HELP before {name}')
+    return helps, types, series, errors
+
+
+errors = []
+_, types1, series1, errs = parse(sys.argv[1])
+errors += errs
+
+if len(sys.argv) > 2:
+    _, types2, series2, errs = parse(sys.argv[2])
+    errors += errs
+    counters = {f for f, kind in types2.items() if kind == 'counter'}
+    for key, later in series2.items():
+        name = key.split('{', 1)[0]
+        if name not in counters or key not in series1:
+            continue
+        if later < series1[key]:
+            errors.append(
+                f'counter {key} went backwards: {series1[key]} -> {later}')
+
+for error in errors:
+    print(f'metrics_lint: {error}', file=sys.stderr)
+if errors:
+    sys.exit(1)
+n = len(sys.argv) - 1
+print(f'metrics_lint: OK ({n} scrape{"s" if n > 1 else ""})')
+EOF

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the tracing surface: serve with full capture on a
+# REAL measured machine (so cold atlas builds run actual gemms and the
+# trace reaches the kernel stage), fire a cold query, and verify that
+# GET /debug/trace returns Chrome trace-event JSON holding a complete
+# query span tree — request/parse/route plus the serving stages, kernel
+# included. Also round-trips POST /debug/sample_rate and parses
+# GET /debug/slow.
+#
+#   scripts/trace_smoke.sh [build-dir]     (default: build)
+#
+# Environment: PORT (default 18081).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+PORT="${PORT:-18081}"
+BIN="$BUILD_DIR/serve_cli"
+BASE="http://127.0.0.1:$PORT"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "trace_smoke: $BIN not built" >&2
+  exit 1
+fi
+
+# Tiny atlas + 2 repetitions keep the real measurements to a few seconds;
+# --slow-ms=0 forces every request into the slow log.
+"$BIN" serve --port="$PORT" --real --hi=120 --repetitions=2 \
+  --trace=full --slow-ms=0 &
+SRV=$!
+trap 'kill -9 "$SRV" 2>/dev/null || true' EXIT
+
+for _ in $(seq 100); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+# Cold query: the synchronous answer means the build (and its gemms) ran.
+ANSWER="$(curl -sf -X POST --data-binary 'aatb,64,80,96' "$BASE/v1/query")"
+echo "query  -> $ANSWER"
+
+WORK_DIR="$(mktemp -d)"
+trap 'kill -9 "$SRV" 2>/dev/null || true; rm -rf "$WORK_DIR"' EXIT
+
+curl -sf "$BASE/debug/trace" > "$WORK_DIR/trace.json"
+python3 - "$WORK_DIR/trace.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+events = doc["traceEvents"]
+by_trace = {}
+for event in events:
+    by_trace.setdefault(event["args"]["trace_id"], set()).add(event["name"])
+complete = [
+    t for t, stages in by_trace.items()
+    if {"request", "parse", "route"} <= stages
+    and stages & {"lru", "atlas", "build"}
+]
+kernel = [t for t, stages in by_trace.items() if "kernel" in stages]
+print(f"trace_smoke: {len(events)} events, {len(by_trace)} traces, "
+      f"{len(complete)} complete query trees, {len(kernel)} with kernel "
+      "spans")
+assert complete, f"no complete query span tree: {by_trace}"
+assert kernel, f"no kernel spans despite --real: {by_trace}"
+EOF
+
+# The slow log caught the (threshold 0) query, spans inline.
+curl -sf "$BASE/debug/slow" > "$WORK_DIR/slow.json"
+python3 - "$WORK_DIR/slow.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    slow = json.load(fh)
+assert slow, "slow log empty despite --slow-ms=0"
+assert any(t["spans"] for t in slow), "slow entries carry no spans"
+print(f"trace_smoke: {len(slow)} slow traces")
+EOF
+
+# Sampling is runtime-adjustable over HTTP and rejects garbage.
+curl -sf -X POST --data-binary '16' "$BASE/debug/sample_rate" \
+  | grep -q '"sample_every":16'
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  --data-binary 'many' "$BASE/debug/sample_rate")"
+[[ "$CODE" == 400 ]]
+
+kill -TERM "$SRV"
+wait "$SRV"
+trap - EXIT
+rm -rf "$WORK_DIR"
+echo "trace smoke OK"

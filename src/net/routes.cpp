@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "blas/microkernel.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/str.hpp"
 
@@ -258,34 +259,46 @@ void SelectionRoutes::handle_query(const Request& request,
     return;
   }
   defer([respond, responder = std::move(responder),
-         answer = std::move(answer)] { respond(responder, answer); });
+         answer = std::move(answer), ctx = obs::current_context()] {
+    // The worker finishes the request under its trace context, so any
+    // spans recorded while waiting attach to the right tree.
+    const obs::ContextGuard guard(ctx);
+    respond(responder, answer);
+  });
 }
 
 void SelectionRoutes::handle_batch(const Request& request,
                                    Responder responder) {
   // The request object dies when this returns; the job owns a copy of the
   // body and parses it off the event loop.
-  defer([this, body = request.body, responder = std::move(responder)] {
+  defer([this, body = request.body, responder = std::move(responder),
+         ctx = obs::current_context()] {
+    const obs::ContextGuard guard(ctx);
     std::vector<serve::Query> queries;
     try {
-      std::size_t line_number = 0;
-      for (std::string_view line : split(body, '\n')) {
-        ++line_number;
-        line = trim(line);
-        if (line.empty()) {
-          continue;
-        }
-        try {
-          queries.push_back(parse_query_line(line));
-        } catch (const std::invalid_argument& e) {
-          throw std::invalid_argument(
-              support::strf("line %zu: ", line_number) + e.what());
-        }
-        if (queries.size() > config_.max_batch_queries) {
-          responder.send(text_response(
-              413, support::strf("batch exceeds %zu queries\n",
-                                 config_.max_batch_queries)));
-          return;
+      {
+        // Body parsing is real per-query work at batch sizes; it gets its
+        // own parse span (the HTTP-framing one closed at dispatch).
+        const obs::SpanScope parse_span(obs::Stage::kParse);
+        std::size_t line_number = 0;
+        for (std::string_view line : split(body, '\n')) {
+          ++line_number;
+          line = trim(line);
+          if (line.empty()) {
+            continue;
+          }
+          try {
+            queries.push_back(parse_query_line(line));
+          } catch (const std::invalid_argument& e) {
+            throw std::invalid_argument(
+                support::strf("line %zu: ", line_number) + e.what());
+          }
+          if (queries.size() > config_.max_batch_queries) {
+            responder.send(text_response(
+                413, support::strf("batch exceeds %zu queries\n",
+                                   config_.max_batch_queries)));
+            return;
+          }
         }
       }
       const std::vector<serve::Recommendation> recommendations =
@@ -308,6 +321,41 @@ void SelectionRoutes::handle_batch(const Request& request,
   });
 }
 
+void SelectionRoutes::handle_debug_trace(const Request&,
+                                         Responder responder) {
+  // Scanning every thread ring and rendering the JSON is O(threads x ring)
+  // string work; a worker does it so the event loop never carries the
+  // debug surface.
+  defer([responder = std::move(responder)] {
+    Response r;
+    r.content_type = "application/json";
+    r.body = obs::tracer().chrome_trace_json();
+    responder.send(std::move(r));
+  });
+}
+
+Response SelectionRoutes::debug_sample_rate_response(const Request& request) {
+  obs::Tracer& tr = obs::tracer();
+  try {
+    const long long n = parse_int_field(trim(request.body));
+    if (n < 0 || n > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument("sample rate out of range");
+    }
+    tr.set_sample_every(static_cast<std::uint32_t>(n));
+  } catch (const std::invalid_argument& e) {
+    return text_response(
+        400, std::string(e.what()) +
+                 " (body must be one integer: 0 = off, 1 = all, N = 1-in-N)\n");
+  }
+  Response r;
+  r.content_type = "application/json";
+  r.body = support::strf(
+      "{\"enabled\":%s,\"sample_every\":%u,\"slow_threshold_ms\":%.3f}\n",
+      tr.enabled() ? "true" : "false", tr.sample_every(),
+      static_cast<double>(tr.slow_threshold_ns()) * 1e-6);
+  return r;
+}
+
 Response SelectionRoutes::metrics_response() const {
   const serve::ServiceStats s = service_.stats();
   std::string out;
@@ -318,11 +366,38 @@ Response SelectionRoutes::metrics_response() const {
     out += support::strf("%s%s %llu\n", name, labels,
                          static_cast<unsigned long long>(value));
   };
-  const auto type = [&out](const char* name, const char* kind) {
+  // Prometheus text-format contract, pinned by scripts/metrics_lint.sh:
+  // every family announces # HELP and # TYPE before its first series.
+  const auto family = [&out](const char* name, const char* kind,
+                             const char* help) {
+    out += support::strf("# HELP %s %s\n", name, help);
     out += support::strf("# TYPE %s %s\n", name, kind);
   };
+  const auto histogram_series =
+      [&out](const char* name, const std::string& label,
+             const support::LatencyHistogram::Snapshot& snap) {
+        const std::string comma = label.empty() ? "" : label + ",";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < support::LatencyHistogram::kBounds.size();
+             ++b) {
+          cumulative += snap.counts[b];
+          out += support::strf("%s_bucket{%sle=\"%g\"} %llu\n", name,
+                               comma.c_str(),
+                               support::LatencyHistogram::kBounds[b],
+                               static_cast<unsigned long long>(cumulative));
+        }
+        out += support::strf("%s_bucket{%sle=\"+Inf\"} %llu\n", name,
+                             comma.c_str(),
+                             static_cast<unsigned long long>(snap.count));
+        const std::string wrap = label.empty() ? "" : "{" + label + "}";
+        out += support::strf("%s_sum%s %.9f\n", name, wrap.c_str(),
+                             snap.sum_seconds);
+        out += support::strf("%s_count%s %llu\n", name, wrap.c_str(),
+                             static_cast<unsigned long long>(snap.count));
+      };
 
-  type("lamb_selection_answers_total", "counter");
+  family("lamb_selection_answers_total", "counter",
+         "Answers by source.");
   counter("lamb_selection_answers_total", "{source=\"cache\"}",
           s.cache_answers);
   counter("lamb_selection_answers_total", "{source=\"atlas\"}",
@@ -330,11 +405,14 @@ Response SelectionRoutes::metrics_response() const {
   counter("lamb_selection_answers_total", "{source=\"measured\"}",
           s.measured_queries);
 
-  type("lamb_selection_cache_hits_total", "counter");
+  family("lamb_selection_cache_hits_total", "counter",
+         "Recommendation-cache hits.");
   counter("lamb_selection_cache_hits_total", "", s.cache_hits);
-  type("lamb_selection_cache_misses_total", "counter");
+  family("lamb_selection_cache_misses_total", "counter",
+         "Recommendation-cache misses.");
   counter("lamb_selection_cache_misses_total", "", s.cache_misses);
-  type("lamb_selection_cache_hit_ratio", "gauge");
+  family("lamb_selection_cache_hit_ratio", "gauge",
+         "Cache hits over lookups since start.");
   const std::uint64_t lookups = s.cache_hits + s.cache_misses;
   out += support::strf(
       "lamb_selection_cache_hit_ratio %.6f\n",
@@ -342,58 +420,78 @@ Response SelectionRoutes::metrics_response() const {
                    : static_cast<double>(s.cache_hits) /
                          static_cast<double>(lookups));
 
-  type("lamb_selection_atlases_built_total", "counter");
+  family("lamb_selection_atlases_built_total", "counter",
+         "Region atlases built.");
   counter("lamb_selection_atlases_built_total", "", s.atlases_built);
-  type("lamb_selection_atlases_loaded_total", "counter");
+  family("lamb_selection_atlases_loaded_total", "counter",
+         "Region atlases loaded from disk.");
   counter("lamb_selection_atlases_loaded_total", "", s.atlases_loaded);
-  type("lamb_selection_atlases_skipped_total", "counter");
+  family("lamb_selection_atlases_skipped_total", "counter",
+         "Atlas builds skipped (already resident).");
   counter("lamb_selection_atlases_skipped_total", "", s.atlases_skipped);
-  type("lamb_selection_atlas_samples_total", "counter");
+  family("lamb_selection_atlas_samples_total", "counter",
+         "Measurements taken while building atlases.");
   counter("lamb_selection_atlas_samples_total", "",
           static_cast<std::uint64_t>(s.atlas_samples < 0 ? 0
                                                          : s.atlas_samples));
-  type("lamb_selection_batch_calls_total", "counter");
+  family("lamb_selection_batch_calls_total", "counter",
+         "query_batch() calls.");
   counter("lamb_selection_batch_calls_total", "", s.batch_calls);
-  type("lamb_selection_batch_queries_total", "counter");
+  family("lamb_selection_batch_queries_total", "counter",
+         "Queries carried by batch calls.");
   counter("lamb_selection_batch_queries_total", "", s.batch_queries);
-  type("lamb_selection_async_calls_total", "counter");
+  family("lamb_selection_async_calls_total", "counter",
+         "query_async() calls.");
   counter("lamb_selection_async_calls_total", "", s.async_calls);
 
-  type("lamb_selection_refresh_rounds_total", "counter");
+  family("lamb_selection_refresh_rounds_total", "counter",
+         "Atlas refresh rounds.");
   counter("lamb_selection_refresh_rounds_total", "", s.refresh_rounds);
-  type("lamb_selection_slices_refreshed_total", "counter");
+  family("lamb_selection_slices_refreshed_total", "counter",
+         "Slices rebuilt by refresh rounds.");
   counter("lamb_selection_slices_refreshed_total", "", s.slices_refreshed);
 
-  type("lamb_selection_atlas_count", "gauge");
+  family("lamb_selection_atlas_count", "gauge",
+         "Resident region atlases.");
   counter("lamb_selection_atlas_count", "", service_.atlas_count());
-  type("lamb_selection_cache_size", "gauge");
+  family("lamb_selection_cache_size", "gauge",
+         "Entries in the recommendation cache.");
   counter("lamb_selection_cache_size", "", service_.cache_size());
 
-  type("lamb_uptime_seconds", "gauge");
+  family("lamb_uptime_seconds", "gauge",
+         "Seconds since the serving process started.");
   out += support::strf(
       "lamb_uptime_seconds %.3f\n",
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count());
-  type("lamb_build_info", "gauge");
+  family("lamb_build_info", "gauge",
+         "Constant 1, labeled with version and kernel tier.");
   out += support::strf(
       "lamb_build_info{version=\"%s\",kernel_tier=\"%s\"} 1\n",
       LAMB_GIT_DESCRIBE, blas::active_microkernel().name);
 
   if (drift_ != nullptr) {
     const serve::DriftStats d = drift_->stats();
-    type("lamb_drift_checks_total", "counter");
+    family("lamb_drift_checks_total", "counter",
+         "Drift probe rounds run.");
     counter("lamb_drift_checks_total", "", d.checks);
-    type("lamb_drift_probe_measurements_total", "counter");
+    family("lamb_drift_probe_measurements_total", "counter",
+         "Individual drift probe measurements.");
     counter("lamb_drift_probe_measurements_total", "", d.probe_measurements);
-    type("lamb_drift_detected_total", "counter");
+    family("lamb_drift_detected_total", "counter",
+         "Drift detections.");
     counter("lamb_drift_detected_total", "", d.drift_detected);
-    type("lamb_drift_refreshes_total", "counter");
+    family("lamb_drift_refreshes_total", "counter",
+         "Refresh rounds triggered by drift.");
     counter("lamb_drift_refreshes_total", "", d.refresh_rounds);
-    type("lamb_drift_slices_refreshed_total", "counter");
+    family("lamb_drift_slices_refreshed_total", "counter",
+         "Slices rebuilt after drift.");
     counter("lamb_drift_slices_refreshed_total", "", d.slices_refreshed);
-    type("lamb_drift_score", "gauge");
+    family("lamb_drift_score", "gauge",
+         "Latest drift score.");
     out += support::strf("lamb_drift_score %.6f\n", d.last_score);
-    type("lamb_drift_last_refresh_age_seconds", "gauge");
+    family("lamb_drift_last_refresh_age_seconds", "gauge",
+         "Seconds since the last drift refresh.");
     out += support::strf("lamb_drift_last_refresh_age_seconds %.3f\n",
                          d.last_refresh_age_seconds);
   }
@@ -403,15 +501,19 @@ Response SelectionRoutes::metrics_response() const {
     const auto load = [](const std::atomic<std::uint64_t>& a) {
       return a.load(std::memory_order_relaxed);
     };
-    type("lamb_http_connections_accepted_total", "counter");
+    family("lamb_http_connections_accepted_total", "counter",
+         "Connections accepted.");
     counter("lamb_http_connections_accepted_total", "",
             load(h.connections_accepted));
-    type("lamb_http_connections_rejected_total", "counter");
+    family("lamb_http_connections_rejected_total", "counter",
+         "Connections refused (over max_connections or fd exhaustion).");
     counter("lamb_http_connections_rejected_total", "",
             load(h.connections_rejected));
-    type("lamb_http_requests_total", "counter");
+    family("lamb_http_requests_total", "counter",
+         "HTTP requests dispatched.");
     counter("lamb_http_requests_total", "", load(h.requests_total));
-    type("lamb_http_responses_total", "counter");
+    family("lamb_http_responses_total", "counter",
+         "HTTP responses by status class.");
     counter("lamb_http_responses_total", "{class=\"2xx\"}",
             load(h.responses_2xx));
     counter("lamb_http_responses_total", "{class=\"4xx\"}",
@@ -420,30 +522,58 @@ Response SelectionRoutes::metrics_response() const {
             load(h.responses_5xx));
     counter("lamb_http_responses_total", "{class=\"other\"}",
             load(h.responses_other));
-    type("lamb_http_parse_errors_total", "counter");
+    family("lamb_http_parse_errors_total", "counter",
+         "Malformed requests answered 4xx.");
     counter("lamb_http_parse_errors_total", "", load(h.parse_errors));
-    type("lamb_http_bytes_read_total", "counter");
+    family("lamb_http_bytes_read_total", "counter",
+         "Bytes read from clients.");
     counter("lamb_http_bytes_read_total", "", load(h.bytes_read));
-    type("lamb_http_bytes_written_total", "counter");
+    family("lamb_http_bytes_written_total", "counter",
+         "Bytes written to clients.");
     counter("lamb_http_bytes_written_total", "", load(h.bytes_written));
 
-    const support::LatencyHistogram::Snapshot latency =
-        h.request_latency.snapshot();
-    type("lamb_http_request_duration_seconds", "histogram");
-    std::uint64_t cumulative = 0;
-    for (std::size_t b = 0; b < support::LatencyHistogram::kBounds.size();
-         ++b) {
-      cumulative += latency.counts[b];
-      out += support::strf(
-          "lamb_http_request_duration_seconds_bucket{le=\"%g\"} %llu\n",
-          support::LatencyHistogram::kBounds[b],
-          static_cast<unsigned long long>(cumulative));
+    family("lamb_http_connections_active", "gauge",
+           "Currently open client connections.");
+    counter("lamb_http_connections_active", "", load(h.connections_active));
+    family("lamb_http_requests_in_flight", "gauge",
+           "Requests dispatched to a handler, response not yet queued.");
+    counter("lamb_http_requests_in_flight", "", load(h.requests_in_flight));
+
+    family("lamb_http_request_duration_seconds", "histogram",
+           "Dispatch-to-response-queued seconds.");
+    histogram_series("lamb_http_request_duration_seconds", "",
+                     h.request_latency.snapshot());
+  }
+
+  {
+    obs::Tracer& tr = obs::tracer();
+    const auto stages = tr.stage_snapshots();
+    family("lamb_stage_seconds", "histogram",
+           "Per-stage serving latency, seconds (always-on tier; empty "
+           "until tracing is enabled).");
+    for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+      const std::string label =
+          "stage=\"" +
+          std::string(obs::to_string(static_cast<obs::Stage>(i))) + "\"";
+      histogram_series("lamb_stage_seconds", label, stages[i]);
     }
-    counter("lamb_http_request_duration_seconds_bucket", "{le=\"+Inf\"}",
-            latency.count);
-    out += support::strf("lamb_http_request_duration_seconds_sum %.9f\n",
-                         latency.sum_seconds);
-    counter("lamb_http_request_duration_seconds_count", "", latency.count);
+
+    const obs::TracerCounters tc = tr.counters();
+    family("lamb_trace_requests_total", "counter", "Traces begun.");
+    counter("lamb_trace_requests_total", "", tc.requests);
+    family("lamb_trace_sampled_total", "counter",
+           "Traces with detailed span capture.");
+    counter("lamb_trace_sampled_total", "", tc.sampled);
+    family("lamb_trace_spans_total", "counter",
+           "Spans pushed into the per-thread rings (pre-overwrite).");
+    counter("lamb_trace_spans_total", "", tc.spans);
+    family("lamb_trace_slow_total", "counter", "Slow-log admissions.");
+    counter("lamb_trace_slow_total", "", tc.slow);
+    family("lamb_trace_enabled", "gauge", "1 when tracing is enabled.");
+    counter("lamb_trace_enabled", "", tr.enabled() ? 1 : 0);
+    family("lamb_trace_sample_every", "gauge",
+           "Detailed capture rate: 1-in-N requests (0 = off).");
+    counter("lamb_trace_sample_every", "", tr.sample_every());
   }
 
   Response r;
@@ -466,6 +596,19 @@ Router SelectionRoutes::router() {
                 [this](const Request& request, Responder responder) {
                   handle_batch(request, std::move(responder));
                 });
+  router.handle("GET", "/debug/trace",
+                [this](const Request& request, Responder responder) {
+                  handle_debug_trace(request, std::move(responder));
+                });
+  router.get("/debug/slow", [](const Request&) {
+    Response r;
+    r.content_type = "application/json";
+    r.body = obs::tracer().slow_json();
+    return r;
+  });
+  router.post("/debug/sample_rate", [this](const Request& request) {
+    return debug_sample_rate_response(request);
+  });
   return router;
 }
 

@@ -6,11 +6,20 @@
 //                     call (the wire-level face of the 6x batch win)
 //   GET  /healthz     liveness probe ("ok")
 //   GET  /metrics     Prometheus text: ServiceStats counters, cache hit
-//                     rate, per-source answer counts, HTTP counters, the
-//                     request-latency histogram, process uptime and build
-//                     info, and — when a DriftMonitor is attached — the
-//                     lamb_drift_* series (score, checks, refreshes,
-//                     last-refresh age)
+//                     rate, per-source answer counts, HTTP counters and
+//                     live gauges (connections, in-flight requests), the
+//                     request-latency histogram, the per-stage
+//                     lamb_stage_seconds histograms, lamb_trace_* tracer
+//                     counters, process uptime and build info, and — when
+//                     a DriftMonitor is attached — the lamb_drift_* series
+//   GET  /debug/trace Chrome trace-event JSON of every span currently in
+//                     the per-thread rings (open in chrome://tracing or
+//                     Perfetto)
+//   GET  /debug/slow  the slow-query log as JSON, span trees inline
+//   POST /debug/sample_rate
+//                     body = one integer N: set detailed span capture to
+//                     1-in-N requests (0 = off, 1 = all); answers the
+//                     current tracer knobs as JSON
 //
 // Wire format (also documented in the README):
 //   query line   := family ',' d1 ',' d2 [',' dk]* [',dim=' N] [',exact']
@@ -95,6 +104,8 @@ class SelectionRoutes {
  private:
   void handle_query(const Request& request, Responder responder);
   void handle_batch(const Request& request, Responder responder);
+  void handle_debug_trace(const Request& request, Responder responder);
+  Response debug_sample_rate_response(const Request& request);
   Response metrics_response() const;
 
   void defer(std::function<void()> job);

@@ -15,6 +15,7 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "support/str.hpp"
 
 namespace lamb::net {
@@ -89,6 +90,11 @@ struct Server::Completion {
   Response response;
   bool keep_alive = true;
   std::chrono::steady_clock::time_point start;
+  /// The request's root span, carried to the event loop and closed there:
+  /// draining is serialized after dispatch on the loop thread, so the root
+  /// provably outlasts the parse/route spans recorded during dispatch even
+  /// when a worker answers before dispatch unwinds.
+  obs::RequestTrace trace;
 };
 
 /// Queue between handler threads and the event loop. Outlives the Server
@@ -124,6 +130,7 @@ struct Responder::Ticket {
   std::uint64_t seq = 0;
   bool keep_alive = true;
   std::chrono::steady_clock::time_point start;
+  obs::RequestTrace trace;  ///< root span; rides the completion to the loop
   std::atomic<bool> sent{false};
 
   ~Ticket() {
@@ -133,7 +140,7 @@ struct Responder::Ticket {
       hub->post(Server::Completion{
           conn_id, seq,
           text_response(500, "handler dropped the request\n"), keep_alive,
-          start});
+          start, std::move(trace)});
     }
   }
 };
@@ -143,9 +150,9 @@ void Responder::send(Response response) const {
       ticket_->sent.exchange(true, std::memory_order_acq_rel)) {
     return;  // default-constructed, or a racing copy answered first
   }
-  ticket_->hub->post(Server::Completion{ticket_->conn_id, ticket_->seq,
-                                        std::move(response),
-                                        ticket_->keep_alive, ticket_->start});
+  ticket_->hub->post(Server::Completion{
+      ticket_->conn_id, ticket_->seq, std::move(response),
+      ticket_->keep_alive, ticket_->start, std::move(ticket_->trace)});
 }
 
 // -------------------------------------------------------------- connection
@@ -165,6 +172,10 @@ struct Server::Connection {
   std::map<std::uint64_t, Completion> parked;
   std::size_t parked_bytes = 0;  ///< response bodies held in `parked`
   std::size_t inflight = 0;  ///< dispatched requests not yet responded
+  /// When tracing: obs::now_ns() at the first byte of the next request
+  /// (0 = not yet seen), so the root span is backdated to intake and the
+  /// parse stage covers bytes-arrived to dispatched.
+  std::uint64_t read_ns = 0;
   bool want_write = false;   ///< EPOLLOUT currently requested
   bool paused = false;       ///< EPOLLIN dropped (pipeline backpressure)
   bool read_closed = false;  ///< EOF seen or protocol error: no more parsing
@@ -280,6 +291,7 @@ void Server::close_connection(std::uint64_t id) {
   }
   ::close(it->second->fd);  // epoll deregisters the fd automatically
   connections_.erase(it);
+  stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
   if (listener_muted_ && listen_fd_ >= 0) {
     // A descriptor just freed: re-arm the accept path muted under EMFILE.
     if (reserve_fd_ < 0) {
@@ -355,6 +367,7 @@ void Server::accept_new() {
       continue;
     }
     stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_active.fetch_add(1, std::memory_order_relaxed);
     connections_.emplace(conn->id, std::move(conn));
   }
 }
@@ -370,6 +383,7 @@ void Server::queue_error_response(Connection& conn, int status,
   ticket->seq = conn.next_seq++;
   ticket->keep_alive = false;
   ticket->start = std::chrono::steady_clock::now();
+  stats_.requests_in_flight.fetch_add(1, std::memory_order_relaxed);
   ++conn.inflight;
   Response response = text_response(status, std::move(body));
   response.close = true;
@@ -377,6 +391,7 @@ void Server::queue_error_response(Connection& conn, int status,
 }
 
 void Server::dispatch_parsed(Connection& conn) {
+  obs::Tracer& tr = obs::tracer();
   while (!conn.read_closed && !conn.paused &&
          conn.parser.state() == RequestParser::State::kComplete) {
     const Request& request = conn.parser.request();
@@ -387,12 +402,42 @@ void Server::dispatch_parsed(Connection& conn) {
     ticket->seq = conn.next_seq++;
     ticket->keep_alive = request.keep_alive;
     ticket->start = std::chrono::steady_clock::now();
+    obs::TraceContext trace_ctx;
+    const bool tracing = tr.enabled();
+    if (tracing) {
+      const std::uint64_t t_dispatch = obs::now_ns();
+      std::uint64_t t_read = conn.read_ns;
+      if (t_read == 0 || t_read > t_dispatch) {
+        t_read = t_dispatch;
+      }
+      ticket->trace = tr.begin_request(request.path, t_read);
+      trace_ctx = ticket->trace.ctx;
+      tr.record_stage(obs::Stage::kParse, t_read, t_dispatch);
+      tr.record_span(trace_ctx, obs::Stage::kParse, t_read, t_dispatch);
+      // Further pipelined requests in this buffer "arrived" now.
+      conn.read_ns = t_dispatch;
+    }
+    stats_.requests_in_flight.fetch_add(1, std::memory_order_relaxed);
     ++conn.inflight;
     if (!request.keep_alive) {
       // Nothing after this request will be answered; stop parsing.
       conn.read_closed = true;
     }
-    router_.dispatch(request, Responder(std::move(ticket)));
+    if (tracing) {
+      // The route span is recorded manually, NOT as a SpanScope: a scope
+      // would re-parent the thread context for dispatch's extent, and
+      // handlers that defer to a worker pool would capture a parent whose
+      // interval closes right here. Deferred work must attach to the root
+      // request span instead — the only span guaranteed to outlive it.
+      const obs::ContextGuard guard(trace_ctx);
+      const std::uint64_t t0 = obs::now_ns();
+      router_.dispatch(request, Responder(std::move(ticket)));
+      const std::uint64_t t1 = obs::now_ns();
+      tr.record_stage(obs::Stage::kRoute, t0, t1);
+      tr.record_span(trace_ctx, obs::Stage::kRoute, t0, t1);
+    } else {
+      router_.dispatch(request, Responder(std::move(ticket)));
+    }
     conn.parser.advance();
     // Enforce the pipeline bound inside the loop: one large read can hold
     // thousands of tiny buffered requests, and dispatching them all before
@@ -407,6 +452,12 @@ void Server::dispatch_parsed(Connection& conn) {
     queue_error_response(conn, conn.parser.error_status(),
                          conn.parser.error_message() + "\n");
     conn.read_closed = true;
+  }
+  if (conn.parser.state() != RequestParser::State::kComplete &&
+      conn.parser.buffered() == 0) {
+    // Nothing of the next request has arrived; its intake timestamp is
+    // whenever the next read actually lands, not now.
+    conn.read_ns = 0;
   }
   if (conn.paused) {
     update_interest(conn);
@@ -423,6 +474,9 @@ void Server::on_readable(Connection& conn) {
     if (n > 0) {
       stats_.bytes_read.fetch_add(static_cast<std::uint64_t>(n),
                                   std::memory_order_relaxed);
+      if (conn.read_ns == 0 && obs::tracer().enabled()) {
+        conn.read_ns = obs::now_ns();
+      }
       conn.parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
       dispatch_parsed(conn);
       if (conn.read_closed || conn.paused) {
@@ -551,6 +605,13 @@ void Server::drain_completions() {
     ready.swap(hub_->ready);
   }
   for (Completion& completion : ready) {
+    // A completion reached the loop: the request is no longer in a
+    // handler's hands, even if its connection died waiting. The root span
+    // closes here — serialized after this request's dispatch, so every
+    // child span (parse/route on this thread, serving stages before the
+    // handler posted) ended earlier on the shared timeline.
+    obs::tracer().end_request(completion.trace);
+    stats_.requests_in_flight.fetch_sub(1, std::memory_order_relaxed);
     const auto it = connections_.find(completion.conn_id);
     if (it == connections_.end()) {
       continue;  // connection died before its response was ready

@@ -67,6 +67,10 @@ struct HttpStats {
   std::atomic<std::uint64_t> parse_errors{0};
   std::atomic<std::uint64_t> bytes_read{0};
   std::atomic<std::uint64_t> bytes_written{0};
+  // Live gauges, not monotonic: open connections, and requests dispatched
+  // to a handler whose completion has not reached the event loop yet.
+  std::atomic<std::uint64_t> connections_active{0};
+  std::atomic<std::uint64_t> requests_in_flight{0};
   /// Dispatch-to-response-queued seconds per request.
   support::LatencyHistogram request_latency;
 };

@@ -1,0 +1,88 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define LAMB_OBS_HAVE_TSC 1
+#else
+#define LAMB_OBS_HAVE_TSC 0
+#endif
+
+namespace lamb::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#if LAMB_OBS_HAVE_TSC
+
+struct Calibration {
+  bool use_tsc = false;
+  std::uint64_t tsc0 = 0;     ///< TSC at anchor
+  std::uint64_t steady0 = 0;  ///< steady_clock ns at anchor
+  double ns_per_tick = 0.0;
+
+  Calibration() {
+    // Anchor both clocks, spin ~2 ms, read both again. The spin (rather
+    // than a sleep) keeps the core at speed; with an invariant TSC the
+    // rate is stable regardless, and the fallback below catches hosts
+    // where it is not even plausibly so.
+    tsc0 = __rdtsc();
+    steady0 = steady_ns();
+    const std::uint64_t target = steady0 + 2'000'000;
+    std::uint64_t steady1 = steady0;
+    while (steady1 < target) {
+      steady1 = steady_ns();
+    }
+    const std::uint64_t tsc1 = __rdtsc();
+    if (tsc1 > tsc0 && steady1 > steady0) {
+      ns_per_tick = static_cast<double>(steady1 - steady0) /
+                    static_cast<double>(tsc1 - tsc0);
+      // Sanity window: real TSC rates are 1-6 GHz (0.16-1 ns/tick). A
+      // virtualised or throttled counter outside it calibrates garbage;
+      // serve steady_clock instead.
+      use_tsc = ns_per_tick > 0.05 && ns_per_tick < 2.0;
+    }
+  }
+
+  std::uint64_t now() const {
+    const std::uint64_t ticks = __rdtsc() - tsc0;
+    return steady0 +
+           static_cast<std::uint64_t>(static_cast<double>(ticks) * ns_per_tick);
+  }
+};
+
+const Calibration& calibration() {
+  static const Calibration calib;  // thread-safe one-time init
+  return calib;
+}
+
+#endif  // LAMB_OBS_HAVE_TSC
+
+}  // namespace
+
+std::uint64_t now_ns() {
+#if LAMB_OBS_HAVE_TSC
+  const Calibration& calib = calibration();
+  if (calib.use_tsc) {
+    return calib.now();
+  }
+#endif
+  return steady_ns();
+}
+
+bool using_tsc() {
+#if LAMB_OBS_HAVE_TSC
+  return calibration().use_tsc;
+#else
+  return false;
+#endif
+}
+
+}  // namespace lamb::obs

@@ -1,0 +1,27 @@
+// obs::now_ns — the tracing timestamp source: a monotonic nanosecond
+// counter cheap enough to call twice per span on the serving hot path.
+//
+// On x86-64 it reads the TSC (~7 ns, no syscall, no vDSO dispatch) and
+// converts ticks to nanoseconds with a rate calibrated once against
+// std::chrono::steady_clock, anchored so values are directly comparable to
+// steady_clock's epoch. Modern x86 guarantees an invariant, socket-synced
+// TSC, so timestamps taken on different threads order correctly — which is
+// what lets a span tree assembled from per-thread rings claim "child
+// interval inside parent interval". Everywhere else (and whenever the
+// calibration looks implausible) it falls back to steady_clock itself.
+#pragma once
+
+#include <cstdint>
+
+namespace lamb::obs {
+
+/// Monotonic nanoseconds on the steady_clock timeline. First call
+/// calibrates (one-time ~2 ms spin); subsequent calls are a TSC read and a
+/// multiply on x86-64, a steady_clock read elsewhere.
+std::uint64_t now_ns();
+
+/// True when now_ns() is serving converted TSC reads (exported so tests
+/// and benchmarks can report which path they measured).
+bool using_tsc();
+
+}  // namespace lamb::obs

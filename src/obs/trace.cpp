@@ -1,0 +1,440 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "support/str.hpp"
+
+namespace lamb::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+/// One ring slot: a per-slot seqlock over all-atomic payload fields. The
+/// writer (the owning thread) bumps seq odd, publishes the payload with
+/// relaxed stores behind a release fence, and bumps seq even; a reader
+/// that sees an odd or changed seq discards the slot. Plain fields would
+/// be a data race under a wrapping writer — all-atomic keeps TSan exact.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> trace_id{0};
+  std::atomic<std::uint64_t> ids{0};    ///< span_id | parent_id << 32
+  std::atomic<std::uint64_t> meta{0};   ///< stage | thread_index << 8
+  std::atomic<std::uint64_t> t_start{0};
+  std::atomic<std::uint64_t> t_end{0};
+};
+
+/// The owning thread's cached lane pointer; invalidated when the tracer's
+/// generation moves (configure() dropped the lanes it pointed into).
+thread_local detail::Lane* t_lane = nullptr;
+thread_local std::uint64_t t_lane_generation = 0;
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += support::strf("\\u%04x", c);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kRequest:
+      return "request";
+    case Stage::kParse:
+      return "parse";
+    case Stage::kRoute:
+      return "route";
+    case Stage::kLru:
+      return "lru";
+    case Stage::kAtlas:
+      return "atlas";
+    case Stage::kBuild:
+      return "build";
+    case Stage::kKernel:
+      return "kernel";
+  }
+  return "?";
+}
+
+struct detail::Lane {
+  Lane(std::size_t capacity, std::uint32_t lane_index)
+      : ring(capacity), mask(capacity - 1), index(lane_index) {}
+
+  std::vector<Slot> ring;  ///< power-of-two sized, never resized
+  std::uint64_t mask;
+  std::atomic<std::uint64_t> head{0};  ///< total spans pushed by the owner
+  std::uint32_t index;
+  std::array<support::LatencyHistogram, kStageCount> stages;
+};
+
+Tracer::Tracer() = default;
+Tracer::~Tracer() = default;
+
+Tracer& tracer() {
+  // Leaked on purpose: worker thread_locals and late Responder tickets may
+  // record past any static destruction order.
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+void Tracer::configure(const TracerConfig& config) {
+  {
+    const std::lock_guard<std::mutex> lock(lanes_mutex_);
+    lanes_.clear();
+    ring_capacity_ = round_up_pow2(std::max<std::size_t>(config.ring_capacity,
+                                                         8));
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(slow_mutex_);
+    slow_.clear();
+    slow_next_ = 0;
+    slow_capacity_ = std::max<std::size_t>(config.slow_capacity, 1);
+  }
+  sample_every_.store(config.sample_every, std::memory_order_relaxed);
+  slow_threshold_ns_.store(config.slow_threshold_ns,
+                           std::memory_order_relaxed);
+  next_trace_.store(1, std::memory_order_relaxed);
+  sampled_.store(0, std::memory_order_relaxed);
+  slow_admitted_.store(0, std::memory_order_relaxed);
+  detail::g_enabled.store(config.enabled, std::memory_order_relaxed);
+}
+
+TracerConfig Tracer::config() const {
+  TracerConfig out;
+  out.enabled = enabled();
+  out.sample_every = sample_every();
+  out.slow_threshold_ns = slow_threshold_ns();
+  {
+    const std::lock_guard<std::mutex> lock(lanes_mutex_);
+    out.ring_capacity = ring_capacity_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(slow_mutex_);
+    out.slow_capacity = slow_capacity_;
+  }
+  return out;
+}
+
+void Tracer::set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::set_sample_every(std::uint32_t n) {
+  sample_every_.store(n, std::memory_order_relaxed);
+}
+
+void Tracer::set_slow_threshold_ns(std::uint64_t ns) {
+  slow_threshold_ns_.store(ns, std::memory_order_relaxed);
+}
+
+detail::Lane& Tracer::lane() {
+  const std::uint64_t generation =
+      generation_.load(std::memory_order_acquire);
+  if (t_lane == nullptr || t_lane_generation != generation) {
+    const std::lock_guard<std::mutex> lock(lanes_mutex_);
+    auto owned = std::make_unique<detail::Lane>(
+        ring_capacity_, static_cast<std::uint32_t>(lanes_.size()));
+    t_lane = owned.get();
+    t_lane_generation = generation_.load(std::memory_order_relaxed);
+    lanes_.push_back(std::move(owned));
+  }
+  return *t_lane;
+}
+
+void Tracer::push(detail::Lane& lane, const SpanRecord& record) {
+  const std::uint64_t head = lane.head.load(std::memory_order_relaxed);
+  Slot& slot = lane.ring[head & lane.mask];
+  const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_relaxed);  // odd: write begun
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.trace_id.store(record.trace_id, std::memory_order_relaxed);
+  slot.ids.store(static_cast<std::uint64_t>(record.span_id) |
+                     (static_cast<std::uint64_t>(record.parent_id) << 32),
+                 std::memory_order_relaxed);
+  slot.meta.store(static_cast<std::uint64_t>(record.stage) |
+                      (static_cast<std::uint64_t>(lane.index) << 8),
+                  std::memory_order_relaxed);
+  slot.t_start.store(record.t_start_ns, std::memory_order_relaxed);
+  slot.t_end.store(record.t_end_ns, std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);  // even: committed
+  lane.head.store(head + 1, std::memory_order_release);
+}
+
+RequestTrace Tracer::begin_request(std::string_view label,
+                                   std::uint64_t start_ns) {
+  RequestTrace trace;
+  if (!enabled()) {
+    return trace;
+  }
+  trace.started = true;
+  trace.start_ns = start_ns != 0 ? start_ns : now_ns();
+  trace.ctx.trace_id = next_trace_.fetch_add(1, std::memory_order_relaxed);
+  // Deterministic 1-in-N on the trace id itself (the first request after
+  // configure() is always sampled — a lone debug query yields a trace).
+  const std::uint32_t every = sample_every_.load(std::memory_order_relaxed);
+  trace.ctx.sampled =
+      every != 0 && (trace.ctx.trace_id - 1) % every == 0;
+  if (trace.ctx.sampled) {
+    trace.ctx.parent_span = alloc_span_id();  // the root span's id
+    trace.label = std::string(label);
+    sampled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return trace;
+}
+
+void Tracer::end_request(RequestTrace& trace) {
+  if (!trace.started) {
+    return;
+  }
+  trace.started = false;
+  const std::uint64_t t1 = now_ns();
+  record_stage(Stage::kRequest, trace.start_ns, t1);
+  if (!trace.ctx.sampled) {
+    return;
+  }
+  detail::Lane& ln = lane();
+  push(ln, SpanRecord{trace.ctx.trace_id, trace.ctx.parent_span, 0, ln.index,
+                      Stage::kRequest, trace.start_ns, t1});
+  if (t1 - trace.start_ns >=
+      slow_threshold_ns_.load(std::memory_order_relaxed)) {
+    admit_slow(trace, t1);
+  }
+}
+
+void Tracer::record_span(const TraceContext& ctx, Stage stage,
+                         std::uint64_t t0, std::uint64_t t1) {
+  if (!ctx.sampled || !enabled()) {
+    return;
+  }
+  detail::Lane& ln = lane();
+  push(ln, SpanRecord{ctx.trace_id, alloc_span_id(), ctx.parent_span,
+                      ln.index, stage, t0, t1});
+}
+
+void Tracer::record_stage(Stage stage, std::uint64_t t0, std::uint64_t t1) {
+  if (!enabled()) {
+    return;
+  }
+  lane().stages[static_cast<std::size_t>(stage)].record(
+      static_cast<double>(t1 - t0) * 1e-9);
+}
+
+void Tracer::admit_slow(const RequestTrace& trace, std::uint64_t t_end_ns) {
+  SlowTrace entry;
+  entry.trace_id = trace.ctx.trace_id;
+  entry.t_start_ns = trace.start_ns;
+  entry.duration_ns = t_end_ns - trace.start_ns;
+  entry.label = trace.label;
+  entry.spans = collect_trace(trace.ctx.trace_id);
+  const std::lock_guard<std::mutex> lock(slow_mutex_);
+  if (slow_.size() < slow_capacity_) {
+    slow_.push_back(std::move(entry));
+  } else {
+    slow_[slow_next_ % slow_capacity_] = std::move(entry);
+  }
+  slow_next_ = (slow_next_ + 1) % slow_capacity_;
+  slow_admitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::scan_lanes(
+    std::uint64_t trace_filter) const {
+  std::vector<SpanRecord> out;
+  const std::lock_guard<std::mutex> lock(lanes_mutex_);
+  for (const std::unique_ptr<detail::Lane>& lane : lanes_) {
+    const std::uint64_t head = lane->head.load(std::memory_order_acquire);
+    const std::uint64_t capacity = lane->mask + 1;
+    const std::uint64_t n = std::min<std::uint64_t>(head, capacity);
+    for (std::uint64_t i = head - n; i < head; ++i) {
+      const Slot& slot = lane->ring[i & lane->mask];
+      const std::uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+      if ((seq1 & 1) != 0) {
+        continue;  // mid-write
+      }
+      SpanRecord record;
+      record.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      const std::uint64_t ids = slot.ids.load(std::memory_order_relaxed);
+      const std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+      record.t_start_ns = slot.t_start.load(std::memory_order_relaxed);
+      record.t_end_ns = slot.t_end.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq1) {
+        continue;  // overwritten while reading
+      }
+      record.span_id = static_cast<std::uint32_t>(ids);
+      record.parent_id = static_cast<std::uint32_t>(ids >> 32);
+      record.stage = static_cast<Stage>(meta & 0xff);
+      record.thread_index = static_cast<std::uint32_t>(meta >> 8);
+      if (record.trace_id == 0 ||
+          (trace_filter != 0 && record.trace_id != trace_filter)) {
+        continue;
+      }
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::recent_spans() const { return scan_lanes(0); }
+
+std::vector<SpanRecord> Tracer::collect_trace(std::uint64_t trace_id) const {
+  return scan_lanes(trace_id);
+}
+
+std::array<support::LatencyHistogram::Snapshot, kStageCount>
+Tracer::stage_snapshots() const {
+  std::array<support::LatencyHistogram::Snapshot, kStageCount> merged{};
+  const std::lock_guard<std::mutex> lock(lanes_mutex_);
+  for (const std::unique_ptr<detail::Lane>& lane : lanes_) {
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const support::LatencyHistogram::Snapshot part =
+          lane->stages[s].snapshot();
+      for (std::size_t b = 0; b < part.counts.size(); ++b) {
+        merged[s].counts[b] += part.counts[b];
+      }
+      merged[s].count += part.count;
+      merged[s].sum_seconds += part.sum_seconds;
+    }
+  }
+  return merged;
+}
+
+std::vector<SlowTrace> Tracer::slow_traces() const {
+  const std::lock_guard<std::mutex> lock(slow_mutex_);
+  // Oldest first: start at the overwrite cursor when the ring has wrapped.
+  std::vector<SlowTrace> out;
+  out.reserve(slow_.size());
+  const std::size_t n = slow_.size();
+  const std::size_t first = n < slow_capacity_ ? 0 : slow_next_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(slow_[(first + i) % n]);
+  }
+  return out;
+}
+
+TracerCounters Tracer::counters() const {
+  TracerCounters c;
+  c.requests = next_trace_.load(std::memory_order_relaxed) - 1;
+  c.sampled = sampled_.load(std::memory_order_relaxed);
+  c.slow = slow_admitted_.load(std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(lanes_mutex_);
+  for (const std::unique_ptr<detail::Lane>& lane : lanes_) {
+    c.spans += lane->head.load(std::memory_order_relaxed);
+  }
+  return c;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::vector<SpanRecord> spans = recent_spans();
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.t_start_ns < b.t_start_ns;
+            });
+  // Rebase timestamps so the viewer opens at t=0 with small numbers.
+  const std::uint64_t t0 = spans.empty() ? 0 : spans.front().t_start_ns;
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    out += support::strf(
+        "%s\n  {\"name\": \"%s\", \"cat\": \"lamb\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+        "\"args\": {\"trace_id\": %llu, \"span_id\": %u, \"parent_id\": %u}}",
+        i == 0 ? "" : ",", std::string(to_string(s.stage)).c_str(),
+        static_cast<double>(s.t_start_ns - t0) / 1e3,
+        static_cast<double>(s.t_end_ns - s.t_start_ns) / 1e3,
+        s.thread_index, static_cast<unsigned long long>(s.trace_id),
+        s.span_id, s.parent_id);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::slow_json() const {
+  const std::vector<SlowTrace> slow = slow_traces();
+  std::string out = "[";
+  for (std::size_t i = 0; i < slow.size(); ++i) {
+    const SlowTrace& t = slow[i];
+    out += support::strf(
+        "%s\n  {\"trace_id\": %llu, \"label\": \"%s\", "
+        "\"duration_us\": %.3f, \"spans\": [",
+        i == 0 ? "" : ",", static_cast<unsigned long long>(t.trace_id),
+        json_escape(t.label).c_str(),
+        static_cast<double>(t.duration_ns) / 1e3);
+    for (std::size_t j = 0; j < t.spans.size(); ++j) {
+      const SpanRecord& s = t.spans[j];
+      out += support::strf(
+          "%s\n    {\"stage\": \"%s\", \"span_id\": %u, \"parent_id\": %u, "
+          "\"start_us\": %.3f, \"duration_us\": %.3f}",
+          j == 0 ? "" : ",", std::string(to_string(s.stage)).c_str(),
+          s.span_id, s.parent_id,
+          static_cast<double>(s.t_start_ns - t.t_start_ns) / 1e3,
+          static_cast<double>(s.t_end_ns - s.t_start_ns) / 1e3);
+    }
+    out += "\n  ]}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void SpanScope::begin(Stage stage) {
+  stage_ = stage;
+  armed_ = true;
+  t0_ = now_ns();
+  TraceContext& ctx = detail::t_context;
+  if (ctx.sampled) {
+    sampled_ = true;
+    saved_parent_ = ctx.parent_span;
+    span_id_ = tracer().alloc_span_id();
+    ctx.parent_span = span_id_;  // children opened inside nest under us
+  }
+}
+
+void SpanScope::finish() {
+  const std::uint64_t t1 = now_ns();
+  Tracer& t = tracer();
+  if (sampled_) {
+    TraceContext& ctx = detail::t_context;
+    ctx.parent_span = saved_parent_;
+    if (t.enabled()) {
+      detail::Lane& ln = t.lane();
+      t.push(ln, SpanRecord{ctx.trace_id, span_id_, saved_parent_, ln.index,
+                            stage_, t0_, t1});
+    }
+  }
+  t.record_stage(stage_, t0_, t1);
+}
+
+support::LatencyHistogram::Snapshot subtract_snapshot(
+    const support::LatencyHistogram::Snapshot& now,
+    const support::LatencyHistogram::Snapshot& before) {
+  support::LatencyHistogram::Snapshot out;
+  for (std::size_t b = 0; b < out.counts.size(); ++b) {
+    out.counts[b] = now.counts[b] - before.counts[b];
+  }
+  out.count = now.count - before.count;
+  out.sum_seconds = now.sum_seconds - before.sum_seconds;
+  return out;
+}
+
+}  // namespace lamb::obs

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "anomaly/classifier.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/hash.hpp"
 
@@ -182,6 +183,7 @@ SelectionService::AtlasPtr SelectionService::find_slice(const Snapshot& snap,
 
 SelectionService::AtlasPtr SelectionService::build_slice(
     const store::AtlasKey& key) {
+  const obs::SpanScope build_span(obs::Stage::kBuild);
   // The canonicalised base carries a 0 at the scanned coordinate, which
   // the scan overrides at every sample; only the family name is needed.
   const expr::ExpressionFamily& family = resolve_family(key.family);
@@ -255,6 +257,7 @@ SelectionService::AtlasPtr SelectionService::obtain_atlas(
 }
 
 Recommendation SelectionService::classify_exact(const Query& q) {
+  const obs::SpanScope build_span(obs::Stage::kBuild);
   const expr::ExpressionFamily& family = family_for(q);
   anomaly::InstanceResult result = [&] {
     if (concurrent_timing_) {
@@ -276,10 +279,13 @@ Recommendation SelectionService::classify_exact(const Query& q) {
 }
 
 Recommendation SelectionService::query(const Query& q) {
-  if (auto hit = cache_.get(q)) {
-    hit->source = Source::kCache;
-    cache_answers_.fetch_add(1);
-    return *hit;
+  {
+    const obs::SpanScope lru_span(obs::Stage::kLru);
+    if (auto hit = cache_.get(q)) {
+      hit->source = Source::kCache;
+      cache_answers_.fetch_add(1);
+      return *hit;
+    }
   }
   family_for(q);  // validate family, arity and dimension before working
 
@@ -287,6 +293,7 @@ Recommendation SelectionService::query(const Query& q) {
   if (q.exact) {
     rec = classify_exact(q);
   } else {
+    const obs::SpanScope atlas_span(obs::Stage::kAtlas);
     const SliceId id = slice_id(q);
     AtlasPtr atlas = find_slice(*snapshot(), id);
     if (atlas == nullptr && config_.auto_build) {
@@ -326,6 +333,10 @@ std::vector<Recommendation> SelectionService::query_batch(
     }
     return out;
   }
+
+  // One atlas span covers the whole grouped answering (slice resolution,
+  // deferred builds nest inside it as build spans, interval sweeps).
+  const obs::SpanScope atlas_span(obs::Stage::kAtlas);
 
   struct Group {
     std::size_t rep;  ///< index of the group's first query
@@ -436,8 +447,12 @@ std::vector<Recommendation> SelectionService::query_batch(
       built[m] = obtain_atlas(key, slice_id(key));
     };
     if (pool_ != nullptr && pool_->size() > 1 && missing.size() > 1) {
+      // Pool workers have no trace context of their own; hand them ours so
+      // their build spans land in this request's tree.
+      const obs::TraceContext ctx = obs::current_context();
       pool_->parallel_for(static_cast<std::ptrdiff_t>(missing.size()),
-                          [&](std::ptrdiff_t begin, std::ptrdiff_t end) {
+                          [&, ctx](std::ptrdiff_t begin, std::ptrdiff_t end) {
+                            const obs::ContextGuard guard(ctx);
                             for (std::ptrdiff_t m = begin; m < end; ++m) {
                               build_one(static_cast<std::size_t>(m));
                             }
@@ -468,21 +483,31 @@ std::future<Recommendation> SelectionService::query_async(Query q) {
   family_for(q);  // invalid queries throw here, synchronously, like query()
   async_calls_.fetch_add(1);
   std::promise<Recommendation> ready;
-  if (auto hit = cache_.get(q)) {
-    hit->source = Source::kCache;
-    cache_answers_.fetch_add(1);
-    ready.set_value(*hit);
-    return ready.get_future();
+  {
+    const obs::SpanScope lru_span(obs::Stage::kLru);
+    if (auto hit = cache_.get(q)) {
+      hit->source = Source::kCache;
+      cache_answers_.fetch_add(1);
+      ready.set_value(*hit);
+      return ready.get_future();
+    }
   }
   if (!q.exact) {
     SliceId id = slice_id(q);
-    if (AtlasPtr atlas = find_slice(*snapshot(), id)) {
-      const Recommendation rec = recommendation_from(
-          atlas->lookup(q.dims[static_cast<std::size_t>(q.dim)]));
-      atlas_answers_.fetch_add(1);
-      cache_.put(q, rec);
-      ready.set_value(rec);
-      return ready.get_future();
+    {
+      // The span covers the synchronous lookup only. The enqueue below must
+      // happen OUTSIDE it so the waiter's captured context stays parented
+      // at the request root: the worker answers long after this scope's
+      // interval closed, and spans must nest inside their parent's.
+      const obs::SpanScope atlas_span(obs::Stage::kAtlas);
+      if (AtlasPtr atlas = find_slice(*snapshot(), id)) {
+        const Recommendation rec = recommendation_from(
+            atlas->lookup(q.dims[static_cast<std::size_t>(q.dim)]));
+        atlas_answers_.fetch_add(1);
+        cache_.put(q, rec);
+        ready.set_value(rec);
+        return ready.get_future();
+      }
     }
     store::AtlasKey key = atlas_key(q);  // before q is moved from
     return enqueue_async(std::move(id), std::move(key), false, std::move(q));
@@ -510,7 +535,8 @@ std::future<Recommendation> SelectionService::enqueue_async(
       it->second.exact = exact;
       async_order_.push_back(std::move(bucket_id));
     }
-    it->second.waiters.push_back(AsyncWaiter{std::move(q), {}});
+    it->second.waiters.push_back(
+        AsyncWaiter{std::move(q), {}, obs::current_context()});
     fut = it->second.waiters.back().promise.get_future();
   }
   async_cv_.notify_one();
@@ -534,8 +560,11 @@ void SelectionService::async_worker_loop() {
       async_pending_.erase(it);
     }
     if (!bucket.exact && config_.auto_build) {
-      // One deduplicated build for every waiter on this slice.
+      // One deduplicated build for every waiter on this slice; its spans
+      // attach to the first waiter's request (the one that caused it).
       try {
+        const obs::ContextGuard guard(bucket.waiters.front().ctx);
+        const obs::SpanScope atlas_span(obs::Stage::kAtlas);
         obtain_atlas(bucket.key, slice_id(bucket.key));
       } catch (...) {
         const std::exception_ptr error = std::current_exception();
@@ -547,6 +576,7 @@ void SelectionService::async_worker_loop() {
     }
     for (AsyncWaiter& waiter : bucket.waiters) {
       try {
+        const obs::ContextGuard guard(waiter.ctx);
         waiter.promise.set_value(query(waiter.query));
       } catch (...) {
         waiter.promise.set_exception(std::current_exception());
@@ -581,8 +611,10 @@ std::size_t SelectionService::warm(std::span<const Query> batch) {
     return 0;
   }
   if (pool_ != nullptr && pool_->size() > 1 && to_build.size() > 1) {
+    const obs::TraceContext ctx = obs::current_context();
     pool_->parallel_for(static_cast<std::ptrdiff_t>(to_build.size()),
-                        [&](std::ptrdiff_t begin, std::ptrdiff_t end) {
+                        [&, ctx](std::ptrdiff_t begin, std::ptrdiff_t end) {
+                          const obs::ContextGuard guard(ctx);
                           for (std::ptrdiff_t i = begin; i < end; ++i) {
                             const auto& [key, id] =
                                 to_build[static_cast<std::size_t>(i)];
@@ -677,8 +709,10 @@ std::size_t SelectionService::refresh_slices() {
     rebuilt[i] = build_slice(slices[i]->key);
   };
   if (pool_ != nullptr && pool_->size() > 1 && slices.size() > 1) {
+    const obs::TraceContext ctx = obs::current_context();
     pool_->parallel_for(static_cast<std::ptrdiff_t>(slices.size()),
-                        [&](std::ptrdiff_t begin, std::ptrdiff_t end) {
+                        [&, ctx](std::ptrdiff_t begin, std::ptrdiff_t end) {
+                          const obs::ContextGuard guard(ctx);
                           for (std::ptrdiff_t i = begin; i < end; ++i) {
                             build_one(static_cast<std::size_t>(i));
                           }

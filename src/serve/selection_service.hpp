@@ -53,6 +53,7 @@
 #include "anomaly/atlas.hpp"
 #include "expr/registry.hpp"
 #include "model/machine.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/shard_cache.hpp"
 #include "store/atlas_store.hpp"
@@ -252,6 +253,9 @@ class SelectionService {
   struct AsyncWaiter {
     Query query;
     std::promise<Recommendation> promise;
+    /// The enqueuer's trace context: the worker answers under it so the
+    /// waiter's spans attach to the originating request's tree.
+    obs::TraceContext ctx;
   };
   /// One queued unit of background work: all waiters for one slice (or one
   /// exact-classification bucket).

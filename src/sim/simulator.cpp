@@ -7,6 +7,7 @@
 
 #include "net/client.hpp"
 #include "net/routes.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/str.hpp"
 
@@ -53,8 +54,45 @@ SimReport run_replay(
   std::vector<Clock::time_point> phase_end(spec.phases.size());
   std::vector<bool> phase_seen(spec.phases.size(), false);
 
+  // Stage attribution: diff the tracer's merged per-stage histograms at
+  // every phase boundary, crediting each segment to the phase that ran it.
+  using StageSnaps =
+      std::array<support::LatencyHistogram::Snapshot, obs::kStageCount>;
+  StageSnaps stage_base{};
+  std::vector<StageSnaps> stage_acc;
+  std::ptrdiff_t stage_phase = -1;
+  const auto flush_stages = [&](std::ptrdiff_t next_phase) {
+    const StageSnaps now = obs::tracer().stage_snapshots();
+    if (stage_phase >= 0) {
+      StageSnaps& acc = stage_acc[static_cast<std::size_t>(stage_phase)];
+      for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+        const support::LatencyHistogram::Snapshot delta =
+            obs::subtract_snapshot(now[s], stage_base[s]);
+        acc[s].count += delta.count;
+        acc[s].sum_seconds += delta.sum_seconds;
+      }
+    }
+    stage_base = now;
+    stage_phase = next_phase;
+  };
+  if (cfg.stage_breakdown) {
+    obs::Tracer& tr = obs::tracer();
+    if (!tr.enabled()) {
+      obs::TracerConfig tc;
+      tc.enabled = true;
+      tc.sample_every = 0;  // counters tier only: histograms, no spans
+      tr.configure(tc);
+    }
+    stage_acc.resize(spec.phases.size());
+    stage_base = tr.stage_snapshots();
+  }
+
   const Clock::time_point start = Clock::now();
   for (const Request& req : requests) {
+    if (cfg.stage_breakdown &&
+        static_cast<std::ptrdiff_t>(req.phase) != stage_phase) {
+      flush_stages(static_cast<std::ptrdiff_t>(req.phase));
+    }
     if (cfg.pace > 0.0) {
       const auto target =
           start + std::chrono::duration_cast<Clock::duration>(
@@ -78,15 +116,28 @@ SimReport run_replay(
     }
   }
 
+  if (cfg.stage_breakdown) {
+    flush_stages(-1);  // credit the tail segment to the last phase
+  }
+
   for (std::size_t i = 0; i < report.phases.size(); ++i) {
     PhaseStats& stats = report.phases[i];
     if (phase_seen[i]) {
       stats.wall_seconds = seconds_between(phase_start[i], phase_end[i]);
     }
     const support::LatencyHistogram::Snapshot snap = latencies[i].snapshot();
-    stats.p50_us = snap.quantile(0.50) * 1e6;
-    stats.p99_us = snap.quantile(0.99) * 1e6;
-    stats.p999_us = snap.quantile(0.999) * 1e6;
+    // quantile() is NaN on an empty snapshot; a phase nothing landed in
+    // reports 0 (tables and JSON want numbers, not NaN).
+    stats.p50_us = snap.count == 0 ? 0.0 : snap.quantile(0.50) * 1e6;
+    stats.p99_us = snap.count == 0 ? 0.0 : snap.quantile(0.99) * 1e6;
+    stats.p999_us = snap.count == 0 ? 0.0 : snap.quantile(0.999) * 1e6;
+    if (cfg.stage_breakdown) {
+      for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+        stats.stages.push_back(StageBreak{
+            std::string(obs::to_string(static_cast<obs::Stage>(s))),
+            stage_acc[i][s].count, stage_acc[i][s].sum_seconds});
+      }
+    }
   }
   return report;
 }
@@ -125,6 +176,22 @@ std::string SimReport::to_string() const {
         static_cast<unsigned long long>(p.atlas),
         static_cast<unsigned long long>(p.measured));
   }
+  for (const PhaseStats& p : phases) {
+    if (p.stages.empty()) {
+      continue;
+    }
+    out += support::strf("stage breakdown for %s:\n", p.name.c_str());
+    for (const StageBreak& s : p.stages) {
+      if (s.count == 0) {
+        continue;
+      }
+      out += support::strf("  %-8s %10llu x %10.1f us = %9.3f ms\n",
+                           s.stage.c_str(),
+                           static_cast<unsigned long long>(s.count),
+                           1e6 * s.seconds / static_cast<double>(s.count),
+                           1e3 * s.seconds);
+    }
+  }
   return out;
 }
 
@@ -150,6 +217,18 @@ std::string SimReport::to_json() const {
         static_cast<unsigned long long>(p.atlas),
         static_cast<unsigned long long>(p.measured), p.virtual_seconds,
         p.wall_seconds);
+    if (!p.stages.empty()) {
+      out.pop_back();  // reopen the phase object for the stages member
+      out += ", \"stages\": {";
+      for (std::size_t s = 0; s < p.stages.size(); ++s) {
+        out += support::strf(
+            "%s\"%s\": {\"count\": %llu, \"seconds\": %.6f}",
+            s == 0 ? "" : ", ", p.stages[s].stage.c_str(),
+            static_cast<unsigned long long>(p.stages[s].count),
+            p.stages[s].seconds);
+      }
+      out += "}}";
+    }
   }
   out += "\n]\n";
   return out;

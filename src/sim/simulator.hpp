@@ -42,6 +42,19 @@ struct ReplayConfig {
   /// Time-scale factor tying virtual to wall time: 1.0 replays arrivals in
   /// real time, 2.0 twice as fast, 0 (default) runs flat out back-to-back.
   double pace = 0.0;
+  /// Attribute serving time to pipeline stages per phase: the replay
+  /// enables the tracer's always-on counters tier (if not already on) and
+  /// diffs obs::tracer().stage_snapshots() at phase boundaries. In-process
+  /// replay only sees its own process's tracer — over HTTP this reports
+  /// the server's stages only when it shares the process.
+  bool stage_breakdown = false;
+};
+
+/// One stage's share of a phase (stage_breakdown only).
+struct StageBreak {
+  std::string stage;        ///< request|parse|route|lru|atlas|build|kernel
+  std::uint64_t count = 0;  ///< stage executions attributed to the phase
+  double seconds = 0.0;     ///< total stage time attributed to the phase
 };
 
 struct PhaseStats {
@@ -59,6 +72,9 @@ struct PhaseStats {
   double p50_us = 0.0;
   double p99_us = 0.0;
   double p999_us = 0.0;
+  /// Per-stage attribution (ReplayConfig::stage_breakdown; empty
+  /// otherwise). All stages are listed, including zero ones.
+  std::vector<StageBreak> stages;
 };
 
 struct SimReport {

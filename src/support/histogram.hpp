@@ -11,6 +11,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 
 namespace lamb::support {
 
@@ -30,10 +31,12 @@ class LatencyHistogram {
     /// the rank is located in the cumulative bucket counts and linearly
     /// interpolated between the bucket's bounds. Values landing in the
     /// +Inf bucket answer the largest finite bound (the estimate cannot
-    /// exceed what the histogram resolved). 0 when empty.
+    /// exceed what the histogram resolved). NaN when empty — "no data" must
+    /// not read as "zero latency" (callers that want a placeholder check
+    /// count themselves).
     double quantile(double q) const {
       if (count == 0) {
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
       }
       q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
       const double rank = q * static_cast<double>(count);

@@ -9,7 +9,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "net/client.hpp"
 #include "net/routes.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "scripted.hpp"
 #include "serve/selection_service.hpp"
 #include "support/str.hpp"
@@ -494,6 +497,118 @@ TEST(NetServe, MetricsExportServiceAndHttpCounters) {
             std::string::npos);
   EXPECT_NE(m.find("lamb_http_request_duration_seconds_count 3"),
             std::string::npos);  // recorded before this scrape's response
+  // Live gauges: this client is the only connection, and its /metrics
+  // request is the only one in flight while the body renders.
+  EXPECT_NE(m.find("lamb_http_connections_active 1"), std::string::npos);
+  EXPECT_NE(m.find("lamb_http_requests_in_flight 1"), std::string::npos);
+  // The per-stage histogram family renders (zero-valued when tracing is
+  // off) with HELP/TYPE ahead of the series.
+  EXPECT_NE(m.find("# HELP lamb_stage_seconds"), std::string::npos);
+  EXPECT_NE(m.find("lamb_stage_seconds_bucket{stage=\"route\""),
+            std::string::npos);
+}
+
+/// RAII tracer configuration for one test: restores the disabled default
+/// so the rest of the suite runs uninstrumented.
+struct ScopedTracing {
+  explicit ScopedTracing(obs::TracerConfig cfg) {
+    obs::tracer().configure(cfg);
+  }
+  ~ScopedTracing() {
+    obs::TracerConfig off;
+    off.enabled = false;
+    obs::tracer().configure(off);
+  }
+};
+
+TEST(NetServe, ColdQueryOverHttpYieldsACompleteSpanTree) {
+  obs::TracerConfig tc;
+  tc.enabled = true;
+  tc.sample_every = 1;
+  const ScopedTracing tracing(tc);
+
+  ServedService served;
+  Client client = served.connect();
+  ASSERT_EQ(client.request("POST", "/v1/query", "scripted,444").status, 200);
+
+  // The query's trace is complete once its response arrived (end_request
+  // runs before the response bytes flush). Find it by its root label via
+  // the stage set: one trace holds request+parse+route AND the serving
+  // stages the cold miss walked (lru probe, atlas resolution, slice
+  // build). kKernel is absent — the scripted machine never calls
+  // blas::gemm; obs_test pins that stage directly.
+  std::map<std::uint64_t, std::vector<obs::SpanRecord>> by_trace;
+  for (const obs::SpanRecord& span : obs::tracer().recent_spans()) {
+    by_trace[span.trace_id].push_back(span);
+  }
+  bool found_complete = false;
+  for (const auto& [trace_id, spans] : by_trace) {
+    std::set<obs::Stage> stages;
+    std::map<std::uint32_t, obs::SpanRecord> by_id;
+    for (const obs::SpanRecord& span : spans) {
+      stages.insert(span.stage);
+      by_id.emplace(span.span_id, span);
+    }
+    if (!stages.count(obs::Stage::kRequest) ||
+        !stages.count(obs::Stage::kParse) ||
+        !stages.count(obs::Stage::kRoute) ||
+        !stages.count(obs::Stage::kLru) ||
+        !stages.count(obs::Stage::kAtlas) ||
+        !stages.count(obs::Stage::kBuild)) {
+      continue;
+    }
+    found_complete = true;
+    // Well-formed: one root, no orphans, children inside their parents.
+    std::size_t roots = 0;
+    for (const obs::SpanRecord& span : spans) {
+      if (span.parent_id == 0) {
+        ++roots;
+        continue;
+      }
+      const auto parent = by_id.find(span.parent_id);
+      ASSERT_NE(parent, by_id.end());
+      EXPECT_GE(span.t_start_ns, parent->second.t_start_ns);
+      EXPECT_LE(span.t_end_ns, parent->second.t_end_ns);
+    }
+    EXPECT_EQ(roots, 1u);
+  }
+  EXPECT_TRUE(found_complete)
+      << "no trace carried the full cold-query stage set";
+
+  // The same capture renders from the live server as Chrome trace JSON.
+  const auto trace = client.request("GET", "/debug/trace");
+  ASSERT_EQ(trace.status, 200);
+  EXPECT_NE(trace.body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.body.find("\"name\": \"request\""), std::string::npos);
+  EXPECT_NE(trace.body.find("\"name\": \"build\""), std::string::npos);
+}
+
+TEST(NetServe, DebugSlowLogAndSampleRateRoundTrip) {
+  obs::TracerConfig tc;
+  tc.enabled = true;
+  tc.sample_every = 1;
+  tc.slow_threshold_ns = 0;  // every request is "slow"
+  const ScopedTracing tracing(tc);
+
+  ServedService served;
+  Client client = served.connect();
+  ASSERT_EQ(client.request("POST", "/v1/query", "scripted,444").status, 200);
+
+  const auto slow = client.request("GET", "/debug/slow");
+  ASSERT_EQ(slow.status, 200);
+  EXPECT_NE(slow.body.find("\"trace_id\""), std::string::npos);
+  EXPECT_NE(slow.body.find("/v1/query"), std::string::npos);
+  EXPECT_NE(slow.body.find("\"spans\""), std::string::npos);
+
+  // The sampling knob round-trips through the POST surface.
+  const auto set = client.request("POST", "/debug/sample_rate", "16");
+  ASSERT_EQ(set.status, 200);
+  EXPECT_NE(set.body.find("\"sample_every\":16"), std::string::npos);
+  EXPECT_EQ(obs::tracer().sample_every(), 16u);
+  EXPECT_EQ(client.request("POST", "/debug/sample_rate", "many").status,
+            400);
+  EXPECT_EQ(client.request("POST", "/debug/sample_rate", "-3").status, 400);
+  EXPECT_EQ(obs::tracer().sample_every(), 16u);  // rejected inputs held
 }
 
 // ------------------------------------------------- custom handler behavior

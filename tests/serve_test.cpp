@@ -10,11 +10,15 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <map>
+#include <mutex>
+#include <set>
 #include <stdexcept>
 #include <thread>
 
 #include "anomaly/classifier.hpp"
 #include "model/simulated_machine.hpp"
+#include "obs/trace.hpp"
 #include "scripted.hpp"
 #include "serve/selection_service.hpp"
 #include "serve/shard_cache.hpp"
@@ -524,6 +528,108 @@ TEST(SelectionService, ConcurrentMixedSingleBatchAndAsyncCallersAgree) {
   }
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_EQ(service.stats().atlases_built, 1u);
+}
+
+// Full-capture tracing under the same 8-thread mixed workload: every
+// operation runs under its own synthetic root span, and afterwards every
+// recorded span must belong to a known trace and form a well-formed tree —
+// exactly one root, every parent id resolvable within the trace, and every
+// child's interval nested inside its parent's (the timestamps are globally
+// ordered, so this holds across ThreadPool slice builds and the async
+// worker too). The ring is sized to retain everything; the wraparound /
+// torn-read behaviour is obs_test's job.
+TEST(SelectionService, TracedMixedStressYieldsWellFormedSpanTrees) {
+  model::SimulatedMachine machine;
+  ServiceConfig cfg = scripted_config();
+  cfg.cache_capacity = 128;
+  SelectionService service(machine, cfg);
+
+  obs::Tracer& tracer = obs::tracer();
+  obs::TracerConfig tc;
+  tc.enabled = true;
+  tc.sample_every = 1;       // capture every operation
+  tc.ring_capacity = 65536;  // large enough that nothing is overwritten
+  tracer.configure(tc);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 40;
+  std::mutex ids_mutex;
+  std::set<std::uint64_t> known_traces;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::set<std::uint64_t> local;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int size = 20 + ((t * 131 + i * 29) % 1181);
+        const Query q{"aatb", {size, 260, 549}, 0, false};
+        obs::RequestTrace trace = tracer.begin_request("stress");
+        {
+          const obs::ContextGuard guard(trace.ctx);
+          switch ((t + i) % 3) {
+            case 0:
+              service.query(q);
+              break;
+            case 1:
+              service.query_batch({q, q});
+              break;
+            default:
+              // get() before end_request: the worker's spans for this
+              // trace are all pushed before the future resolves.
+              service.query_async(q).get();
+              break;
+          }
+        }
+        tracer.end_request(trace);
+        local.insert(trace.ctx.trace_id);
+      }
+      const std::lock_guard<std::mutex> lock(ids_mutex);
+      known_traces.insert(local.begin(), local.end());
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  tracer.set_enabled(false);  // quiesce before scanning
+
+  std::map<std::uint64_t, std::vector<obs::SpanRecord>> by_trace;
+  for (const obs::SpanRecord& span : tracer.recent_spans()) {
+    ASSERT_TRUE(known_traces.count(span.trace_id))
+        << "span from unknown trace " << span.trace_id;
+    by_trace[span.trace_id].push_back(span);
+  }
+  ASSERT_EQ(by_trace.size(),
+            static_cast<std::size_t>(kThreads) * kOpsPerThread);
+
+  for (const auto& [trace_id, spans] : by_trace) {
+    std::map<std::uint32_t, obs::SpanRecord> by_id;
+    std::size_t roots = 0;
+    for (const obs::SpanRecord& span : spans) {
+      ASSERT_TRUE(by_id.emplace(span.span_id, span).second)
+          << "duplicate span id in trace " << trace_id;
+      if (span.parent_id == 0) {
+        ++roots;
+        EXPECT_EQ(span.stage, obs::Stage::kRequest);
+      }
+    }
+    EXPECT_EQ(roots, 1u) << "trace " << trace_id;
+    for (const obs::SpanRecord& span : spans) {
+      ASSERT_LE(span.t_start_ns, span.t_end_ns);
+      if (span.parent_id == 0) {
+        continue;
+      }
+      const auto parent = by_id.find(span.parent_id);
+      ASSERT_NE(parent, by_id.end())
+          << "orphan span " << span.span_id << " in trace " << trace_id;
+      EXPECT_GE(span.t_start_ns, parent->second.t_start_ns);
+      EXPECT_LE(span.t_end_ns, parent->second.t_end_ns);
+    }
+  }
+
+  // Restore the process-wide default for the rest of the suite.
+  obs::TracerConfig off;
+  off.enabled = false;
+  tracer.configure(off);
 }
 
 // ------------------------------------------------------ batch edge cases

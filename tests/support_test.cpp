@@ -2,6 +2,7 @@
 // tables, CLI parsing, endian/hash helpers, LRU cache.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -222,8 +223,11 @@ TEST(LatencyHistogram, QuantileSpansBuckets) {
 }
 
 TEST(LatencyHistogram, QuantileEdgeCases) {
+  // Empty answers NaN, never 0: "no data" must not read as "zero latency".
   lamb::support::LatencyHistogram empty;
-  EXPECT_EQ(empty.snapshot().quantile(0.5), 0.0);
+  EXPECT_TRUE(std::isnan(empty.snapshot().quantile(0.5)));
+  EXPECT_TRUE(std::isnan(empty.snapshot().quantile(0.0)));
+  EXPECT_TRUE(std::isnan(empty.snapshot().quantile(1.0)));
 
   lamb::support::LatencyHistogram one;
   one.record(3e-3);  // (2e-3, 5e-3]
