@@ -17,9 +17,17 @@
 //
 //   bm_net_throughput [--connections=4] [--requests=20000] [--pipeline=32]
 //                     [--batch=64] [--seconds=2] [--min-qps=0]
-//                     [--port=0] [--http-threads=2] [--json=PATH]
+//                     [--port=0] [--http-threads=2] [--loops=1]
+//                     [--loop-sweep=N] [--json=PATH]
 //                     [--trace=off|counters|sampled|full] [--trace-sweep]
 //                     [--rounds=3] [--max-sampled-overhead=0]
+//
+// --loops shards the server over N epoll event loops (SO_REUSEPORT
+// listeners when the kernel allows). --loop-sweep=N additionally re-runs
+// the single-query phase at 1, 2, 4, ... <= N loops against fresh servers
+// and reports aggregate qps plus the per-loop request shares (written to
+// the JSON as loop_sweep rows, host core count included — loops beyond the
+// physical cores cannot scale).
 //
 // --json writes the phase results as a flat JSON array (the same shape as
 // bm_kernels --json), which scripts/check.sh collects as BENCH_serving.json.
@@ -86,7 +94,12 @@ void drive_connection(const std::string& host, std::uint16_t port,
                       const std::vector<std::string>& bodies,
                       const char* target, int requests, int window,
                       PhaseResult& out) {
-  net::Client client(host, port);
+  // Bounded connect/IO: a wedged server fails the benchmark loudly instead
+  // of hanging CI forever.
+  net::ClientConfig client_cfg;
+  client_cfg.connect_timeout_s = 10.0;
+  client_cfg.io_timeout_s = 120.0;
+  net::Client client(host, port, client_cfg);
   std::vector<clock_type::time_point> send_times;
   send_times.reserve(static_cast<std::size_t>(requests));
   out.latencies.reserve(static_cast<std::size_t>(requests));
@@ -185,6 +198,8 @@ int main(int argc, char** argv) {
   const int requests = static_cast<int>(cli.get_int("requests", 20000));
   const int window = static_cast<int>(cli.get_int("pipeline", 32));
   const int batch = static_cast<int>(cli.get_int("batch", 64));
+  const int loops = static_cast<int>(cli.get_int("loops", 1));
+  const int loop_sweep = static_cast<int>(cli.get_int("loop-sweep", 0));
   const double min_qps = cli.get_double("min-qps", 0.0);
   const std::string trace_mode = cli.get_string("trace", "off");
   if (!apply_trace_mode(trace_mode)) {
@@ -205,8 +220,9 @@ int main(int argc, char** argv) {
   net::ServerConfig server_cfg;
   server_cfg.port = static_cast<std::uint16_t>(cli.get_int("port", 0));
   server_cfg.max_connections = static_cast<std::size_t>(connections) + 8;
+  server_cfg.loops = static_cast<std::size_t>(loops);
   net::Server server(routes.router(), server_cfg);
-  routes.attach_http_stats(&server.stats());
+  routes.attach_server(&server);
   std::thread loop([&] { server.run(); });
 
   // Warm one slice; every query below lands on it, so the wire + serving
@@ -236,9 +252,14 @@ int main(int argc, char** argv) {
     batch_bodies.push_back(std::move(body));
   }
 
-  std::printf("bm_net_throughput: %d connections, pipeline %d, loopback "
-              "port %u\n",
-              connections, window, server.port());
+  std::printf("bm_net_throughput: %d connections, pipeline %d, %zu loop%s "
+              "(%s), loopback port %u\n",
+              connections, window, server.loops(),
+              server.loops() == 1 ? "" : "s",
+              server.loops() == 1          ? "single listener"
+              : server.sharded_listeners() ? "SO_REUSEPORT"
+                                           : "acceptor handoff",
+              server.port());
 
   if (cli.get_bool("trace-sweep", false)) {
     const int rounds = static_cast<int>(cli.get_int("rounds", 3));
@@ -356,6 +377,56 @@ int main(int argc, char** argv) {
   server.stop();
   loop.join();
 
+  // Loop scaling sweep: re-run the single-query phase against fresh servers
+  // with 1, 2, 4, ... <= --loop-sweep event loops. The per-loop request
+  // shares show how evenly the kernel (SO_REUSEPORT) or the round-robin
+  // acceptor spread the connections; host_cores is recorded because loops
+  // beyond the physical core count cannot scale (CI runners and dev hosts
+  // differ widely here — the JSON keeps the numbers honest).
+  std::vector<std::string> sweep_rows;
+  if (loop_sweep > 0) {
+    const unsigned host_cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::printf("loop scaling sweep (host cores: %u):\n", host_cores);
+    for (int n = 1; n <= loop_sweep; n *= 2) {
+      net::ServerConfig sweep_cfg;
+      sweep_cfg.port = 0;
+      sweep_cfg.max_connections = static_cast<std::size_t>(connections) + 8;
+      sweep_cfg.loops = static_cast<std::size_t>(n);
+      net::Server sweep_server(routes.router(), sweep_cfg);
+      routes.attach_server(&sweep_server);
+      std::thread sweep_loop([&] { sweep_server.run(); });
+      const PhaseResult r =
+          run_phase("127.0.0.1", sweep_server.port(), single_bodies,
+                    "/v1/query", connections, requests, window, 1);
+      std::string per_loop = "[";
+      for (std::size_t i = 0; i < sweep_server.loops(); ++i) {
+        per_loop += support::strf(
+            "%s%llu", i == 0 ? "" : ", ",
+            static_cast<unsigned long long>(
+                sweep_server.loop_stats(i).requests_total.load()));
+      }
+      per_loop += "]";
+      sweep_server.stop();
+      sweep_loop.join();
+      std::printf(
+          "  loops %2d (%s) %8.0f q/s | p50 %7.1f us  p99 %7.1f us | "
+          "per-loop requests %s\n",
+          n, sweep_server.sharded_listeners() ? "reuseport" : "handoff ",
+          r.qps(), 1e6 * r.quantile(0.50), 1e6 * r.quantile(0.99),
+          per_loop.c_str());
+      sweep_rows.push_back(support::strf(
+          "  {\"section\": \"serving\", \"name\": \"loop_sweep\", "
+          "\"loops\": %d, \"host_cores\": %u, \"sharded\": %s, "
+          "\"qps\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
+          "\"per_loop_requests\": %s}",
+          n, host_cores,
+          sweep_server.sharded_listeners() ? "true" : "false", r.qps(),
+          1e6 * r.quantile(0.50), 1e6 * r.quantile(0.99), per_loop.c_str()));
+    }
+    routes.attach_server(&server);  // sweep servers are gone
+  }
+
   if (cli.has("json")) {
     const std::string path = cli.get_string("json", "");
     std::ofstream out(path);
@@ -381,9 +452,12 @@ int main(int argc, char** argv) {
         << ",\n"
         << support::strf(
                "  {\"section\": \"serving\", \"name\": \"batch_speedup\", "
-               "\"per_query_speedup\": %.2f}\n",
-               single_per_query / batch_per_query)
-        << "]\n";
+               "\"per_query_speedup\": %.2f}",
+               single_per_query / batch_per_query);
+    for (const std::string& row : sweep_rows) {
+      out << ",\n" << row;
+    }
+    out << "\n]\n";
     std::printf("wrote %s\n", path.c_str());
   }
 

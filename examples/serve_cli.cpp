@@ -24,7 +24,7 @@
 //           then listen until SIGINT/SIGTERM (graceful drain, checkpoint on
 //           exit when an atlas dir is set)
 //             serve_cli serve --port=8080 --atlas-dir=atlases
-//                       [--bind=127.0.0.1 --http-threads=2]
+//                       [--bind=127.0.0.1 --http-threads=2 --loops=N]
 //                       [--trace=off|counters|sampled|full
 //                        --trace-sample=64 --slow-ms=10]
 //                       [--drift-refresh --drift-interval=30
@@ -34,6 +34,10 @@
 //           through the copy-on-write refresh path when the machine's
 //           timings move; progress is visible as lamb_drift_* on /metrics.
 //           With --atlas-dir the drift baseline persists next to the slices.
+//           --loops=N shards the front-end over N independent epoll loops
+//           (per-loop SO_REUSEPORT listeners when the kernel allows, else a
+//           round-robin acceptor); /metrics exports per-loop lamb_net_loop_*
+//           series next to the aggregated lamb_http_* families.
 //           --trace controls the obs::Tracer (default sampled): counters
 //           keeps only the always-on lamb_stage_seconds histograms, sampled
 //           adds full span capture for 1-in---trace-sample requests, full
@@ -51,7 +55,7 @@
 //           (in-process, or --http with --connections=1) the same source
 //           mix — the CI smoke diffs two runs.
 //             serve_cli simulate [--trace=spec.toml] [--seed=1]
-//                       [--http --connections=1] [--warm] [--pace=1]
+//                       [--http --connections=1 --loops=N] [--warm] [--pace=1]
 //                       [--json=out.json] [--max-p99-ms=N] [--print-trace]
 //                       [--stage-breakdown]
 //           --stage-breakdown additionally attributes serving time to the
@@ -457,8 +461,9 @@ int cmd_serve(const support::Cli& cli, serve::SelectionService& service,
   net::ServerConfig server_cfg;
   server_cfg.bind_address = cli.get_string("bind", "127.0.0.1");
   server_cfg.port = static_cast<std::uint16_t>(cli.get_int("port", 8080));
+  server_cfg.loops = static_cast<std::size_t>(cli.get_int("loops", 1));
   net::Server server(routes.router(), server_cfg);
-  routes.attach_http_stats(&server.stats());
+  routes.attach_server(&server);
 
   g_serving.store(&server);
   std::signal(SIGINT, handle_stop_signal);
@@ -467,8 +472,12 @@ int cmd_serve(const support::Cli& cli, serve::SelectionService& service,
   std::printf("serving on http://%s:%u (POST /v1/query, POST /v1/batch, "
               "GET /healthz, GET /metrics, GET /debug/trace, "
               "GET /debug/slow, POST /debug/sample_rate); "
-              "SIGINT/SIGTERM drains\n",
-              server_cfg.bind_address.c_str(), server.port());
+              "%zu event loop%s (%s); SIGINT/SIGTERM drains\n",
+              server_cfg.bind_address.c_str(), server.port(), server.loops(),
+              server.loops() == 1 ? "" : "s",
+              server.loops() == 1          ? "single listener"
+              : server.sharded_listeners() ? "SO_REUSEPORT sharded"
+                                           : "acceptor handoff");
   if (trace_mode != "off") {
     const obs::TracerConfig tc = obs::tracer().config();
     const std::string capture =
@@ -495,11 +504,11 @@ int cmd_serve(const support::Cli& cli, serve::SelectionService& service,
                 d.last_score);
   }
 
-  const auto& h = server.stats();
+  const net::HttpStatsSnapshot h = server.stats();
   std::printf("drained: %llu connections, %llu requests, %llu bytes out\n",
-              static_cast<unsigned long long>(h.connections_accepted.load()),
-              static_cast<unsigned long long>(h.requests_total.load()),
-              static_cast<unsigned long long>(h.bytes_written.load()));
+              static_cast<unsigned long long>(h.connections_accepted),
+              static_cast<unsigned long long>(h.requests_total),
+              static_cast<unsigned long long>(h.bytes_written));
   print_stats(service);
   return 0;
 }
@@ -574,8 +583,9 @@ int cmd_simulate(const support::Cli& cli, serve::SelectionService& service) {
     net::ServerConfig server_cfg;
     server_cfg.bind_address = "127.0.0.1";
     server_cfg.port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+    server_cfg.loops = static_cast<std::size_t>(cli.get_int("loops", 1));
     net::Server server(routes.router(), server_cfg);
-    routes.attach_http_stats(&server.stats());
+    routes.attach_server(&server);
     std::thread loop([&server] { server.run(); });
     try {
       report = sim::replay_http("127.0.0.1", server.port(), requests, spec,

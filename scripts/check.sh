@@ -38,6 +38,11 @@ elif [[ "$SANITIZE" == "thread" ]]; then
   SANITIZE_FLAGS=(-DLAMB_SANITIZE=thread)
   TEST_FILTER=(-R 'serve_test|parallel_test|net_test|drift_test|sim_test|blas_kernel_dispatch_test|blas_gemm_test|obs_test')
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+  # Run the net suite multi-reactor under TSan: every ServedService that
+  # does not pin a loop count serves with 2 event loops, so the REUSEPORT
+  # sharding, acceptor handoff, cross-loop stop() and hub completion paths
+  # are all race-checked.
+  export LAMB_NET_TEST_LOOPS="${LAMB_NET_TEST_LOOPS:-2}"
 else
   BUILD_DIR="${1:-build}"
   SANITIZE_FLAGS=()
@@ -65,8 +70,10 @@ if [[ "$SANITIZE" == "0" && "${BENCH:-1}" != "0" \
 fi
 if [[ "$SANITIZE" == "0" && "${BENCH:-1}" != "0" \
       && -x "$BUILD_DIR/bm_net_throughput" ]]; then
+  # --loop-sweep=4 appends the reactor scaling rows (1, 2, 4 loops with
+  # per-loop request shares) to the serving trajectory.
   "$BUILD_DIR/bm_net_throughput" --requests=4000 --connections=2 \
-    --json BENCH_serving.json
+    --loop-sweep=4 --json BENCH_serving.json
   # Tracing overhead trajectory: qps with tracing off / sampled (1-in-64) /
   # full, interleaved rounds with the min-round overhead statistic.
   # Report-only here; CI gates the sampled overhead with

@@ -5,12 +5,15 @@
 #
 #   scripts/http_smoke.sh [build-dir]     (default: build)
 #
-# Environment: PORT (default 18080).
+# Environment: PORT (default 18080), LOOPS (default 2 — the server runs
+# multi-reactor so the smoke covers listener sharding and the per-loop
+# /metrics series).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 PORT="${PORT:-18080}"
+LOOPS="${LOOPS:-2}"
 BIN="$BUILD_DIR/serve_cli"
 BASE="http://127.0.0.1:$PORT"
 
@@ -20,7 +23,7 @@ if [[ ! -x "$BIN" ]]; then
 fi
 
 # --hi=400 keeps on-demand atlas scans quick on the simulated machine.
-"$BIN" serve --port="$PORT" --hi=400 &
+"$BIN" serve --port="$PORT" --hi=400 --loops="$LOOPS" &
 SRV=$!
 trap 'kill -9 "$SRV" 2>/dev/null || true' EXIT
 
@@ -51,6 +54,13 @@ echo "$METRICS" | grep -q 'lamb_selection_answers_total{source="atlas"}'
 echo "$METRICS" | grep -q 'lamb_http_request_duration_seconds_bucket'
 echo "$METRICS" | grep -q 'lamb_http_connections_active'
 echo "$METRICS" | grep -q 'lamb_stage_seconds_bucket{stage="route"'
+# Multi-reactor series: the loop-count gauge matches --loops, and one
+# lamb_net_loop_* series exists per loop (cardinality is re-checked by
+# metrics_lint below).
+echo "$METRICS" | grep -q "lamb_net_loops $LOOPS"
+for ((i = 0; i < LOOPS; i++)); do
+  echo "$METRICS" | grep -q "lamb_net_loop_requests_total{loop=\"$i\"}"
+done
 
 # Exposition lint: HELP/TYPE before every family, no duplicate series, and
 # counters monotonic between two scrapes separated by more traffic.

@@ -9,6 +9,11 @@
 # With two files (two scrapes of the same server, second taken later):
 # additionally every series of a `counter` family must be monotonic —
 # value(SCRAPE2) >= value(SCRAPE1). Gauges are exempt by construction.
+#
+# Per-reactor series: when a scrape exposes the lamb_net_loops gauge, every
+# lamb_net_loop_* family must carry exactly one series per loop — loop
+# labels 0..N-1, no more, no fewer (a reactor silently missing from the
+# scrape would hide a wedged loop).
 set -euo pipefail
 
 if [[ $# -lt 1 || $# -gt 2 ]]; then
@@ -66,13 +71,44 @@ def parse(path):
     return helps, types, series, errors
 
 
+def check_loop_cardinality(path, series):
+    """Every lamb_net_loop_* family must have loop labels 0..N-1 exactly,
+    where N is the lamb_net_loops gauge in the same scrape."""
+    errs = []
+    if 'lamb_net_loops' not in series:
+        return errs
+    loops = int(series['lamb_net_loops'])
+    expected = {str(i) for i in range(loops)}
+    families = {}
+    for key in series:
+        name = key.split('{', 1)[0]
+        if not name.startswith('lamb_net_loop_'):
+            continue
+        label = re.search(r'loop="([^"]*)"', key)
+        if label is None:
+            errs.append(f'{path}: {key} lacks a loop label')
+            continue
+        families.setdefault(name, set()).add(label.group(1))
+    if not families:
+        errs.append(f'{path}: lamb_net_loops={loops} but no '
+                    'lamb_net_loop_* series')
+    for name, seen in sorted(families.items()):
+        if seen != expected:
+            errs.append(
+                f'{path}: {name} loop labels {sorted(seen)} != expected '
+                f'{sorted(expected)} (lamb_net_loops={loops})')
+    return errs
+
+
 errors = []
 _, types1, series1, errs = parse(sys.argv[1])
 errors += errs
+errors += check_loop_cardinality(sys.argv[1], series1)
 
 if len(sys.argv) > 2:
     _, types2, series2, errs = parse(sys.argv[2])
     errors += errs
+    errors += check_loop_cardinality(sys.argv[2], series2)
     counters = {f for f, kind in types2.items() if kind == 'counter'}
     for key, later in series2.items():
         name = key.split('{', 1)[0]

@@ -1,9 +1,12 @@
 #include "net/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -15,12 +18,22 @@
 namespace lamb::net {
 
 Client::Client(const std::string& host, std::uint16_t port,
-               std::size_t max_response_bytes)
-    : parser_(max_response_bytes) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+               ClientConfig config)
+    : parser_(config.max_response_bytes) {
+  const bool timed_connect = config.connect_timeout_s > 0.0;
+  fd_ = ::socket(AF_INET,
+                 SOCK_STREAM | SOCK_CLOEXEC |
+                     (timed_connect ? SOCK_NONBLOCK : 0),
+                 0);
   if (fd_ < 0) {
     throw NetError(std::string("socket: ") + std::strerror(errno));
   }
+  const auto fail = [&](const std::string& what) {
+    const std::string error = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError(what + ": " + error);
+  };
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -29,12 +42,55 @@ Client::Client(const std::string& host, std::uint16_t port,
     fd_ = -1;
     throw NetError("bad address: " + host);
   }
+  const std::string where = support::strf("connect %s:%u", host.c_str(), port);
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string error = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw NetError(support::strf("connect %s:%u: ", host.c_str(), port) +
-                   error);
+    if (!timed_connect || errno != EINPROGRESS) {
+      fail(where);
+    }
+    // Bounded connect: poll for writability, then read the socket error.
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    const int timeout_ms =
+        static_cast<int>(config.connect_timeout_s * 1000.0);
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      fail(where + " (poll)");
+    }
+    if (rc == 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw NetError(support::strf("%s: timed out after %.3fs",
+                                   where.c_str(), config.connect_timeout_s));
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0) {
+      fail(where + " (SO_ERROR)");
+    }
+    if (soerr != 0) {
+      errno = soerr;
+      fail(where);
+    }
+  }
+  if (timed_connect) {
+    // Back to blocking: send()/read() below rely on blocking semantics
+    // (bounded by SO_SNDTIMEO/SO_RCVTIMEO when io_timeout_s is set).
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0) {
+      ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK);
+    }
+  }
+  if (config.io_timeout_s > 0.0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(config.io_timeout_s);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (config.io_timeout_s - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   }
   const int on = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
@@ -114,7 +170,10 @@ ResponseParser::Parsed Client::receive() {
       if (errno == EINTR) {
         continue;
       }
-      const std::string error = std::strerror(errno);
+      // EAGAIN on a blocking socket means SO_RCVTIMEO expired.
+      const std::string error = errno == EAGAIN || errno == EWOULDBLOCK
+                                    ? "timed out"
+                                    : std::strerror(errno);
       close();
       throw NetError("read: " + error);
     }

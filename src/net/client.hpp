@@ -13,11 +13,27 @@
 
 namespace lamb::net {
 
+struct ClientConfig {
+  std::size_t max_response_bytes = 64u << 20;
+  /// Seconds to wait for connect() to complete; 0 = block forever. Timed
+  /// connects go through a non-blocking socket + poll, so an unreachable
+  /// server fails in bounded time instead of the kernel's SYN patience.
+  double connect_timeout_s = 0.0;
+  /// Per-read/per-write timeout (SO_RCVTIMEO/SO_SNDTIMEO), seconds;
+  /// 0 = block forever. A receive() that exceeds it throws NetError —
+  /// the load generator and trace replayer use this so one hung
+  /// connection cannot wedge a whole run.
+  double io_timeout_s = 0.0;
+};
+
 class Client {
  public:
-  /// Connects immediately; throws NetError on failure.
+  /// Connects immediately; throws NetError on failure (or on
+  /// connect-timeout expiry).
+  Client(const std::string& host, std::uint16_t port, ClientConfig config);
   Client(const std::string& host, std::uint16_t port,
-         std::size_t max_response_bytes = 64u << 20);
+         std::size_t max_response_bytes = 64u << 20)
+      : Client(host, port, ClientConfig{max_response_bytes, 0.0, 0.0}) {}
   ~Client();
 
   Client(Client&& other) noexcept;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 
 #include "support/str.hpp"
 
@@ -136,15 +137,26 @@ Response text_response(int status, std::string body) {
 
 void append_response(std::string& out, const Response& response,
                      bool keep_alive) {
-  const bool persist = keep_alive && !response.close;
-  out += support::strf("HTTP/1.1 %d ", response.status);
-  out += status_reason(response.status);
-  out += "\r\nContent-Type: ";
-  out += response.content_type;
-  out += support::strf("\r\nContent-Length: %zu", response.body.size());
-  out += persist ? "\r\nConnection: keep-alive\r\n\r\n"
-                 : "\r\nConnection: close\r\n\r\n";
-  out += response.body;
+  append_response(out, response.status, response.content_type, response.body,
+                  keep_alive && !response.close);
+}
+
+void append_response(std::string& out, int status,
+                     std::string_view content_type, std::string_view body,
+                     bool persist) {
+  char head[96];
+  const std::string_view reason = status_reason(status);
+  int n = std::snprintf(head, sizeof(head), "HTTP/1.1 %d %.*s\r\n"
+                        "Content-Type: ", status,
+                        static_cast<int>(reason.size()), reason.data());
+  out.append(head, static_cast<std::size_t>(n));
+  out.append(content_type);
+  n = std::snprintf(head, sizeof(head), "\r\nContent-Length: %zu",
+                    body.size());
+  out.append(head, static_cast<std::size_t>(n));
+  out.append(persist ? "\r\nConnection: keep-alive\r\n\r\n"
+                     : "\r\nConnection: close\r\n\r\n");
+  out.append(body);
 }
 
 // ---------------------------------------------------------- request parser
@@ -175,7 +187,18 @@ RequestParser::State RequestParser::advance() {
     return state_;
   }
   buf_.erase(0, head_bytes_ + body_bytes_);
-  request_ = Request{};
+  // Reuse request_'s buffers across keep-alive requests: clear() keeps
+  // string and vector capacity where `request_ = Request{}` would free
+  // every allocation just to reacquire it on the next request (the serving
+  // hot path is audited allocation-free). Header slots are reused in place
+  // by parse_head.
+  request_.method.clear();
+  request_.target.clear();
+  request_.path.clear();
+  request_.query_string.clear();
+  request_.version.clear();
+  request_.body.clear();
+  request_.keep_alive = true;
   stage_ = Stage::kHead;
   head_bytes_ = 0;
   body_bytes_ = 0;
@@ -203,35 +226,55 @@ bool RequestParser::parse_head(const std::vector<std::string_view>& lines) {
     fail(400, "malformed request line");
     return false;
   }
-  request_.method = std::string(line.substr(0, sp1));
-  request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
-  request_.version = std::string(line.substr(sp2 + 1));
+  // assign() reuses each field's existing capacity (substr/operator= with a
+  // temporary would allocate fresh storage on every request).
+  request_.method.assign(line.data(), sp1);
+  request_.target.assign(line.data() + sp1 + 1, sp2 - sp1 - 1);
+  request_.version.assign(line.data() + sp2 + 1, line.size() - sp2 - 1);
   if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
     fail(505, "unsupported protocol version: " + request_.version);
     return false;
   }
   const std::size_t qmark = request_.target.find('?');
-  request_.path = request_.target.substr(0, qmark);
-  request_.query_string = qmark == std::string::npos
-                              ? std::string()
-                              : request_.target.substr(qmark + 1);
+  if (qmark == std::string::npos) {
+    request_.path.assign(request_.target);
+    request_.query_string.clear();
+  } else {
+    request_.path.assign(request_.target, 0, qmark);
+    request_.query_string.assign(request_.target, qmark + 1,
+                                 std::string::npos);
+  }
 
+  // Header slots are reused in place: a keep-alive client sending the same
+  // header count each request touches no allocator after the first one.
+  std::size_t parsed_headers = 0;
   for (std::size_t i = 1; i < lines.size(); ++i) {
     const std::string_view h = lines[i];
     const std::size_t colon = h.find(':');
     if (colon == 0 || colon == std::string_view::npos) {
+      request_.headers.resize(parsed_headers);
       fail(400, "malformed header line");
       return false;
     }
     const std::string_view name = h.substr(0, colon);
     if (name.find(' ') != std::string_view::npos ||
         name.find('\t') != std::string_view::npos) {
+      request_.headers.resize(parsed_headers);
       fail(400, "whitespace in header name");
       return false;
     }
-    request_.headers.push_back(
-        Header{std::string(name), std::string(trim(h.substr(colon + 1)))});
+    const std::string_view value = trim(h.substr(colon + 1));
+    if (parsed_headers < request_.headers.size()) {
+      Header& slot = request_.headers[parsed_headers];
+      slot.name.assign(name.data(), name.size());
+      slot.value.assign(value.data(), value.size());
+    } else {
+      request_.headers.push_back(
+          Header{std::string(name), std::string(value)});
+    }
+    ++parsed_headers;
   }
+  request_.headers.resize(parsed_headers);
 
   if (request_.header("Transfer-Encoding") != nullptr) {
     fail(501, "transfer encodings are not implemented; use Content-Length");
@@ -284,12 +327,12 @@ RequestParser::State RequestParser::parse() {
     }
     if (len == 0) {  // blank line: the header block is complete
       head_bytes_ = nl + 1;
-      std::vector<std::string_view> lines;
-      lines.reserve(line_spans_.size());
+      lines_scratch_.clear();
+      lines_scratch_.reserve(line_spans_.size());
       for (const auto& [start, span_len] : line_spans_) {
-        lines.emplace_back(buf_.data() + start, span_len);
+        lines_scratch_.emplace_back(buf_.data() + start, span_len);
       }
-      if (!parse_head(lines)) {
+      if (!parse_head(lines_scratch_)) {
         return state_;  // kError, set by parse_head
       }
       stage_ = Stage::kBody;
@@ -303,7 +346,7 @@ RequestParser::State RequestParser::parse() {
     if (buf_.size() < head_bytes_ + body_bytes_) {
       return state_;  // kNeedMore
     }
-    request_.body = buf_.substr(head_bytes_, body_bytes_);
+    request_.body.assign(buf_, head_bytes_, body_bytes_);
     stage_ = Stage::kDone;
     state_ = State::kComplete;
   }

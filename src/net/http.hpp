@@ -74,6 +74,14 @@ Response text_response(int status, std::string body);
 void append_response(std::string& out, const Response& response,
                      bool keep_alive);
 
+/// Same serialization from parts, with the persistence decision already
+/// made. Appends into `out` with no intermediate strings — the reactor's
+/// inline completion path is audited allocation-free, so the head is
+/// formatted on the stack.
+void append_response(std::string& out, int status,
+                     std::string_view content_type, std::string_view body,
+                     bool persist);
+
 class RequestParser {
  public:
   enum class State : std::uint8_t {
@@ -124,6 +132,7 @@ class RequestParser {
   std::size_t scan_pos_ = 0;   ///< '\n' search resumes here
   std::size_t line_start_ = 0;
   std::vector<std::pair<std::size_t, std::size_t>> line_spans_;
+  std::vector<std::string_view> lines_scratch_;  ///< reused by parse()
   Stage stage_ = Stage::kHead;
   State state_ = State::kNeedMore;
   int error_status_ = 0;

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <chrono>
+#include <cstdio>
 #include <future>
 #include <limits>
 #include <utility>
@@ -100,27 +101,49 @@ Response csv_response(std::string body) {
 
 }  // namespace
 
-serve::Query parse_query_line(std::string_view line) {
-  const std::vector<std::string_view> fields = split(line, ',');
-  serve::Query q;
-  q.family = std::string(trim(fields.front()));
-  if (q.family.empty()) {
-    throw std::invalid_argument("query line starts with an empty family");
-  }
-  for (std::size_t i = 1; i < fields.size(); ++i) {
-    const std::string_view field = trim(fields[i]);
-    if (field == "exact") {
+void parse_query_line_into(std::string_view line, serve::Query& q) {
+  // Reuses q's string/vector capacity and walks the fields without a split
+  // vector — the warm /v1/query path parses into a thread-local scratch
+  // Query, and an LRU hit must not allocate.
+  q.family.clear();
+  q.dims.clear();
+  q.dim = 0;
+  q.exact = false;
+  std::size_t pos = 0;
+  bool first = true;
+  for (;;) {
+    const std::size_t next = line.find(',', pos);
+    const std::string_view field =
+        trim(line.substr(pos, next == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : next - pos));
+    if (first) {
+      first = false;
+      if (field.empty()) {
+        throw std::invalid_argument("query line starts with an empty family");
+      }
+      q.family.assign(field);
+    } else if (field == "exact") {
       q.exact = true;
     } else if (field.substr(0, 4) == "dim=") {
       q.dim = parse_int32_field(field.substr(4));
     } else {
       q.dims.push_back(parse_int32_field(field));
     }
+    if (next == std::string_view::npos) {
+      break;
+    }
+    pos = next + 1;
   }
   if (q.dims.empty()) {
     throw std::invalid_argument(
         "query line needs at least one dimension after the family");
   }
+}
+
+serve::Query parse_query_line(std::string_view line) {
+  serve::Query q;
+  parse_query_line_into(line, q);
   return q;
 }
 
@@ -210,31 +233,65 @@ void SelectionRoutes::worker_loop() {
 
 void SelectionRoutes::handle_query(const Request& request,
                                    Responder responder) {
-  // Exactly one non-empty line; batches go to /v1/batch.
+  // Exactly one non-empty line; batches go to /v1/batch. Scanned in place
+  // (no split vector): this prefix of the handler is the allocation-free
+  // warm path.
   std::string_view line;
-  for (std::string_view candidate : split(request.body, '\n')) {
-    candidate = trim(candidate);
-    if (candidate.empty()) {
-      continue;
+  {
+    const std::string_view body = request.body;
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t nl = body.find('\n', pos);
+      const std::string_view candidate = trim(
+          body.substr(pos, nl == std::string_view::npos
+                               ? std::string_view::npos
+                               : nl - pos));
+      if (!candidate.empty()) {
+        if (!line.empty()) {
+          responder.send(text_response(
+              400, "expected one query line; POST batches to /v1/batch\n"));
+          return;
+        }
+        line = candidate;
+      }
+      if (nl == std::string_view::npos) {
+        break;
+      }
+      pos = nl + 1;
     }
-    if (!line.empty()) {
-      responder.send(text_response(
-          400, "expected one query line; POST batches to /v1/batch\n"));
-      return;
-    }
-    line = candidate;
   }
   if (line.empty()) {
     responder.send(text_response(400, "empty query body\n"));
     return;
   }
 
-  std::shared_future<serve::Recommendation> answer;
+  // Warm fast path: parse into thread-local scratch (capacity reused
+  // across requests) and probe the LRU without blocking or allocating. A
+  // hit formats the answer on the stack and takes the zero-copy send — on
+  // the owning loop thread that serializes straight into the connection's
+  // output buffer, allocation-free end to end (net_test audits this).
+  thread_local serve::Query scratch_query;
+  serve::Recommendation cached;
   try {
-    answer = service_.query_async(parse_query_line(line)).share();
+    parse_query_line_into(line, scratch_query);
   } catch (const std::invalid_argument& e) {
     responder.send(text_response(400, std::string(e.what()) + "\n"));
     return;
+  }
+  if (service_.try_cached(scratch_query, cached)) {
+    const std::string_view source = serve::to_string(cached.source);
+    char buf[160];
+    const int len = std::snprintf(
+        buf, sizeof(buf), "%zu,%zu,%d,%.17g,%.*s\n", cached.algorithm,
+        cached.flop_minimal, cached.flops_reliable ? 1 : 0,
+        cached.time_score, static_cast<int>(source.size()), source.data());
+    responder.send(200, kCsvType, std::string_view(buf, len > 0 ? len : 0));
+    return;
+  }
+
+  std::shared_future<serve::Recommendation> answer;
+  try {
+    answer = service_.query_async(scratch_query).share();
   } catch (const support::CheckError& e) {
     // The service rejected the query shape (unknown family, arity, range).
     responder.send(text_response(400, std::string(e.what()) + "\n"));
@@ -496,53 +553,80 @@ Response SelectionRoutes::metrics_response() const {
                          d.last_refresh_age_seconds);
   }
 
-  if (http_stats_ != nullptr) {
-    const HttpStats& h = *http_stats_;
-    const auto load = [](const std::atomic<std::uint64_t>& a) {
-      return a.load(std::memory_order_relaxed);
-    };
+  if (server_ != nullptr) {
+    // Whole-server aggregate: every reactor's counters merged into one
+    // snapshot (histograms merge exactly — bucket-wise integer adds).
+    const HttpStatsSnapshot h = server_->stats();
     family("lamb_http_connections_accepted_total", "counter",
          "Connections accepted.");
     counter("lamb_http_connections_accepted_total", "",
-            load(h.connections_accepted));
+            h.connections_accepted);
     family("lamb_http_connections_rejected_total", "counter",
          "Connections refused (over max_connections or fd exhaustion).");
     counter("lamb_http_connections_rejected_total", "",
-            load(h.connections_rejected));
+            h.connections_rejected);
     family("lamb_http_requests_total", "counter",
          "HTTP requests dispatched.");
-    counter("lamb_http_requests_total", "", load(h.requests_total));
+    counter("lamb_http_requests_total", "", h.requests_total);
     family("lamb_http_responses_total", "counter",
          "HTTP responses by status class.");
-    counter("lamb_http_responses_total", "{class=\"2xx\"}",
-            load(h.responses_2xx));
-    counter("lamb_http_responses_total", "{class=\"4xx\"}",
-            load(h.responses_4xx));
-    counter("lamb_http_responses_total", "{class=\"5xx\"}",
-            load(h.responses_5xx));
+    counter("lamb_http_responses_total", "{class=\"2xx\"}", h.responses_2xx);
+    counter("lamb_http_responses_total", "{class=\"4xx\"}", h.responses_4xx);
+    counter("lamb_http_responses_total", "{class=\"5xx\"}", h.responses_5xx);
     counter("lamb_http_responses_total", "{class=\"other\"}",
-            load(h.responses_other));
+            h.responses_other);
     family("lamb_http_parse_errors_total", "counter",
          "Malformed requests answered 4xx.");
-    counter("lamb_http_parse_errors_total", "", load(h.parse_errors));
+    counter("lamb_http_parse_errors_total", "", h.parse_errors);
     family("lamb_http_bytes_read_total", "counter",
          "Bytes read from clients.");
-    counter("lamb_http_bytes_read_total", "", load(h.bytes_read));
+    counter("lamb_http_bytes_read_total", "", h.bytes_read);
     family("lamb_http_bytes_written_total", "counter",
          "Bytes written to clients.");
-    counter("lamb_http_bytes_written_total", "", load(h.bytes_written));
+    counter("lamb_http_bytes_written_total", "", h.bytes_written);
 
     family("lamb_http_connections_active", "gauge",
            "Currently open client connections.");
-    counter("lamb_http_connections_active", "", load(h.connections_active));
+    counter("lamb_http_connections_active", "", h.connections_active);
     family("lamb_http_requests_in_flight", "gauge",
            "Requests dispatched to a handler, response not yet queued.");
-    counter("lamb_http_requests_in_flight", "", load(h.requests_in_flight));
+    counter("lamb_http_requests_in_flight", "", h.requests_in_flight);
 
     family("lamb_http_request_duration_seconds", "histogram",
            "Dispatch-to-response-queued seconds.");
     histogram_series("lamb_http_request_duration_seconds", "",
-                     h.request_latency.snapshot());
+                     h.request_latency);
+
+    // Per-reactor series, one per event loop. lamb_net_loops is the
+    // cardinality anchor: scripts/metrics_lint.sh asserts every
+    // lamb_net_loop_* family carries exactly this many loop="i" series.
+    const std::size_t loops = server_->loops();
+    family("lamb_net_loops", "gauge", "Configured event loops (reactors).");
+    counter("lamb_net_loops", "", loops);
+    const auto loop_label = [](std::size_t i) {
+      return support::strf("{loop=\"%zu\"}", i);
+    };
+    family("lamb_net_loop_connections", "gauge",
+           "Open connections owned by each event loop.");
+    for (std::size_t i = 0; i < loops; ++i) {
+      counter("lamb_net_loop_connections", loop_label(i).c_str(),
+              server_->loop_stats(i).connections_active.load(
+                  std::memory_order_relaxed));
+    }
+    family("lamb_net_loop_requests_total", "counter",
+           "Requests dispatched by each event loop.");
+    for (std::size_t i = 0; i < loops; ++i) {
+      counter("lamb_net_loop_requests_total", loop_label(i).c_str(),
+              server_->loop_stats(i).requests_total.load(
+                  std::memory_order_relaxed));
+    }
+    family("lamb_net_loop_epoll_wakeups_total", "counter",
+           "epoll_wait returns on each event loop.");
+    for (std::size_t i = 0; i < loops; ++i) {
+      counter("lamb_net_loop_epoll_wakeups_total", loop_label(i).c_str(),
+              server_->loop_stats(i).epoll_wakeups.load(
+                  std::memory_order_relaxed));
+    }
   }
 
   {

@@ -31,12 +31,14 @@
 // source is cache|atlas|measured.
 //
 // Threading: /healthz and /metrics are answered on the event loop.
-// /v1/query asks through query_async — already-warm answers (cache hit or
-// built slice) resolve inline on the loop thread; anything needing an atlas
-// scan resolves on the service's background builder, watched by this
-// object's small worker pool so the loop never blocks. /v1/batch parses and
-// answers entirely on a worker (its slice builds ride the service's
-// ThreadPool inside query_batch).
+// /v1/query first probes the service's LRU allocation-free (thread-local
+// scratch query, stack-formatted answer, zero-copy Responder::send) — a
+// warm repeat answers entirely on the loop thread without touching the
+// allocator. A miss asks through query_async: already-built slices resolve
+// inline; anything needing an atlas scan resolves on the service's
+// background builder, watched by this object's small worker pool so the
+// loop never blocks. /v1/batch parses and answers entirely on a worker
+// (its slice builds ride the service's ThreadPool inside query_batch).
 #pragma once
 
 #include <chrono>
@@ -70,6 +72,12 @@ struct SelectionRoutesConfig {
 /// caller-facing message on malformed input.
 serve::Query parse_query_line(std::string_view line);
 
+/// In-place variant: resets and fills `q`, reusing its string and vector
+/// capacity — the serving warm path parses into a thread-local scratch
+/// Query so an LRU-hit request allocates nothing. Same errors as
+/// parse_query_line.
+void parse_query_line_into(std::string_view line, serve::Query& q);
+
 /// One answer line (no trailing newline), %.17g time_score.
 std::string format_recommendation(const serve::Recommendation& rec);
 
@@ -93,8 +101,11 @@ class SelectionRoutes {
   Router router();
 
   /// Give /metrics the front-end counters too (call between constructing
-  /// the Server and run()). Without it only service metrics are exported.
-  void attach_http_stats(const HttpStats* stats) { http_stats_ = stats; }
+  /// the Server and run()). Exports the merged whole-server snapshot as the
+  /// lamb_http_* families plus the per-reactor lamb_net_loop_* series (one
+  /// series per loop, labeled loop="i"). Without it only service metrics
+  /// are exported.
+  void attach_server(const Server* server) { server_ = server; }
 
   /// Export a drift monitor's counters as lamb_drift_* series (same
   /// lifecycle rule as attach_http_stats; the monitor must outlive the
@@ -113,7 +124,7 @@ class SelectionRoutes {
 
   serve::SelectionService& service_;
   SelectionRoutesConfig config_;
-  const HttpStats* http_stats_ = nullptr;
+  const Server* server_ = nullptr;
   const serve::DriftMonitor* drift_ = nullptr;
   /// lamb_uptime_seconds epoch: the routes object's construction, which in
   /// every deployment shape coincides with process start.

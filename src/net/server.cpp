@@ -1,32 +1,53 @@
 #include "net/server.hpp"
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/epoll.h>
-#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
-#include <map>
+#include <exception>
 #include <mutex>
 #include <utility>
 
-#include "obs/trace.hpp"
-#include "support/str.hpp"
+#include "net/reactor.hpp"
 
 namespace lamb::net {
 
 namespace {
 
-constexpr std::uint64_t kListenerId = 0;
-constexpr std::uint64_t kWakeId = 1;
-
 [[noreturn]] void throw_errno(const std::string& what) {
   throw NetError(what + ": " + std::strerror(errno));
+}
+
+/// Open a bound, listening, non-blocking TCP socket on `addr`. Returns the
+/// fd; -1 with errno set on failure (the socket is closed).
+int open_listener(const sockaddr_in& addr, int backlog, bool reuseport) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  const int on = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+  if (reuseport &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &on, sizeof(on)) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(fd, backlog) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
 }
 
 }  // namespace
@@ -82,634 +103,198 @@ void Router::dispatch(const Request& request, Responder responder) const {
   }
 }
 
-// -------------------------------------------------------- completion hub
+// ------------------------------------------------------------------- stats
 
-struct Server::Completion {
-  std::uint64_t conn_id = 0;
-  std::uint64_t seq = 0;
-  Response response;
-  bool keep_alive = true;
-  std::chrono::steady_clock::time_point start;
-  /// The request's root span, carried to the event loop and closed there:
-  /// draining is serialized after dispatch on the loop thread, so the root
-  /// provably outlasts the parse/route spans recorded during dispatch even
-  /// when a worker answers before dispatch unwinds.
-  obs::RequestTrace trace;
-};
-
-/// Queue between handler threads and the event loop. Outlives the Server
-/// through the shared_ptr in each outstanding ticket; `open` flips false
-/// before the eventfd closes, and the eventfd write happens under the same
-/// mutex, so a straggling send() can never touch a dead fd.
-struct Server::Hub {
-  std::mutex mutex;
-  std::vector<Completion> ready;
-  int wake_fd = -1;
-  bool open = true;
-
-  void post(Completion&& completion) {
-    const std::lock_guard<std::mutex> lock(mutex);
-    if (!open) {
-      return;  // server already torn down; the response has nowhere to go
-    }
-    ready.push_back(std::move(completion));
-    const std::uint64_t one = 1;
-    [[maybe_unused]] const ssize_t n = ::write(wake_fd, &one, sizeof(one));
-  }
-
-  void close() {
-    const std::lock_guard<std::mutex> lock(mutex);
-    open = false;
-    ready.clear();
-  }
-};
-
-struct Responder::Ticket {
-  std::shared_ptr<Server::Hub> hub;
-  std::uint64_t conn_id = 0;
-  std::uint64_t seq = 0;
-  bool keep_alive = true;
-  std::chrono::steady_clock::time_point start;
-  obs::RequestTrace trace;  ///< root span; rides the completion to the loop
-  std::atomic<bool> sent{false};
-
-  ~Ticket() {
-    if (!sent.load(std::memory_order_acquire)) {
-      // Every copy of the Responder was dropped without answering; a silent
-      // drop would wedge the pipeline (responses are strictly ordered).
-      hub->post(Server::Completion{
-          conn_id, seq,
-          text_response(500, "handler dropped the request\n"), keep_alive,
-          start, std::move(trace)});
-    }
-  }
-};
-
-void Responder::send(Response response) const {
-  if (ticket_ == nullptr ||
-      ticket_->sent.exchange(true, std::memory_order_acq_rel)) {
-    return;  // default-constructed, or a racing copy answered first
-  }
-  ticket_->hub->post(Server::Completion{
-      ticket_->conn_id, ticket_->seq, std::move(response),
-      ticket_->keep_alive, ticket_->start, std::move(ticket_->trace)});
+void HttpStatsSnapshot::merge(const HttpStats& stats) {
+  const auto get = [](const std::atomic<std::uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  connections_accepted += get(stats.connections_accepted);
+  connections_rejected += get(stats.connections_rejected);
+  requests_total += get(stats.requests_total);
+  responses_2xx += get(stats.responses_2xx);
+  responses_4xx += get(stats.responses_4xx);
+  responses_5xx += get(stats.responses_5xx);
+  responses_other += get(stats.responses_other);
+  parse_errors += get(stats.parse_errors);
+  bytes_read += get(stats.bytes_read);
+  bytes_written += get(stats.bytes_written);
+  epoll_wakeups += get(stats.epoll_wakeups);
+  connections_active += get(stats.connections_active);
+  requests_in_flight += get(stats.requests_in_flight);
+  request_latency.merge(stats.request_latency.snapshot());
 }
-
-// -------------------------------------------------------------- connection
-
-struct Server::Connection {
-  explicit Connection(std::size_t max_request_bytes)
-      : parser(max_request_bytes) {}
-
-  int fd = -1;
-  std::uint64_t id = 0;
-  RequestParser parser;
-  std::string out;          ///< serialized responses awaiting write()
-  std::size_t out_pos = 0;  ///< already written prefix of `out`
-  std::uint64_t next_seq = 0;      ///< next request sequence to assign
-  std::uint64_t next_to_send = 0;  ///< next response sequence to emit
-  /// Completions that arrived ahead of an earlier still-pending request.
-  std::map<std::uint64_t, Completion> parked;
-  std::size_t parked_bytes = 0;  ///< response bodies held in `parked`
-  std::size_t inflight = 0;  ///< dispatched requests not yet responded
-  /// When tracing: obs::now_ns() at the first byte of the next request
-  /// (0 = not yet seen), so the root span is backdated to intake and the
-  /// parse stage covers bytes-arrived to dispatched.
-  std::uint64_t read_ns = 0;
-  bool want_write = false;   ///< EPOLLOUT currently requested
-  bool paused = false;       ///< EPOLLIN dropped (pipeline backpressure)
-  bool read_closed = false;  ///< EOF seen or protocol error: no more parsing
-  bool close_after_flush = false;
-};
 
 // ------------------------------------------------------------------ server
 
 Server::Server(Router router, ServerConfig config)
     : router_(std::move(router)), config_(std::move(config)) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
-  if (listen_fd_ < 0) {
-    throw_errno("socket");
+  std::size_t loops = config_.loops == 0 ? 1 : config_.loops;
+  if (loops > 64) {
+    loops = 64;
   }
-  const int on = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+  config_.loops = loops;
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(config_.port);
   if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
       1) {
-    ::close(listen_fd_);
-    throw NetError("bad bind address: " + config_.bind_address);
+    throw NetError("invalid bind address: " + config_.bind_address);
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listen_fd_, config_.backlog) < 0) {
-    const int saved = errno;
-    ::close(listen_fd_);
-    errno = saved;
-    throw_errno("bind/listen on " + config_.bind_address +
-                support::strf(":%u", config_.port));
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
 
-  // A throwing constructor skips the destructor: every failure from here
-  // on must release what is already open (a retrying caller would
-  // otherwise leak the bound listening socket and keep the port busy).
-  const auto fail = [this](const std::string& what) {
-    const int saved = errno;
-    for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
-      if (*fd >= 0) {
-        ::close(*fd);
-        *fd = -1;
+  // Listener plan: one fd per loop with SO_REUSEPORT when sharding, else a
+  // single plain listener on reactor 0 (loops == 1, or acceptor mode).
+  const bool want_shards =
+      loops > 1 && config_.listen != ServerConfig::Listen::kAcceptor;
+  std::vector<int> listeners(loops, -1);
+  const auto close_listeners = [&listeners] {
+    for (int& fd : listeners) {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
       }
     }
-    errno = saved;
-    throw_errno(what);
   };
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (epoll_fd_ < 0 || wake_fd_ < 0) {
-    fail("epoll_create1/eventfd");
-  }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenerId;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
-    fail("epoll_ctl(listener)");
-  }
-  ev.data.u64 = kWakeId;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
-    fail("epoll_ctl(eventfd)");
-  }
-  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
-  hub_ = std::make_shared<Hub>();
-  hub_->wake_fd = wake_fd_;
-}
 
-Server::~Server() {
-  hub_->close();  // after this no ticket can touch wake_fd_
-  for (auto& [id, conn] : connections_) {
-    ::close(conn->fd);
+  listeners[0] = open_listener(addr, config_.backlog, want_shards);
+  if (listeners[0] < 0 && want_shards &&
+      config_.listen == ServerConfig::Listen::kAuto) {
+    // Kernel without SO_REUSEPORT (or refused): fall back to one listener
+    // plus the acceptor handoff.
+    listeners[0] = open_listener(addr, config_.backlog, false);
   }
-  connections_.clear();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
+  if (listeners[0] < 0) {
+    throw_errno("bind/listen " + config_.bind_address + ":" +
+                std::to_string(config_.port));
   }
-  if (reserve_fd_ >= 0) {
-    ::close(reserve_fd_);
-  }
-  ::close(wake_fd_);
-  ::close(epoll_fd_);
-}
 
-void Server::stop() {
-  stop_.store(true, std::memory_order_release);
-  const std::uint64_t one = 1;
-  // Direct write, not Hub::post — this must stay async-signal-safe.
-  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
-}
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listeners[0], reinterpret_cast<sockaddr*>(&bound),
+                    &len) < 0) {
+    close_listeners();
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  addr.sin_port = bound.sin_port;  // shards bind the resolved port
 
-void Server::update_interest(Connection& conn) {
-  epoll_event ev{};
-  if (!conn.paused && !conn.read_closed) {
-    ev.events |= EPOLLIN;
-  }
-  if (conn.want_write) {
-    ev.events |= EPOLLOUT;
-  }
-  ev.data.u64 = conn.id;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
-}
-
-void Server::close_connection(std::uint64_t id) {
-  const auto it = connections_.find(id);
-  if (it == connections_.end()) {
-    return;
-  }
-  ::close(it->second->fd);  // epoll deregisters the fd automatically
-  connections_.erase(it);
-  stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
-  if (listener_muted_ && listen_fd_ >= 0) {
-    // A descriptor just freed: re-arm the accept path muted under EMFILE.
-    if (reserve_fd_ < 0) {
-      reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
-    }
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = kListenerId;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev);
-    listener_muted_ = false;
-  }
-}
-
-void Server::accept_new() {
-  for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) {
-        continue;
+  if (want_shards) {
+    bool ok = true;
+    for (std::size_t i = 1; i < loops; ++i) {
+      listeners[i] = open_listener(addr, config_.backlog, true);
+      if (listeners[i] < 0) {
+        ok = false;
+        break;
       }
-      if (errno == EMFILE || errno == ENFILE) {
-        // Out of descriptors with a connection still queued: with
-        // level-triggered epoll, returning would re-report the listener
-        // instantly and spin the loop. Release the reserve fd, accept the
-        // connection just to refuse it, then re-arm the reserve.
-        int doomed = -1;
-        if (reserve_fd_ >= 0) {
-          ::close(reserve_fd_);
-          reserve_fd_ = -1;
-          doomed = ::accept4(listen_fd_, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
-          if (doomed >= 0) {
-            stats_.connections_rejected.fetch_add(1,
-                                                  std::memory_order_relaxed);
-            ::close(doomed);
-          }
-          reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
-        }
-        if (doomed >= 0 && reserve_fd_ >= 0) {
-          continue;
-        }
-        // Could not shed the pending connection (no reserve, or another
-        // thread stole the freed slot): mute the listener until a
-        // connection closes, or this same branch would livelock the loop.
-        epoll_event ev{};
-        ev.data.u64 = kListenerId;
-        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev);
-        listener_muted_ = true;
-        return;
-      }
-      return;  // EAGAIN: backlog drained (other errors: retry on next event)
     }
-    if (connections_.size() >= config_.max_connections) {
-      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
-      ::close(fd);
-      continue;
-    }
-    const int on = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
-    if (config_.so_sndbuf > 0) {
-      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.so_sndbuf,
-                   sizeof(config_.so_sndbuf));
-    }
-    auto conn = std::make_unique<Connection>(config_.max_request_bytes);
-    conn->fd = fd;
-    conn->id = next_conn_id_++;
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = conn->id;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      ::close(fd);
-      continue;
-    }
-    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    stats_.connections_active.fetch_add(1, std::memory_order_relaxed);
-    connections_.emplace(conn->id, std::move(conn));
-  }
-}
-
-void Server::queue_error_response(Connection& conn, int status,
-                                  std::string body) {
-  stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
-  // Through the regular ticket machinery so the error response stays
-  // ordered behind earlier pipelined requests still being handled.
-  auto ticket = std::make_shared<Responder::Ticket>();
-  ticket->hub = hub_;
-  ticket->conn_id = conn.id;
-  ticket->seq = conn.next_seq++;
-  ticket->keep_alive = false;
-  ticket->start = std::chrono::steady_clock::now();
-  stats_.requests_in_flight.fetch_add(1, std::memory_order_relaxed);
-  ++conn.inflight;
-  Response response = text_response(status, std::move(body));
-  response.close = true;
-  Responder(std::move(ticket)).send(std::move(response));
-}
-
-void Server::dispatch_parsed(Connection& conn) {
-  obs::Tracer& tr = obs::tracer();
-  while (!conn.read_closed && !conn.paused &&
-         conn.parser.state() == RequestParser::State::kComplete) {
-    const Request& request = conn.parser.request();
-    stats_.requests_total.fetch_add(1, std::memory_order_relaxed);
-    auto ticket = std::make_shared<Responder::Ticket>();
-    ticket->hub = hub_;
-    ticket->conn_id = conn.id;
-    ticket->seq = conn.next_seq++;
-    ticket->keep_alive = request.keep_alive;
-    ticket->start = std::chrono::steady_clock::now();
-    obs::TraceContext trace_ctx;
-    const bool tracing = tr.enabled();
-    if (tracing) {
-      const std::uint64_t t_dispatch = obs::now_ns();
-      std::uint64_t t_read = conn.read_ns;
-      if (t_read == 0 || t_read > t_dispatch) {
-        t_read = t_dispatch;
-      }
-      ticket->trace = tr.begin_request(request.path, t_read);
-      trace_ctx = ticket->trace.ctx;
-      tr.record_stage(obs::Stage::kParse, t_read, t_dispatch);
-      tr.record_span(trace_ctx, obs::Stage::kParse, t_read, t_dispatch);
-      // Further pipelined requests in this buffer "arrived" now.
-      conn.read_ns = t_dispatch;
-    }
-    stats_.requests_in_flight.fetch_add(1, std::memory_order_relaxed);
-    ++conn.inflight;
-    if (!request.keep_alive) {
-      // Nothing after this request will be answered; stop parsing.
-      conn.read_closed = true;
-    }
-    if (tracing) {
-      // The route span is recorded manually, NOT as a SpanScope: a scope
-      // would re-parent the thread context for dispatch's extent, and
-      // handlers that defer to a worker pool would capture a parent whose
-      // interval closes right here. Deferred work must attach to the root
-      // request span instead — the only span guaranteed to outlive it.
-      const obs::ContextGuard guard(trace_ctx);
-      const std::uint64_t t0 = obs::now_ns();
-      router_.dispatch(request, Responder(std::move(ticket)));
-      const std::uint64_t t1 = obs::now_ns();
-      tr.record_stage(obs::Stage::kRoute, t0, t1);
-      tr.record_span(trace_ctx, obs::Stage::kRoute, t0, t1);
+    if (ok) {
+      sharded_listeners_ = true;
+    } else if (config_.listen == ServerConfig::Listen::kReusePort) {
+      close_listeners();
+      throw_errno("SO_REUSEPORT listener shard");
     } else {
-      router_.dispatch(request, Responder(std::move(ticket)));
-    }
-    conn.parser.advance();
-    // Enforce the pipeline bound inside the loop: one large read can hold
-    // thousands of tiny buffered requests, and dispatching them all before
-    // pausing would make max_pipeline bound nothing. Paused, the remainder
-    // stays in the parser until responses flush (flush_ready resumes).
-    if (conn.inflight >= config_.max_pipeline) {
-      conn.paused = true;
-    }
-  }
-  if (!conn.read_closed && !conn.paused &&
-      conn.parser.state() == RequestParser::State::kError) {
-    queue_error_response(conn, conn.parser.error_status(),
-                         conn.parser.error_message() + "\n");
-    conn.read_closed = true;
-  }
-  if (conn.parser.state() != RequestParser::State::kComplete &&
-      conn.parser.buffered() == 0) {
-    // Nothing of the next request has arrived; its intake timestamp is
-    // whenever the next read actually lands, not now.
-    conn.read_ns = 0;
-  }
-  if (conn.paused) {
-    update_interest(conn);
-  }
-}
-
-void Server::on_readable(Connection& conn) {
-  if (conn.read_closed) {
-    return;  // response path decides when this connection dies
-  }
-  char buf[1 << 16];
-  for (;;) {
-    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
-    if (n > 0) {
-      stats_.bytes_read.fetch_add(static_cast<std::uint64_t>(n),
-                                  std::memory_order_relaxed);
-      if (conn.read_ns == 0 && obs::tracer().enabled()) {
-        conn.read_ns = obs::now_ns();
+      // kAuto: keep listener 0, hand fds off round-robin instead.
+      for (std::size_t i = 1; i < loops; ++i) {
+        if (listeners[i] >= 0) {
+          ::close(listeners[i]);
+          listeners[i] = -1;
+        }
       }
-      conn.parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
-      dispatch_parsed(conn);
-      if (conn.read_closed || conn.paused) {
-        update_interest(conn);
-        return;
-      }
-      continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      return;
+  }
+
+  // Each loop enforces its share of the connection bound locally, so the
+  // accept path never consults another loop.
+  const std::size_t per_loop =
+      std::max<std::size_t>(1, (config_.max_connections + loops - 1) / loops);
+
+  reactors_.reserve(loops);
+  try {
+    for (std::size_t i = 0; i < loops; ++i) {
+      const int fd = listeners[i];
+      listeners[i] = -1;  // the reactor adopts it (even on ctor failure)
+      reactors_.push_back(std::make_unique<Reactor>(
+          router_, config_, stop_, i, fd, per_loop));
     }
-    if (n < 0 && errno == EINTR) {
-      continue;
+  } catch (...) {
+    close_listeners();
+    throw;
+  }
+  if (!sharded_listeners_ && loops > 1) {
+    std::vector<Reactor*> targets;
+    targets.reserve(loops);
+    for (const auto& reactor : reactors_) {
+      targets.push_back(reactor.get());
     }
-    // EOF or a hard error. Anything already dispatched still gets its
-    // response written (the client may have shutdown only its write side).
-    conn.read_closed = true;
-    if (conn.inflight == 0 && conn.out_pos == conn.out.size()) {
-      close_connection(conn.id);
-    } else {
-      conn.close_after_flush = true;
-      update_interest(conn);
-    }
-    return;
+    reactors_[0]->set_handoff(std::move(targets));
   }
 }
 
-bool Server::write_some(Connection& conn) {
-  while (conn.out_pos < conn.out.size()) {
-    // MSG_NOSIGNAL: a peer that vanished mid-response must come back as
-    // EPIPE (we close the connection), never as a process-wide SIGPIPE.
-    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_pos,
-                             conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
-    if (n > 0) {
-      stats_.bytes_written.fetch_add(static_cast<std::uint64_t>(n),
-                                     std::memory_order_relaxed);
-      conn.out_pos += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) {
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      if (!conn.want_write) {
-        conn.want_write = true;
-        update_interest(conn);
-      }
-      return true;
-    }
-    close_connection(conn.id);  // EPIPE/ECONNRESET: peer is gone
-    return false;
-  }
-  conn.out.clear();
-  conn.out_pos = 0;
-  if (conn.want_write) {
-    conn.want_write = false;
-    update_interest(conn);
-  }
-  if (conn.close_after_flush && conn.inflight == 0) {
-    close_connection(conn.id);
-    return false;
-  }
-  return true;
-}
-
-void Server::on_writable(Connection& conn) { write_some(conn); }
-
-void Server::flush_ready(Connection& conn) {
-  bool appended = false;
-  for (auto it = conn.parked.find(conn.next_to_send);
-       it != conn.parked.end(); it = conn.parked.find(conn.next_to_send)) {
-    Completion completion = std::move(it->second);
-    conn.parked.erase(it);
-    conn.parked_bytes -= completion.response.body.size();
-    append_response(conn.out, completion.response, completion.keep_alive);
-    appended = true;
-    ++conn.next_to_send;
-    --conn.inflight;
-    const int status = completion.response.status;
-    auto& counter = status < 300 && status >= 200 ? stats_.responses_2xx
-                    : status >= 500               ? stats_.responses_5xx
-                    : status >= 400               ? stats_.responses_4xx
-                                                  : stats_.responses_other;
-    counter.fetch_add(1, std::memory_order_relaxed);
-    stats_.request_latency.record(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      completion.start)
-            .count());
-    if (!completion.keep_alive || completion.response.close) {
-      conn.close_after_flush = true;
-      conn.read_closed = true;
-    }
-  }
-  if (!appended) {
-    return;
-  }
-  if (conn.paused && conn.inflight < config_.max_pipeline) {
-    conn.paused = false;
-    // Requests may already be buffered in the parser from before the pause.
-    dispatch_parsed(conn);
-  }
-  // A client that pipelines heavily but never reads would otherwise grow
-  // the output buffer without bound; past the cap the connection is
-  // abusive, and its already-computed responses are dropped with it.
-  if (conn.out.size() - conn.out_pos + conn.parked_bytes >
-      config_.max_buffered_response_bytes) {
-    close_connection(conn.id);
-    return;
-  }
-  // Re-sync epoll interest in one place: the loop above may have set
-  // read_closed (a Connection: close response), and with level-triggered
-  // epoll a stale EPOLLIN on a connection we no longer read would spin.
-  update_interest(conn);
-  if (!write_some(conn)) {
-    return;  // connection destroyed
-  }
-  if (draining_ && conn.inflight == 0 && conn.out_pos == conn.out.size()) {
-    close_connection(conn.id);
-  }
-}
-
-void Server::drain_completions() {
-  std::vector<Completion> ready;
-  {
-    const std::lock_guard<std::mutex> lock(hub_->mutex);
-    ready.swap(hub_->ready);
-  }
-  for (Completion& completion : ready) {
-    // A completion reached the loop: the request is no longer in a
-    // handler's hands, even if its connection died waiting. The root span
-    // closes here — serialized after this request's dispatch, so every
-    // child span (parse/route on this thread, serving stages before the
-    // handler posted) ended earlier on the shared timeline.
-    obs::tracer().end_request(completion.trace);
-    stats_.requests_in_flight.fetch_sub(1, std::memory_order_relaxed);
-    const auto it = connections_.find(completion.conn_id);
-    if (it == connections_.end()) {
-      continue;  // connection died before its response was ready
-    }
-    it->second->parked_bytes += completion.response.body.size();
-    it->second->parked.emplace(completion.seq, std::move(completion));
-  }
-  // Second pass (a batch may hold several responses for one connection, in
-  // any order): splice every connection that can now make progress.
-  for (Completion& completion : ready) {
-    const auto it = connections_.find(completion.conn_id);
-    if (it != connections_.end()) {
-      flush_ready(*it->second);
-    }
-  }
-}
-
-void Server::begin_drain() {
-  draining_ = true;
-  if (listen_fd_ >= 0) {
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  close_drained_idle();
-}
-
-void Server::close_drained_idle() {
-  // Connections with nothing in flight and nothing left to flush are done.
-  // Swept every loop iteration while draining: the last flush may happen on
-  // any path (completion splice, EPOLLOUT round), and a keep-alive client
-  // that simply holds its socket open must not pin run() forever.
-  std::vector<std::uint64_t> idle;
-  for (const auto& [id, conn] : connections_) {
-    if (conn->inflight == 0 && conn->out_pos == conn->out.size()) {
-      idle.push_back(id);
-    }
-  }
-  for (const std::uint64_t id : idle) {
-    close_connection(id);
-  }
-}
+Server::~Server() = default;
 
 void Server::run() {
   running_.store(true, std::memory_order_release);
-  epoll_event events[64];
-  while (true) {
-    if (stop_.load(std::memory_order_acquire) && !draining_) {
-      begin_drain();
-    }
-    if (draining_ && connections_.empty()) {
-      break;
-    }
-    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      running_.store(false, std::memory_order_release);
-      throw_errno("epoll_wait");
-    }
-    for (int i = 0; i < n; ++i) {
-      const std::uint64_t id = events[i].data.u64;
-      if (id == kListenerId) {
-        accept_new();
-        continue;
-      }
-      if (id == kWakeId) {
-        std::uint64_t counter = 0;
-        [[maybe_unused]] const ssize_t r =
-            ::read(wake_fd_, &counter, sizeof(counter));
-        continue;  // completions drain below, stop flag re-checked on loop
-      }
-      const auto it = connections_.find(id);
-      if (it == connections_.end()) {
-        continue;  // closed earlier in this batch
-      }
-      Connection& conn = *it->second;
-      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
-          (events[i].events & EPOLLIN) == 0) {
-        close_connection(id);
-        continue;
-      }
-      if ((events[i].events & EPOLLOUT) != 0) {
-        if (!write_some(conn)) {
-          continue;
-        }
-      }
-      if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
-        on_readable(conn);
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  const auto capture = [&](std::exception_ptr e) {
+    {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) {
+        error = std::move(e);
       }
     }
-    drain_completions();
-    if (draining_) {
-      close_drained_idle();
-    }
+    stop();  // one failed loop takes the whole server down, gracefully
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(reactors_.size() > 0 ? reactors_.size() - 1 : 0);
+  for (std::size_t i = 1; i < reactors_.size(); ++i) {
+    threads.emplace_back([this, i, &capture] {
+      try {
+        reactors_[i]->run();
+      } catch (...) {
+        capture(std::current_exception());
+      }
+    });
+  }
+  try {
+    reactors_[0]->run();
+  } catch (...) {
+    capture(std::current_exception());
+  }
+  for (std::thread& t : threads) {
+    t.join();
   }
   running_.store(false, std::memory_order_release);
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+void Server::stop() {
+  // Async-signal-safe and idempotent: an atomic store plus one eventfd
+  // write per loop. Concurrent callers (signal handler racing the CLI)
+  // at worst wake a loop twice, which is harmless.
+  stop_.store(true, std::memory_order_release);
+  for (const auto& reactor : reactors_) {
+    reactor->wake();
+  }
+}
+
+HttpStatsSnapshot Server::stats() const {
+  HttpStatsSnapshot merged;
+  for (const auto& reactor : reactors_) {
+    merged.merge(reactor->stats());
+  }
+  return merged;
+}
+
+const HttpStats& Server::loop_stats(std::size_t loop) const {
+  return reactors_.at(loop)->stats();
+}
+
+void Server::run_on_loop(std::size_t loop, std::function<void()> fn) {
+  reactors_.at(loop)->post_task(std::move(fn));
 }
 
 }  // namespace lamb::net

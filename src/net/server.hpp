@@ -1,25 +1,37 @@
-// lamb::net::Server — a dependency-free Linux epoll HTTP/1.1 front-end.
+// lamb::net::Server — a dependency-free Linux epoll HTTP/1.1 front-end,
+// sharded over N independent event loops.
 //
-// One thread owns the event loop (run()): a non-blocking listener, an
-// eventfd for cross-thread wakeups, and a per-connection state machine —
-// incremental request parsing (net/http.hpp), keep-alive, pipelining with
-// strict response ordering, bounded request sizes, read backpressure once
-// too many pipelined requests are in flight, and buffered writes that
-// survive partial write()s.
+// The Server is a thin coordinator: it binds the listeners, builds N
+// Reactors (net/reactor.hpp — epoll loop + eventfd completion hub +
+// per-connection state machine), runs one per thread, and merges their
+// per-loop statistics at scrape time. Each connection is owned by exactly
+// one reactor for its whole life: parsing, dispatch, response ordering and
+// the write path all happen on the owning loop's thread, so the request
+// hot path takes no cross-loop locks (and, warm, no allocations — see the
+// inline completion path in net/reactor.cpp).
 //
-// Handlers never block the loop: a Router handler receives the parsed
-// request plus a Responder ticket it may complete from any thread (the
-// selection routes hand cold work to SelectionService::query_async and a
-// small worker pool). Completed responses are posted to a completion hub
-// that wakes the loop through the eventfd; the loop splices each response
-// into its connection in request order, so pipelined clients always read
-// answers in the order they asked. A Responder dropped without send()
-// answers 500, so a lost ticket can never wedge a connection.
+// Listener sharding: with loops > 1 every reactor gets its own
+// SO_REUSEPORT listener on the same port and the kernel load-balances new
+// connections by 4-tuple hash. Where SO_REUSEPORT is unavailable (or
+// ServerConfig::listen forces it) reactor 0 accepts alone and hands the
+// accepted fds round-robin to the other loops through their eventfd
+// channels.
+//
+// Handlers never block a loop: a Router handler receives the parsed
+// request plus a Responder ticket it may complete from any thread. A
+// handler that answers synchronously on the owning loop thread takes the
+// inline path — the response serializes straight into the connection's
+// output buffer; completions from other threads post to the owning
+// reactor's hub, which wakes that loop through its eventfd and splices
+// responses in request order, so pipelined clients always read answers in
+// the order they asked. A Responder dropped without send() answers 500, so
+// a lost ticket can never wedge a connection.
 //
 // Shutdown is graceful by default: stop() (async-signal-safe — an atomic
-// store plus one eventfd write, so a SIGTERM handler may call it) closes
-// the listener, lets in-flight requests finish and flush, then run()
-// returns. Idle keep-alive connections are closed immediately.
+// store plus one eventfd write per loop, so a SIGTERM handler may call it;
+// idempotent under concurrent callers) closes every listener, lets
+// in-flight requests finish and flush on their owning loops, then run()
+// joins the loop threads in order and returns.
 #pragma once
 
 #include <atomic>
@@ -28,7 +40,8 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "net/http.hpp"
@@ -41,6 +54,9 @@ struct ServerConfig {
   std::uint16_t port = 0;  ///< 0 picks an ephemeral port (see Server::port())
   int backlog = 128;
   std::size_t max_request_bytes = 1u << 20;  ///< header block + body, framed
+  /// Global connection bound, split evenly across loops (each reactor
+  /// enforces ceil(max_connections / loops) locally, so the hot path never
+  /// consults another loop's count).
   std::size_t max_connections = 1024;
   /// Pipelined requests in flight per connection before the server stops
   /// reading from it (resumes as responses flush).
@@ -52,13 +68,26 @@ struct ServerConfig {
   /// When > 0, shrink each connection's kernel send buffer (SO_SNDBUF) —
   /// tests use this to force the partial-write path deterministically.
   int so_sndbuf = 0;
+  /// Event loops (reactors). 0 means "default": one loop, unless a test
+  /// harness overrides it (tests that depend on single-loop semantics pin
+  /// loops = 1 explicitly). Capped at 64.
+  std::size_t loops = 0;
+  /// How new connections reach the loops when loops > 1. kAuto tries
+  /// per-loop SO_REUSEPORT listeners and falls back to the acceptor
+  /// handoff; the explicit values force one path (kReusePort throws when
+  /// the kernel refuses; kAcceptor is deterministic round-robin, which the
+  /// connection-ownership tests rely on).
+  enum class Listen : std::uint8_t { kAuto, kReusePort, kAcceptor };
+  Listen listen = Listen::kAuto;
 };
 
-/// Monotonic front-end counters, all updated with relaxed atomics; read
-/// them live from any thread (the /metrics route renders these).
+/// Monotonic front-end counters for ONE reactor, all updated with relaxed
+/// atomics by the owning loop; read them live from any thread. The /metrics
+/// route renders the per-loop series from these and the aggregate from
+/// Server::stats().
 struct HttpStats {
   std::atomic<std::uint64_t> connections_accepted{0};
-  std::atomic<std::uint64_t> connections_rejected{0};  ///< over max_connections
+  std::atomic<std::uint64_t> connections_rejected{0};  ///< over the cap
   std::atomic<std::uint64_t> requests_total{0};
   std::atomic<std::uint64_t> responses_2xx{0};
   std::atomic<std::uint64_t> responses_4xx{0};
@@ -67,36 +96,82 @@ struct HttpStats {
   std::atomic<std::uint64_t> parse_errors{0};
   std::atomic<std::uint64_t> bytes_read{0};
   std::atomic<std::uint64_t> bytes_written{0};
+  std::atomic<std::uint64_t> epoll_wakeups{0};  ///< epoll_wait returns
   // Live gauges, not monotonic: open connections, and requests dispatched
-  // to a handler whose completion has not reached the event loop yet.
+  // to a handler whose completion has not reached the owning loop yet.
   std::atomic<std::uint64_t> connections_active{0};
   std::atomic<std::uint64_t> requests_in_flight{0};
   /// Dispatch-to-response-queued seconds per request.
   support::LatencyHistogram request_latency;
 };
 
+/// Plain-value aggregate of one or more HttpStats, merged at scrape time.
+/// Server::stats() returns the whole-server sum; callers that used to read
+/// `stats().requests_total.load()` now read `stats().requests_total`.
+struct HttpStatsSnapshot {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;
+  std::uint64_t requests_total = 0;
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_4xx = 0;
+  std::uint64_t responses_5xx = 0;
+  std::uint64_t responses_other = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t epoll_wakeups = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t requests_in_flight = 0;
+  support::LatencyHistogram::Snapshot request_latency;
+
+  /// Accumulate one reactor's live counters into this snapshot.
+  void merge(const HttpStats& stats);
+};
+
 class Server;
+class Reactor;
+
+namespace detail {
+struct ResponderTicket;  // defined in net/reactor.hpp
+}
 
 /// Completion ticket for one request. Copyable (handlers live in
 /// std::function); the first send() wins, and if every copy is destroyed
 /// unsent the server answers 500 on the request's behalf. send() is safe
-/// from any thread and harmless after the server has stopped.
+/// from any thread and harmless after the server has stopped. Tickets are
+/// pooled per reactor and intrusively refcounted, so the warm request path
+/// allocates nothing.
 class Responder {
  public:
   Responder() = default;
+  Responder(const Responder& other);
+  Responder& operator=(const Responder& other);
+  Responder(Responder&& other) noexcept;
+  Responder& operator=(Responder&& other) noexcept;
+  ~Responder();
+
   void send(Response response) const;
+  /// Zero-copy variant: called on the owning loop thread with responses in
+  /// order, the parts serialize straight into the connection's output
+  /// buffer — no Response, no string copies. Falls back to an ordinary
+  /// posted completion otherwise. The views need only survive the call.
+  void send(int status, std::string_view content_type,
+            std::string_view body) const;
 
  private:
   friend class Server;
-  struct Ticket;
-  explicit Responder(std::shared_ptr<Ticket> ticket)
-      : ticket_(std::move(ticket)) {}
-  std::shared_ptr<Ticket> ticket_;
+  friend class Reactor;
+  /// Adopts one reference (the caller's).
+  explicit Responder(detail::ResponderTicket* ticket) : ticket_(ticket) {}
+  void release();
+  detail::ResponderTicket* ticket_ = nullptr;
 };
 
 /// Exact-path router. The Request& passed to a handler is valid only for
 /// the duration of the dispatch call — a handler that defers (completes the
 /// Responder later, from another thread) must copy what it needs first.
+/// With loops > 1 every reactor dispatches through the same Router
+/// concurrently, so handlers must be thread-safe.
 class Router {
  public:
   using Handler = std::function<void(const Request&, Responder)>;
@@ -129,68 +204,52 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// The bound port (the ephemeral one when config.port was 0).
+  /// The bound port (the ephemeral one when config.port was 0); every loop
+  /// serves this same port.
   std::uint16_t port() const { return port_; }
   const ServerConfig& config() const { return config_; }
-  const HttpStats& stats() const { return stats_; }
 
-  /// Event loop; blocks until stop(). One caller at a time.
+  /// Number of reactors actually running (config.loops resolved).
+  std::size_t loops() const { return reactors_.size(); }
+  /// True when every loop owns its own SO_REUSEPORT listener; false when
+  /// reactor 0 accepts alone and hands fds off round-robin.
+  bool sharded_listeners() const { return sharded_listeners_; }
+
+  /// Whole-server counters: every reactor's stats merged into one plain
+  /// snapshot (histograms merge exactly — see LatencyHistogram::merge).
+  HttpStatsSnapshot stats() const;
+  /// One loop's live counters (the /metrics lamb_net_loop_* series).
+  const HttpStats& loop_stats(std::size_t loop) const;
+
+  /// Serve until stop(): runs reactor 0 on the calling thread and loops
+  /// 1..N-1 on internal threads, then joins them in loop order. One caller
+  /// at a time. A reactor failure stops the others and rethrows here.
   void run();
 
   /// Request a graceful drain: stop accepting, finish and flush in-flight
-  /// requests, close idle connections, return from run(). Thread- and
-  /// async-signal-safe; idempotent.
+  /// requests on every loop, close idle connections, return from run().
+  /// Thread- and async-signal-safe; idempotent — a signal handler and the
+  /// CLI may race calls harmlessly.
   void stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// Execute `fn` on a loop's event-loop thread (between events). Tests use
+  /// this to observe loop-thread-local state — e.g. the allocation counter
+  /// behind the allocation-free-request-path audit. Best effort: dropped if
+  /// the server is torn down before the loop drains its hub again.
+  void run_on_loop(std::size_t loop, std::function<void()> fn);
+
  private:
-  friend class Responder;  // tickets reference Hub and Completion
-
-  struct Hub;         ///< completion queue shared with Responder tickets
-  struct Completion;  ///< one finished response, routed back to its conn
-  struct Connection;
-
-  void accept_new();
-  void on_readable(Connection& conn);
-  void on_writable(Connection& conn);
-  void dispatch_parsed(Connection& conn);
-  void queue_error_response(Connection& conn, int status, std::string body);
-  void drain_completions();
-  /// Append every in-order completed response to the connection's output
-  /// buffer and try to flush it.
-  void flush_ready(Connection& conn);
-  bool write_some(Connection& conn);  ///< false when the conn was destroyed
-  void update_interest(Connection& conn);
-  void close_connection(std::uint64_t id);
-  void begin_drain();
-  /// While draining: close every connection with nothing in flight and
-  /// nothing left to flush (swept per loop iteration — the final flush can
-  /// happen on any path).
-  void close_drained_idle();
-
   Router router_;
   ServerConfig config_;
-  HttpStats stats_;
   std::uint16_t port_ = 0;
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;
-  /// Sacrificial descriptor released under EMFILE so a queued connection
-  /// can still be accepted and refused instead of spinning the loop.
-  int reserve_fd_ = -1;
-  /// Listener interest dropped because fd exhaustion could not be shed;
-  /// re-armed when a connection closes (close_connection).
-  bool listener_muted_ = false;
-  std::shared_ptr<Hub> hub_;
+  bool sharded_listeners_ = false;
   std::atomic<bool> stop_{false};
   std::atomic<bool> running_{false};
-  bool draining_ = false;
-  std::uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = eventfd
-  /// Owned by the loop thread exclusively; epoll events carry the id, and
-  /// every event re-resolves it here (a connection closed earlier in the
-  /// same epoll batch simply no longer resolves).
-  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  /// Built once in the constructor, never resized: stop() iterates this
+  /// from signal handlers.
+  std::vector<std::unique_ptr<Reactor>> reactors_;
 };
 
 }  // namespace lamb::net

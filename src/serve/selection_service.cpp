@@ -311,6 +311,21 @@ Recommendation SelectionService::query(const Query& q) {
   return rec;
 }
 
+bool SelectionService::try_cached(const Query& q, Recommendation& out) {
+  // Mirrors query()'s hit block exactly (same span, same counters) so a
+  // caller probing here first observes identical payloads and metrics; the
+  // Recommendation is a POD and ShardedLruCache::get allocates nothing, so
+  // the whole probe is allocation-free.
+  const obs::SpanScope lru_span(obs::Stage::kLru);
+  if (auto hit = cache_.get(q)) {
+    hit->source = Source::kCache;
+    cache_answers_.fetch_add(1);
+    out = *hit;
+    return true;
+  }
+  return false;
+}
+
 std::vector<Recommendation> SelectionService::query_batch(
     std::span<const Query> batch) {
   std::vector<Recommendation> out(batch.size());

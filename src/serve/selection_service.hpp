@@ -172,6 +172,13 @@ class SelectionService {
     return query_batch(std::span<const Query>(batch.begin(), batch.size()));
   }
 
+  /// Allocation-free LRU probe: when the query is already cached, fill
+  /// `out` (counted as a cache answer, exactly as query() would) and return
+  /// true; otherwise leave `out` untouched and return false, with no
+  /// side effects — the caller falls back to query()/query_async(). The
+  /// serving warm path uses this so an LRU hit never allocates.
+  bool try_cached(const Query& q, Recommendation& out);
+
   /// Answer one query without blocking on atlas scans. Cache hits and
   /// already-built slices resolve immediately; anything needing a scan (or
   /// an exact classification) is handed to a background worker through a

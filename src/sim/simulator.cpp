@@ -290,10 +290,16 @@ SimReport replay_http(const std::string& host, std::uint16_t port,
                       const std::vector<Request>& requests,
                       const TraceSpec& spec, const ReplayConfig& cfg) {
   const std::size_t n_conns = cfg.connections > 0 ? cfg.connections : 1;
+  // Bounded connect and I/O: a wedged server fails the replay with a clear
+  // NetError instead of hanging the whole run (atlas builds can hold a
+  // cold /v1/query for a while, hence the generous read budget).
+  net::ClientConfig client_cfg;
+  client_cfg.connect_timeout_s = 10.0;
+  client_cfg.io_timeout_s = 120.0;
   std::vector<net::Client> clients;
   clients.reserve(n_conns);
   for (std::size_t i = 0; i < n_conns; ++i) {
-    clients.emplace_back(host, port);
+    clients.emplace_back(host, port, client_cfg);
   }
 
   std::size_t next = 0;

@@ -27,6 +27,18 @@ class LatencyHistogram {
     std::uint64_t count = 0;
     double sum_seconds = 0.0;
 
+    /// Accumulate another snapshot into this one (per-reactor histograms
+    /// are merged this way at /metrics scrape time). Bucket bounds are a
+    /// compile-time constant shared by every histogram, so merging is a
+    /// plain element-wise sum.
+    void merge(const Snapshot& other) {
+      for (std::size_t b = 0; b < counts.size(); ++b) {
+        counts[b] += other.counts[b];
+      }
+      count += other.count;
+      sum_seconds += other.sum_seconds;
+    }
+
     /// Estimated q-quantile (q clamped to [0, 1]) of the recorded values:
     /// the rank is located in the cumulative bucket counts and linearly
     /// interpolated between the bucket's bounds. Values landing in the
@@ -67,6 +79,22 @@ class LatencyHistogram {
     buckets_[b].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_ns_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                      std::memory_order_relaxed);
+  }
+
+  /// Fold another histogram's counts into this one. Reads the source with
+  /// the same relaxed loads snapshot() uses, so merging a live histogram is
+  /// safe (the result is some consistent-enough point-in-time sum, exactly
+  /// like a scrape). Integer nanosecond sums add exactly — a merge loses no
+  /// precision over recording everything into one histogram.
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      buckets_[b].fetch_add(other.buckets_[b].load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    sum_ns_.fetch_add(other.sum_ns_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
   }
 

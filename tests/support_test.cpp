@@ -247,6 +247,73 @@ TEST(LatencyHistogram, QuantileEdgeCases) {
       lamb::support::LatencyHistogram::kBounds.back());
 }
 
+TEST(LatencyHistogram, MergeEqualsRecordingIntoOne) {
+  // Shared bucket bounds make merging an exact element-wise sum: two
+  // per-reactor histograms merged must be bit-identical to one histogram
+  // that saw every sample (this is what /metrics relies on at scrape time).
+  lamb::support::LatencyHistogram a;
+  lamb::support::LatencyHistogram b;
+  lamb::support::LatencyHistogram all;
+  for (int i = 0; i < 60; ++i) {
+    a.record(1.5e-5);
+    all.record(1.5e-5);
+  }
+  for (int i = 0; i < 40; ++i) {
+    b.record(0.15);
+    all.record(0.15);
+  }
+  b.record(30.0);  // +Inf bucket merges too
+  all.record(30.0);
+
+  lamb::support::LatencyHistogram merged;
+  merged.merge(a);
+  merged.merge(b);
+  const auto ms = merged.snapshot();
+  const auto as = all.snapshot();
+  EXPECT_EQ(ms.count, as.count);
+  EXPECT_DOUBLE_EQ(ms.sum_seconds, as.sum_seconds);  // integer-ns exactness
+  for (std::size_t bkt = 0; bkt < ms.counts.size(); ++bkt) {
+    EXPECT_EQ(ms.counts[bkt], as.counts[bkt]) << "bucket " << bkt;
+  }
+
+  // Snapshot-level merge (the scrape path) agrees with histogram merge.
+  auto snap = a.snapshot();
+  snap.merge(b.snapshot());
+  EXPECT_EQ(snap.count, as.count);
+  EXPECT_DOUBLE_EQ(snap.sum_seconds, as.sum_seconds);
+  for (std::size_t bkt = 0; bkt < snap.counts.size(); ++bkt) {
+    EXPECT_EQ(snap.counts[bkt], as.counts[bkt]) << "bucket " << bkt;
+  }
+
+  // Quantiles after the merge rank across BOTH sources: p50 from a's fast
+  // bucket, p99 from b's slow one — identical to the all-in-one histogram.
+  EXPECT_LE(snap.quantile(0.50), 2e-5);
+  EXPECT_GE(snap.quantile(0.95), 1e-1);
+  for (double q : {0.25, 0.5, 0.9, 0.95, 0.999}) {
+    EXPECT_DOUBLE_EQ(snap.quantile(q), as.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergingEmptyChangesNothing) {
+  lamb::support::LatencyHistogram h;
+  h.record(3e-4);
+  const auto before = h.snapshot();
+
+  lamb::support::LatencyHistogram empty;
+  h.merge(empty);  // histogram-level: no-op
+  auto snap = h.snapshot();
+  snap.merge(empty.snapshot());  // snapshot-level: also a no-op
+  EXPECT_EQ(snap.count, before.count);
+  EXPECT_DOUBLE_EQ(snap.sum_seconds, before.sum_seconds);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), before.quantile(0.5));
+
+  // Empty-into-empty stays empty, and its quantile still answers NaN.
+  auto none = empty.snapshot();
+  none.merge(empty.snapshot());
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_TRUE(std::isnan(none.quantile(0.5)));
+}
+
 TEST(Statistics, RunningStats) {
   RunningStats s;
   s.add(2.0);
