@@ -23,6 +23,7 @@
 // auto-dispatched kernel stays below the floor, so kernel regressions break
 // CI instead of silently eroding the atlas measurements.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -30,8 +31,10 @@
 #include "blas/blas.hpp"
 #include "blas/microkernel.hpp"
 #include "la/generators.hpp"
+#include "obs/pmu.hpp"
 #include "parallel/thread_pool.hpp"
 #include "perf/timer.hpp"
+#include "support/ascii_plot.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
 
@@ -297,6 +300,191 @@ void write_json(const std::string& path) {
   std::printf("wrote %zu rows to %s\n", g_rows.size(), path.c_str());
 }
 
+// ---------------------------------------------------------------- roofline
+//
+// --roofline sweeps arithmetic intensity (flops per DRAM byte) by varying
+// k at fixed m = n = 256: AI = 2mnk / 8(mn + mk + kn) runs from ~1 at
+// k = 4 to ~26 at k = 512, crossing the machine's ridge point. Each point
+// runs the blocked path on a forced microkernel tier with a PmuScope
+// around the timed loop, so attained GFLOP/s comes with cycles,
+// instructions, IPC and LLC miss rate; the memory ceiling comes from a
+// STREAM-style triad over buffers far past the LLC. Rendered with
+// support/ascii_plot and written to --json (BENCH_pmu.json in check.sh).
+
+struct RooflineRow {
+  std::string kernel;
+  index_t m = 0, n = 0, k = 0;
+  double ai = 0.0;      ///< flops per byte of mandatory DRAM traffic
+  double gflops = 0.0;  ///< attained, from wall time
+  double seconds = 0.0;
+  int iterations = 0;
+  double flops_in_window = 0.0;  ///< flops inside the PMU window
+  obs::PmuSample pmu;
+};
+
+std::vector<RooflineRow> g_roofline;
+double g_triad_gbps = 0.0;
+
+double measure_triad_gbps() {
+  // 3 x 32 MiB streams: far past any LLC, so the triad measures DRAM.
+  const std::size_t n = std::size_t{1} << 22;
+  std::vector<double> a(n, 1.0);
+  std::vector<double> b(n, 2.0);
+  std::vector<double> c(n, 3.0);
+  const auto [seconds, iters] = run_timed([&] {
+    double* pa = a.data();
+    const double* pb = b.data();
+    const double* pc = c.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      pa[i] = pb[i] + 0.5 * pc[i];
+    }
+    asm volatile("" ::"r"(pa) : "memory");
+  });
+  const double bytes = 3.0 * static_cast<double>(n) * sizeof(double);
+  return bytes * iters / seconds / 1e9;
+}
+
+void roofline_point(const blas::Microkernel* mk, index_t m, index_t n,
+                    index_t k) {
+  support::Rng rng(42);
+  const Matrix a = la::random_matrix(m, k, rng);
+  const Matrix b = la::random_matrix(k, n, rng);
+  Matrix c(m, n);
+  blas::GemmOptions opts;
+  opts.force_variant = blas::GemmVariant::kBlocked;
+  blas::force_microkernel(mk);
+  obs::PmuScope pmu(/*arm_now=*/true);
+  const auto [seconds, iters] = run_timed([&] {
+    blas::gemm(false, false, 1.0, a.view(), b.view(), 0.0, c.view(), opts);
+  });
+  const obs::PmuSample sample = pmu.finish();
+  blas::force_microkernel(nullptr);
+
+  RooflineRow row;
+  row.kernel = mk->name;
+  row.m = m;
+  row.n = n;
+  row.k = k;
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  const double bytes =
+      8.0 * (static_cast<double>(m) * n + static_cast<double>(m) * k +
+             static_cast<double>(k) * n);
+  row.ai = flops / bytes;
+  row.gflops = flops * iters / seconds / 1e9;
+  row.seconds = seconds;
+  row.iterations = iters;
+  // The PMU window includes run_timed's untimed warm-up call; pair counter
+  // ratios with the flops of every call in the window, not just the timed
+  // ones.
+  row.flops_in_window = flops * (iters + 1);
+  row.pmu = sample;
+  std::printf("%-9s %-26s %-7s %-8s %4td %4td %4td  %8.2f gflops  ai %5.2f",
+              "roofline", "k_sweep", row.kernel.c_str(), "blocked", m, n, k,
+              row.gflops, row.ai);
+  if (sample.valid) {
+    std::printf("  ipc %4.2f  llc-miss %4.1f%%  flop/cyc %4.2f",
+                sample.ipc(), 100.0 * sample.llc_miss_rate(),
+                sample.cycles == 0
+                    ? 0.0
+                    : row.flops_in_window /
+                          static_cast<double>(sample.cycles));
+  }
+  std::printf("\n");
+  g_roofline.push_back(std::move(row));
+}
+
+void run_roofline() {
+  std::printf("pmu: %s\n", obs::pmu_status().c_str());
+  g_triad_gbps = measure_triad_gbps();
+  std::printf("triad bandwidth: %.2f GB/s (memory ceiling)\n\n",
+              g_triad_gbps);
+  for (const blas::Microkernel* mk : blas::available_microkernels()) {
+    for (const index_t k :
+         {index_t{4}, index_t{8}, index_t{16}, index_t{32}, index_t{64},
+          index_t{128}, index_t{256}, index_t{512}}) {
+      roofline_point(mk, 256, 256, k);
+    }
+  }
+
+  // One series per tier plus the roof itself: min(bw * AI, peak), drawn in
+  // log2(AI) so the ridge point sits mid-plot instead of crushed left.
+  std::vector<support::Series> series;
+  const char markers[] = {'o', '*', '#', '+'};
+  double peak = 0.0;
+  double x_lo = 1e30;
+  double x_hi = -1e30;
+  for (const RooflineRow& r : g_roofline) {
+    peak = std::max(peak, r.gflops);
+    const double x = std::log2(r.ai);
+    x_lo = std::min(x_lo, x);
+    x_hi = std::max(x_hi, x);
+    support::Series* s = nullptr;
+    for (support::Series& existing : series) {
+      if (existing.name == r.kernel) {
+        s = &existing;
+      }
+    }
+    if (s == nullptr) {
+      series.push_back({r.kernel, {}, {},
+                        markers[series.size() % sizeof(markers)]});
+      s = &series.back();
+    }
+    s->xs.push_back(x);
+    s->ys.push_back(r.gflops);
+  }
+  support::Series roof{"roof", {}, {}, '.'};
+  for (int i = 0; i <= 64; ++i) {
+    const double x = x_lo + (x_hi - x_lo) * i / 64.0;
+    roof.xs.push_back(x);
+    roof.ys.push_back(std::min(g_triad_gbps * std::exp2(x), peak));
+  }
+  series.push_back(std::move(roof));
+  support::PlotOptions plot;
+  plot.title = "roofline: attained GFLOP/s vs arithmetic intensity";
+  plot.x_label = "log2(flops/byte)";
+  plot.y_label = "GFLOP/s";
+  std::printf("\n%s", support::line_plot(series, plot).c_str());
+}
+
+void write_roofline_json(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bm_kernels: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "[\n  {\"section\": \"meta\", \"pmu_available\": %d, "
+               "\"pmu_status\": \"%s\", \"triad_gbps\": %.4f}",
+               obs::pmu_available() ? 1 : 0, obs::pmu_status().c_str(),
+               g_triad_gbps);
+  for (const RooflineRow& r : g_roofline) {
+    std::fprintf(
+        f,
+        ",\n  {\"section\": \"roofline\", \"kernel\": \"%s\", \"m\": %td, "
+        "\"n\": %td, \"k\": %td, \"ai\": %.4f, \"gflops\": %.4f, "
+        "\"seconds\": %.4f, \"iterations\": %d, \"pmu_valid\": %d",
+        r.kernel.c_str(), r.m, r.n, r.k, r.ai, r.gflops, r.seconds,
+        r.iterations, r.pmu.valid ? 1 : 0);
+    if (r.pmu.valid) {
+      std::fprintf(
+          f,
+          ", \"cycles\": %llu, \"instructions\": %llu, \"ipc\": %.4f, "
+          "\"llc_miss_rate\": %.4f, \"flops_per_cycle\": %.4f",
+          static_cast<unsigned long long>(r.pmu.cycles),
+          static_cast<unsigned long long>(r.pmu.instructions), r.pmu.ipc(),
+          r.pmu.llc_miss_rate(),
+          r.pmu.cycles == 0
+              ? 0.0
+              : r.flops_in_window / static_cast<double>(r.pmu.cycles));
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n]\n");
+  std::fclose(f);
+  std::printf("wrote %zu roofline rows to %s\n", g_roofline.size(),
+              path.c_str());
+}
+
 std::vector<index_t> parse_sizes(const std::string& csv) {
   std::vector<index_t> sizes;
   std::size_t pos = 0;
@@ -344,6 +532,17 @@ int main(int argc, char** argv) {
               blas::active_microkernel().name);
   std::printf("%-9s %-26s %-7s %-8s %4s %4s %4s  %8s\n", "section", "name",
               "kernel", "variant", "m", "n", "k", "value");
+
+  if (cli.get_bool("roofline", false)) {
+    // Exclusive mode: the AI sweep replaces the normal sections, and
+    // --min-gflops stays a normal-mode gate (roofline runs are diagnostic,
+    // not acceptance).
+    run_roofline();
+    if (!json_path.empty()) {
+      write_roofline_json(json_path);
+    }
+    return 0;
+  }
 
   bench_gemm_tiers(sizes);
   bench_variants();

@@ -61,6 +61,14 @@
 //           --stage-breakdown additionally attributes serving time to the
 //           pipeline stages (parse/route/lru/atlas/build/kernel) per phase,
 //           via the tracer's always-on counters tier.
+//   profile replay a trace spec in-process with FULL span sampling and
+//           print the per-stage wall-time x PMU attribution table: stage
+//           executions, total wall time and share, plus cycles,
+//           instructions, IPC and LLC miss rate per stage when the PMU is
+//           available (all hardware columns degrade to "-" when it is not
+//           — see lamb_pmu_available on /metrics).
+//             serve_cli profile [--trace=spec.toml] [--seed=1] [--warm]
+//                       [--sample=1] [--json=out.json]
 //
 // Common flags: --family=NAME (registry name), --dim=N (slice dimension,
 // default 0), --exact (bypass the atlas), --atlas-dir=DIR (persistent store;
@@ -631,6 +639,96 @@ int cmd_simulate(const support::Cli& cli, serve::SelectionService& service) {
   return 0;
 }
 
+int cmd_profile(const support::Cli& cli, serve::SelectionService& service) {
+  const sim::TraceSpec spec = cli.has("trace")
+                                  ? sim::load_trace(cli.get_string("trace", ""))
+                                  : sim::default_trace();
+  const std::uint64_t seed = cli.get_seed("seed", 1);
+  sim::TraceGenerator generator(spec, seed);
+  const std::vector<sim::Request> requests = generator.generate();
+
+  // Full sampling: every request carries spans (and, when the hardware
+  // allows, PMU deltas), into a ring big enough that the replay does not
+  // overwrite itself. configure() drops prior tracer state, so the totals
+  // read back below are exactly this replay's.
+  obs::TracerConfig tc;
+  tc.enabled = true;
+  tc.sample_every =
+      static_cast<std::uint32_t>(cli.get_int("sample", 1));
+  tc.ring_capacity = 1 << 15;
+  obs::tracer().configure(tc);
+
+  sim::ReplayConfig replay_cfg;
+  replay_cfg.warm = cli.get_bool("warm", false);
+  replay_cfg.stage_breakdown = true;
+
+  std::printf("pmu: %s\n", obs::pmu_status().c_str());
+  std::printf("seed %llu -> %zu requests, 1-in-%u sampled\n",
+              static_cast<unsigned long long>(seed), requests.size(),
+              tc.sample_every);
+  std::fflush(stdout);
+  const sim::SimReport report =
+      sim::replay_in_process(service, requests, spec, replay_cfg);
+
+  const auto stages = obs::tracer().stage_snapshots();
+  const auto pmu = obs::tracer().pmu_stage_totals();
+  double total_seconds = 0.0;
+  for (const auto& s : stages) {
+    total_seconds += s.sum_seconds;
+  }
+
+  // Per-stage wall-time x PMU attribution. Stage times overlap (build
+  // contains kernel, request contains everything HTTP-side), so the
+  // percentage column shares out the SUM of stage times, not wall time.
+  std::printf("\n%-8s %9s %11s %6s %12s %12s %6s %9s\n", "stage", "count",
+              "wall_ms", "pct", "cycles", "instrs", "ipc", "llc_miss");
+  for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+    if (stages[s].count == 0) {
+      continue;
+    }
+    std::printf("%-8s %9llu %11.3f %5.1f%%",
+                std::string(obs::to_string(static_cast<obs::Stage>(s)))
+                    .c_str(),
+                static_cast<unsigned long long>(stages[s].count),
+                1e3 * stages[s].sum_seconds,
+                total_seconds > 0.0
+                    ? 100.0 * stages[s].sum_seconds / total_seconds
+                    : 0.0);
+    if (pmu[s].cycles > 0) {
+      std::printf(" %12llu %12llu %6.2f",
+                  static_cast<unsigned long long>(pmu[s].cycles),
+                  static_cast<unsigned long long>(pmu[s].instructions),
+                  static_cast<double>(pmu[s].instructions) /
+                      static_cast<double>(pmu[s].cycles));
+      if (pmu[s].llc_loads > 0) {
+        std::printf(" %8.2f%%", 100.0 *
+                                    static_cast<double>(pmu[s].llc_misses) /
+                                    static_cast<double>(pmu[s].llc_loads));
+      } else {
+        std::printf(" %9s", "-");
+      }
+    } else {
+      std::printf(" %12s %12s %6s %9s", "-", "-", "-", "-");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n%s", report.to_string().c_str());
+  print_stats(service);
+
+  if (cli.has("json")) {
+    const std::string path = cli.get_string("json", "");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << report.to_json();
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -639,7 +737,7 @@ int main(int argc, char** argv) {
   if (cli.positional().empty()) {
     std::fprintf(stderr,
                  "usage: %s build|warm|query|batch|async|bench|serve|"
-                 "simulate|trace [flags]\n"
+                 "simulate|profile|trace [flags]\n"
                  "(see the header comment of examples/serve_cli.cpp)\n",
                  cli.program().c_str());
     return 1;
@@ -680,6 +778,8 @@ int main(int argc, char** argv) {
     rc = cmd_serve(cli, service, *machine);
   } else if (cmd == "simulate") {
     rc = cmd_simulate(cli, service);
+  } else if (cmd == "profile") {
+    rc = cmd_profile(cli, service);
   } else {
     std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
   }

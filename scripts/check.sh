@@ -18,10 +18,11 @@
 #                      lock-free snapshot path, the drift-refresh swap and
 #                      the HTTP event loop / completion-hub handoff
 #                      race-clean
-#   BENCH              0 to skip the BENCH_kernels.json / BENCH_serving.json
-#                      emission that otherwise follows a clean non-sanitized
-#                      test run (the kernel GFLOP/s and serving-throughput
-#                      trajectories the BENCH_* files track)
+#   BENCH              0 to skip the BENCH_kernels.json / BENCH_pmu.json /
+#                      BENCH_serving.json emission that otherwise follows a
+#                      clean non-sanitized test run (the kernel GFLOP/s,
+#                      roofline and serving-throughput trajectories the
+#                      BENCH_* files track)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -67,6 +68,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
 if [[ "$SANITIZE" == "0" && "${BENCH:-1}" != "0" \
       && -x "$BUILD_DIR/bm_kernels" ]]; then
   "$BUILD_DIR/bm_kernels" --seconds=0.1 --json BENCH_kernels.json
+  # The arithmetic-intensity sweep with PMU attribution (counters live
+  # where perf_event access allows, wall-clock-only otherwise) — the
+  # roofline trajectory BENCH_pmu.json tracks.
+  "$BUILD_DIR/bm_kernels" --roofline --seconds=0.05 --json BENCH_pmu.json
 fi
 if [[ "$SANITIZE" == "0" && "${BENCH:-1}" != "0" \
       && -x "$BUILD_DIR/bm_net_throughput" ]]; then

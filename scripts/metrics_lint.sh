@@ -14,6 +14,11 @@
 # lamb_net_loop_* family must carry exactly one series per loop — loop
 # labels 0..N-1, no more, no fewer (a reactor silently missing from the
 # scrape would hide a wedged loop).
+#
+# PMU series: lamb_pmu_available gates the whole lamb_pmu_* namespace.
+# 0 -> the availability gauge must be the ONLY pmu series (a degraded
+# server leaking counter families would chart zeros as data); 1 -> the
+# core attribution families (samples/cycles/instructions) must be present.
 set -euo pipefail
 
 if [[ $# -lt 1 || $# -gt 2 ]]; then
@@ -100,15 +105,42 @@ def check_loop_cardinality(path, series):
     return errs
 
 
+def check_pmu(path, series):
+    """lamb_pmu_available is the availability gate for every other
+    lamb_pmu_* family (see src/obs/pmu.hpp's degradation contract)."""
+    errs = []
+    if 'lamb_pmu_available' not in series:
+        return errs
+    available = int(series['lamb_pmu_available'])
+    other_families = sorted({
+        key.split('{', 1)[0] for key in series
+        if key.split('{', 1)[0].startswith('lamb_pmu_')
+        and key.split('{', 1)[0] != 'lamb_pmu_available'})
+    if available == 0 and other_families:
+        errs.append(f'{path}: lamb_pmu_available 0 yet pmu series exist: '
+                    f'{", ".join(other_families)}')
+    if available == 1:
+        base = {f.removesuffix(s) for f in other_families
+                for s in ('', '_bucket', '_sum', '_count')}
+        for family in ('lamb_pmu_samples_total', 'lamb_pmu_cycles_total',
+                       'lamb_pmu_instructions_total'):
+            if family not in base:
+                errs.append(
+                    f'{path}: lamb_pmu_available 1 but {family} missing')
+    return errs
+
+
 errors = []
 _, types1, series1, errs = parse(sys.argv[1])
 errors += errs
 errors += check_loop_cardinality(sys.argv[1], series1)
+errors += check_pmu(sys.argv[1], series1)
 
 if len(sys.argv) > 2:
     _, types2, series2, errs = parse(sys.argv[2])
     errors += errs
     errors += check_loop_cardinality(sys.argv[2], series2)
+    errors += check_pmu(sys.argv[2], series2)
     counters = {f for f, kind in types2.items() if kind == 'counter'}
     for key, later in series2.items():
         name = key.split('{', 1)[0]

@@ -199,12 +199,16 @@ GemmParallelMode select_gemm_parallel_mode(index_t m, index_t n,
 void gemm(bool trans_a, bool trans_b, double alpha, ConstMatrixView a,
           ConstMatrixView b, double beta, MatrixView c,
           const GemmOptions& opts) {
-  // One relaxed load when tracing is off; under a sampled trace each gemm
-  // shows up as a kernel span in the caller's request tree.
-  const obs::SpanScope kernel_span(obs::Stage::kKernel);
   const index_t m = c.rows();
   const index_t n = c.cols();
   const index_t k = trans_a ? a.rows() : a.cols();
+  // One relaxed load when tracing is off; under a sampled trace each gemm
+  // shows up as a kernel span in the caller's request tree, carrying its
+  // 2mnk flop count so PMU-attributed spans report FLOP-per-cycle.
+  const obs::SpanScope kernel_span(
+      obs::Stage::kKernel, 2ull * static_cast<std::uint64_t>(m) *
+                               static_cast<std::uint64_t>(n) *
+                               static_cast<std::uint64_t>(k));
   LAMB_CHECK((trans_a ? a.cols() : a.rows()) == m, "gemm: A shape mismatch");
   LAMB_CHECK((trans_b ? b.cols() : b.rows()) == k, "gemm: B shape mismatch");
   LAMB_CHECK((trans_b ? b.rows() : b.cols()) == n, "gemm: B cols mismatch");

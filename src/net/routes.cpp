@@ -8,8 +8,10 @@
 #include <utility>
 
 #include "blas/microkernel.hpp"
+#include "obs/pmu.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/str.hpp"
 
 // Stamped by CMake from `git describe` at configure time; "unknown" when
@@ -415,254 +417,316 @@ Response SelectionRoutes::debug_sample_rate_response(const Request& request) {
 
 Response SelectionRoutes::metrics_response() const {
   const serve::ServiceStats s = service_.stats();
-  std::string out;
-  out.reserve(4096);
+  // The exposition contract (every family announces # HELP and # TYPE
+  // before its first series; counters integral, gauges fractional) lives
+  // in support::MetricsWriter and is pinned by scripts/metrics_lint.sh.
+  support::MetricsWriter w(8192);
 
-  const auto counter = [&out](const char* name, const char* labels,
-                              std::uint64_t value) {
-    out += support::strf("%s%s %llu\n", name, labels,
-                         static_cast<unsigned long long>(value));
-  };
-  // Prometheus text-format contract, pinned by scripts/metrics_lint.sh:
-  // every family announces # HELP and # TYPE before its first series.
-  const auto family = [&out](const char* name, const char* kind,
-                             const char* help) {
-    out += support::strf("# HELP %s %s\n", name, help);
-    out += support::strf("# TYPE %s %s\n", name, kind);
-  };
-  const auto histogram_series =
-      [&out](const char* name, const std::string& label,
-             const support::LatencyHistogram::Snapshot& snap) {
-        const std::string comma = label.empty() ? "" : label + ",";
-        std::uint64_t cumulative = 0;
-        for (std::size_t b = 0; b < support::LatencyHistogram::kBounds.size();
-             ++b) {
-          cumulative += snap.counts[b];
-          out += support::strf("%s_bucket{%sle=\"%g\"} %llu\n", name,
-                               comma.c_str(),
-                               support::LatencyHistogram::kBounds[b],
-                               static_cast<unsigned long long>(cumulative));
-        }
-        out += support::strf("%s_bucket{%sle=\"+Inf\"} %llu\n", name,
-                             comma.c_str(),
-                             static_cast<unsigned long long>(snap.count));
-        const std::string wrap = label.empty() ? "" : "{" + label + "}";
-        out += support::strf("%s_sum%s %.9f\n", name, wrap.c_str(),
-                             snap.sum_seconds);
-        out += support::strf("%s_count%s %llu\n", name, wrap.c_str(),
-                             static_cast<unsigned long long>(snap.count));
-      };
+  w.family("lamb_selection_answers_total", "counter",
+           "Answers by source.");
+  w.counter("lamb_selection_answers_total", "{source=\"cache\"}",
+            s.cache_answers);
+  w.counter("lamb_selection_answers_total", "{source=\"atlas\"}",
+            s.atlas_answers);
+  w.counter("lamb_selection_answers_total", "{source=\"measured\"}",
+            s.measured_queries);
 
-  family("lamb_selection_answers_total", "counter",
-         "Answers by source.");
-  counter("lamb_selection_answers_total", "{source=\"cache\"}",
-          s.cache_answers);
-  counter("lamb_selection_answers_total", "{source=\"atlas\"}",
-          s.atlas_answers);
-  counter("lamb_selection_answers_total", "{source=\"measured\"}",
-          s.measured_queries);
-
-  family("lamb_selection_cache_hits_total", "counter",
-         "Recommendation-cache hits.");
-  counter("lamb_selection_cache_hits_total", "", s.cache_hits);
-  family("lamb_selection_cache_misses_total", "counter",
-         "Recommendation-cache misses.");
-  counter("lamb_selection_cache_misses_total", "", s.cache_misses);
-  family("lamb_selection_cache_hit_ratio", "gauge",
-         "Cache hits over lookups since start.");
+  w.family("lamb_selection_cache_hits_total", "counter",
+           "Recommendation-cache hits.");
+  w.counter("lamb_selection_cache_hits_total", s.cache_hits);
+  w.family("lamb_selection_cache_misses_total", "counter",
+           "Recommendation-cache misses.");
+  w.counter("lamb_selection_cache_misses_total", s.cache_misses);
+  w.family("lamb_selection_cache_hit_ratio", "gauge",
+           "Cache hits over lookups since start.");
   const std::uint64_t lookups = s.cache_hits + s.cache_misses;
-  out += support::strf(
-      "lamb_selection_cache_hit_ratio %.6f\n",
-      lookups == 0 ? 0.0
-                   : static_cast<double>(s.cache_hits) /
-                         static_cast<double>(lookups));
+  w.gauge("lamb_selection_cache_hit_ratio",
+          lookups == 0 ? 0.0
+                       : static_cast<double>(s.cache_hits) /
+                             static_cast<double>(lookups));
 
-  family("lamb_selection_atlases_built_total", "counter",
-         "Region atlases built.");
-  counter("lamb_selection_atlases_built_total", "", s.atlases_built);
-  family("lamb_selection_atlases_loaded_total", "counter",
-         "Region atlases loaded from disk.");
-  counter("lamb_selection_atlases_loaded_total", "", s.atlases_loaded);
-  family("lamb_selection_atlases_skipped_total", "counter",
-         "Atlas builds skipped (already resident).");
-  counter("lamb_selection_atlases_skipped_total", "", s.atlases_skipped);
-  family("lamb_selection_atlas_samples_total", "counter",
-         "Measurements taken while building atlases.");
-  counter("lamb_selection_atlas_samples_total", "",
-          static_cast<std::uint64_t>(s.atlas_samples < 0 ? 0
-                                                         : s.atlas_samples));
-  family("lamb_selection_batch_calls_total", "counter",
-         "query_batch() calls.");
-  counter("lamb_selection_batch_calls_total", "", s.batch_calls);
-  family("lamb_selection_batch_queries_total", "counter",
-         "Queries carried by batch calls.");
-  counter("lamb_selection_batch_queries_total", "", s.batch_queries);
-  family("lamb_selection_async_calls_total", "counter",
-         "query_async() calls.");
-  counter("lamb_selection_async_calls_total", "", s.async_calls);
+  w.family("lamb_selection_atlases_built_total", "counter",
+           "Region atlases built.");
+  w.counter("lamb_selection_atlases_built_total", s.atlases_built);
+  w.family("lamb_selection_atlases_loaded_total", "counter",
+           "Region atlases loaded from disk.");
+  w.counter("lamb_selection_atlases_loaded_total", s.atlases_loaded);
+  w.family("lamb_selection_atlases_skipped_total", "counter",
+           "Atlas builds skipped (already resident).");
+  w.counter("lamb_selection_atlases_skipped_total", s.atlases_skipped);
+  w.family("lamb_selection_atlas_samples_total", "counter",
+           "Measurements taken while building atlases.");
+  w.counter("lamb_selection_atlas_samples_total",
+            static_cast<std::uint64_t>(s.atlas_samples < 0
+                                           ? 0
+                                           : s.atlas_samples));
+  w.family("lamb_selection_batch_calls_total", "counter",
+           "query_batch() calls.");
+  w.counter("lamb_selection_batch_calls_total", s.batch_calls);
+  w.family("lamb_selection_batch_queries_total", "counter",
+           "Queries carried by batch calls.");
+  w.counter("lamb_selection_batch_queries_total", s.batch_queries);
+  w.family("lamb_selection_async_calls_total", "counter",
+           "query_async() calls.");
+  w.counter("lamb_selection_async_calls_total", s.async_calls);
 
-  family("lamb_selection_refresh_rounds_total", "counter",
-         "Atlas refresh rounds.");
-  counter("lamb_selection_refresh_rounds_total", "", s.refresh_rounds);
-  family("lamb_selection_slices_refreshed_total", "counter",
-         "Slices rebuilt by refresh rounds.");
-  counter("lamb_selection_slices_refreshed_total", "", s.slices_refreshed);
+  w.family("lamb_selection_refresh_rounds_total", "counter",
+           "Atlas refresh rounds.");
+  w.counter("lamb_selection_refresh_rounds_total", s.refresh_rounds);
+  w.family("lamb_selection_slices_refreshed_total", "counter",
+           "Slices rebuilt by refresh rounds.");
+  w.counter("lamb_selection_slices_refreshed_total", s.slices_refreshed);
 
-  family("lamb_selection_atlas_count", "gauge",
-         "Resident region atlases.");
-  counter("lamb_selection_atlas_count", "", service_.atlas_count());
-  family("lamb_selection_cache_size", "gauge",
-         "Entries in the recommendation cache.");
-  counter("lamb_selection_cache_size", "", service_.cache_size());
+  // These three are gauges (they go up AND down) and are emitted as such —
+  // they used to ride the counter helper, which a typed writer forbids.
+  w.family("lamb_selection_atlas_count", "gauge",
+           "Resident region atlases.");
+  w.gauge("lamb_selection_atlas_count",
+          static_cast<double>(service_.atlas_count()));
+  w.family("lamb_selection_cache_size", "gauge",
+           "Entries in the recommendation cache.");
+  w.gauge("lamb_selection_cache_size",
+          static_cast<double>(service_.cache_size()));
 
-  family("lamb_uptime_seconds", "gauge",
-         "Seconds since the serving process started.");
-  out += support::strf(
-      "lamb_uptime_seconds %.3f\n",
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-          .count());
-  family("lamb_build_info", "gauge",
-         "Constant 1, labeled with version and kernel tier.");
-  out += support::strf(
-      "lamb_build_info{version=\"%s\",kernel_tier=\"%s\"} 1\n",
-      LAMB_GIT_DESCRIBE, blas::active_microkernel().name);
+  w.family("lamb_uptime_seconds", "gauge",
+           "Seconds since the serving process started.");
+  w.gauge("lamb_uptime_seconds",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count());
+  w.family("lamb_build_info", "gauge",
+           "Constant 1, labeled with version and kernel tier.");
+  w.gauge("lamb_build_info",
+          support::strf("{version=\"%s\",kernel_tier=\"%s\"}",
+                        LAMB_GIT_DESCRIBE, blas::active_microkernel().name)
+              .c_str(),
+          1.0);
 
   if (drift_ != nullptr) {
     const serve::DriftStats d = drift_->stats();
-    family("lamb_drift_checks_total", "counter",
-         "Drift probe rounds run.");
-    counter("lamb_drift_checks_total", "", d.checks);
-    family("lamb_drift_probe_measurements_total", "counter",
-         "Individual drift probe measurements.");
-    counter("lamb_drift_probe_measurements_total", "", d.probe_measurements);
-    family("lamb_drift_detected_total", "counter",
-         "Drift detections.");
-    counter("lamb_drift_detected_total", "", d.drift_detected);
-    family("lamb_drift_refreshes_total", "counter",
-         "Refresh rounds triggered by drift.");
-    counter("lamb_drift_refreshes_total", "", d.refresh_rounds);
-    family("lamb_drift_slices_refreshed_total", "counter",
-         "Slices rebuilt after drift.");
-    counter("lamb_drift_slices_refreshed_total", "", d.slices_refreshed);
-    family("lamb_drift_score", "gauge",
-         "Latest drift score.");
-    out += support::strf("lamb_drift_score %.6f\n", d.last_score);
-    family("lamb_drift_last_refresh_age_seconds", "gauge",
-         "Seconds since the last drift refresh.");
-    out += support::strf("lamb_drift_last_refresh_age_seconds %.3f\n",
-                         d.last_refresh_age_seconds);
+    w.family("lamb_drift_checks_total", "counter",
+             "Drift probe rounds run.");
+    w.counter("lamb_drift_checks_total", d.checks);
+    w.family("lamb_drift_probe_measurements_total", "counter",
+             "Individual drift probe measurements.");
+    w.counter("lamb_drift_probe_measurements_total", d.probe_measurements);
+    w.family("lamb_drift_detected_total", "counter",
+             "Drift detections.");
+    w.counter("lamb_drift_detected_total", d.drift_detected);
+    w.family("lamb_drift_refreshes_total", "counter",
+             "Refresh rounds triggered by drift.");
+    w.counter("lamb_drift_refreshes_total", d.refresh_rounds);
+    w.family("lamb_drift_slices_refreshed_total", "counter",
+             "Slices rebuilt after drift.");
+    w.counter("lamb_drift_slices_refreshed_total", d.slices_refreshed);
+    w.family("lamb_drift_probe_cycles_total", "counter",
+             "CPU cycles spent inside drift probe measurements "
+             "(PMU-attributed; 0 when counters are unavailable).");
+    w.counter("lamb_drift_probe_cycles_total", d.probe_cycles);
+    w.family("lamb_drift_probe_instructions_total", "counter",
+             "Instructions retired inside drift probe measurements.");
+    w.counter("lamb_drift_probe_instructions_total", d.probe_instructions);
+    w.family("lamb_drift_refresh_cycles_total", "counter",
+             "CPU cycles spent on drift-triggered refresh rounds.");
+    w.counter("lamb_drift_refresh_cycles_total", d.refresh_cycles);
+    w.family("lamb_drift_score", "gauge",
+             "Latest drift score.");
+    w.gauge("lamb_drift_score", d.last_score);
+    w.family("lamb_drift_last_refresh_age_seconds", "gauge",
+             "Seconds since the last drift refresh.");
+    w.gauge("lamb_drift_last_refresh_age_seconds",
+            d.last_refresh_age_seconds);
   }
 
   if (server_ != nullptr) {
     // Whole-server aggregate: every reactor's counters merged into one
     // snapshot (histograms merge exactly — bucket-wise integer adds).
     const HttpStatsSnapshot h = server_->stats();
-    family("lamb_http_connections_accepted_total", "counter",
-         "Connections accepted.");
-    counter("lamb_http_connections_accepted_total", "",
-            h.connections_accepted);
-    family("lamb_http_connections_rejected_total", "counter",
-         "Connections refused (over max_connections or fd exhaustion).");
-    counter("lamb_http_connections_rejected_total", "",
-            h.connections_rejected);
-    family("lamb_http_requests_total", "counter",
-         "HTTP requests dispatched.");
-    counter("lamb_http_requests_total", "", h.requests_total);
-    family("lamb_http_responses_total", "counter",
-         "HTTP responses by status class.");
-    counter("lamb_http_responses_total", "{class=\"2xx\"}", h.responses_2xx);
-    counter("lamb_http_responses_total", "{class=\"4xx\"}", h.responses_4xx);
-    counter("lamb_http_responses_total", "{class=\"5xx\"}", h.responses_5xx);
-    counter("lamb_http_responses_total", "{class=\"other\"}",
-            h.responses_other);
-    family("lamb_http_parse_errors_total", "counter",
-         "Malformed requests answered 4xx.");
-    counter("lamb_http_parse_errors_total", "", h.parse_errors);
-    family("lamb_http_bytes_read_total", "counter",
-         "Bytes read from clients.");
-    counter("lamb_http_bytes_read_total", "", h.bytes_read);
-    family("lamb_http_bytes_written_total", "counter",
-         "Bytes written to clients.");
-    counter("lamb_http_bytes_written_total", "", h.bytes_written);
+    w.family("lamb_http_connections_accepted_total", "counter",
+             "Connections accepted.");
+    w.counter("lamb_http_connections_accepted_total",
+              h.connections_accepted);
+    w.family("lamb_http_connections_rejected_total", "counter",
+             "Connections refused (over max_connections or fd exhaustion).");
+    w.counter("lamb_http_connections_rejected_total",
+              h.connections_rejected);
+    w.family("lamb_http_requests_total", "counter",
+             "HTTP requests dispatched.");
+    w.counter("lamb_http_requests_total", h.requests_total);
+    w.family("lamb_http_responses_total", "counter",
+             "HTTP responses by status class.");
+    w.counter("lamb_http_responses_total", "{class=\"2xx\"}",
+              h.responses_2xx);
+    w.counter("lamb_http_responses_total", "{class=\"4xx\"}",
+              h.responses_4xx);
+    w.counter("lamb_http_responses_total", "{class=\"5xx\"}",
+              h.responses_5xx);
+    w.counter("lamb_http_responses_total", "{class=\"other\"}",
+              h.responses_other);
+    w.family("lamb_http_parse_errors_total", "counter",
+             "Malformed requests answered 4xx.");
+    w.counter("lamb_http_parse_errors_total", h.parse_errors);
+    w.family("lamb_http_bytes_read_total", "counter",
+             "Bytes read from clients.");
+    w.counter("lamb_http_bytes_read_total", h.bytes_read);
+    w.family("lamb_http_bytes_written_total", "counter",
+             "Bytes written to clients.");
+    w.counter("lamb_http_bytes_written_total", h.bytes_written);
 
-    family("lamb_http_connections_active", "gauge",
-           "Currently open client connections.");
-    counter("lamb_http_connections_active", "", h.connections_active);
-    family("lamb_http_requests_in_flight", "gauge",
-           "Requests dispatched to a handler, response not yet queued.");
-    counter("lamb_http_requests_in_flight", "", h.requests_in_flight);
+    w.family("lamb_http_connections_active", "gauge",
+             "Currently open client connections.");
+    w.gauge("lamb_http_connections_active",
+            static_cast<double>(h.connections_active));
+    w.family("lamb_http_requests_in_flight", "gauge",
+             "Requests dispatched to a handler, response not yet queued.");
+    w.gauge("lamb_http_requests_in_flight",
+            static_cast<double>(h.requests_in_flight));
 
-    family("lamb_http_request_duration_seconds", "histogram",
-           "Dispatch-to-response-queued seconds.");
-    histogram_series("lamb_http_request_duration_seconds", "",
-                     h.request_latency);
+    w.family("lamb_http_request_duration_seconds", "histogram",
+             "Dispatch-to-response-queued seconds.");
+    w.histogram("lamb_http_request_duration_seconds", "",
+                h.request_latency);
 
     // Per-reactor series, one per event loop. lamb_net_loops is the
     // cardinality anchor: scripts/metrics_lint.sh asserts every
     // lamb_net_loop_* family carries exactly this many loop="i" series.
     const std::size_t loops = server_->loops();
-    family("lamb_net_loops", "gauge", "Configured event loops (reactors).");
-    counter("lamb_net_loops", "", loops);
+    w.family("lamb_net_loops", "gauge",
+             "Configured event loops (reactors).");
+    w.gauge("lamb_net_loops", static_cast<double>(loops));
     const auto loop_label = [](std::size_t i) {
       return support::strf("{loop=\"%zu\"}", i);
     };
-    family("lamb_net_loop_connections", "gauge",
-           "Open connections owned by each event loop.");
+    w.family("lamb_net_loop_connections", "gauge",
+             "Open connections owned by each event loop.");
     for (std::size_t i = 0; i < loops; ++i) {
-      counter("lamb_net_loop_connections", loop_label(i).c_str(),
-              server_->loop_stats(i).connections_active.load(
-                  std::memory_order_relaxed));
+      w.gauge("lamb_net_loop_connections", loop_label(i).c_str(),
+              static_cast<double>(
+                  server_->loop_stats(i).connections_active.load(
+                      std::memory_order_relaxed)));
     }
-    family("lamb_net_loop_requests_total", "counter",
-           "Requests dispatched by each event loop.");
+    w.family("lamb_net_loop_requests_total", "counter",
+             "Requests dispatched by each event loop.");
     for (std::size_t i = 0; i < loops; ++i) {
-      counter("lamb_net_loop_requests_total", loop_label(i).c_str(),
-              server_->loop_stats(i).requests_total.load(
-                  std::memory_order_relaxed));
+      w.counter("lamb_net_loop_requests_total", loop_label(i).c_str(),
+                server_->loop_stats(i).requests_total.load(
+                    std::memory_order_relaxed));
     }
-    family("lamb_net_loop_epoll_wakeups_total", "counter",
-           "epoll_wait returns on each event loop.");
+    w.family("lamb_net_loop_epoll_wakeups_total", "counter",
+             "epoll_wait returns on each event loop.");
     for (std::size_t i = 0; i < loops; ++i) {
-      counter("lamb_net_loop_epoll_wakeups_total", loop_label(i).c_str(),
-              server_->loop_stats(i).epoll_wakeups.load(
-                  std::memory_order_relaxed));
+      w.counter("lamb_net_loop_epoll_wakeups_total", loop_label(i).c_str(),
+                server_->loop_stats(i).epoll_wakeups.load(
+                    std::memory_order_relaxed));
     }
   }
 
   {
     obs::Tracer& tr = obs::tracer();
     const auto stages = tr.stage_snapshots();
-    family("lamb_stage_seconds", "histogram",
-           "Per-stage serving latency, seconds (always-on tier; empty "
-           "until tracing is enabled).");
+    w.family("lamb_stage_seconds", "histogram",
+             "Per-stage serving latency, seconds (always-on tier; empty "
+             "until tracing is enabled).");
     for (std::size_t i = 0; i < obs::kStageCount; ++i) {
       const std::string label =
           "stage=\"" +
           std::string(obs::to_string(static_cast<obs::Stage>(i))) + "\"";
-      histogram_series("lamb_stage_seconds", label, stages[i]);
+      w.histogram("lamb_stage_seconds", label, stages[i]);
     }
 
     const obs::TracerCounters tc = tr.counters();
-    family("lamb_trace_requests_total", "counter", "Traces begun.");
-    counter("lamb_trace_requests_total", "", tc.requests);
-    family("lamb_trace_sampled_total", "counter",
-           "Traces with detailed span capture.");
-    counter("lamb_trace_sampled_total", "", tc.sampled);
-    family("lamb_trace_spans_total", "counter",
-           "Spans pushed into the per-thread rings (pre-overwrite).");
-    counter("lamb_trace_spans_total", "", tc.spans);
-    family("lamb_trace_slow_total", "counter", "Slow-log admissions.");
-    counter("lamb_trace_slow_total", "", tc.slow);
-    family("lamb_trace_enabled", "gauge", "1 when tracing is enabled.");
-    counter("lamb_trace_enabled", "", tr.enabled() ? 1 : 0);
-    family("lamb_trace_sample_every", "gauge",
-           "Detailed capture rate: 1-in-N requests (0 = off).");
-    counter("lamb_trace_sample_every", "", tr.sample_every());
+    w.family("lamb_trace_requests_total", "counter", "Traces begun.");
+    w.counter("lamb_trace_requests_total", tc.requests);
+    w.family("lamb_trace_sampled_total", "counter",
+             "Traces with detailed span capture.");
+    w.counter("lamb_trace_sampled_total", tc.sampled);
+    w.family("lamb_trace_spans_total", "counter",
+             "Spans pushed into the per-thread rings (pre-overwrite).");
+    w.counter("lamb_trace_spans_total", tc.spans);
+    w.family("lamb_trace_slow_total", "counter", "Slow-log admissions.");
+    w.counter("lamb_trace_slow_total", tc.slow);
+    w.family("lamb_trace_enabled", "gauge", "1 when tracing is enabled.");
+    w.gauge("lamb_trace_enabled", tr.enabled() ? 1.0 : 0.0);
+    w.family("lamb_trace_sample_every", "gauge",
+             "Detailed capture rate: 1-in-N requests (0 = off).");
+    w.gauge("lamb_trace_sample_every",
+            static_cast<double>(tr.sample_every()));
+
+    // PMU families. The availability gauge ALWAYS appears; every other
+    // lamb_pmu_* family appears only when counters are live — the lint
+    // pins that consistency, and profile_smoke.sh drives the LAMB_PMU=off
+    // scrape against it.
+    const bool pmu = obs::pmu_available();
+    w.family("lamb_pmu_available", "gauge",
+             "1 when hardware performance counters are live (perf_event); "
+             "0 when disabled or unavailable.");
+    w.gauge("lamb_pmu_available", pmu ? 1.0 : 0.0);
+    if (pmu) {
+      const auto totals = tr.pmu_stage_totals();
+      const auto ipc = tr.pmu_ipc_snapshots();
+      const auto stage_label = [](std::size_t i) {
+        return "{stage=\"" +
+               std::string(obs::to_string(static_cast<obs::Stage>(i))) +
+               "\"}";
+      };
+      w.family("lamb_pmu_samples_total", "counter",
+               "Sampled spans with PMU attribution, by stage.");
+      for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+        w.counter("lamb_pmu_samples_total", stage_label(i).c_str(),
+                  totals[i].samples);
+      }
+      w.family("lamb_pmu_cycles_total", "counter",
+               "CPU cycles attributed to sampled spans, by stage.");
+      for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+        w.counter("lamb_pmu_cycles_total", stage_label(i).c_str(),
+                  totals[i].cycles);
+      }
+      w.family("lamb_pmu_instructions_total", "counter",
+               "Instructions retired in sampled spans, by stage.");
+      for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+        w.counter("lamb_pmu_instructions_total", stage_label(i).c_str(),
+                  totals[i].instructions);
+      }
+      w.family("lamb_pmu_llc_loads_total", "counter",
+               "Last-level-cache read accesses in sampled spans, by stage.");
+      for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+        w.counter("lamb_pmu_llc_loads_total", stage_label(i).c_str(),
+                  totals[i].llc_loads);
+      }
+      w.family("lamb_pmu_llc_misses_total", "counter",
+               "Last-level-cache read misses in sampled spans, by stage.");
+      for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+        w.counter("lamb_pmu_llc_misses_total", stage_label(i).c_str(),
+                  totals[i].llc_misses);
+      }
+      w.family("lamb_pmu_stalled_backend_total", "counter",
+               "Backend-stalled cycles in sampled spans, by stage.");
+      for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+        w.counter("lamb_pmu_stalled_backend_total", stage_label(i).c_str(),
+                  totals[i].stalled_backend);
+      }
+      w.family("lamb_pmu_flops_total", "counter",
+               "Declared floating-point operations of PMU-attributed "
+               "spans, by stage (2mnk per gemm).");
+      for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+        w.counter("lamb_pmu_flops_total", stage_label(i).c_str(),
+                  totals[i].flops);
+      }
+      w.family("lamb_pmu_ipc", "histogram",
+               "Distribution of per-span IPC, by stage (bucket bounds are "
+               "the shared 1-2-5 grid, read unitless).");
+      for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+        const std::string label =
+            "stage=\"" +
+            std::string(obs::to_string(static_cast<obs::Stage>(i))) + "\"";
+        w.histogram("lamb_pmu_ipc", label, ipc[i]);
+      }
+    }
   }
 
   Response r;
   r.content_type = std::string(kPrometheusType);
-  r.body = std::move(out);
+  r.body = w.take();
   return r;
 }
 

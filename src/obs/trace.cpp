@@ -29,10 +29,19 @@ struct Slot {
   std::atomic<std::uint64_t> seq{0};
   std::atomic<std::uint64_t> trace_id{0};
   std::atomic<std::uint64_t> ids{0};    ///< span_id | parent_id << 32
-  std::atomic<std::uint64_t> meta{0};   ///< stage | thread_index << 8
+  /// stage | pmu-valid << 7 | thread_index << 8 (stages are 0..6, so bit 7
+  /// of the low byte is free for the PMU flag).
+  std::atomic<std::uint64_t> meta{0};
   std::atomic<std::uint64_t> t_start{0};
   std::atomic<std::uint64_t> t_end{0};
+  std::atomic<std::uint64_t> flops{0};
+  std::atomic<std::uint64_t> pmu_cycles{0};
+  std::atomic<std::uint64_t> pmu_instructions{0};
+  std::atomic<std::uint64_t> pmu_llc_loads{0};
+  std::atomic<std::uint64_t> pmu_llc_misses{0};
+  std::atomic<std::uint64_t> pmu_stalled{0};
 };
+constexpr std::uint64_t kMetaPmuValid = 0x80;
 
 /// The owning thread's cached lane pointer; invalidated when the tracer's
 /// generation moves (configure() dropped the lanes it pointed into).
@@ -77,6 +86,18 @@ std::string_view to_string(Stage stage) {
   return "?";
 }
 
+/// Per-stage PMU accumulators: owner-written with relaxed adds, merged at
+/// scrape time (same contract as the stage histograms).
+struct PmuAgg {
+  std::atomic<std::uint64_t> samples{0};
+  std::atomic<std::uint64_t> cycles{0};
+  std::atomic<std::uint64_t> instructions{0};
+  std::atomic<std::uint64_t> llc_loads{0};
+  std::atomic<std::uint64_t> llc_misses{0};
+  std::atomic<std::uint64_t> stalled{0};
+  std::atomic<std::uint64_t> flops{0};
+};
+
 struct detail::Lane {
   Lane(std::size_t capacity, std::uint32_t lane_index)
       : ring(capacity), mask(capacity - 1), index(lane_index) {}
@@ -86,6 +107,8 @@ struct detail::Lane {
   std::atomic<std::uint64_t> head{0};  ///< total spans pushed by the owner
   std::uint32_t index;
   std::array<support::LatencyHistogram, kStageCount> stages;
+  std::array<PmuAgg, kStageCount> pmu;
+  std::array<support::LatencyHistogram, kStageCount> pmu_ipc;
 };
 
 Tracer::Tracer() = default;
@@ -174,10 +197,20 @@ void Tracer::push(detail::Lane& lane, const SpanRecord& record) {
                      (static_cast<std::uint64_t>(record.parent_id) << 32),
                  std::memory_order_relaxed);
   slot.meta.store(static_cast<std::uint64_t>(record.stage) |
+                      (record.pmu.valid ? kMetaPmuValid : 0) |
                       (static_cast<std::uint64_t>(lane.index) << 8),
                   std::memory_order_relaxed);
   slot.t_start.store(record.t_start_ns, std::memory_order_relaxed);
   slot.t_end.store(record.t_end_ns, std::memory_order_relaxed);
+  slot.flops.store(record.flops, std::memory_order_relaxed);
+  slot.pmu_cycles.store(record.pmu.cycles, std::memory_order_relaxed);
+  slot.pmu_instructions.store(record.pmu.instructions,
+                              std::memory_order_relaxed);
+  slot.pmu_llc_loads.store(record.pmu.llc_loads, std::memory_order_relaxed);
+  slot.pmu_llc_misses.store(record.pmu.llc_misses,
+                            std::memory_order_relaxed);
+  slot.pmu_stalled.store(record.pmu.stalled_backend,
+                         std::memory_order_relaxed);
   slot.seq.store(seq + 2, std::memory_order_release);  // even: committed
   lane.head.store(head + 1, std::memory_order_release);
 }
@@ -278,13 +311,24 @@ std::vector<SpanRecord> Tracer::scan_lanes(
       const std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
       record.t_start_ns = slot.t_start.load(std::memory_order_relaxed);
       record.t_end_ns = slot.t_end.load(std::memory_order_relaxed);
+      record.flops = slot.flops.load(std::memory_order_relaxed);
+      record.pmu.cycles = slot.pmu_cycles.load(std::memory_order_relaxed);
+      record.pmu.instructions =
+          slot.pmu_instructions.load(std::memory_order_relaxed);
+      record.pmu.llc_loads =
+          slot.pmu_llc_loads.load(std::memory_order_relaxed);
+      record.pmu.llc_misses =
+          slot.pmu_llc_misses.load(std::memory_order_relaxed);
+      record.pmu.stalled_backend =
+          slot.pmu_stalled.load(std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_acquire);
       if (slot.seq.load(std::memory_order_relaxed) != seq1) {
         continue;  // overwritten while reading
       }
       record.span_id = static_cast<std::uint32_t>(ids);
       record.parent_id = static_cast<std::uint32_t>(ids >> 32);
-      record.stage = static_cast<Stage>(meta & 0xff);
+      record.stage = static_cast<Stage>(meta & 0x7f);
+      record.pmu.valid = (meta & kMetaPmuValid) != 0;
       record.thread_index = static_cast<std::uint32_t>(meta >> 8);
       if (record.trace_id == 0 ||
           (trace_filter != 0 && record.trace_id != trace_filter)) {
@@ -320,6 +364,38 @@ Tracer::stage_snapshots() const {
   return merged;
 }
 
+std::array<PmuStageTotals, kStageCount> Tracer::pmu_stage_totals() const {
+  std::array<PmuStageTotals, kStageCount> merged{};
+  const std::lock_guard<std::mutex> lock(lanes_mutex_);
+  for (const std::unique_ptr<detail::Lane>& lane : lanes_) {
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const PmuAgg& agg = lane->pmu[s];
+      merged[s].samples += agg.samples.load(std::memory_order_relaxed);
+      merged[s].cycles += agg.cycles.load(std::memory_order_relaxed);
+      merged[s].instructions +=
+          agg.instructions.load(std::memory_order_relaxed);
+      merged[s].llc_loads += agg.llc_loads.load(std::memory_order_relaxed);
+      merged[s].llc_misses += agg.llc_misses.load(std::memory_order_relaxed);
+      merged[s].stalled_backend +=
+          agg.stalled.load(std::memory_order_relaxed);
+      merged[s].flops += agg.flops.load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+std::array<support::LatencyHistogram::Snapshot, kStageCount>
+Tracer::pmu_ipc_snapshots() const {
+  std::array<support::LatencyHistogram::Snapshot, kStageCount> merged{};
+  const std::lock_guard<std::mutex> lock(lanes_mutex_);
+  for (const std::unique_ptr<detail::Lane>& lane : lanes_) {
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      merged[s].merge(lane->pmu_ipc[s].snapshot());
+    }
+  }
+  return merged;
+}
+
 std::vector<SlowTrace> Tracer::slow_traces() const {
   const std::lock_guard<std::mutex> lock(slow_mutex_);
   // Oldest first: start at the overwrite cursor when the ring has wrapped.
@@ -345,6 +421,53 @@ TracerCounters Tracer::counters() const {
   return c;
 }
 
+namespace {
+
+/// The PMU attribution of one span as extra JSON object members (leading
+/// comma), shared by the Chrome export and the slow log. Empty when the
+/// span carried no valid counters.
+std::string pmu_args_json(const SpanRecord& s) {
+  std::string out;
+  if (s.flops != 0) {
+    out += support::strf(", \"flops\": %llu",
+                         static_cast<unsigned long long>(s.flops));
+    const std::uint64_t wall = s.t_end_ns - s.t_start_ns;
+    if (wall != 0) {
+      out += support::strf(", \"gflops\": %.2f",
+                           static_cast<double>(s.flops) /
+                               static_cast<double>(wall));
+    }
+  }
+  if (!s.pmu.valid) {
+    return out;
+  }
+  out += support::strf(
+      ", \"cycles\": %llu, \"instructions\": %llu, \"ipc\": %.3f",
+      static_cast<unsigned long long>(s.pmu.cycles),
+      static_cast<unsigned long long>(s.pmu.instructions), s.pmu.ipc());
+  if (s.pmu.llc_loads != 0 || s.pmu.llc_misses != 0) {
+    out += support::strf(
+        ", \"llc_loads\": %llu, \"llc_misses\": %llu, "
+        "\"llc_miss_rate\": %.4f",
+        static_cast<unsigned long long>(s.pmu.llc_loads),
+        static_cast<unsigned long long>(s.pmu.llc_misses),
+        s.pmu.llc_miss_rate());
+  }
+  if (s.pmu.stalled_backend != 0) {
+    out += support::strf(
+        ", \"stalled_backend\": %llu",
+        static_cast<unsigned long long>(s.pmu.stalled_backend));
+  }
+  if (s.flops != 0 && s.pmu.cycles != 0) {
+    out += support::strf(", \"flops_per_cycle\": %.3f",
+                         static_cast<double>(s.flops) /
+                             static_cast<double>(s.pmu.cycles));
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string Tracer::chrome_trace_json() const {
   std::vector<SpanRecord> spans = recent_spans();
   std::sort(spans.begin(), spans.end(),
@@ -359,12 +482,13 @@ std::string Tracer::chrome_trace_json() const {
     out += support::strf(
         "%s\n  {\"name\": \"%s\", \"cat\": \"lamb\", \"ph\": \"X\", "
         "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
-        "\"args\": {\"trace_id\": %llu, \"span_id\": %u, \"parent_id\": %u}}",
+        "\"args\": {\"trace_id\": %llu, \"span_id\": %u, \"parent_id\": %u"
+        "%s}}",
         i == 0 ? "" : ",", std::string(to_string(s.stage)).c_str(),
         static_cast<double>(s.t_start_ns - t0) / 1e3,
         static_cast<double>(s.t_end_ns - s.t_start_ns) / 1e3,
         s.thread_index, static_cast<unsigned long long>(s.trace_id),
-        s.span_id, s.parent_id);
+        s.span_id, s.parent_id, pmu_args_json(s).c_str());
   }
   out += "\n]}\n";
   return out;
@@ -375,21 +499,55 @@ std::string Tracer::slow_json() const {
   std::string out = "[";
   for (std::size_t i = 0; i < slow.size(); ++i) {
     const SlowTrace& t = slow[i];
+    // Per-stage rollup of the retained span tree: a slow entry names which
+    // stage ate the time without re-sampling the request. kRequest (the
+    // root) is skipped — it would just restate duration_us.
+    std::array<std::uint64_t, kStageCount> stage_ns{};
+    std::array<std::uint64_t, kStageCount> stage_count{};
+    std::array<std::uint64_t, kStageCount> stage_cycles{};
+    for (const SpanRecord& s : t.spans) {
+      const std::size_t stage = static_cast<std::size_t>(s.stage);
+      stage_ns[stage] += s.t_end_ns - s.t_start_ns;
+      stage_count[stage] += 1;
+      if (s.pmu.valid) {
+        stage_cycles[stage] += s.pmu.cycles;
+      }
+    }
     out += support::strf(
         "%s\n  {\"trace_id\": %llu, \"label\": \"%s\", "
-        "\"duration_us\": %.3f, \"spans\": [",
+        "\"duration_us\": %.3f, \"stages\": {",
         i == 0 ? "" : ",", static_cast<unsigned long long>(t.trace_id),
         json_escape(t.label).c_str(),
         static_cast<double>(t.duration_ns) / 1e3);
+    bool first_stage = true;
+    for (std::size_t s = 1; s < kStageCount; ++s) {
+      if (stage_count[s] == 0) {
+        continue;
+      }
+      out += support::strf(
+          "%s\"%s\": {\"count\": %llu, \"total_us\": %.3f",
+          first_stage ? "" : ", ",
+          std::string(to_string(static_cast<Stage>(s))).c_str(),
+          static_cast<unsigned long long>(stage_count[s]),
+          static_cast<double>(stage_ns[s]) / 1e3);
+      if (stage_cycles[s] != 0) {
+        out += support::strf(", \"cycles\": %llu",
+                             static_cast<unsigned long long>(stage_cycles[s]));
+      }
+      out += "}";
+      first_stage = false;
+    }
+    out += "}, \"spans\": [";
     for (std::size_t j = 0; j < t.spans.size(); ++j) {
       const SpanRecord& s = t.spans[j];
       out += support::strf(
           "%s\n    {\"stage\": \"%s\", \"span_id\": %u, \"parent_id\": %u, "
-          "\"start_us\": %.3f, \"duration_us\": %.3f}",
+          "\"start_us\": %.3f, \"duration_us\": %.3f%s}",
           j == 0 ? "" : ",", std::string(to_string(s.stage)).c_str(),
           s.span_id, s.parent_id,
           static_cast<double>(s.t_start_ns - t.t_start_ns) / 1e3,
-          static_cast<double>(s.t_end_ns - s.t_start_ns) / 1e3);
+          static_cast<double>(s.t_end_ns - s.t_start_ns) / 1e3,
+          pmu_args_json(s).c_str());
     }
     out += "\n  ]}";
   }
@@ -407,6 +565,10 @@ void SpanScope::begin(Stage stage) {
     saved_parent_ = ctx.parent_span;
     span_id_ = tracer().alloc_span_id();
     ctx.parent_span = span_id_;  // children opened inside nest under us
+    // Counters ride the sampled tier only: the 1-in-N spans that already
+    // pay for ring pushes pick up PMU attribution, the rest stay at one
+    // relaxed availability load inside arm().
+    pmu_.arm();
   }
 }
 
@@ -414,12 +576,30 @@ void SpanScope::finish() {
   const std::uint64_t t1 = now_ns();
   Tracer& t = tracer();
   if (sampled_) {
+    const PmuSample pmu = pmu_.finish();
     TraceContext& ctx = detail::t_context;
     ctx.parent_span = saved_parent_;
     if (t.enabled()) {
       detail::Lane& ln = t.lane();
-      t.push(ln, SpanRecord{ctx.trace_id, span_id_, saved_parent_, ln.index,
-                            stage_, t0_, t1});
+      SpanRecord record{ctx.trace_id, span_id_, saved_parent_, ln.index,
+                        stage_, t0_, t1};
+      record.pmu = pmu;
+      record.flops = flops_;
+      t.push(ln, record);
+      if (pmu.valid) {
+        const std::size_t s = static_cast<std::size_t>(stage_);
+        PmuAgg& agg = ln.pmu[s];
+        agg.samples.fetch_add(1, std::memory_order_relaxed);
+        agg.cycles.fetch_add(pmu.cycles, std::memory_order_relaxed);
+        agg.instructions.fetch_add(pmu.instructions,
+                                   std::memory_order_relaxed);
+        agg.llc_loads.fetch_add(pmu.llc_loads, std::memory_order_relaxed);
+        agg.llc_misses.fetch_add(pmu.llc_misses, std::memory_order_relaxed);
+        agg.stalled.fetch_add(pmu.stalled_backend,
+                              std::memory_order_relaxed);
+        agg.flops.fetch_add(flops_, std::memory_order_relaxed);
+        ln.pmu_ipc[s].record(pmu.ipc());
+      }
     }
   }
   t.record_stage(stage_, t0_, t1);

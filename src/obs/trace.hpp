@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "obs/clock.hpp"
+#include "obs/pmu.hpp"
 #include "support/histogram.hpp"
 
 namespace lamb::obs {
@@ -67,6 +68,25 @@ struct SpanRecord {
   Stage stage = Stage::kRequest;
   std::uint64_t t_start_ns = 0;
   std::uint64_t t_end_ns = 0;
+  /// Hardware-counter deltas attributed exclusively to this span (valid
+  /// only on sampled spans when the PMU is available — see obs/pmu.hpp).
+  PmuSample pmu;
+  /// Floating-point operations the span's owner declared (2mnk for a
+  /// gemm); 0 when unknown. With pmu.valid this yields FLOP-per-cycle.
+  std::uint64_t flops = 0;
+};
+
+/// Per-stage PMU aggregate across every sampled span (merged over all
+/// thread lanes at scrape time). `samples` counts spans with valid PMU
+/// deltas; the counters sum those deltas.
+struct PmuStageTotals {
+  std::uint64_t samples = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_loads = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t stalled_backend = 0;
+  std::uint64_t flops = 0;
 };
 
 /// Propagated identity of the request being served on this thread.
@@ -173,6 +193,13 @@ class Tracer {
   /// Per-stage latency snapshots merged across threads.
   std::array<support::LatencyHistogram::Snapshot, kStageCount>
   stage_snapshots() const;
+  /// Per-stage PMU totals merged across threads (all-zero when the PMU is
+  /// unavailable or nothing was sampled).
+  std::array<PmuStageTotals, kStageCount> pmu_stage_totals() const;
+  /// Per-stage distribution of per-span IPC (histogram buckets are the
+  /// shared 1-2-5 grid, read unitless: an IPC of 1.7 lands in le="2").
+  std::array<support::LatencyHistogram::Snapshot, kStageCount>
+  pmu_ipc_snapshots() const;
   std::vector<SlowTrace> slow_traces() const;
   TracerCounters counters() const;
 
@@ -244,6 +271,14 @@ class SpanScope {
       begin(stage);
     }
   }
+  /// As above, declaring the scope's floating-point work (2mnk for a
+  /// gemm) so sampled spans carry FLOP-per-cycle attribution.
+  SpanScope(Stage stage, std::uint64_t flops) {
+    if (detail::g_enabled.load(std::memory_order_relaxed)) {
+      flops_ = flops;
+      begin(stage);
+    }
+  }
   ~SpanScope() {
     if (armed_) {
       finish();
@@ -262,6 +297,10 @@ class SpanScope {
   std::uint32_t span_id_ = 0;
   std::uint32_t saved_parent_ = 0;
   std::uint64_t t0_ = 0;
+  std::uint64_t flops_ = 0;
+  /// Armed only on sampled spans when the PMU is available — the unsampled
+  /// hot path never touches a counter.
+  PmuScope pmu_;
 };
 
 /// Histogram-snapshot arithmetic for stage-delta accounting (the

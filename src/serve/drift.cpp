@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/pmu.hpp"
 #include "store/profile_io.hpp"
 #include "store/serial.hpp"
 #include "support/check.hpp"
@@ -112,7 +113,9 @@ bool DriftMonitor::check_once() {
   // Re-measure a seeded sample of grid nodes and score the drift as the
   // MEDIAN relative error against the stored baseline — robust: one noisy
   // probe cannot trigger a refresh, the middle of the distribution must
-  // have moved.
+  // have moved. The whole probe pass runs under a PmuScope so the refresh
+  // decision can be annotated with what the evidence cost to gather.
+  obs::PmuScope probe_pmu(/*arm_now=*/true);
   const std::size_t per_axis = config_.nodes.size();
   std::vector<double> errors;
   errors.reserve(config_.probes);
@@ -127,6 +130,7 @@ bool DriftMonitor::check_once() {
       errors.push_back(std::fabs(observed - expected) / expected);
     }
   }
+  const obs::PmuSample probe_cost = probe_pmu.finish();
   const double score =
       errors.empty() ? 0.0 : support::median(errors);
   const bool drifted = score > config_.threshold;
@@ -134,6 +138,10 @@ bool DriftMonitor::check_once() {
     const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.checks;
     stats_.last_score = score;
+    if (probe_cost.valid) {
+      stats_.probe_cycles += probe_cost.cycles;
+      stats_.probe_instructions += probe_cost.instructions;
+    }
     if (drifted) {
       ++stats_.drift_detected;
     }
@@ -146,13 +154,30 @@ bool DriftMonitor::check_once() {
   // (copy-on-write, one swap — see SelectionService::refresh_slices), then
   // adopt the machine's new timings as the baseline so one real shift
   // triggers exactly one refresh round instead of one per check forever.
+  obs::PmuScope refresh_pmu(/*arm_now=*/true);
   const std::size_t refreshed = service_.refresh_slices();
   baseline_.emplace(measure_baseline());
   save_baseline(*baseline_);
+  const obs::PmuSample refresh_cost = refresh_pmu.finish();
+  if (probe_cost.valid || refresh_cost.valid) {
+    std::fprintf(stderr,
+                 "drift: refresh at score %.4f (%zu slices; probes %llu "
+                 "cycles ipc %.2f, refresh %llu cycles)\n",
+                 score, refreshed,
+                 static_cast<unsigned long long>(probe_cost.cycles),
+                 probe_cost.ipc(),
+                 static_cast<unsigned long long>(refresh_cost.cycles));
+  } else {
+    std::fprintf(stderr, "drift: refresh at score %.4f (%zu slices)\n",
+                 score, refreshed);
+  }
   {
     const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.refresh_rounds;
     stats_.slices_refreshed += refreshed;
+    if (refresh_cost.valid) {
+      stats_.refresh_cycles += refresh_cost.cycles;
+    }
     last_refresh_ = std::chrono::steady_clock::now();
   }
   return true;

@@ -72,6 +72,14 @@ struct DriftStats {
   std::uint64_t drift_detected = 0;   ///< checks whose score crossed threshold
   std::uint64_t refresh_rounds = 0;   ///< refresh rounds triggered
   std::uint64_t slices_refreshed = 0; ///< atlas slices rebuilt across rounds
+  /// CPU cycles / instructions spent inside probe measurements, and cycles
+  /// spent on refresh rounds (rebuild + re-baseline) — PMU-attributed via
+  /// obs::PmuScope; all zero when the PMU is unavailable. These price the
+  /// monitor itself: a refresh decision is annotated with what the
+  /// evidence cost to gather.
+  std::uint64_t probe_cycles = 0;
+  std::uint64_t probe_instructions = 0;
+  std::uint64_t refresh_cycles = 0;
   double last_score = 0.0;            ///< most recent robust drift score
   bool baseline_loaded = false;       ///< baseline came from baseline_path
   /// Seconds since the last completed refresh; -1 until the first one.

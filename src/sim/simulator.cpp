@@ -58,21 +58,31 @@ SimReport run_replay(
   // every phase boundary, crediting each segment to the phase that ran it.
   using StageSnaps =
       std::array<support::LatencyHistogram::Snapshot, obs::kStageCount>;
+  using PmuTotals = std::array<obs::PmuStageTotals, obs::kStageCount>;
   StageSnaps stage_base{};
+  PmuTotals pmu_base{};
   std::vector<StageSnaps> stage_acc;
+  std::vector<PmuTotals> pmu_acc;
   std::ptrdiff_t stage_phase = -1;
   const auto flush_stages = [&](std::ptrdiff_t next_phase) {
     const StageSnaps now = obs::tracer().stage_snapshots();
+    const PmuTotals pmu_now = obs::tracer().pmu_stage_totals();
     if (stage_phase >= 0) {
       StageSnaps& acc = stage_acc[static_cast<std::size_t>(stage_phase)];
+      PmuTotals& pacc = pmu_acc[static_cast<std::size_t>(stage_phase)];
       for (std::size_t s = 0; s < obs::kStageCount; ++s) {
         const support::LatencyHistogram::Snapshot delta =
             obs::subtract_snapshot(now[s], stage_base[s]);
         acc[s].count += delta.count;
         acc[s].sum_seconds += delta.sum_seconds;
+        pacc[s].samples += pmu_now[s].samples - pmu_base[s].samples;
+        pacc[s].cycles += pmu_now[s].cycles - pmu_base[s].cycles;
+        pacc[s].instructions +=
+            pmu_now[s].instructions - pmu_base[s].instructions;
       }
     }
     stage_base = now;
+    pmu_base = pmu_now;
     stage_phase = next_phase;
   };
   if (cfg.stage_breakdown) {
@@ -84,7 +94,9 @@ SimReport run_replay(
       tr.configure(tc);
     }
     stage_acc.resize(spec.phases.size());
+    pmu_acc.resize(spec.phases.size());
     stage_base = tr.stage_snapshots();
+    pmu_base = tr.pmu_stage_totals();
   }
 
   const Clock::time_point start = Clock::now();
@@ -135,7 +147,9 @@ SimReport run_replay(
       for (std::size_t s = 0; s < obs::kStageCount; ++s) {
         stats.stages.push_back(StageBreak{
             std::string(obs::to_string(static_cast<obs::Stage>(s))),
-            stage_acc[i][s].count, stage_acc[i][s].sum_seconds});
+            stage_acc[i][s].count, stage_acc[i][s].sum_seconds,
+            pmu_acc[i][s].samples, pmu_acc[i][s].cycles,
+            pmu_acc[i][s].instructions});
       }
     }
   }
@@ -185,11 +199,20 @@ std::string SimReport::to_string() const {
       if (s.count == 0) {
         continue;
       }
-      out += support::strf("  %-8s %10llu x %10.1f us = %9.3f ms\n",
+      out += support::strf("  %-8s %10llu x %10.1f us = %9.3f ms",
                            s.stage.c_str(),
                            static_cast<unsigned long long>(s.count),
                            1e6 * s.seconds / static_cast<double>(s.count),
                            1e3 * s.seconds);
+      if (s.cycles > 0) {
+        out += support::strf(
+            "  (%llu sampled: %.1f Mcycles, ipc %.2f)",
+            static_cast<unsigned long long>(s.pmu_samples),
+            static_cast<double>(s.cycles) * 1e-6,
+            static_cast<double>(s.instructions) /
+                static_cast<double>(s.cycles));
+      }
+      out += '\n';
     }
   }
   return out;
@@ -222,10 +245,19 @@ std::string SimReport::to_json() const {
       out += ", \"stages\": {";
       for (std::size_t s = 0; s < p.stages.size(); ++s) {
         out += support::strf(
-            "%s\"%s\": {\"count\": %llu, \"seconds\": %.6f}",
+            "%s\"%s\": {\"count\": %llu, \"seconds\": %.6f",
             s == 0 ? "" : ", ", p.stages[s].stage.c_str(),
             static_cast<unsigned long long>(p.stages[s].count),
             p.stages[s].seconds);
+        if (p.stages[s].cycles > 0) {
+          out += support::strf(
+              ", \"pmu_samples\": %llu, \"cycles\": %llu, "
+              "\"instructions\": %llu",
+              static_cast<unsigned long long>(p.stages[s].pmu_samples),
+              static_cast<unsigned long long>(p.stages[s].cycles),
+              static_cast<unsigned long long>(p.stages[s].instructions));
+        }
+        out += "}";
       }
       out += "}}";
     }

@@ -55,6 +55,13 @@ struct StageBreak {
   std::string stage;        ///< request|parse|route|lru|atlas|build|kernel
   std::uint64_t count = 0;  ///< stage executions attributed to the phase
   double seconds = 0.0;     ///< total stage time attributed to the phase
+  /// PMU attribution over the phase's SAMPLED spans of this stage (see
+  /// obs/pmu.hpp): all zero when the PMU is unavailable or the tracer runs
+  /// counters-only (sample_every == 0, the stage_breakdown default).
+  /// serve_cli profile replays with full sampling so these fill in.
+  std::uint64_t pmu_samples = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
 };
 
 struct PhaseStats {

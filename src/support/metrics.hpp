@@ -1,0 +1,60 @@
+// Prometheus text-exposition writer (the format scripts/metrics_lint.sh
+// pins): every family announces # HELP and # TYPE before its first series,
+// counters are integral, gauges may be fractional, histograms emit the
+// cumulative _bucket/_sum/_count triple. Extracted from the hand-rolled
+// snprintf block in net/routes.cpp so every emitter (serving stats, PMU
+// families, future subsystems) shares one implementation — and so the
+// kind declared by family() is enforced: emitting a gauge through a
+// counter helper is the class of bug this replaces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/histogram.hpp"
+
+namespace lamb::support {
+
+class MetricsWriter {
+ public:
+  explicit MetricsWriter(std::size_t reserve = 4096) { out_.reserve(reserve); }
+
+  /// Declare a family: kind is "counter", "gauge" or "histogram". Must
+  /// precede the family's first series (the lint rejects orphan series).
+  void family(const char* name, const char* kind, const char* help);
+
+  /// One counter series; labels like "{source=\"cache\"}" or "" for none.
+  /// The family must have been declared "counter" (LAMB_CHECK enforced —
+  /// scrape-path cost, never hot-path).
+  void counter(const char* name, std::uint64_t value) {
+    counter(name, "", value);
+  }
+  void counter(const char* name, const char* labels, std::uint64_t value);
+
+  /// One gauge series (fractional allowed; integral values print exact).
+  void gauge(const char* name, double value) { gauge(name, "", value); }
+  void gauge(const char* name, const char* labels, double value);
+
+  /// The full histogram triple from a snapshot; label ("stage=\"kernel\"",
+  /// no braces) is prefixed onto each bucket's `le`.
+  void histogram(const char* name, const std::string& label,
+                 const LatencyHistogram::Snapshot& snap);
+
+  /// A raw pre-formatted line (escape hatch for e.g. lamb_build_info's
+  /// label-only constant); must still follow its family().
+  void raw(const std::string& line) { out_ += line; }
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  void check_kind(const char* name, const char* expected) const;
+
+  std::string out_;
+  /// The last declared family, for kind enforcement. One family's series
+  /// are contiguous in this format, so remembering only the latest
+  /// declaration suffices.
+  std::string last_family_;
+  std::string last_kind_;
+};
+
+}  // namespace lamb::support

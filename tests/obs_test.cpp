@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <thread>
 #include <vector>
@@ -15,6 +17,7 @@
 #include "blas/gemm.hpp"
 #include "la/generators.hpp"
 #include "obs/clock.hpp"
+#include "obs/pmu.hpp"
 #include "obs/trace.hpp"
 #include "support/rng.hpp"
 
@@ -24,13 +27,18 @@ using namespace lamb;
 
 /// Every test owns the process-wide tracer for its duration: configure()
 /// resets rings, histograms and counters, and the fixture guarantees the
-/// tracer is off again afterwards so unrelated tests stay uninstrumented.
+/// tracer is off — and the PMU hooks uninstalled — afterwards so unrelated
+/// tests stay uninstrumented.
 class ObsTest : public ::testing::Test {
  protected:
   void TearDown() override {
     obs::TracerConfig off;
     off.enabled = false;
     obs::tracer().configure(off);
+    obs::pmu_test_install_virtual(nullptr);
+    obs::pmu_test_fail_open(0);
+    ::unsetenv("LAMB_PMU");
+    obs::pmu_reset_for_test();
   }
 };
 
@@ -314,6 +322,146 @@ TEST_F(ObsTest, SlowLogIsBoundedAndKeepsNewest) {
   const std::string json = tracer.slow_json();
   EXPECT_NE(json.find("\"trace_id\""), std::string::npos);
   EXPECT_NE(json.find("\"spans\""), std::string::npos);
+}
+
+// ------------------------------------------------------------------- pmu
+
+/// The virtual counter source: a test-controlled value feeding all five
+/// counters, so scope deltas are exact arithmetic (no real hardware).
+std::atomic<std::uint64_t> g_virtual_counter{0};
+std::uint64_t virtual_counter() {
+  return g_virtual_counter.load(std::memory_order_relaxed);
+}
+
+// LAMB_PMU=off must disable EVERY surface coherently: availability off
+// with the reason in the status, scopes inert, sampled spans still
+// well-formed but carrying no PMU deltas, stage totals all zero.
+TEST_F(ObsTest, PmuOffDisablesEverySurfaceCoherently) {
+  ::setenv("LAMB_PMU", "off", 1);
+  obs::pmu_reset_for_test();
+
+  EXPECT_FALSE(obs::pmu_available());
+  EXPECT_NE(obs::pmu_status().find("LAMB_PMU=off"), std::string::npos);
+
+  obs::PmuScope scope;
+  scope.arm();
+  EXPECT_FALSE(scope.armed());
+  const obs::PmuSample sample = scope.finish();
+  EXPECT_FALSE(sample.valid);
+  EXPECT_EQ(sample.cycles, 0u);
+
+  obs::TracerConfig cfg;
+  cfg.enabled = true;
+  cfg.sample_every = 1;
+  obs::Tracer& tracer = obs::tracer();
+  tracer.configure(cfg);
+  obs::RequestTrace trace = tracer.begin_request("/v1/query");
+  {
+    const obs::ContextGuard guard(trace.ctx);
+    const obs::SpanScope build(obs::Stage::kBuild);
+  }
+  tracer.end_request(trace);
+
+  const std::vector<obs::SpanRecord> spans =
+      tracer.collect_trace(trace.ctx.trace_id);
+  ASSERT_EQ(spans.size(), 2u);  // spans still captured, tree intact
+  for (const obs::SpanRecord& span : spans) {
+    EXPECT_GE(span.t_end_ns, span.t_start_ns);
+    EXPECT_FALSE(span.pmu.valid);
+  }
+  for (const obs::PmuStageTotals& totals : tracer.pmu_stage_totals()) {
+    EXPECT_EQ(totals.samples, 0u);
+    EXPECT_EQ(totals.cycles, 0u);
+  }
+}
+
+TEST_F(ObsTest, PmuFailedOpenDegradesWithAParanoidHint) {
+  obs::pmu_test_fail_open(EPERM);
+  EXPECT_FALSE(obs::pmu_available());
+  EXPECT_NE(obs::pmu_status().find("perf_event_paranoid"),
+            std::string::npos);
+  obs::PmuScope scope(/*arm_now=*/true);
+  EXPECT_FALSE(scope.armed());
+  EXPECT_FALSE(scope.finish().valid);
+
+  // Restoring real opens re-probes from scratch — the cached verdict must
+  // not stick past the hook (whatever the real probe then says).
+  obs::pmu_test_fail_open(0);
+  EXPECT_NE(obs::pmu_status(), "unprobed");
+}
+
+// The exclusive-attribution contract, exactly: entering a child freezes
+// the parent, leaving it resumes, so each scope owns precisely the counts
+// that advanced while it was the innermost armed scope.
+TEST_F(ObsTest, NestedPmuScopesAttributeToTheInnermost) {
+  obs::pmu_test_install_virtual(&virtual_counter);
+  ASSERT_TRUE(obs::pmu_available());
+  EXPECT_NE(obs::pmu_status().find("virtual"), std::string::npos);
+
+  g_virtual_counter = 100;
+  obs::PmuScope outer;
+  outer.arm();
+  ASSERT_TRUE(outer.armed());
+
+  g_virtual_counter = 110;  // 10 counts belong to outer
+  obs::PmuScope inner;
+  inner.arm();
+
+  g_virtual_counter = 125;  // 15 counts belong to inner
+  const obs::PmuSample inner_sample = inner.finish();
+
+  g_virtual_counter = 130;  // 5 more counts belong to outer
+  const obs::PmuSample outer_sample = outer.finish();
+
+  ASSERT_TRUE(inner_sample.valid);
+  ASSERT_TRUE(outer_sample.valid);
+  EXPECT_EQ(inner_sample.cycles, 15u);
+  EXPECT_EQ(inner_sample.instructions, 15u);
+  EXPECT_EQ(outer_sample.cycles, 15u);  // 10 before + 5 after the child
+  EXPECT_EQ(outer_sample.instructions, 15u);
+}
+
+TEST_F(ObsTest, SampledSpansCarryPmuDeltasIntoTotalsAndJson) {
+  obs::pmu_test_install_virtual(&virtual_counter);
+  g_virtual_counter = 1000;
+
+  obs::TracerConfig cfg;
+  cfg.enabled = true;
+  cfg.sample_every = 1;
+  obs::Tracer& tracer = obs::tracer();
+  tracer.configure(cfg);
+
+  obs::RequestTrace trace = tracer.begin_request("/v1/query");
+  {
+    const obs::ContextGuard guard(trace.ctx);
+    const obs::SpanScope build(obs::Stage::kBuild);
+    g_virtual_counter += 40;
+  }
+  tracer.end_request(trace);
+
+  const std::vector<obs::SpanRecord> spans =
+      tracer.collect_trace(trace.ctx.trace_id);
+  bool found_build = false;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.stage == obs::Stage::kBuild) {
+      found_build = true;
+      ASSERT_TRUE(span.pmu.valid);
+      EXPECT_EQ(span.pmu.cycles, 40u);
+      EXPECT_EQ(span.pmu.instructions, 40u);
+    }
+  }
+  EXPECT_TRUE(found_build);
+
+  const auto totals = tracer.pmu_stage_totals();
+  const auto& build_totals =
+      totals[static_cast<std::size_t>(obs::Stage::kBuild)];
+  EXPECT_EQ(build_totals.samples, 1u);
+  EXPECT_EQ(build_totals.cycles, 40u);
+
+  // The Chrome trace surfaces the deltas as span args.
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("\"cycles\""), std::string::npos);
+  EXPECT_NE(json.find("\"ipc\""), std::string::npos);
 }
 
 TEST_F(ObsTest, SubtractSnapshotYieldsTheDelta) {

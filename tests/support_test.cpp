@@ -14,6 +14,7 @@
 #include "support/hash.hpp"
 #include "support/histogram.hpp"
 #include "support/lru.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/statistics.hpp"
 #include "support/str.hpp"
@@ -292,6 +293,59 @@ TEST(LatencyHistogram, MergeEqualsRecordingIntoOne) {
   for (double q : {0.25, 0.5, 0.9, 0.95, 0.999}) {
     EXPECT_DOUBLE_EQ(snap.quantile(q), as.quantile(q)) << "q=" << q;
   }
+}
+
+TEST(MetricsWriter, EmitsFamiliesThenSeries) {
+  lamb::support::MetricsWriter w;
+  w.family("lamb_requests_total", "counter", "Requests served.");
+  w.counter("lamb_requests_total", 42);
+  w.counter("lamb_requests_total", "{source=\"cache\"}", 7);
+  w.family("lamb_cache_size", "gauge", "Entries resident.");
+  w.gauge("lamb_cache_size", 3);
+  w.gauge("lamb_cache_size", 0.25);
+  const std::string out = w.take();
+  EXPECT_NE(out.find("# HELP lamb_requests_total Requests served.\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE lamb_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("lamb_requests_total 42\n"), std::string::npos);
+  EXPECT_NE(out.find("lamb_requests_total{source=\"cache\"} 7\n"),
+            std::string::npos);
+  // Gauges: integral values exact, fractional compact — never "3.000000".
+  EXPECT_NE(out.find("lamb_cache_size 3\n"), std::string::npos);
+  EXPECT_NE(out.find("lamb_cache_size 0.25\n"), std::string::npos);
+  // HELP/TYPE precede the family's first series.
+  EXPECT_LT(out.find("# TYPE lamb_requests_total"),
+            out.find("lamb_requests_total 42"));
+}
+
+TEST(MetricsWriter, HistogramEmitsCumulativeTriple) {
+  lamb::support::LatencyHistogram h;
+  h.record(2e-5);  // lands in le="5e-05"
+  h.record(0.3);   // lands in le="0.5"
+  lamb::support::MetricsWriter w;
+  w.family("lamb_stage_seconds", "histogram", "Stage latency.");
+  w.histogram("lamb_stage_seconds", "stage=\"kernel\"", h.snapshot());
+  const std::string out = w.take();
+  EXPECT_NE(out.find("lamb_stage_seconds_bucket{stage=\"kernel\",le="),
+            std::string::npos);
+  EXPECT_NE(out.find("le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("lamb_stage_seconds_sum{stage=\"kernel\"}"),
+            std::string::npos);
+  EXPECT_NE(out.find("lamb_stage_seconds_count{stage=\"kernel\"} 2\n"),
+            std::string::npos);
+}
+
+TEST(MetricsWriter, KindMismatchIsRejected) {
+  // The bug class this type replaces: a gauge emitted through the counter
+  // path (or any series under the wrong — or no — family declaration).
+  lamb::support::MetricsWriter w;
+  w.family("lamb_cache_size", "gauge", "Entries resident.");
+  EXPECT_THROW(w.counter("lamb_cache_size", 3), CheckError);
+  lamb::support::MetricsWriter w2;
+  w2.family("lamb_requests_total", "counter", "Requests.");
+  EXPECT_THROW(w2.gauge("lamb_requests_total", 1.0), CheckError);
+  EXPECT_THROW(w2.counter("lamb_other_total", 1), CheckError);
 }
 
 TEST(LatencyHistogram, MergingEmptyChangesNothing) {
