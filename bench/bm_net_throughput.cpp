@@ -99,6 +99,7 @@ void drive_connection(const std::string& host, std::uint16_t port,
   net::ClientConfig client_cfg;
   client_cfg.connect_timeout_s = 10.0;
   client_cfg.io_timeout_s = 120.0;
+  client_cfg.connect_retries = 3;  // survive a listener still coming up
   net::Client client(host, port, client_cfg);
   std::vector<clock_type::time_point> send_times;
   send_times.reserve(static_cast<std::size_t>(requests));

@@ -48,6 +48,12 @@
 //           server and print or save it
 //             serve_cli trace --port=8080 [--host=127.0.0.1] [--slow]
 //                       [--out=trace.json]
+//   fsck    verify every checkpoint in --atlas-dir (framed *.atlas records
+//           and the drift baseline) without loading them into a service;
+//           --repair quarantines corrupt files (renamed to *.corrupt and
+//           journaled, see store/serial.hpp) and removes stale *.tmp
+//           staging files. Exits 1 when unrepaired corruption remains.
+//             serve_cli fsck --atlas-dir=atlases [--repair]
 //   simulate  replay a trace spec (sim/trace.hpp grammar) against a fresh
 //           service, in-process or through a loopback HTTP server, and
 //           report per-phase qps, latency percentiles and the answer-source
@@ -74,6 +80,18 @@
 // default 0), --exact (bypass the atlas), --atlas-dir=DIR (persistent store;
 // omitted = in-memory only), --real (measured machine instead of simulated),
 // --lo/--hi/--step/--threshold (atlas scan geometry), --threads=N.
+//
+// Robustness flags (serve/simulate degrade by default; see README "Failure
+// model"): --degrade=0|1 (fallback answers instead of exceptions when a
+// build fails), --breaker-threshold=N and --breaker-backoff-ms=MS (per-slice
+// circuit breaker), --max-build-queue=N (bounded async build queue),
+// --build-deadline-ms=MS (cap a query's wait on an in-flight build),
+// --deadline-ms=MS (HTTP 504 ceiling per request), --max-in-flight=N
+// (admission control: shed 503 + Retry-After past N concurrent requests),
+// --idle-timeout-s=S (reap idle keep-alive connections). Fault injection for
+// drills: LAMB_FAULT="site=spec,..." (support/fault.hpp grammar), surfaced
+// as lamb_fault_injected_total on /metrics.
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <chrono>
@@ -98,21 +116,40 @@
 #include "sim/generator.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
+#include "store/atlas_io.hpp"
+#include "store/profile_io.hpp"
+#include "store/serial.hpp"
 #include "support/cli.hpp"
+#include "support/fault.hpp"
 #include "support/rng.hpp"
 #include "support/str.hpp"
+
+#include <filesystem>
 
 namespace {
 
 using namespace lamb;
 
-serve::ServiceConfig service_config(const support::Cli& cli, bool real) {
+serve::ServiceConfig service_config(const support::Cli& cli, bool real,
+                                    bool serving) {
   serve::ServiceConfig cfg;
   cfg.atlas.lo = static_cast<int>(cli.get_int("lo", 20));
   cfg.atlas.hi = static_cast<int>(cli.get_int("hi", real ? 300 : 1200));
   cfg.atlas.coarse_step = static_cast<int>(cli.get_int("step", 20));
   cfg.atlas.time_score_threshold = cli.get_double("threshold", 0.05);
   cfg.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  // Robustness posture. Serving paths (serve, simulate) degrade to the
+  // flop-minimal fallback when a build fails — a wrong-but-safe answer
+  // beats a 500; the one-shot CLI commands keep throwing so failures are
+  // loud at the terminal. --degrade overrides either default.
+  cfg.degrade_on_failure = cli.get_bool("degrade", serving);
+  cfg.breaker_threshold =
+      static_cast<int>(cli.get_int("breaker-threshold", 3));
+  cfg.breaker_backoff_initial_s =
+      cli.get_double("breaker-backoff-ms", 500.0) * 1e-3;
+  cfg.build_deadline_s = cli.get_double("build-deadline-ms", 0.0) * 1e-3;
+  cfg.max_build_queue =
+      static_cast<std::size_t>(cli.get_int("max-build-queue", 0));
   return cfg;
 }
 
@@ -441,6 +478,7 @@ int cmd_serve(const support::Cli& cli, serve::SelectionService& service,
   net::SelectionRoutesConfig routes_cfg;
   routes_cfg.worker_threads =
       static_cast<std::size_t>(cli.get_int("http-threads", 2));
+  routes_cfg.deadline_ms = cli.get_double("deadline-ms", 0.0);
   net::SelectionRoutes routes(service, routes_cfg);
 
   std::unique_ptr<serve::DriftMonitor> drift;
@@ -470,6 +508,19 @@ int cmd_serve(const support::Cli& cli, serve::SelectionService& service,
   server_cfg.bind_address = cli.get_string("bind", "127.0.0.1");
   server_cfg.port = static_cast<std::uint16_t>(cli.get_int("port", 8080));
   server_cfg.loops = static_cast<std::size_t>(cli.get_int("loops", 1));
+  server_cfg.max_in_flight =
+      static_cast<std::size_t>(cli.get_int("max-in-flight", 0));
+  server_cfg.idle_timeout_s = cli.get_double("idle-timeout-s", 0.0);
+  // Backpressure from the build tier: when the async build queue backs up
+  // past the watermark, shed new requests at admission instead of letting
+  // them pile onto a queue that is already losing ground.
+  const auto shed_watermark =
+      static_cast<std::size_t>(cli.get_int("shed-queue-depth", 0));
+  if (shed_watermark > 0) {
+    server_cfg.shed_hook = [&service, shed_watermark] {
+      return service.async_queue_depth() >= shed_watermark;
+    };
+  }
   net::Server server(routes.router(), server_cfg);
   routes.attach_server(&server);
 
@@ -513,10 +564,13 @@ int cmd_serve(const support::Cli& cli, serve::SelectionService& service,
   }
 
   const net::HttpStatsSnapshot h = server.stats();
-  std::printf("drained: %llu connections, %llu requests, %llu bytes out\n",
+  std::printf("drained: %llu connections, %llu requests, %llu bytes out, "
+              "%llu shed, %llu idle-reaped\n",
               static_cast<unsigned long long>(h.connections_accepted),
               static_cast<unsigned long long>(h.requests_total),
-              static_cast<unsigned long long>(h.bytes_written));
+              static_cast<unsigned long long>(h.bytes_written),
+              static_cast<unsigned long long>(h.requests_shed),
+              static_cast<unsigned long long>(h.idle_reaped));
   print_stats(service);
   return 0;
 }
@@ -547,6 +601,103 @@ int cmd_trace(const support::Cli& cli) {
   std::printf("wrote %s (%zu bytes; open in chrome://tracing or Perfetto)\n",
               out_path.c_str(), response.body.size());
   return 0;
+}
+
+/// Checkpoint integrity audit. Walks --atlas-dir and re-parses every framed
+/// record exactly the way warm_from_store would, but without a service or
+/// machine model — so it runs before a deploy, on a snapshot, or against a
+/// dir a crashed server left behind. Three findings:
+///   corrupt  *.atlas / drift baseline that fails its frame checksum
+///            (--repair quarantines: rename to *.corrupt + journal entry)
+///   stale    *.tmp staging files from an interrupted atomic write
+///            (--repair removes them; the rename never happened, so they
+///            shadow nothing)
+///   ok       records that parse clean
+/// Exits 1 while unrepaired corruption remains, 0 otherwise.
+int cmd_fsck(const support::Cli& cli) {
+  namespace fs = std::filesystem;
+  const std::string dir = cli.get_string("atlas-dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "fsck: --atlas-dir is required\n");
+    return 1;
+  }
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::fprintf(stderr, "fsck: %s is not a directory\n", dir.c_str());
+    return 1;
+  }
+  const bool repair = cli.get_bool("repair", false);
+
+  std::vector<fs::path> entries;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      entries.push_back(entry.path());
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+
+  std::size_t ok = 0;
+  std::size_t corrupt = 0;
+  std::size_t stale = 0;
+  std::size_t repaired = 0;
+  std::size_t unrepaired = 0;
+  for (const fs::path& path : entries) {
+    const std::string name = path.filename().string();
+    if (path.extension() == ".tmp") {
+      ++stale;
+      if (repair) {
+        fs::remove(path, ec);
+        if (!ec) {
+          ++repaired;
+          std::printf("fsck: removed stale staging file %s\n", name.c_str());
+        }
+      } else {
+        std::printf("fsck: stale staging file %s (interrupted write)\n",
+                    name.c_str());
+      }
+      continue;
+    }
+    std::string error;
+    if (path.extension() == ".atlas") {
+      try {
+        (void)store::load_atlas(path.string());
+      } catch (const store::SerialError& e) {
+        error = e.what();
+      }
+    } else if (name == "drift_baseline.lamb") {
+      try {
+        (void)store::load_drift_baseline(path.string());
+      } catch (const store::SerialError& e) {
+        error = e.what();
+      }
+    } else {
+      continue;  // quarantine journal, *.corrupt, unrelated files
+    }
+    if (error.empty()) {
+      ++ok;
+      continue;
+    }
+    ++corrupt;
+    ++unrepaired;
+    std::printf("fsck: CORRUPT %s: %s\n", name.c_str(), error.c_str());
+    if (repair) {
+      try {
+        store::quarantine_file(path.string(), error);
+        ++repaired;
+        --unrepaired;
+        std::printf("fsck: quarantined %s\n", name.c_str());
+      } catch (const store::SerialError& e) {
+        std::fprintf(stderr, "fsck: cannot quarantine %s: %s\n", name.c_str(),
+                     e.what());
+      }
+    }
+  }
+
+  std::printf("fsck %s: %zu ok, %zu corrupt, %zu stale%s\n", dir.c_str(), ok,
+              corrupt, stale,
+              repair ? support::strf(", %zu repaired", repaired).c_str()
+                     : "");
+  return unrepaired > 0 ? 1 : 0;
 }
 
 int cmd_simulate(const support::Cli& cli, serve::SelectionService& service) {
@@ -587,11 +738,15 @@ int cmd_simulate(const support::Cli& cli, serve::SelectionService& service) {
     net::SelectionRoutesConfig routes_cfg;
     routes_cfg.worker_threads =
         static_cast<std::size_t>(cli.get_int("http-threads", 2));
+    routes_cfg.deadline_ms = cli.get_double("deadline-ms", 0.0);
     net::SelectionRoutes routes(service, routes_cfg);
     net::ServerConfig server_cfg;
     server_cfg.bind_address = "127.0.0.1";
     server_cfg.port = static_cast<std::uint16_t>(cli.get_int("port", 0));
     server_cfg.loops = static_cast<std::size_t>(cli.get_int("loops", 1));
+    server_cfg.max_in_flight =
+        static_cast<std::size_t>(cli.get_int("max-in-flight", 0));
+    server_cfg.idle_timeout_s = cli.get_double("idle-timeout-s", 0.0);
     net::Server server(routes.router(), server_cfg);
     routes.attach_server(&server);
     std::thread loop([&server] { server.run(); });
@@ -635,6 +790,29 @@ int cmd_simulate(const support::Cli& cli, serve::SelectionService& service) {
       }
     }
     std::printf("p99 ceiling %.1f ms: ok\n", max_p99_ms);
+  }
+
+  // Per-phase error budget: each phase spec may allow a fraction of its
+  // requests to come back non-200 (shed, deadline, hard error) — a chaos
+  // trace expects some, a clean trace expects none. Checked for every
+  // phase; in-process replay throws on failure instead, so the counters
+  // are only non-zero over HTTP.
+  for (std::size_t i = 0; i < report.phases.size(); ++i) {
+    const sim::PhaseStats& p = report.phases[i];
+    const std::uint64_t failed = p.shed + p.deadline + p.errors;
+    const double budget = spec.phases[i].error_budget;
+    if (static_cast<double>(failed) >
+        budget * static_cast<double>(p.requests)) {
+      std::fprintf(stderr,
+                   "FAIL: phase %s: %llu/%llu requests failed "
+                   "(shed=%llu deadline=%llu errors=%llu), budget %.3f\n",
+                   p.name.c_str(), static_cast<unsigned long long>(failed),
+                   static_cast<unsigned long long>(p.requests),
+                   static_cast<unsigned long long>(p.shed),
+                   static_cast<unsigned long long>(p.deadline),
+                   static_cast<unsigned long long>(p.errors), budget);
+      return 1;
+    }
   }
   return 0;
 }
@@ -734,10 +912,13 @@ int cmd_profile(const support::Cli& cli, serve::SelectionService& service) {
 int main(int argc, char** argv) {
   using namespace lamb;
   const support::Cli cli(argc, argv);
+  // Fault injection arms from LAMB_FAULT before anything else runs, so the
+  // store warm-up and every subcommand see the armed sites.
+  support::fault_arm_from_env();
   if (cli.positional().empty()) {
     std::fprintf(stderr,
                  "usage: %s build|warm|query|batch|async|bench|serve|"
-                 "simulate|profile|trace [flags]\n"
+                 "simulate|profile|trace|fsck [flags]\n"
                  "(see the header comment of examples/serve_cli.cpp)\n",
                  cli.program().c_str());
     return 1;
@@ -747,10 +928,15 @@ int main(int argc, char** argv) {
     // Pure HTTP client; needs no service or machine model.
     return cmd_trace(cli);
   }
+  if (cmd == "fsck") {
+    // Pure on-disk audit; needs no service or machine model.
+    return cmd_fsck(cli);
+  }
 
+  const bool serving = cmd == "serve" || cmd == "simulate";
   const auto machine = make_machine(cli);
-  serve::SelectionService service(*machine, service_config(cli,
-                                  cli.get_bool("real", false)));
+  serve::SelectionService service(
+      *machine, service_config(cli, cli.get_bool("real", false), serving));
 
   const std::string atlas_dir = cli.get_string("atlas-dir", "");
   std::unique_ptr<store::AtlasStore> atlas_store;

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Chaos smoke: serve with faults ARMED (LAMB_FAULT) under live traffic and
+# check the failure model end to end — the server must not crash, every
+# request must get an HTTP answer (degraded fallback / 504, never a 500 or
+# a hang), the robustness counters must show up on a lint-clean /metrics,
+# and once the fault budgets (limit=) run dry the service must recover to
+# 100% non-fallback answers without a restart.
+#
+#   scripts/chaos_smoke.sh [build-dir]     (default: build)
+#
+# Environment: PORT (default 18081), LOOPS (default 2).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+PORT="${PORT:-18081}"
+LOOPS="${LOOPS:-2}"
+BIN="$BUILD_DIR/serve_cli"
+BASE="http://127.0.0.1:$PORT"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "chaos_smoke: $BIN not built" >&2
+  exit 1
+fi
+
+# Every site self-clears via limit=, so the recovery phase needs no re-arm:
+#   build.slice=always:limit=3   first three slice builds fail -> fallback
+#                                answers and an open breaker on that slice
+#   build.delay_ms=250:after=3:limit=1
+#                                the FOURTH build (the second slice's first,
+#                                after the three failures) runs slow -> a
+#                                504 past --deadline-ms
+#   net.accept=1/4:limit=1       one freshly accepted connection dropped
+#   net.write=1/3:limit=2        two responses die mid-write (ECONNRESET)
+# --breaker-backoff-ms=100 keeps the open->half-open window smoke-sized.
+LAMB_FAULT='build.slice=always:limit=3,build.delay_ms=250:after=3:limit=1,net.accept=1/4:limit=1,net.write=1/3:limit=2' \
+LAMB_FAULT_SEED=42 \
+"$BIN" serve --port="$PORT" --hi=400 --loops="$LOOPS" \
+  --deadline-ms=50 --breaker-backoff-ms=100 &
+SRV=$!
+SCRAPE_DIR="$(mktemp -d)"
+trap 'kill -9 "$SRV" 2>/dev/null || true; rm -rf "$SCRAPE_DIR"' EXIT
+
+# The accept/write faults may eat a few of these probes; keep retrying.
+UP=0
+for _ in $(seq 200); do
+  if [[ "$(curl -s --max-time 2 "$BASE/healthz" || true)" == "ok" ]]; then
+    UP=1
+    break
+  fi
+  sleep 0.1
+done
+[[ "$UP" == 1 ]]
+
+metric() { # metric <file> <series-prefix> -> value (0 when absent)
+  awk -v p="$2" 'index($0, p) == 1 { v = $NF } END { print v + 0 }' "$1"
+}
+
+# ---- fault phase -----------------------------------------------------------
+# Three queries on one slice: each hits a failing build, answers 200 with
+# source=fallback, and the third failure opens the slice's breaker. A
+# connection may also die to a net.* fault — retry, never accept a 5xx
+# other than the deadline 504.
+FALLBACKS=0
+for _ in $(seq 10); do
+  ANSWER="$(curl -s --max-time 5 -X POST --data-binary 'aatb,300,260,549' \
+    "$BASE/v1/query" || true)"
+  [[ "$ANSWER" == *,fallback ]] && FALLBACKS=$((FALLBACKS + 1))
+  [[ "$FALLBACKS" -ge 3 ]] && break
+done
+[[ "$FALLBACKS" -ge 3 ]]
+echo "chaos: $FALLBACKS fallback answers while builds were failing"
+
+# A different slice's first build eats the 250ms delay fault and blows the
+# 50ms request deadline: 504, counted as shed{reason="deadline"}.
+CODE="$(curl -s --max-time 5 -o /dev/null -w '%{http_code}' -X POST \
+  --data-binary 'aatb,80,300,768,dim=1' "$BASE/v1/query" || true)"
+echo "chaos: slow-build query answered HTTP $CODE"
+[[ "$CODE" == 504 ]]
+
+curl -sf --max-time 5 "$BASE/metrics" > "$SCRAPE_DIR/scrape1.txt"
+DEGRADED="$(metric "$SCRAPE_DIR/scrape1.txt" 'lamb_answers_degraded_total')"
+SHED="$(metric "$SCRAPE_DIR/scrape1.txt" 'lamb_shed_total{reason="deadline"}')"
+INJECTED="$(metric "$SCRAPE_DIR/scrape1.txt" \
+  'lamb_fault_injected_total{site="build.slice"}')"
+OPENS="$(metric "$SCRAPE_DIR/scrape1.txt" 'lamb_breaker_opens_total')"
+echo "chaos: degraded=$DEGRADED shed.deadline=$SHED injected=$INJECTED breaker_opens=$OPENS"
+[[ "$DEGRADED" -ge 3 ]]
+[[ "$SHED" -ge 1 ]]
+[[ "$INJECTED" -eq 3 ]]
+[[ "$OPENS" -ge 1 ]]
+
+# ---- recovery phase --------------------------------------------------------
+# All fault budgets are spent. After the breaker backoff the half-open
+# probe build succeeds and the slice serves from its atlas again.
+sleep 0.5
+RECOVERED=0
+for _ in $(seq 50); do
+  ANSWER="$(curl -s --max-time 5 -X POST --data-binary 'aatb,300,260,549' \
+    "$BASE/v1/query" || true)"
+  if [[ "$ANSWER" == *,atlas || "$ANSWER" == *,cache ]]; then
+    RECOVERED=1
+    break
+  fi
+  sleep 0.1
+done
+[[ "$RECOVERED" == 1 ]]
+
+# With the service recovered, EVERY answer must be non-fallback.
+for d0 in 100 140 180 220 260 300 340 380 80 120; do
+  ANSWER="$(curl -sf --max-time 5 -X POST --data-binary "aatb,$d0,260,549" \
+    "$BASE/v1/query")"
+  [[ "$ANSWER" != *,fallback ]]
+done
+echo "chaos: recovered, all post-fault answers non-fallback"
+
+# Second scrape: lint the exposition and counter monotonicity across the
+# two phases (breaker gauges may appear/disappear; counters must not move
+# backwards).
+curl -sf --max-time 5 "$BASE/metrics" > "$SCRAPE_DIR/scrape2.txt"
+scripts/metrics_lint.sh "$SCRAPE_DIR/scrape1.txt" "$SCRAPE_DIR/scrape2.txt"
+
+# The server survived the whole drill: graceful SIGTERM drain, exit 0.
+kill -TERM "$SRV"
+wait "$SRV"
+trap - EXIT
+rm -rf "$SCRAPE_DIR"
+echo "chaos smoke OK"

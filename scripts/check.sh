@@ -37,7 +37,7 @@ elif [[ "$SANITIZE" == "thread" ]]; then
   BUILD_DIR="${1:-build-tsan}"
   CMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}"
   SANITIZE_FLAGS=(-DLAMB_SANITIZE=thread)
-  TEST_FILTER=(-R 'serve_test|parallel_test|net_test|drift_test|sim_test|blas_kernel_dispatch_test|blas_gemm_test|obs_test')
+  TEST_FILTER=(-R 'serve_test|parallel_test|net_test|drift_test|sim_test|blas_kernel_dispatch_test|blas_gemm_test|obs_test|fault_test')
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
   # Run the net suite multi-reactor under TSan: every ServedService that
   # does not pin a loop count serves with 2 event loops, so the REUSEPORT

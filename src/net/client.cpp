@@ -9,47 +9,52 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "support/rng.hpp"
 #include "support/str.hpp"
 
 namespace lamb::net {
 
-Client::Client(const std::string& host, std::uint16_t port,
-               ClientConfig config)
-    : parser_(config.max_response_bytes) {
+namespace {
+
+/// One full connect attempt: socket, (possibly bounded) connect, socket
+/// options. Returns the connected fd; throws NetError with the fd closed.
+int connect_once(const std::string& host, std::uint16_t port,
+                 const ClientConfig& config) {
   const bool timed_connect = config.connect_timeout_s > 0.0;
-  fd_ = ::socket(AF_INET,
-                 SOCK_STREAM | SOCK_CLOEXEC |
-                     (timed_connect ? SOCK_NONBLOCK : 0),
-                 0);
-  if (fd_ < 0) {
+  int fd = ::socket(AF_INET,
+                    SOCK_STREAM | SOCK_CLOEXEC |
+                        (timed_connect ? SOCK_NONBLOCK : 0),
+                    0);
+  if (fd < 0) {
     throw NetError(std::string("socket: ") + std::strerror(errno));
   }
   const auto fail = [&](const std::string& what) {
     const std::string error = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
+    ::close(fd);
     throw NetError(what + ": " + error);
   };
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    fd_ = -1;
+    ::close(fd);
     throw NetError("bad address: " + host);
   }
   const std::string where = support::strf("connect %s:%u", host.c_str(), port);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     if (!timed_connect || errno != EINPROGRESS) {
       fail(where);
     }
     // Bounded connect: poll for writability, then read the socket error.
     pollfd pfd{};
-    pfd.fd = fd_;
+    pfd.fd = fd;
     pfd.events = POLLOUT;
     const int timeout_ms =
         static_cast<int>(config.connect_timeout_s * 1000.0);
@@ -61,14 +66,13 @@ Client::Client(const std::string& host, std::uint16_t port,
       fail(where + " (poll)");
     }
     if (rc == 0) {
-      ::close(fd_);
-      fd_ = -1;
+      ::close(fd);
       throw NetError(support::strf("%s: timed out after %.3fs",
                                    where.c_str(), config.connect_timeout_s));
     }
     int soerr = 0;
     socklen_t len = sizeof(soerr);
-    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0) {
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0) {
       fail(where + " (SO_ERROR)");
     }
     if (soerr != 0) {
@@ -79,9 +83,9 @@ Client::Client(const std::string& host, std::uint16_t port,
   if (timed_connect) {
     // Back to blocking: send()/read() below rely on blocking semantics
     // (bounded by SO_SNDTIMEO/SO_RCVTIMEO when io_timeout_s is set).
-    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    const int flags = ::fcntl(fd, F_GETFL, 0);
     if (flags >= 0) {
-      ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK);
+      ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
     }
   }
   if (config.io_timeout_s > 0.0) {
@@ -89,11 +93,40 @@ Client::Client(const std::string& host, std::uint16_t port,
     tv.tv_sec = static_cast<time_t>(config.io_timeout_s);
     tv.tv_usec = static_cast<suseconds_t>(
         (config.io_timeout_s - static_cast<double>(tv.tv_sec)) * 1e6);
-    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   }
   const int on = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port,
+               ClientConfig config)
+    : parser_(config.max_response_bytes) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      fd_ = connect_once(host, port, config);
+      return;
+    } catch (const NetError&) {
+      if (attempt >= config.connect_retries) {
+        throw;  // out of retries: the last failure is the one reported
+      }
+    }
+    // Capped exponential backoff with deterministic jitter: a restarting
+    // server gets breathing room, a fleet of replayer connections does not
+    // reconnect in lockstep, and runs stay reproducible.
+    double delay = config.connect_backoff_s *
+                   static_cast<double>(1 << std::min(attempt, 6));
+    delay = std::min(delay, 1.0);
+    const std::uint64_t h = support::mix64(
+        (static_cast<std::uint64_t>(port) << 32) ^
+        static_cast<std::uint64_t>(attempt));
+    delay *= 1.0 + 0.25 * (static_cast<double>(h >> 11) * 0x1.0p-53);
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
 }
 
 Client::~Client() { close(); }

@@ -24,6 +24,14 @@ struct ClientConfig {
   /// the load generator and trace replayer use this so one hung
   /// connection cannot wedge a whole run.
   double io_timeout_s = 0.0;
+  /// Extra connect attempts after a failure (ECONNREFUSED from a server
+  /// mid-restart, a connect-timeout expiry). 0 = fail fast, the default.
+  /// Retries sleep a capped, deterministically jittered exponential
+  /// backoff starting at connect_backoff_s; the load generator and
+  /// benchmark harnesses set a few retries so a restarting server costs a
+  /// beat, not a thrown run.
+  int connect_retries = 0;
+  double connect_backoff_s = 0.05;
 };
 
 class Client {

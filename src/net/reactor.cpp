@@ -8,12 +8,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <map>
 #include <mutex>
 #include <string>
 #include <utility>
+
+#include "support/fault.hpp"
 
 namespace lamb::net {
 
@@ -30,6 +33,13 @@ thread_local Reactor* t_current_reactor = nullptr;
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw NetError(what + ": " + std::strerror(errno));
+}
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 void count_status(HttpStats& stats, int status) {
@@ -299,6 +309,9 @@ struct Reactor::Connection {
   /// (0 = not yet seen), so the root span is backdated to intake and the
   /// parse stage covers bytes-arrived to dispatched.
   std::uint64_t read_ns = 0;
+  /// steady_ns() at the last successful read or write; the idle reaper
+  /// closes connections quiet longer than ServerConfig::idle_timeout_s.
+  std::uint64_t last_activity_ns = 0;
   std::uint32_t armed_events = 0;  ///< epoll interest currently installed
   bool want_write = false;   ///< EPOLLOUT currently requested
   bool paused = false;       ///< EPOLLIN dropped (pipeline backpressure)
@@ -351,6 +364,32 @@ Reactor::Reactor(const Router& router, const ServerConfig& config,
   }
   hub_ = std::make_shared<Hub>();
   hub_->wake_fd = wake_fd_;
+  // Admission control state, fixed at construction so the shed path itself
+  // allocates nothing: the loop's ceil share of the in-flight watermark
+  // (split like max_connections — config_.loops is resolved by Server) and
+  // the one 503 every shed answers with.
+  const std::size_t loops = config_.loops == 0 ? 1 : config_.loops;
+  if (config_.max_in_flight > 0) {
+    max_in_flight_ = std::max<std::size_t>(
+        1, (config_.max_in_flight + loops - 1) / loops);
+  }
+  if (max_in_flight_ > 0 || config_.shed_hook) {
+    const std::string body = "overloaded, retry later\n";
+    shed_response_ = "HTTP/1.1 503 Service Unavailable\r\n"
+                     "Content-Type: text/plain; charset=utf-8\r\n"
+                     "Content-Length: " +
+                     std::to_string(body.size()) +
+                     "\r\n"
+                     "Retry-After: " +
+                     std::to_string(std::max(config_.retry_after_s, 0)) +
+                     "\r\n"
+                     "Connection: close\r\n\r\n" +
+                     body;
+  }
+  if (config_.idle_timeout_s > 0.0) {
+    idle_timeout_ns_ =
+        static_cast<std::uint64_t>(config_.idle_timeout_s * 1e9);
+  }
 }
 
 Reactor::~Reactor() {
@@ -475,6 +514,14 @@ void Reactor::accept_new() {
       }
       return;  // EAGAIN: backlog drained (other errors: retry on next event)
     }
+    if (support::fault_fire(support::FaultSite::kNetAccept)) {
+      // Injected accept failure: the connection is dropped as if the peer
+      // reset it between accept and adoption. Clients with connect retries
+      // (net::Client) absorb this; the counter surfaces it on /metrics.
+      stats_.accept_faults.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
     if (!handoff_.empty()) {
       // Round-robin acceptor mode: deterministic placement across loops.
       Reactor* target = handoff_[handoff_next_];
@@ -503,6 +550,9 @@ void Reactor::adopt_connection(int fd) {
   auto conn = std::make_unique<Connection>(config_.max_request_bytes);
   conn->fd = fd;
   conn->id = next_conn_id_++;
+  if (idle_timeout_ns_ > 0) {
+    conn->last_activity_ns = steady_ns();
+  }
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.u64 = conn->id;
@@ -645,9 +695,38 @@ void Reactor::dispatch_parsed(Connection& conn) {
   }
 }
 
+bool Reactor::should_shed(const Connection& conn) const {
+  if (conn.inflight != 0) {
+    // Responses are strictly ordered: a direct-appended 503 would cut in
+    // front of this connection's parked completions. Best-effort admission
+    // falls through to normal parsing here.
+    return false;
+  }
+  if (max_in_flight_ > 0 &&
+      stats_.requests_in_flight.load(std::memory_order_relaxed) >=
+          max_in_flight_) {
+    return true;
+  }
+  return config_.shed_hook && config_.shed_hook();
+}
+
 void Reactor::on_readable(Connection& conn) {
   if (conn.read_closed) {
     return;  // response path decides when this connection dies
+  }
+  if (!shed_response_.empty() && should_shed(conn)) {
+    // Shed before parse: the loop is over its in-flight share (or the shed
+    // hook fired), so the arriving bytes are never read — the prebuilt 503
+    // goes out and the connection closes. No parsing, no allocation, no
+    // dispatch; the cost of an overload request is one append + one write.
+    stats_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+    count_status(stats_, 503);
+    conn.out.append(shed_response_);
+    conn.read_closed = true;
+    conn.close_after_flush = true;
+    update_interest(conn);
+    write_some(conn);
+    return;
   }
   char buf[1 << 16];
   for (;;) {
@@ -655,6 +734,9 @@ void Reactor::on_readable(Connection& conn) {
     if (n > 0) {
       stats_.bytes_read.fetch_add(static_cast<std::uint64_t>(n),
                                   std::memory_order_relaxed);
+      if (idle_timeout_ns_ > 0) {
+        conn.last_activity_ns = steady_ns();
+      }
       if (conn.read_ns == 0 && obs::tracer().enabled()) {
         conn.read_ns = obs::now_ns();
       }
@@ -687,6 +769,15 @@ void Reactor::on_readable(Connection& conn) {
 }
 
 bool Reactor::write_some(Connection& conn) {
+  if (conn.out_pos < conn.out.size() &&
+      support::fault_fire(support::FaultSite::kNetWrite)) {
+    // Injected write failure, shaped like ECONNRESET mid-response: the
+    // connection dies exactly as if the peer vanished, exercising the same
+    // teardown path (parked completions dropped with it).
+    stats_.write_faults.fetch_add(1, std::memory_order_relaxed);
+    close_connection(conn.id);
+    return false;
+  }
   while (conn.out_pos < conn.out.size()) {
     // MSG_NOSIGNAL: a peer that vanished mid-response must come back as
     // EPIPE (we close the connection), never as a process-wide SIGPIPE.
@@ -696,6 +787,9 @@ bool Reactor::write_some(Connection& conn) {
       stats_.bytes_written.fetch_add(static_cast<std::uint64_t>(n),
                                      std::memory_order_relaxed);
       conn.out_pos += static_cast<std::size_t>(n);
+      if (idle_timeout_ns_ > 0) {
+        conn.last_activity_ns = steady_ns();
+      }
       continue;
     }
     if (n < 0 && errno == EINTR) {
@@ -869,9 +963,12 @@ void Reactor::run() {
     }
     // A muted listener polls on a short timeout: in handoff mode the fd
     // that frees capacity may close on another loop, which never reaches
-    // this reactor's close_connection re-arm path.
-    const int n =
-        ::epoll_wait(epoll_fd_, events, 64, listener_muted_ ? 50 : -1);
+    // this reactor's close_connection re-arm path. The idle reaper rides
+    // the same coarse tick — idle connections generate no events, so a
+    // blocking wait would never sweep them.
+    const int timeout_ms =
+        listener_muted_ || idle_timeout_ns_ > 0 ? 50 : -1;
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -923,11 +1020,36 @@ void Reactor::run() {
     }
     drain_hub();
     flush_flagged();
+    if (idle_timeout_ns_ > 0 && !connections_.empty()) {
+      const std::uint64_t now = steady_ns();
+      if (now - last_idle_sweep_ns_ >= 50'000'000) {
+        last_idle_sweep_ns_ = now;
+        reap_idle(now);
+      }
+    }
     if (draining_) {
       close_drained_idle();
     }
   }
   t_current_reactor = nullptr;
+}
+
+void Reactor::reap_idle(std::uint64_t now_ns) {
+  // Quiet means nothing in flight, nothing left to flush, and no socket
+  // activity for the whole timeout — a keep-alive client parked between
+  // requests, or a slowloris drip that never completes one. Either way the
+  // connection pins a descriptor this loop can hand to someone else.
+  std::vector<std::uint64_t> idle;
+  for (const auto& [id, conn] : connections_) {
+    if (conn->inflight == 0 && conn->out_pos == conn->out.size() &&
+        now_ns - conn->last_activity_ns >= idle_timeout_ns_) {
+      idle.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : idle) {
+    stats_.idle_reaped.fetch_add(1, std::memory_order_relaxed);
+    close_connection(id);
+  }
 }
 
 }  // namespace lamb::net

@@ -100,6 +100,15 @@ class Reactor {
 
   void accept_new();
   void adopt_connection(int fd);
+  /// Admission control: true when this loop is over its in-flight share (or
+  /// the shed hook says so) and new bytes on `conn` should be answered with
+  /// the prebuilt 503 instead of being parsed. Only fires on connections
+  /// with nothing in flight, so the direct append cannot interleave with
+  /// ordered completions.
+  bool should_shed(const Connection& conn) const;
+  /// Close connections idle (no reads, writes or pending responses) longer
+  /// than config_.idle_timeout_s; swept on the coarse 50 ms epoll tick.
+  void reap_idle(std::uint64_t now_ns);
   void on_readable(Connection& conn);
   void on_writable(Connection& conn);
   void dispatch_parsed(Connection& conn);
@@ -127,6 +136,14 @@ class Reactor {
   const std::atomic<bool>& stop_;
   std::size_t index_ = 0;
   std::size_t max_connections_ = 0;  ///< this loop's share of the cap
+  /// This loop's share of ServerConfig::max_in_flight (ceil-split like the
+  /// connection cap); 0 disables the watermark.
+  std::size_t max_in_flight_ = 0;
+  /// The admission 503, serialized once at construction (Retry-After from
+  /// config) so shedding appends bytes without allocating or routing.
+  std::string shed_response_;
+  std::uint64_t idle_timeout_ns_ = 0;  ///< 0 disables the idle reaper
+  std::uint64_t last_idle_sweep_ns_ = 0;
   HttpStats stats_;
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

@@ -11,6 +11,7 @@
 #include "obs/pmu.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
+#include "support/fault.hpp"
 #include "support/metrics.hpp"
 #include "support/str.hpp"
 
@@ -178,6 +179,8 @@ serve::Recommendation parse_recommendation(std::string_view line) {
     rec.source = serve::Source::kAtlas;
   } else if (source == "measured") {
     rec.source = serve::Source::kMeasured;
+  } else if (source == "fallback") {
+    rec.source = serve::Source::kFallback;
   } else {
     throw std::invalid_argument("unknown source '" + std::string(source) +
                                 "'");
@@ -317,11 +320,24 @@ void SelectionRoutes::handle_query(const Request& request,
     respond(responder, answer);
     return;
   }
-  defer([respond, responder = std::move(responder),
+  defer([this, respond, responder = std::move(responder),
          answer = std::move(answer), ctx = obs::current_context()] {
     // The worker finishes the request under its trace context, so any
     // spans recorded while waiting attach to the right tree.
     const obs::ContextGuard guard(ctx);
+    if (config_.deadline_ms > 0.0 &&
+        answer.wait_for(std::chrono::duration<double, std::milli>(
+            config_.deadline_ms)) != std::future_status::ready) {
+      // The build missed the request deadline. It keeps running and will
+      // publish its slice for the next asker; this request gets a 504 now
+      // instead of holding the connection open indefinitely.
+      deadline_hits_.fetch_add(1, std::memory_order_relaxed);
+      responder.send(text_response(
+          504, support::strf("deadline exceeded (%.0f ms): slice still "
+                             "building, retry\n",
+                             config_.deadline_ms)));
+      return;
+    }
     respond(responder, answer);
   });
 }
@@ -430,6 +446,8 @@ Response SelectionRoutes::metrics_response() const {
             s.atlas_answers);
   w.counter("lamb_selection_answers_total", "{source=\"measured\"}",
             s.measured_queries);
+  w.counter("lamb_selection_answers_total", "{source=\"fallback\"}",
+            s.degraded_answers);
 
   w.family("lamb_selection_cache_hits_total", "counter",
            "Recommendation-cache hits.");
@@ -454,6 +472,10 @@ Response SelectionRoutes::metrics_response() const {
   w.family("lamb_selection_atlases_skipped_total", "counter",
            "Atlas builds skipped (already resident).");
   w.counter("lamb_selection_atlases_skipped_total", s.atlases_skipped);
+  w.family("lamb_selection_atlases_quarantined_total", "counter",
+           "Corrupt atlas files renamed aside (*.corrupt) at warm-up.");
+  w.counter("lamb_selection_atlases_quarantined_total",
+            s.atlases_quarantined);
   w.family("lamb_selection_atlas_samples_total", "counter",
            "Measurements taken while building atlases.");
   w.counter("lamb_selection_atlas_samples_total",
@@ -488,6 +510,59 @@ Response SelectionRoutes::metrics_response() const {
   w.gauge("lamb_selection_cache_size",
           static_cast<double>(service_.cache_size()));
 
+  // Robustness families: how much of the load is riding the degraded path,
+  // what was shed, which slices the circuit breaker is holding open, and
+  // what the fault registry has actually injected. All present even at
+  // zero, so dashboards and the chaos smoke can assert on them by name.
+  w.family("lamb_answers_degraded_total", "counter",
+           "Answers served from the flop-minimal fallback instead of an "
+           "atlas (build failed, breaker open, queue shed or deadline).");
+  w.counter("lamb_answers_degraded_total", s.degraded_answers);
+
+  std::uint64_t admission_shed = 0;
+  if (server_ != nullptr) {
+    for (std::size_t i = 0; i < server_->loops(); ++i) {
+      admission_shed += server_->loop_stats(i).requests_shed.load(
+          std::memory_order_relaxed);
+    }
+  }
+  w.family("lamb_shed_total", "counter",
+           "Requests shed instead of served, by reason: admission = 503 "
+           "before parse, build_queue = fallback instead of a queued "
+           "build, deadline = 504 past the query deadline.");
+  w.counter("lamb_shed_total", "{reason=\"admission\"}", admission_shed);
+  w.counter("lamb_shed_total", "{reason=\"build_queue\"}", s.builds_shed);
+  w.counter("lamb_shed_total", "{reason=\"deadline\"}",
+            deadline_hits_.load(std::memory_order_relaxed));
+
+  w.family("lamb_breaker_opens_total", "counter",
+           "Circuit-breaker open transitions across all slices.");
+  w.counter("lamb_breaker_opens_total", s.breaker_opens);
+  const auto breakers = service_.breaker_states();
+  if (!breakers.empty()) {
+    w.family("lamb_breaker_state", "gauge",
+             "Per-slice breaker state: 1 open, 0.5 half-open probe, 0 "
+             "failing but closed. Healthy slices carry no series.");
+    for (const auto& b : breakers) {
+      w.gauge("lamb_breaker_state",
+              support::strf("{slice=\"%s\"}", b.slice.c_str()).c_str(),
+              b.state);
+    }
+  }
+
+  w.family("lamb_fault_injected_total", "counter",
+           "Faults fired by the LAMB_FAULT registry, by site (all zero "
+           "when injection is disarmed).");
+  for (std::size_t i = 0; i < support::kFaultSiteCount; ++i) {
+    const auto site = static_cast<support::FaultSite>(i);
+    w.counter("lamb_fault_injected_total",
+              support::strf("{site=\"%s\"}",
+                            std::string(support::fault_site_name(site))
+                                .c_str())
+                  .c_str(),
+              support::fault_injected(site));
+  }
+
   w.family("lamb_uptime_seconds", "gauge",
            "Seconds since the serving process started.");
   w.gauge("lamb_uptime_seconds",
@@ -519,6 +594,10 @@ Response SelectionRoutes::metrics_response() const {
     w.family("lamb_drift_slices_refreshed_total", "counter",
              "Slices rebuilt after drift.");
     w.counter("lamb_drift_slices_refreshed_total", d.slices_refreshed);
+    w.family("lamb_drift_check_failures_total", "counter",
+             "Drift check rounds that threw; the monitor survives and "
+             "backs off its interval until probes succeed again.");
+    w.counter("lamb_drift_check_failures_total", d.check_failures);
     w.family("lamb_drift_probe_cycles_total", "counter",
              "CPU cycles spent inside drift probe measurements "
              "(PMU-attributed; 0 when counters are unavailable).");
@@ -566,6 +645,18 @@ Response SelectionRoutes::metrics_response() const {
     w.family("lamb_http_parse_errors_total", "counter",
              "Malformed requests answered 4xx.");
     w.counter("lamb_http_parse_errors_total", h.parse_errors);
+    w.family("lamb_http_requests_shed_total", "counter",
+             "Requests answered the prebuilt admission 503 before parse.");
+    w.counter("lamb_http_requests_shed_total", h.requests_shed);
+    w.family("lamb_http_idle_reaped_total", "counter",
+             "Connections closed by the idle reaper.");
+    w.counter("lamb_http_idle_reaped_total", h.idle_reaped);
+    w.family("lamb_http_accept_faults_total", "counter",
+             "Accepted connections dropped by net.accept fault injection.");
+    w.counter("lamb_http_accept_faults_total", h.accept_faults);
+    w.family("lamb_http_write_faults_total", "counter",
+             "Connections torn down by net.write fault injection.");
+    w.counter("lamb_http_write_faults_total", h.write_faults);
     w.family("lamb_http_bytes_read_total", "counter",
              "Bytes read from clients.");
     w.counter("lamb_http_bytes_read_total", h.bytes_read);

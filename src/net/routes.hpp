@@ -28,7 +28,9 @@
 // time_score is printed with %.17g, so parsing the answer back reproduces
 // the service's double bit-for-bit (tests pin HTTP answers against direct
 // query() calls this way). algorithm/flop_minimal are 0-based indices;
-// source is cache|atlas|measured.
+// source is cache|atlas|measured|fallback (fallback = a degraded,
+// cost-model-only answer served because the slice build failed or was
+// shed — see SelectionService::ServiceConfig::degrade_on_failure).
 //
 // Threading: /healthz and /metrics are answered on the event loop.
 // /v1/query first probes the service's LRU allocation-free (thread-local
@@ -41,6 +43,7 @@
 // (its slice builds ride the service's ThreadPool inside query_batch).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -66,6 +69,11 @@ struct SelectionRoutesConfig {
   /// body can hold ~260k minimal lines; this keeps the answer sweep and
   /// the response allocation an order of magnitude smaller).
   std::size_t max_batch_queries = 1u << 16;
+  /// When > 0, a cold /v1/query whose slice build has not resolved within
+  /// this many milliseconds answers 504 instead of holding the connection
+  /// (the build itself keeps running and publishes for the next asker).
+  /// Warm answers never consult it. 0 disables the deadline.
+  double deadline_ms = 0.0;
 };
 
 /// Parse one wire-format query line; throws std::invalid_argument with a
@@ -130,6 +138,9 @@ class SelectionRoutes {
   /// every deployment shape coincides with process start.
   const std::chrono::steady_clock::time_point start_ =
       std::chrono::steady_clock::now();
+  /// Cold queries answered 504 because their build missed deadline_ms
+  /// (lamb_shed_total{reason="deadline"}).
+  mutable std::atomic<std::uint64_t> deadline_hits_{0};
 
   std::mutex jobs_mutex_;
   std::condition_variable jobs_cv_;

@@ -120,6 +120,10 @@ void HttpStatsSnapshot::merge(const HttpStats& stats) {
   bytes_read += get(stats.bytes_read);
   bytes_written += get(stats.bytes_written);
   epoll_wakeups += get(stats.epoll_wakeups);
+  requests_shed += get(stats.requests_shed);
+  idle_reaped += get(stats.idle_reaped);
+  accept_faults += get(stats.accept_faults);
+  write_faults += get(stats.write_faults);
   connections_active += get(stats.connections_active);
   requests_in_flight += get(stats.requests_in_flight);
   request_latency.merge(stats.request_latency.snapshot());

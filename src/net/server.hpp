@@ -79,6 +79,24 @@ struct ServerConfig {
   /// connection-ownership tests rely on).
   enum class Listen : std::uint8_t { kAuto, kReusePort, kAcceptor };
   Listen listen = Listen::kAuto;
+  /// Admission control: when > 0 and a loop sees new request bytes arrive
+  /// while it already has ceil(max_in_flight / loops) requests in flight
+  /// (split per loop like max_connections, so the check stays loop-local),
+  /// it answers a prebuilt 503 with Retry-After and closes — before
+  /// parsing, without allocating, without dispatching. 0 disables the
+  /// watermark.
+  std::size_t max_in_flight = 0;
+  /// Seconds advertised in the 503's Retry-After header.
+  int retry_after_s = 1;
+  /// Extra admission signal, sampled per arriving request batch (e.g. the
+  /// selection service's build-queue depth crossing a watermark). Returning
+  /// true sheds exactly like the in-flight watermark. Must be fast and
+  /// thread-safe; null disables it.
+  std::function<bool()> shed_hook;
+  /// Close connections idle (no read, no pending response) longer than
+  /// this; each reactor sweeps its own connections on a coarse 50 ms tick.
+  /// 0 disables the reaper.
+  double idle_timeout_s = 0.0;
 };
 
 /// Monotonic front-end counters for ONE reactor, all updated with relaxed
@@ -97,6 +115,10 @@ struct HttpStats {
   std::atomic<std::uint64_t> bytes_read{0};
   std::atomic<std::uint64_t> bytes_written{0};
   std::atomic<std::uint64_t> epoll_wakeups{0};  ///< epoll_wait returns
+  std::atomic<std::uint64_t> requests_shed{0};  ///< 503s from admission control
+  std::atomic<std::uint64_t> idle_reaped{0};    ///< connections closed idle
+  std::atomic<std::uint64_t> accept_faults{0};  ///< net.accept injections
+  std::atomic<std::uint64_t> write_faults{0};   ///< net.write injections
   // Live gauges, not monotonic: open connections, and requests dispatched
   // to a handler whose completion has not reached the owning loop yet.
   std::atomic<std::uint64_t> connections_active{0};
@@ -120,6 +142,10 @@ struct HttpStatsSnapshot {
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t epoll_wakeups = 0;
+  std::uint64_t requests_shed = 0;
+  std::uint64_t idle_reaped = 0;
+  std::uint64_t accept_faults = 0;
+  std::uint64_t write_faults = 0;
   std::uint64_t connections_active = 0;
   std::uint64_t requests_in_flight = 0;
   support::LatencyHistogram::Snapshot request_latency;

@@ -1,14 +1,17 @@
 #include "serve/drift.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 #include <utility>
 
 #include "obs/pmu.hpp"
 #include "store/profile_io.hpp"
 #include "store/serial.hpp"
 #include "support/check.hpp"
+#include "support/fault.hpp"
 #include "support/statistics.hpp"
 
 namespace lamb::serve {
@@ -54,6 +57,9 @@ double DriftMonitor::measure(const model::KernelCall& call) {
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.probe_measurements;
+  }
+  if (support::fault_fire(support::FaultSite::kDriftProbe)) {
+    throw std::runtime_error("fault injected: drift.probe");
   }
   return hook_ ? hook_(call) : machine_.time_call_isolated(call);
 }
@@ -184,20 +190,34 @@ bool DriftMonitor::check_once() {
 }
 
 void DriftMonitor::background_loop() {
-  const auto interval = std::chrono::duration<double>(
+  const auto base = std::chrono::duration<double>(
       config_.check_interval_seconds);
+  // Consecutive failures (a dead probe path, a machine that throws on every
+  // timing) back the cadence off exponentially, capped at 16x, instead of
+  // hammering a broken measurement stack at full rate; one success snaps
+  // back to the configured interval.
+  int consecutive_failures = 0;
   std::unique_lock<std::mutex> lock(thread_mutex_);
   while (!stop_) {
+    const auto interval =
+        base * static_cast<double>(1 << std::min(consecutive_failures, 4));
     if (stop_cv_.wait_for(lock, interval, [&] { return stop_; })) {
       return;
     }
     lock.unlock();
     try {
       check_once();
+      consecutive_failures = 0;
     } catch (const std::exception& e) {
-      // A failed check (a refresh build error, say) must not kill the
-      // monitor; the next tick retries against the same baseline.
-      std::fprintf(stderr, "drift: check failed: %s\n", e.what());
+      // A failed check (a refresh build error, a probe fault) must not kill
+      // the monitor; the next tick retries against the same baseline.
+      ++consecutive_failures;
+      {
+        const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.check_failures;
+      }
+      std::fprintf(stderr, "drift: check failed (%d in a row): %s\n",
+                   consecutive_failures, e.what());
     }
     lock.lock();
   }

@@ -68,6 +68,7 @@ struct DriftConfig {
 
 struct DriftStats {
   std::uint64_t checks = 0;           ///< check_once() completions
+  std::uint64_t check_failures = 0;   ///< background checks that threw
   std::uint64_t probe_measurements = 0;
   std::uint64_t drift_detected = 0;   ///< checks whose score crossed threshold
   std::uint64_t refresh_rounds = 0;   ///< refresh rounds triggered

@@ -1,7 +1,9 @@
 #include "serve/selection_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <new>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -9,7 +11,10 @@
 #include "anomaly/classifier.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
+#include "support/fault.hpp"
 #include "support/hash.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
 
 namespace lamb::serve {
 
@@ -68,6 +73,13 @@ Recommendation recommendation_from(const anomaly::AtlasInterval& interval) {
 
 constexpr std::uint32_t kNoGroup = ~std::uint32_t{0};
 
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 std::size_t SelectionService::SliceIdHash::operator()(const SliceId& id) const {
@@ -108,6 +120,8 @@ std::string_view to_string(Source source) {
       return "atlas";
     case Source::kMeasured:
       return "measured";
+    case Source::kFallback:
+      return "fallback";
   }
   return "?";
 }
@@ -184,6 +198,16 @@ SelectionService::AtlasPtr SelectionService::find_slice(const Snapshot& snap,
 SelectionService::AtlasPtr SelectionService::build_slice(
     const store::AtlasKey& key) {
   const obs::SpanScope build_span(obs::Stage::kBuild);
+  if (const std::uint64_t ms =
+          support::fault_value(support::FaultSite::kBuildDelayMs)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+  if (support::fault_fire(support::FaultSite::kAllocBuild)) {
+    throw std::bad_alloc();
+  }
+  if (support::fault_fire(support::FaultSite::kBuildSlice)) {
+    throw std::runtime_error("fault injected: build.slice for " + key.family);
+  }
   // The canonicalised base carries a 0 at the scanned coordinate, which
   // the scan overrides at every sample; only the family name is needed.
   const expr::ExpressionFamily& family = resolve_family(key.family);
@@ -219,6 +243,11 @@ SelectionService::AtlasPtr SelectionService::obtain_atlas(
   if (AtlasPtr atlas = find_slice(*snapshot(), id)) {
     return atlas;
   }
+  const bool degrade = config_.degrade_on_failure;
+  bool probe = false;
+  if (degrade && config_.breaker_threshold > 0 && !breaker_admit(id, probe)) {
+    return nullptr;  // breaker open: no build attempt, caller degrades
+  }
   std::promise<AtlasPtr> promise;
   std::shared_future<AtlasPtr> shared;
   bool builder = false;
@@ -228,6 +257,9 @@ SelectionService::AtlasPtr SelectionService::obtain_atlas(
     // so a slice absent from both the snapshot and in_flight_ is truly ours
     // to build.
     if (AtlasPtr atlas = find_slice(*snapshot(), id)) {
+      if (probe) {
+        breaker_success(id);
+      }
       return atlas;
     }
     const auto [it, inserted] = in_flight_.try_emplace(id);
@@ -238,13 +270,38 @@ SelectionService::AtlasPtr SelectionService::obtain_atlas(
     shared = it->second;
   }
   if (!builder) {
-    return shared.get();  // blocks on the builder; rethrows its error
+    if (probe) {
+      // Another thread won the build; its outcome drives the breaker.
+      breaker_probe_release(id);
+    }
+    if (degrade && config_.build_deadline_s > 0.0) {
+      const auto deadline =
+          std::chrono::duration<double>(config_.build_deadline_s);
+      if (shared.wait_for(deadline) != std::future_status::ready) {
+        // The build continues and publishes for later queries; this caller
+        // answers from fallback now.
+        return nullptr;
+      }
+    }
+    if (!degrade) {
+      return shared.get();  // blocks on the builder; rethrows its error
+    }
+    try {
+      return shared.get();
+    } catch (...) {
+      return nullptr;  // the builder already recorded the breaker failure
+    }
   }
   try {
     AtlasPtr result = publish(key, id, build_slice(key));
     promise.set_value(result);
-    const std::lock_guard<std::mutex> lock(builds_mutex_);
-    in_flight_.erase(id);
+    {
+      const std::lock_guard<std::mutex> lock(builds_mutex_);
+      in_flight_.erase(id);
+    }
+    if (degrade && config_.breaker_threshold > 0) {
+      breaker_success(id);
+    }
     return result;
   } catch (...) {
     promise.set_exception(std::current_exception());
@@ -252,8 +309,106 @@ SelectionService::AtlasPtr SelectionService::obtain_atlas(
       const std::lock_guard<std::mutex> lock(builds_mutex_);
       in_flight_.erase(id);
     }
+    if (degrade) {
+      if (config_.breaker_threshold > 0) {
+        breaker_failure(id);
+      }
+      return nullptr;
+    }
     throw;
   }
+}
+
+bool SelectionService::breaker_admit(const SliceId& id, bool& probe) {
+  const std::lock_guard<std::mutex> lock(breakers_mutex_);
+  const auto it = breakers_.find(id);
+  if (it == breakers_.end() || it->second.open_until_ns == 0) {
+    return true;  // closed (healthy, or still counting failures)
+  }
+  Breaker& b = it->second;
+  if (steady_now_ns() < b.open_until_ns) {
+    return false;  // open: backoff still running
+  }
+  if (b.probing) {
+    return false;  // half-open: another caller already holds the probe
+  }
+  b.probing = true;
+  probe = true;
+  return true;
+}
+
+void SelectionService::breaker_success(const SliceId& id) {
+  const std::lock_guard<std::mutex> lock(breakers_mutex_);
+  breakers_.erase(id);  // full reset; healthy slices carry no breaker
+}
+
+void SelectionService::breaker_failure(const SliceId& id) {
+  const std::lock_guard<std::mutex> lock(breakers_mutex_);
+  Breaker& b = breakers_[id];
+  b.probing = false;
+  b.consecutive_failures += 1;
+  const bool reopen = b.open_until_ns != 0;  // a failed half-open probe
+  if (!reopen && b.consecutive_failures < config_.breaker_threshold) {
+    return;
+  }
+  double backoff = config_.breaker_backoff_initial_s;
+  for (int i = 0; i < b.open_count && backoff < config_.breaker_backoff_max_s;
+       ++i) {
+    backoff *= 2.0;
+  }
+  backoff = std::min(backoff, config_.breaker_backoff_max_s);
+  // Deterministic jitter in [1, 1.5): same slice + same open ordinal =>
+  // same schedule in every run, but distinct slices never thunder together.
+  const std::uint64_t h = support::mix64(
+      SliceIdHash{}(id) ^ static_cast<std::uint64_t>(b.open_count));
+  backoff *= 1.0 + 0.5 * (static_cast<double>(h >> 11) * 0x1.0p-53);
+  b.open_until_ns = steady_now_ns() +
+                    static_cast<std::uint64_t>(backoff * 1e9);
+  b.open_count += 1;
+  breaker_opens_.fetch_add(1);
+  std::fprintf(stderr,
+               "breaker: slice %s:dim%d open (%d consecutive failures, "
+               "retry in %.3fs)\n",
+               id.family.c_str(), id.dim, b.consecutive_failures, backoff);
+}
+
+void SelectionService::breaker_probe_release(const SliceId& id) {
+  const std::lock_guard<std::mutex> lock(breakers_mutex_);
+  const auto it = breakers_.find(id);
+  if (it != breakers_.end()) {
+    it->second.probing = false;
+  }
+}
+
+std::vector<BreakerSnapshot> SelectionService::breaker_states() const {
+  const std::lock_guard<std::mutex> lock(breakers_mutex_);
+  std::vector<BreakerSnapshot> out;
+  out.reserve(breakers_.size());
+  const std::uint64_t now = steady_now_ns();
+  for (const auto& [id, b] : breakers_) {
+    BreakerSnapshot snap;
+    std::string base;
+    for (std::size_t d = 0; d < id.base.size(); ++d) {
+      base += support::strf("%s%d", d == 0 ? "" : ".", id.base[d]);
+    }
+    snap.slice = support::strf("%s:d%d:%s", id.family.c_str(), id.dim,
+                               base.c_str());
+    snap.state = b.open_until_ns == 0 ? 0.0
+                 : now < b.open_until_ns ? 1.0
+                                         : 0.5;
+    snap.consecutive_failures = b.consecutive_failures;
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BreakerSnapshot& a, const BreakerSnapshot& b) {
+              return a.slice < b.slice;
+            });
+  return out;
+}
+
+std::size_t SelectionService::async_queue_depth() const {
+  const std::lock_guard<std::mutex> lock(async_mutex_);
+  return async_order_.size();
 }
 
 Recommendation SelectionService::classify_exact(const Query& q) {
@@ -278,6 +433,28 @@ Recommendation SelectionService::classify_exact(const Query& q) {
   return rec;
 }
 
+Recommendation SelectionService::fallback_answer(const Query& q) {
+  // Pure cost-model arithmetic: no machine timing, no locks beyond the
+  // family memo — this is the answer that is always available, whatever
+  // state the measurement stack is in.
+  const expr::ExpressionFamily& family = resolve_family(q.family);
+  const std::vector<model::Algorithm> algorithms = family.algorithms(q.dims);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < algorithms.size(); ++i) {
+    if (algorithms[i].flops() < algorithms[best].flops()) {
+      best = i;  // strict <: ties keep the earliest, the canonical order
+    }
+  }
+  Recommendation rec;
+  rec.algorithm = best;
+  rec.flop_minimal = best;
+  rec.flops_reliable = true;
+  rec.time_score = 0.0;
+  rec.source = Source::kFallback;
+  degraded_answers_.fetch_add(1);
+  return rec;
+}
+
 Recommendation SelectionService::query(const Query& q) {
   {
     const obs::SpanScope lru_span(obs::Stage::kLru);
@@ -298,6 +475,11 @@ Recommendation SelectionService::query(const Query& q) {
     AtlasPtr atlas = find_slice(*snapshot(), id);
     if (atlas == nullptr && config_.auto_build) {
       atlas = obtain_atlas(atlas_key(q), id);
+      if (atlas == nullptr) {
+        // degrade_on_failure: the build failed, timed out or is breakered.
+        // Never cached, so the next miss retries (or the breaker gates it).
+        return fallback_answer(q);
+      }
     }
     if (atlas != nullptr) {
       rec = recommendation_from(
@@ -448,7 +630,10 @@ std::vector<Recommendation> SelectionService::query_batch(
 
   // Pass 2 — build every missing slice exactly once (in parallel on the
   // pool when the machine's timing is thread-safe; a build failure
-  // propagates, first error wins), then answer the deferred queries.
+  // propagates, first error wins — or, with degrade_on_failure, degrades
+  // just that group's queries to the fallback), then answer the deferred
+  // queries.
+  std::size_t degraded = 0;
   if (!deferred.empty()) {
     std::vector<std::pair<std::size_t, store::AtlasKey>> missing;
     for (std::size_t g = 0; g < groups.size(); ++g) {
@@ -478,10 +663,19 @@ std::vector<Recommendation> SelectionService::query_batch(
       }
     }
     for (std::size_t m = 0; m < missing.size(); ++m) {
-      adopt(groups[missing[m].first], std::move(built[m]));
+      if (built[m] != nullptr) {
+        adopt(groups[missing[m].first], std::move(built[m]));
+      }
     }
     for (const auto& [i, g] : deferred) {
-      answer(i, groups[g]);
+      if (groups[g].intervals != nullptr) {
+        answer(i, groups[g]);
+      } else {
+        // degrade_on_failure: the group's build degraded; its queries
+        // answer from the analytical fallback instead of failing the batch.
+        out[i] = fallback_answer(batch[i]);
+        ++degraded;
+      }
     }
   }
 
@@ -489,8 +683,9 @@ std::vector<Recommendation> SelectionService::query_batch(
   for (const std::uint32_t i : exact_queries) {
     out[i] = query(batch[i]);
   }
-  // Everything not on the exact path was answered from a grouped slice.
-  atlas_answers_.fetch_add(batch.size() - exact_queries.size());
+  // Everything not on the exact or degraded path was answered from a
+  // grouped slice.
+  atlas_answers_.fetch_add(batch.size() - exact_queries.size() - degraded);
   return out;
 }
 
@@ -543,6 +738,19 @@ std::future<Recommendation> SelectionService::enqueue_async(
     LAMB_CHECK(!async_stop_, "query_async on a stopping service");
     if (!async_worker_.joinable()) {
       async_worker_ = std::thread([this] { async_worker_loop(); });
+    }
+    // Bounded queue: a brand-new bucket past the bound sheds to the
+    // analytical fallback instead of growing the backlog without limit.
+    // Waiters joining an already-queued bucket always join — they add no
+    // build work.
+    if (config_.degrade_on_failure && config_.max_build_queue > 0 &&
+        async_order_.size() >= config_.max_build_queue &&
+        async_pending_.find(bucket_id) == async_pending_.end()) {
+      builds_shed_.fetch_add(1);
+      std::promise<Recommendation> shed;
+      fut = shed.get_future();
+      shed.set_value(fallback_answer(q));
+      return fut;
     }
     const auto [it, inserted] = async_pending_.try_emplace(bucket_id);
     if (inserted) {
@@ -653,10 +861,19 @@ std::size_t SelectionService::warm_from_store(
       record.emplace(store::load_atlas(path));
     } catch (const store::SerialError& e) {
       // One corrupt, truncated or foreign file (a crash mid-write, a disk
-      // error) must not abort warming the healthy rest of the store.
-      std::fprintf(stderr, "warm_from_store: skipping %s: %s\n", path.c_str(),
-                   e.what());
-      atlases_skipped_.fetch_add(1);
+      // error) must not abort warming the healthy rest of the store — and
+      // must not be silently re-read forever: set it aside with a journal
+      // line so fsck / operators can inspect it.
+      try {
+        store::quarantine_file(path, e.what());
+        std::fprintf(stderr, "warm_from_store: quarantined %s: %s\n",
+                     path.c_str(), e.what());
+        atlases_quarantined_.fetch_add(1);
+      } catch (const store::SerialError& rename_error) {
+        std::fprintf(stderr, "warm_from_store: skipping %s: %s\n",
+                     path.c_str(), rename_error.what());
+        atlases_skipped_.fetch_add(1);
+      }
       continue;
     }
     if (record->machine != machine_.name() ||
@@ -789,6 +1006,10 @@ ServiceStats SelectionService::stats() const {
   s.async_calls = async_calls_.load();
   s.slices_refreshed = slices_refreshed_.load();
   s.refresh_rounds = refresh_rounds_.load();
+  s.degraded_answers = degraded_answers_.load();
+  s.builds_shed = builds_shed_.load();
+  s.breaker_opens = breaker_opens_.load();
+  s.atlases_quarantined = atlases_quarantined_.load();
   return s;
 }
 

@@ -79,6 +79,7 @@ enum class Source : std::uint8_t {
   kCache,     ///< sharded LRU hit
   kAtlas,     ///< atlas-slice interval lookup
   kMeasured,  ///< direct classification on the machine model
+  kFallback,  ///< degraded: analytical flop-minimal ranking, no timing
 };
 
 std::string_view to_string(Source source);
@@ -112,6 +113,30 @@ struct ServiceConfig {
   /// Build missing atlas slices on demand; when false, a miss falls back to
   /// direct classification (source kMeasured).
   bool auto_build = true;
+  /// Graceful degradation: when a slice build fails (or the breaker is open,
+  /// or a deduplicated build exceeds build_deadline_s, or the async queue
+  /// sheds), answer from the analytical flop-minimal ranking with
+  /// source=kFallback instead of propagating the exception. Off by default:
+  /// library callers keep exact error propagation; the serving binary turns
+  /// it on. Fallback answers are never cached, so recovery is automatic.
+  bool degrade_on_failure = false;
+  /// Per-slice circuit breaker (active only with degrade_on_failure): this
+  /// many consecutive build failures open the breaker, skipping further
+  /// build attempts until an exponential backoff (with deterministic
+  /// jitter) elapses; then one half-open probe build closes it on success
+  /// or re-opens it with a doubled backoff. 0 disables the breaker.
+  int breaker_threshold = 3;
+  double breaker_backoff_initial_s = 0.5;
+  double breaker_backoff_max_s = 30.0;
+  /// With degrade_on_failure: bound on waiting for another thread's
+  /// in-flight build of the same slice; past it the waiter answers from
+  /// fallback while the build continues and publishes for later queries.
+  /// 0 waits indefinitely.
+  double build_deadline_s = 0.0;
+  /// With degrade_on_failure: bound on distinct queued async build buckets;
+  /// enqueues past it answer from fallback immediately instead of growing
+  /// the queue without limit. 0 = unbounded.
+  std::size_t max_build_queue = 0;
 };
 
 struct ServiceStats {
@@ -132,6 +157,19 @@ struct ServiceStats {
   std::uint64_t async_calls = 0;    ///< query_async() invocations
   std::uint64_t slices_refreshed = 0;  ///< slices rebuilt by refresh_slices()
   std::uint64_t refresh_rounds = 0;    ///< refresh_slices() invocations
+  std::uint64_t degraded_answers = 0;  ///< answers served with source=fallback
+  std::uint64_t builds_shed = 0;       ///< async buckets shed by the queue bound
+  std::uint64_t breaker_opens = 0;     ///< closed/half-open -> open transitions
+  std::uint64_t atlases_quarantined = 0;  ///< corrupt store files set aside
+};
+
+/// One per-slice circuit breaker, for /metrics: state is 0 (closed but
+/// recently failing), 0.5 (half-open: backoff elapsed, probe pending or in
+/// flight) or 1 (open). Healthy slices carry no breaker and are not listed.
+struct BreakerSnapshot {
+  std::string slice;
+  double state = 0.0;
+  int consecutive_failures = 0;
 };
 
 class SelectionService {
@@ -225,6 +263,13 @@ class SelectionService {
   std::size_t cache_size() const { return cache_.size(); }
   ServiceStats stats() const;
 
+  /// Current per-slice breakers (failing, half-open or open slices only).
+  std::vector<BreakerSnapshot> breaker_states() const;
+
+  /// Distinct build buckets queued behind query_async (an admission-control
+  /// watermark input for the HTTP tier).
+  std::size_t async_queue_depth() const;
+
  private:
   using AtlasPtr = std::shared_ptr<const anomaly::RegionAtlas>;
 
@@ -282,7 +327,10 @@ class SelectionService {
   /// The published atlas for a slice, or null.
   static AtlasPtr find_slice(const Snapshot& snap, const SliceId& id);
   /// The slice's atlas: published, in-flight (waits for the builder), or
-  /// built here and published. Throws what the build threw.
+  /// built here and published. Throws what the build threw — unless
+  /// degrade_on_failure is set, in which case a failed build, an open
+  /// breaker or an expired build deadline return nullptr and the caller
+  /// answers from fallback_answer().
   AtlasPtr obtain_atlas(const store::AtlasKey& key, const SliceId& id);
   /// Scans the slice (serialised behind timing_mutex_ when the machine's
   /// timing is not thread-safe).
@@ -292,6 +340,21 @@ class SelectionService {
                    AtlasPtr atlas);
 
   Recommendation classify_exact(const Query& q);
+
+  /// The degraded answer: the analytical flop-minimal algorithm, no timing
+  /// involved (the paper's premise — a cheap cost-model answer always
+  /// exists). Counted in degraded_answers; never cached.
+  Recommendation fallback_answer(const Query& q);
+
+  /// Breaker gate before a build attempt. True admits the caller (sets
+  /// `probe` when this is the half-open probe); false means answer from
+  /// fallback without touching the machine.
+  bool breaker_admit(const SliceId& id, bool& probe);
+  void breaker_success(const SliceId& id);
+  void breaker_failure(const SliceId& id);
+  /// Clears the half-open probing claim when an admitted prober ended up
+  /// waiting on another thread's build instead of building itself.
+  void breaker_probe_release(const SliceId& id);
 
   std::future<Recommendation> enqueue_async(SliceId bucket_id,
                                             store::AtlasKey key, bool exact,
@@ -323,8 +386,19 @@ class SelectionService {
   std::unordered_map<SliceId, std::shared_future<AtlasPtr>, SliceIdHash>
       in_flight_;
 
+  /// Per-slice circuit breakers (degrade_on_failure only). An entry exists
+  /// only while a slice is failing; success erases it.
+  struct Breaker {
+    int consecutive_failures = 0;
+    int open_count = 0;             ///< consecutive opens, drives the backoff
+    std::uint64_t open_until_ns = 0;  ///< 0 = closed (counting failures)
+    bool probing = false;           ///< half-open probe build in flight
+  };
+  mutable std::mutex breakers_mutex_;
+  std::unordered_map<SliceId, Breaker, SliceIdHash> breakers_;
+
   /// Background build queue for query_async (worker started lazily).
-  std::mutex async_mutex_;
+  mutable std::mutex async_mutex_;
   std::condition_variable async_cv_;
   std::deque<SliceId> async_order_;  // FIFO of bucket ids
   std::unordered_map<SliceId, AsyncBucket, SliceIdHash> async_pending_;
@@ -348,6 +422,10 @@ class SelectionService {
   std::atomic<std::uint64_t> async_calls_{0};
   std::atomic<std::uint64_t> slices_refreshed_{0};
   std::atomic<std::uint64_t> refresh_rounds_{0};
+  std::atomic<std::uint64_t> degraded_answers_{0};
+  std::atomic<std::uint64_t> builds_shed_{0};
+  std::atomic<std::uint64_t> breaker_opens_{0};
+  std::atomic<std::uint64_t> atlases_quarantined_{0};
 };
 
 }  // namespace lamb::serve

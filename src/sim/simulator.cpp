@@ -32,6 +32,9 @@ void count_source(PhaseStats& stats, serve::Source source) {
     case serve::Source::kMeasured:
       ++stats.measured;
       break;
+    case serve::Source::kFallback:
+      ++stats.fallback;
+      break;
   }
 }
 
@@ -177,18 +180,23 @@ double SimReport::total_wall_seconds() const {
 std::string SimReport::to_string() const {
   std::string out =
       "phase        requests  queries     qps    p50_us    p99_us   p999_us"
-      "   cache   atlas  measured\n";
+      "   cache   atlas  measured  fallback  shed  deadline  errors\n";
   for (const PhaseStats& p : phases) {
     const double qps =
         p.wall_seconds > 0.0 ? static_cast<double>(p.queries) / p.wall_seconds
                              : 0.0;
     out += support::strf(
-        "%-12s %8llu %8llu %7.0f %9.1f %9.1f %9.1f %7llu %7llu %9llu\n",
+        "%-12s %8llu %8llu %7.0f %9.1f %9.1f %9.1f %7llu %7llu %9llu %9llu "
+        "%5llu %9llu %7llu\n",
         p.name.c_str(), static_cast<unsigned long long>(p.requests),
         static_cast<unsigned long long>(p.queries), qps, p.p50_us, p.p99_us,
         p.p999_us, static_cast<unsigned long long>(p.cache),
         static_cast<unsigned long long>(p.atlas),
-        static_cast<unsigned long long>(p.measured));
+        static_cast<unsigned long long>(p.measured),
+        static_cast<unsigned long long>(p.fallback),
+        static_cast<unsigned long long>(p.shed),
+        static_cast<unsigned long long>(p.deadline),
+        static_cast<unsigned long long>(p.errors));
   }
   for (const PhaseStats& p : phases) {
     if (p.stages.empty()) {
@@ -230,7 +238,8 @@ std::string SimReport::to_json() const {
         "\"requests\": %llu, \"queries\": %llu, \"batches\": %llu, "
         "\"qps\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
         "\"p999_us\": %.2f, \"cache\": %llu, \"atlas\": %llu, "
-        "\"measured\": %llu, \"virtual_seconds\": %.3f, "
+        "\"measured\": %llu, \"fallback\": %llu, \"shed\": %llu, "
+        "\"deadline\": %llu, \"errors\": %llu, \"virtual_seconds\": %.3f, "
         "\"wall_seconds\": %.4f}",
         i == 0 ? "" : ",", p.name.c_str(),
         static_cast<unsigned long long>(p.requests),
@@ -238,7 +247,11 @@ std::string SimReport::to_json() const {
         static_cast<unsigned long long>(p.batches), qps, p.p50_us, p.p99_us,
         p.p999_us, static_cast<unsigned long long>(p.cache),
         static_cast<unsigned long long>(p.atlas),
-        static_cast<unsigned long long>(p.measured), p.virtual_seconds,
+        static_cast<unsigned long long>(p.measured),
+        static_cast<unsigned long long>(p.fallback),
+        static_cast<unsigned long long>(p.shed),
+        static_cast<unsigned long long>(p.deadline),
+        static_cast<unsigned long long>(p.errors), p.virtual_seconds,
         p.wall_seconds);
     if (!p.stages.empty()) {
       out.pop_back();  // reopen the phase object for the stages member
@@ -271,13 +284,17 @@ std::string SimReport::source_mix() const {
   for (const PhaseStats& p : phases) {
     out += support::strf(
         "%s requests=%llu queries=%llu batches=%llu cache=%llu atlas=%llu "
-        "measured=%llu\n",
+        "measured=%llu fallback=%llu shed=%llu deadline=%llu errors=%llu\n",
         p.name.c_str(), static_cast<unsigned long long>(p.requests),
         static_cast<unsigned long long>(p.queries),
         static_cast<unsigned long long>(p.batches),
         static_cast<unsigned long long>(p.cache),
         static_cast<unsigned long long>(p.atlas),
-        static_cast<unsigned long long>(p.measured));
+        static_cast<unsigned long long>(p.measured),
+        static_cast<unsigned long long>(p.fallback),
+        static_cast<unsigned long long>(p.shed),
+        static_cast<unsigned long long>(p.deadline),
+        static_cast<unsigned long long>(p.errors));
   }
   return out;
 }
@@ -328,6 +345,9 @@ SimReport replay_http(const std::string& host, std::uint16_t port,
   net::ClientConfig client_cfg;
   client_cfg.connect_timeout_s = 10.0;
   client_cfg.io_timeout_s = 120.0;
+  // A server mid-restart (or shedding accepts under fault injection) costs
+  // a jittered retry, not a thrown replay.
+  client_cfg.connect_retries = 3;
   std::vector<net::Client> clients;
   clients.reserve(n_conns);
   for (std::size_t i = 0; i < n_conns; ++i) {
@@ -339,16 +359,45 @@ SimReport replay_http(const std::string& host, std::uint16_t port,
       requests, spec, cfg, [&](const Request& req, PhaseStats& stats) {
         net::Client& client = clients[next];
         next = (next + 1) % clients.size();
+        if (!client.connected()) {
+          // The previous answer on this slot said Connection: close (an
+          // admission 503 does), or a fault tore the connection down;
+          // reconnect with the config's retries rather than failing the
+          // replay.
+          client = net::Client(host, port, client_cfg);
+        }
         std::string body;
         for (const serve::Query& q : req.queries) {
           body += format_query_line(q);
           body += '\n';
         }
-        const net::ResponseParser::Parsed response = client.request(
-            "POST", req.batch ? "/v1/batch" : "/v1/query", body);
-        LAMB_CHECK(response.status == 200,
-                   support::strf("sim: HTTP %d from %s", response.status,
-                                 req.batch ? "/v1/batch" : "/v1/query"));
+        net::ResponseParser::Parsed response;
+        try {
+          response = client.request(
+              "POST", req.batch ? "/v1/batch" : "/v1/query", body);
+        } catch (const net::NetError&) {
+          // Connection reset mid-request (net.write injection, a reaped
+          // idle socket racing the send): a hard error against the phase's
+          // budget, and the slot reconnects on its next turn.
+          ++stats.errors;
+          client.close();
+          return;
+        }
+        if (response.status != 200) {
+          // Classified, not fatal: a degraded server says 503 (admission
+          // shed) or 504 (query deadline), and a chaos trace budgets for
+          // both (PhaseSpec::error_budget). Anything else is a hard error.
+          // The request's queries stay unanswered — the source mix only
+          // sums what actually came back.
+          if (response.status == 503) {
+            ++stats.shed;
+          } else if (response.status == 504) {
+            ++stats.deadline;
+          } else {
+            ++stats.errors;
+          }
+          return;
+        }
         std::size_t answered = 0;
         std::size_t pos = 0;
         const std::string& lines = response.body;

@@ -73,6 +73,14 @@ struct PhaseStats {
   std::uint64_t cache = 0;
   std::uint64_t atlas = 0;
   std::uint64_t measured = 0;
+  std::uint64_t fallback = 0;  ///< degraded (source=fallback) answers
+  // Non-200 classification (HTTP replay only; in-process replay throws on
+  // failure instead): shed = admission 503s, deadline = 504s, errors =
+  // everything else. A failed request's queries count as unanswered — the
+  // source mix only sums answered queries.
+  std::uint64_t shed = 0;
+  std::uint64_t deadline = 0;
+  std::uint64_t errors = 0;
   double virtual_seconds = 0.0;  ///< phase duration in the spec
   double wall_seconds = 0.0;     ///< time spent replaying the phase
   // Request latencies (one sample per request, batches included).

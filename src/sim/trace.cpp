@@ -145,6 +145,8 @@ void apply_key(PhaseSpec& phase, std::string_view key, std::string_view value,
     phase.lo = parse_int(value, line_no);
   } else if (key == "hi") {
     phase.hi = parse_int(value, line_no);
+  } else if (key == "error_budget") {
+    phase.error_budget = parse_number(value, line_no);
   } else {
     LAMB_CHECK(false, support::strf("trace line %d: unknown key \"%.*s\"",
                                     line_no, static_cast<int>(key.size()),
@@ -177,6 +179,8 @@ void validate_phase(const PhaseSpec& phase, std::size_t index) {
   LAMB_CHECK(phase.dim >= 0, ctx("dim must be >= 0"));
   LAMB_CHECK(phase.lo >= 1, ctx("lo must be >= 1"));
   LAMB_CHECK(phase.hi >= phase.lo, ctx("hi must be >= lo"));
+  LAMB_CHECK(phase.error_budget >= 0.0 && phase.error_budget <= 1.0,
+             ctx("error_budget must lie in [0, 1]"));
 }
 
 }  // namespace

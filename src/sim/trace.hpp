@@ -77,6 +77,11 @@ struct PhaseSpec {
   int dim = 0;   ///< scanned (symbolic) dimension of every query
   int lo = 20;   ///< coordinate range for the scanned dimension
   int hi = 1200;
+  /// HTTP replay: fraction of the phase's requests allowed to come back
+  /// non-200 (shed 503s, deadline 504s, hard errors) before the replay is
+  /// declared failed — serve_cli simulate exits non-zero past it. 0 (the
+  /// default) means any non-200 fails; chaos traces raise it.
+  double error_budget = 0.0;
 };
 
 struct TraceSpec {

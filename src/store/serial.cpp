@@ -10,6 +10,7 @@
 #include <limits>
 
 #include "support/endian.hpp"
+#include "support/fault.hpp"
 #include "support/hash.hpp"
 #include "support/str.hpp"
 
@@ -175,15 +176,54 @@ void write_file(const std::string& path, std::uint32_t kind,
   if (::close(fd) != 0) {
     throw fail("close failed: " + tmp);
   }
+  if (support::fault_fire(support::FaultSite::kStoreWrite)) {
+    // Model a crash between staging and publish: the staged .tmp survives,
+    // the destination is untouched. fsck cleans the orphan up.
+    throw SerialError("fault injected: store.write before rename: " + path);
+  }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     throw fail("cannot replace " + path + ": " + ec.message());
   }
+  // The rename itself must also reach disk: without a directory fsync a
+  // power loss can roll the directory entry back to the old file (or to
+  // nothing, for a first checkpoint) even though the data blocks made it.
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  const int dirfd =
+      ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);  // best-effort: some filesystems reject directory fsync
+    ::close(dirfd);
+  }
+}
+
+void quarantine_file(const std::string& path, const std::string& reason) {
+  const std::filesystem::path src(path);
+  std::filesystem::path dst = src;
+  dst += ".corrupt";
+  std::error_code ec;
+  for (int n = 1; std::filesystem::exists(dst, ec) && n < 100; ++n) {
+    dst = src;
+    dst += support::strf(".%d.corrupt", n);
+  }
+  std::filesystem::rename(src, dst, ec);
+  if (ec) {
+    throw SerialError("cannot quarantine " + path + ": " + ec.message());
+  }
+  const std::filesystem::path journal =
+      src.parent_path() / "quarantine.journal";
+  std::ofstream out(journal, std::ios::app);
+  if (out) {
+    out << dst.filename().string() << '\t' << reason << '\n';
+  }
 }
 
 std::string read_file(const std::string& path, std::uint32_t kind,
                       std::uint32_t expected_version) {
+  if (support::fault_fire(support::FaultSite::kStoreRead)) {
+    throw SerialError("fault injected: store.read: " + path);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw SerialError("cannot open for reading: " + path);

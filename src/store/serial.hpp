@@ -99,4 +99,11 @@ void write_file(const std::string& path, std::uint32_t kind,
 std::string read_file(const std::string& path, std::uint32_t kind,
                       std::uint32_t expected_version);
 
+/// Move a corrupt file aside as "<path>.corrupt" (numbered when that name is
+/// taken) and append a "<name>\t<reason>" line to quarantine.journal in the
+/// same directory, so bad bytes are preserved for forensics instead of being
+/// silently skipped or re-read forever. Throws SerialError when the rename
+/// itself fails.
+void quarantine_file(const std::string& path, const std::string& reason);
+
 }  // namespace lamb::store

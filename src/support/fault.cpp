@@ -1,0 +1,323 @@
+#include "support/fault.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace lamb::support {
+
+namespace detail {
+std::atomic<bool> g_fault_enabled{false};
+}  // namespace detail
+
+namespace {
+
+enum class Mode { kOff, kAlways, kEveryNth, kProbability, kValue };
+
+/// Arming for one site. Every field is a relaxed atomic: fault_arm may run
+/// while server threads are mid-fault_fire (a chaos test re-arming under
+/// live traffic), so the spec fields need atomic stores/loads, not just the
+/// g_fault_enabled flip. A reader racing an arm may combine old and new
+/// fields for that one call; the determinism contract only covers specs
+/// armed before the traffic they shape, which is how every test uses it.
+struct SiteState {
+  std::atomic<Mode> mode{Mode::kOff};
+  std::atomic<std::uint64_t> every_n{0};  // kEveryNth period
+  std::atomic<double> probability{0.0};   // kProbability threshold
+  std::atomic<std::uint64_t> value{0};    // kValue payload (e.g. delay ms)
+  std::atomic<std::uint64_t> after{0};    // skip the first `after` calls
+  std::atomic<std::uint64_t> limit{0};    // stop after N fires (0 = unlimited)
+  std::atomic<std::uint64_t> seed{0};     // per-site stream seed
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> injected{0};
+};
+
+SiteState g_sites[kFaultSiteCount];
+std::mutex g_arm_mutex;
+std::string g_arm_spec;       // last spec passed to fault_arm (for FaultScope)
+std::uint64_t g_arm_seed = 0;
+
+constexpr std::string_view kSiteNames[kFaultSiteCount] = {
+    "store.read",  "store.write", "build.slice", "build.delay_ms",
+    "net.accept",  "net.write",   "drift.probe", "alloc.build",
+};
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) {
+    return false;
+  }
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+bool parse_probability(std::string_view s, double& out) {
+  if (s.empty() || s.find('.') == std::string_view::npos) {
+    return false;
+  }
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(std::string(s), &pos);
+    if (pos != s.size() || !(v > 0.0) || !(v < 1.0)) {
+      return false;
+    }
+    out = v;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// One `site=mode[:key=value ...]` entry.
+void arm_entry(std::string_view entry, std::uint64_t seed) {
+  const std::size_t eq = entry.find('=');
+  LAMB_CHECK(eq != std::string_view::npos,
+             strf("fault: expected site=spec, got \"%.*s\"",
+                  static_cast<int>(entry.size()), entry.data()));
+  FaultSite site;
+  const std::string_view name = entry.substr(0, eq);
+  LAMB_CHECK(fault_site_from(name, site),
+             strf("fault: unknown site \"%.*s\"",
+                  static_cast<int>(name.size()), name.data()));
+
+  SiteState& state = g_sites[static_cast<int>(site)];
+  std::string_view rest = entry.substr(eq + 1);
+  bool first = true;
+  while (!rest.empty()) {
+    const std::size_t colon = rest.find(':');
+    const std::string_view tok = rest.substr(0, colon);
+    rest = colon == std::string_view::npos ? std::string_view()
+                                          : rest.substr(colon + 1);
+    LAMB_CHECK(!tok.empty(), "fault: empty spec token");
+    if (first) {
+      first = false;
+      std::uint64_t n = 0;
+      double p = 0.0;
+      if (tok == "always") {
+        state.mode.store(Mode::kAlways, std::memory_order_relaxed);
+      } else if (tok.size() > 2 && tok[0] == '1' && tok[1] == '/' &&
+                 parse_u64(tok.substr(2), n) && n >= 1) {
+        state.mode.store(Mode::kEveryNth, std::memory_order_relaxed);
+        state.every_n.store(n, std::memory_order_relaxed);
+      } else if (parse_probability(tok, p)) {
+        state.mode.store(Mode::kProbability, std::memory_order_relaxed);
+        state.probability.store(p, std::memory_order_relaxed);
+      } else if (parse_u64(tok, n)) {
+        state.mode.store(Mode::kValue, std::memory_order_relaxed);
+        state.value.store(n, std::memory_order_relaxed);
+      } else {
+        LAMB_CHECK(false,
+                   strf("fault: bad spec \"%.*s\" for %.*s (want always, "
+                        "1/N, a probability in (0,1), or an integer payload)",
+                        static_cast<int>(tok.size()), tok.data(),
+                        static_cast<int>(name.size()), name.data()));
+      }
+      continue;
+    }
+    const std::size_t meq = tok.find('=');
+    LAMB_CHECK(meq != std::string_view::npos,
+               strf("fault: expected key=value modifier, got \"%.*s\"",
+                    static_cast<int>(tok.size()), tok.data()));
+    const std::string_view key = tok.substr(0, meq);
+    std::uint64_t v = 0;
+    LAMB_CHECK(parse_u64(tok.substr(meq + 1), v),
+               strf("fault: modifier %.*s needs an integer value",
+                    static_cast<int>(key.size()), key.data()));
+    if (key == "after") {
+      state.after.store(v, std::memory_order_relaxed);
+    } else if (key == "limit") {
+      state.limit.store(v, std::memory_order_relaxed);
+    } else {
+      LAMB_CHECK(false, strf("fault: unknown modifier \"%.*s\"",
+                             static_cast<int>(key.size()), key.data()));
+    }
+  }
+  LAMB_CHECK(state.mode.load(std::memory_order_relaxed) != Mode::kOff,
+             strf("fault: empty spec for %.*s", static_cast<int>(name.size()),
+                  name.data()));
+  state.seed.store(
+      hash_combine(mix64(seed + 0x6c616d62ULL),
+                   hash_string(kSiteNames[static_cast<int>(site)])),
+      std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::string_view fault_site_name(FaultSite site) {
+  const int i = static_cast<int>(site);
+  if (i < 0 || i >= kFaultSiteCount) {
+    return "?";
+  }
+  return kSiteNames[i];
+}
+
+bool fault_site_from(std::string_view name, FaultSite& out) {
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    if (kSiteNames[i] == name) {
+      out = static_cast<FaultSite>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace detail {
+
+bool fault_fire_slow(FaultSite site) {
+  SiteState& state = g_sites[static_cast<int>(site)];
+  const Mode mode = state.mode.load(std::memory_order_relaxed);
+  if (mode == Mode::kOff) {
+    return false;
+  }
+  const std::uint64_t call =
+      state.calls.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t after = state.after.load(std::memory_order_relaxed);
+  const std::uint64_t limit = state.limit.load(std::memory_order_relaxed);
+  if (call < after) {
+    return false;
+  }
+  if (limit != 0 &&
+      state.injected.load(std::memory_order_relaxed) >= limit) {
+    return false;
+  }
+  bool fire = false;
+  switch (mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kAlways:
+    case Mode::kValue:
+      fire = true;
+      break;
+    case Mode::kEveryNth: {
+      // every_n can transiently read 0 when racing an arm: decline, don't
+      // divide.
+      const std::uint64_t n = state.every_n.load(std::memory_order_relaxed);
+      fire = n != 0 && (call - after) % n == 0;
+      break;
+    }
+    case Mode::kProbability: {
+      // Counter-hashed rather than a shared RNG: call ordinal N fires (or
+      // not) identically regardless of which thread reaches it.
+      const std::uint64_t h =
+          mix64(state.seed.load(std::memory_order_relaxed) ^
+                (call * 0x9e3779b97f4a7c15ULL));
+      fire = static_cast<double>(h >> 11) * 0x1.0p-53 <
+             state.probability.load(std::memory_order_relaxed);
+      break;
+    }
+  }
+  if (!fire) {
+    return false;
+  }
+  if (limit != 0) {
+    // Claim one of the limited slots; racing past the limit just declines.
+    const std::uint64_t n =
+        state.injected.fetch_add(1, std::memory_order_relaxed);
+    if (n >= limit) {
+      state.injected.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+  } else {
+    state.injected.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+std::uint64_t fault_value_slow(FaultSite site) {
+  return fault_fire_slow(site)
+             ? g_sites[static_cast<int>(site)].value.load(
+                   std::memory_order_relaxed)
+             : 0;
+}
+
+}  // namespace detail
+
+void fault_arm(std::string_view spec, std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(g_arm_mutex);
+  detail::g_fault_enabled.store(false, std::memory_order_seq_cst);
+  for (SiteState& state : g_sites) {
+    state.mode.store(Mode::kOff, std::memory_order_relaxed);
+    state.every_n.store(0, std::memory_order_relaxed);
+    state.probability.store(0.0, std::memory_order_relaxed);
+    state.value.store(0, std::memory_order_relaxed);
+    state.after.store(0, std::memory_order_relaxed);
+    state.limit.store(0, std::memory_order_relaxed);
+    state.seed.store(0, std::memory_order_relaxed);
+    state.calls.store(0, std::memory_order_relaxed);
+    state.injected.store(0, std::memory_order_relaxed);
+  }
+  g_arm_spec = std::string(spec);
+  g_arm_seed = seed;
+
+  std::string_view rest = spec;
+  bool any = false;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                          : rest.substr(comma + 1);
+    while (!entry.empty() && (entry.front() == ' ' || entry.front() == '\t')) {
+      entry.remove_prefix(1);
+    }
+    while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\t')) {
+      entry.remove_suffix(1);
+    }
+    if (entry.empty()) {
+      continue;
+    }
+    arm_entry(entry, seed);
+    any = true;
+  }
+  if (any) {
+    detail::g_fault_enabled.store(true, std::memory_order_seq_cst);
+  }
+}
+
+void fault_disarm_all() { fault_arm("", 0); }
+
+void fault_arm_from_env() {
+  const char* spec = std::getenv("LAMB_FAULT");
+  if (spec == nullptr || spec[0] == '\0') {
+    return;
+  }
+  std::uint64_t seed = 0;
+  if (const char* s = std::getenv("LAMB_FAULT_SEED")) {
+    parse_u64(s, seed);
+  }
+  fault_arm(spec, seed);
+}
+
+std::uint64_t fault_injected(FaultSite site) {
+  return g_sites[static_cast<int>(site)].injected.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t fault_injected_total() {
+  std::uint64_t total = 0;
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    total += fault_injected(static_cast<FaultSite>(i));
+  }
+  return total;
+}
+
+FaultScope::FaultScope(std::string_view spec, std::uint64_t seed) {
+  {
+    std::lock_guard<std::mutex> lock(g_arm_mutex);
+    previous_ = g_arm_spec;
+    previous_seed_ = g_arm_seed;
+  }
+  fault_arm(spec, seed);
+}
+
+FaultScope::~FaultScope() { fault_arm(previous_, previous_seed_); }
+
+}  // namespace lamb::support

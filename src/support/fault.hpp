@@ -1,0 +1,107 @@
+// Deterministic fault injection for robustness testing.
+//
+// A small registry of named sites threaded through the stack (store reads and
+// writes, slice builds, the network accept/write paths, drift probes). Each
+// site is armed with a spec — fire always, every Nth call, or with a seeded
+// probability — via the LAMB_FAULT environment variable or the programmatic
+// FaultScope test API. Disabled cost is a single relaxed atomic load, so the
+// checks may sit on hot paths: with nothing armed the served answers are
+// byte-identical to a build without any injection at all.
+//
+//   LAMB_FAULT="build.slice=always,store.read=1/3,net.write=0.02:limit=20"
+//   LAMB_FAULT_SEED=42
+//
+// Per-site call counters (not wall clocks or thread ids) drive every decision,
+// so a given spec fires on the same call ordinals in every run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lamb::support {
+
+/// Every injection point in the codebase. Adding a site means adding an enum
+/// entry, its name in fault_site_name(), and one fault_fire() call.
+enum class FaultSite : int {
+  kStoreRead = 0,   // store::read_file throws SerialError
+  kStoreWrite,      // store::write_file throws before the atomic rename
+  kBuildSlice,      // SelectionService slice build throws runtime_error
+  kBuildDelayMs,    // slice build sleeps for the armed value (milliseconds)
+  kNetAccept,       // reactor drops a freshly accepted connection
+  kNetWrite,        // reactor treats a socket write as ECONNRESET
+  kDriftProbe,      // DriftMonitor probe measurement throws
+  kAllocBuild,      // slice build throws std::bad_alloc
+};
+
+inline constexpr int kFaultSiteCount = 8;
+
+/// Canonical site name ("store.read", "build.slice", ...).
+std::string_view fault_site_name(FaultSite site);
+
+/// Parse a site name; returns false when unknown.
+bool fault_site_from(std::string_view name, FaultSite& out);
+
+namespace detail {
+extern std::atomic<bool> g_fault_enabled;
+bool fault_fire_slow(FaultSite site);
+std::uint64_t fault_value_slow(FaultSite site);
+}  // namespace detail
+
+/// True when `site` should inject a fault on this call. When nothing is
+/// armed this is one relaxed load and no branch into the registry.
+inline bool fault_fire(FaultSite site) {
+  return detail::g_fault_enabled.load(std::memory_order_relaxed) &&
+         detail::fault_fire_slow(site);
+}
+
+/// Value-carrying variant for sites like build.delay_ms: returns the armed
+/// value when the site fires on this call, 0 otherwise (including disabled).
+inline std::uint64_t fault_value(FaultSite site) {
+  if (!detail::g_fault_enabled.load(std::memory_order_relaxed)) {
+    return 0;
+  }
+  return detail::fault_value_slow(site);
+}
+
+/// Arm sites from a comma-separated spec list. Each entry is
+///
+///   site=mode[:key=value ...]
+///
+/// where mode is `always`, `1/N` (every Nth call, first call fires),
+/// a probability in (0, 1) drawn from a per-site stream seeded by `seed`,
+/// or — for value sites like build.delay_ms — a bare integer payload.
+/// Modifiers: `after=N` skips the first N calls, `limit=N` stops injecting
+/// after N fires (lets chaos runs recover without a restart). Replaces any
+/// previous arming; throws CheckError on malformed specs. An empty spec
+/// disarms everything.
+void fault_arm(std::string_view spec, std::uint64_t seed = 0);
+
+/// Disarm every site and zero the per-site injected counters.
+void fault_disarm_all();
+
+/// Arm from LAMB_FAULT / LAMB_FAULT_SEED when set; no-op otherwise.
+void fault_arm_from_env();
+
+/// Number of faults injected at `site` since the last arming.
+std::uint64_t fault_injected(FaultSite site);
+
+/// Sum of fault_injected over all sites.
+std::uint64_t fault_injected_total();
+
+/// RAII test helper: arms `spec` for the scope and restores the previous
+/// arming string (with fresh counters) on destruction.
+class FaultScope {
+ public:
+  explicit FaultScope(std::string_view spec, std::uint64_t seed = 0);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  std::string previous_;
+  std::uint64_t previous_seed_;
+};
+
+}  // namespace lamb::support

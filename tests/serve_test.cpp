@@ -300,7 +300,7 @@ TEST(SelectionService, CheckpointThenWarmServesIdenticalAnswersWithoutBuilds) {
   EXPECT_EQ(second.stats().atlas_samples, 0);
 }
 
-TEST(SelectionService, WarmFromStoreSkipsCorruptFilesWithoutAborting) {
+TEST(SelectionService, WarmFromStoreQuarantinesCorruptFilesWithoutAborting) {
   const std::string dir = temp_dir();
   model::SimulatedMachine machine;
   const ServiceConfig cfg = scripted_config();
@@ -327,13 +327,18 @@ TEST(SelectionService, WarmFromStoreSkipsCorruptFilesWithoutAborting) {
   }
   { std::ofstream zero(dir + "/0000000000000000.atlas", std::ios::binary); }
 
-  // The healthy slice is adopted, the two bad files are skipped with a
-  // diagnostic, and nothing throws.
+  // The healthy slice is adopted, the two bad files are quarantined with a
+  // diagnostic (renamed *.corrupt + journal entry so they are not silently
+  // re-read on every warm), and nothing throws.
   SelectionService second(machine, cfg);
   EXPECT_EQ(second.warm_from_store(atlas_store), 1u);
   EXPECT_EQ(second.atlas_count(), 1u);
   EXPECT_EQ(second.stats().atlases_loaded, 1u);
-  EXPECT_EQ(second.stats().atlases_skipped, 2u);
+  EXPECT_EQ(second.stats().atlases_quarantined, 2u);
+  EXPECT_EQ(second.stats().atlases_skipped, 0u);
+  EXPECT_FALSE(std::filesystem::exists(paths.front()));
+  EXPECT_TRUE(std::filesystem::exists(paths.front() + ".corrupt"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/quarantine.journal"));
 
   // Both queries still answer identically to the first service: one from
   // the adopted slice, the other rebuilt on demand behind the miss.

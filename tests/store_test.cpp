@@ -16,6 +16,7 @@
 #include "store/atlas_store.hpp"
 #include "store/profile_io.hpp"
 #include "store/serial.hpp"
+#include "support/fault.hpp"
 
 namespace {
 
@@ -382,6 +383,42 @@ TEST(AtlasStore, WritesAreStagedAndAtomicallyRenamed) {
   // A stale ".tmp" from a simulated crash is invisible to the store.
   { std::ofstream stale(dir + "/deadbeef.atlas.tmp"); stale << "junk"; }
   EXPECT_EQ(atlas_store.list().size(), 1u);
+}
+
+TEST(AtlasStore, CrashBeforeRenameLeavesDestinationUntouched) {
+  const anomaly::RegionAtlas atlas = scripted_atlas();
+  const std::string dir = temp_dir() + "/store";
+  store::AtlasStore atlas_store(dir);
+  const store::AtlasKey key{"scripted", "scripted", 0, {300},
+                            atlas.config()};
+  atlas_store.save(key, atlas);
+  const std::string canonical = [&] {
+    std::ifstream in(atlas_store.path_for(key), std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }();
+
+  // The store.write fault fires after the staged bytes are flushed but
+  // BEFORE the atomic rename — the crash window the fsync-then-rename
+  // protocol protects. The destination must be byte-identical to the last
+  // good save; only a ".tmp" straggler may remain.
+  {
+    support::FaultScope fault("store.write=always");
+    EXPECT_THROW(atlas_store.save(key, atlas), SerialError);
+    EXPECT_EQ(support::fault_injected(support::FaultSite::kStoreWrite), 1u);
+  }
+  {
+    std::ifstream in(atlas_store.path_for(key), std::ios::binary);
+    const std::string after((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    EXPECT_EQ(after, canonical);
+  }
+
+  // Disarmed, the same save completes and the record still round-trips.
+  atlas_store.save(key, atlas);
+  const auto back = atlas_store.load(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->to_csv(), atlas.to_csv());
 }
 
 TEST(AtlasStore, ForeignFileUnderKeyNameIsRejected) {
